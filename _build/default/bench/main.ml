@@ -1,0 +1,386 @@
+(* Benchmark harness: one Bechamel test per paper artifact (Tables 2-5,
+   Figures 1 and 3, the §2.1/§2.2 computations) plus scaling sweeps and
+   baseline comparisons on synthetic workloads.
+
+   Before timing anything, each artifact is regenerated once and checked
+   against the paper so a broken build cannot produce plausible-looking
+   numbers. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Correctness gate                                                    *)
+
+let table2 () =
+  Erm.Ops.select
+    ~threshold:(Erm.Threshold.sn_gt 0.0)
+    (Erm.Predicate.is_values "speciality" [ "si" ])
+    Paperdata.r_a
+
+let table3 () =
+  Erm.Ops.select
+    ~threshold:(Erm.Threshold.sn_gt 0.0)
+    Erm.Predicate.(
+      is_values "speciality" [ "mu" ] &&& is_values "rating" [ "ex" ])
+    Paperdata.r_a
+
+let table4 () = Erm.Ops.union Paperdata.r_a Paperdata.r_b
+let table5 () = Erm.Ops.project Paperdata.table5_attrs Paperdata.r_a
+
+let figure1_env = [ ("ra", Paperdata.r_a); ("rb", Paperdata.r_b) ]
+
+let figure1_query =
+  "SELECT * FROM (ra UNION rb) WHERE speciality IS {mu} AND rating IS {ex} \
+   WITH SN > 0.5"
+
+let figure1 () = Query.Eval.run figure1_env figure1_query
+
+let verify () =
+  let check name ok =
+    Printf.printf "  [%s] %s\n" (if ok then "OK" else "FAIL") name;
+    ok
+  in
+  let all =
+    [ check "sec2.2 combination"
+        (Dst.Mass.F.equal
+           (Dst.Mass.F.combine Paperdata.wok_m1 Paperdata.wok_m2)
+           Paperdata.wok_combined);
+      check "table2" (Erm.Relation.equal (table2 ()) Paperdata.table2);
+      check "table3" (Erm.Relation.equal (table3 ()) Paperdata.table3);
+      check "table4" (Erm.Relation.equal (table4 ()) Paperdata.table4);
+      check "table5" (Erm.Relation.equal (table5 ()) Paperdata.table5);
+      check "figure1 query" (Erm.Relation.cardinal (figure1 ()) = 2) ]
+  in
+  if List.for_all (fun x -> x) all then
+    print_endline "  all artifacts verified against the paper\n"
+  else begin
+    print_endline "  ARTIFACT VERIFICATION FAILED - timings would be lies";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Workload fixtures (built once, outside the timed closures)          *)
+
+let rng = Workload.Rng.create 42
+
+let evidence_with_focals =
+  List.map
+    (fun focals ->
+      let dom = Workload.Gen.domain ~size:(2 * focals) "sweep" in
+      let a = Workload.Gen.evidence rng ~focals ~max_focal_size:3 dom in
+      let b = Workload.Gen.evidence rng ~focals ~max_focal_size:3 dom in
+      (focals, a, b))
+    [ 2; 4; 8; 16 ]
+
+let sweep_schema = Workload.Gen.schema "sweep"
+
+let relations_by_size =
+  List.map
+    (fun size -> (size, Workload.Gen.relation rng ~size sweep_schema))
+    [ 100; 1000; 10000 ]
+
+let union_pairs =
+  List.map
+    (fun overlap ->
+      let a, b =
+        Workload.Gen.source_pair rng ~size:1000 ~overlap sweep_schema
+      in
+      (overlap, a, b))
+    [ 0.0; 0.5; 1.0 ]
+
+let join_left = Workload.Gen.relation rng ~size:30 sweep_schema
+
+let join_right =
+  Erm.Ops.rename_attrs
+    (fun n -> "r_" ^ n)
+    (Workload.Gen.relation rng ~size:30 sweep_schema)
+
+let baseline_pair =
+  Workload.Gen.source_pair rng ~size:1000 ~overlap:0.5 sweep_schema
+
+let pv_pair =
+  let a, b = baseline_pair in
+  ( Baselines.Partial_value.relation_of_extended a,
+    Baselines.Partial_value.relation_of_extended b )
+
+let ppv_pair =
+  let a, b = baseline_pair in
+  ( Baselines.Prob_partial.relation_of_extended a,
+    Baselines.Prob_partial.relation_of_extended b )
+
+let is_pred = Erm.Predicate.is_values "e0" [ "v0"; "v1" ]
+
+let theta_pred =
+  Erm.Predicate.theta Erm.Predicate.Eq (Erm.Predicate.Field "e0")
+    (Erm.Predicate.Field "e1")
+
+let supports =
+  (Dst.Support.make ~sn:0.5 ~sp:0.8, Dst.Support.make ~sn:0.6 ~sp:1.0)
+
+(* Ablation fixtures *)
+
+module Mq = Dst.Mass.Make (Dst.Num.Rational)
+
+let rational_pair =
+  let frame = Dst.Mass.F.frame Paperdata.wok_m1 in
+  ( Mq.make frame Paperdata.sec22_m1_exact,
+    Mq.make frame Paperdata.sec22_m2_exact )
+
+let theta_operands =
+  let dom = Workload.Gen.domain ~size:12 "theta" in
+  let a = Workload.Gen.evidence rng ~focals:6 ~max_focal_size:4 dom in
+  let b = Workload.Gen.evidence rng ~focals:6 ~max_focal_size:4 dom in
+  ( Erm.Predicate.Const (Erm.Etuple.Evidence a),
+    Erm.Predicate.Const (Erm.Etuple.Evidence b) )
+
+let ablation_sources =
+  Workload.Gen.source_pair rng ~size:500 ~overlap:0.5 sweep_schema
+
+let pushdown_env =
+  let a = Workload.Gen.relation rng ~size:60 sweep_schema in
+  let b =
+    Erm.Ops.rename_attrs (fun n -> "r_" ^ n)
+      (Workload.Gen.relation rng ~size:60 sweep_schema)
+  in
+  [ ("wa", a); ("wb", b) ]
+
+let pushdown_query =
+  Query.Parser.parse
+    "SELECT * FROM (wa JOIN wb ON e0 = r_e0) WHERE e1 IS {v0, v1} AND r_e1 \
+     IS {v2, v3}"
+
+let pushdown_optimized = Query.Plan.optimize pushdown_env pushdown_query
+
+let coarse_frame = Workload.Gen.domain ~size:4 "coarse"
+let fine_frame = Workload.Gen.domain ~size:16 "fine"
+
+let refining =
+  Dst.Refinement.make ~coarse:coarse_frame ~fine:fine_frame (fun v ->
+      match v with
+      | Dst.Value.String s ->
+          let base =
+            4 * int_of_string (String.sub s 1 (String.length s - 1))
+          in
+          Dst.Vset.of_strings
+            (List.init 4 (fun i -> "v" ^ string_of_int (base + i)))
+      | _ -> assert false)
+
+let coarse_evidence =
+  Workload.Gen.evidence rng ~focals:3 ~max_focal_size:2 coarse_frame
+
+let skew_dom = Workload.Gen.domain ~size:16 "skewed"
+
+let skew_pairs =
+  List.map
+    (fun zipf_skew ->
+      let mk () =
+        Workload.Gen.evidence rng ~focals:4 ~max_focal_size:3 ~zipf_skew
+          skew_dom
+      in
+      (zipf_skew, List.init 64 (fun _ -> (mk (), mk ()))))
+    [ 0.0; 1.2 ]
+
+let indexed_relation = Workload.Gen.relation rng ~size:10000 sweep_schema
+let city_index = Erm.Index.build indexed_relation "a0"
+
+let index_probe =
+  (* Some value that actually occurs. *)
+  match Erm.Relation.tuples indexed_relation with
+  | t :: _ ->
+      Erm.Etuple.definite_value
+        (Erm.Relation.schema indexed_relation)
+        t "a0"
+  | [] -> assert false
+
+let index_scan_pred =
+  Erm.Predicate.theta Erm.Predicate.Eq (Erm.Predicate.Field "a0")
+    (Erm.Predicate.Const (Erm.Etuple.Definite index_probe))
+
+(* ------------------------------------------------------------------ *)
+(* Tests                                                               *)
+
+let t name f = Test.make ~name (Staged.stage f)
+
+let artifact_tests =
+  [ t "sec2.1:bel-pls" (fun () ->
+        Dst.Mass.F.interval Paperdata.wok_m1
+          (Dst.Vset.of_strings [ "ca"; "hu"; "si" ]));
+    t "sec2.2:combine" (fun () ->
+        Dst.Mass.F.combine Paperdata.wok_m1 Paperdata.wok_m2);
+    t "table2:selection" table2;
+    t "table3:compound-selection" table3;
+    t "table4:extended-union" table4;
+    t "table5:projection" table5;
+    t "figure1:pipeline-query" figure1;
+    t "figure1:merge-with-report" (fun () ->
+        Integration.Merge.by_key Paperdata.r_a Paperdata.r_b);
+    t "figure3:f-ss+f-tm" (fun () ->
+        let tuple =
+          Erm.Relation.find Paperdata.r_a [ Dst.Value.string "garden" ]
+        in
+        let support =
+          Erm.Predicate.eval Paperdata.schema tuple
+            (Erm.Predicate.is_values "speciality" [ "si" ])
+        in
+        Dst.Support.f_tm (Erm.Etuple.tm tuple) support) ]
+
+let combine_sweep =
+  List.map
+    (fun (focals, a, b) ->
+      t (Printf.sprintf "sweep:combine-focals-%02d" focals) (fun () ->
+          Dst.Mass.F.combine a b))
+    evidence_with_focals
+
+let rules_sweep =
+  let _, a, b = List.nth evidence_with_focals 2 in
+  [ t "rules:dempster" (fun () -> Dst.Mass.F.combine a b);
+    t "rules:yager" (fun () -> Dst.Mass.F.combine_yager a b);
+    t "rules:dubois-prade" (fun () -> Dst.Mass.F.combine_dubois_prade a b);
+    t "rules:average" (fun () -> Dst.Mass.F.combine_average a b);
+    t "rules:disjunctive" (fun () -> Dst.Mass.F.combine_disjunctive a b) ]
+
+let select_sweep =
+  List.concat_map
+    (fun (size, r) ->
+      [ t (Printf.sprintf "sweep:select-is-%05d" size) (fun () ->
+            Erm.Ops.select is_pred r);
+        t (Printf.sprintf "sweep:select-theta-%05d" size) (fun () ->
+            Erm.Ops.select theta_pred r) ])
+    relations_by_size
+
+let union_sweep =
+  List.map
+    (fun (overlap, a, b) ->
+      t (Printf.sprintf "sweep:union-1000-overlap-%.1f" overlap) (fun () ->
+          Erm.Ops.union a b))
+    union_pairs
+
+let join_tests =
+  [ t "sweep:product-30x30" (fun () -> Erm.Ops.product join_left join_right);
+    t "sweep:join-30x30" (fun () ->
+        Erm.Ops.join
+          (Erm.Predicate.theta Erm.Predicate.Eq (Erm.Predicate.Field "e0")
+             (Erm.Predicate.Field "r_e0"))
+          join_left join_right) ]
+
+let baseline_tests =
+  let a, b = baseline_pair in
+  let pa, pb = pv_pair in
+  let qa, qb = ppv_pair in
+  [ t "baseline:ds-union-1000" (fun () -> Erm.Ops.union a b);
+    t "baseline:partial-value-union-1000" (fun () ->
+        Baselines.Partial_value.union pa pb);
+    t "baseline:prob-partial-union-1000" (fun () ->
+        Baselines.Prob_partial.union qa qb) ]
+
+let query_tests =
+  [ t "query:parse" (fun () -> Query.Parser.parse figure1_query);
+    t "query:optimize" (fun () ->
+        Query.Plan.optimize figure1_env (Query.Parser.parse figure1_query));
+    t "query:evidence-parse" (fun () ->
+        Dst.Evidence.of_string Paperdata.speciality
+          "[si^0.5; {hu,si}^0.25; ~^0.25]") ]
+
+let support_tests =
+  let s1, s2 = supports in
+  [ t "support:f-tm" (fun () -> Dst.Support.f_tm s1 s2);
+    t "support:dempster" (fun () -> Dst.Support.combine s1 s2) ]
+
+(* Ablations: design choices DESIGN.md calls out, measured head to head. *)
+
+let ablation_tests =
+  let a, b = ablation_sources in
+  let q1, q2 = rational_pair in
+  let ta, tb = theta_operands in
+  let pred_ff = Erm.Predicate.Theta (Erm.Predicate.Le, ta, tb) in
+  let pred_fe = Erm.Predicate.Theta_fe (Erm.Predicate.Le, ta, tb) in
+  let garden = Erm.Relation.find Paperdata.r_a [ Dst.Value.string "garden" ] in
+  [ t "ablation:merge-plain" (fun () -> Integration.Merge.by_key a b);
+    t "ablation:merge-discounted" (fun () ->
+        Integration.Reliability.merge_discounted ~alpha_left:0.9
+          ~alpha_right:0.9 a b);
+    t "ablation:merge-assess-then-discount" (fun () ->
+        Integration.Reliability.merge_discounted a b);
+    t "ablation:combine-float" (fun () ->
+        Dst.Mass.F.combine Paperdata.wok_m1 Paperdata.wok_m2);
+    t "ablation:combine-exact-rational" (fun () -> Mq.combine q1 q2);
+    t "ablation:query-naive" (fun () ->
+        Query.Eval.eval pushdown_env pushdown_query);
+    t "ablation:query-optimized" (fun () ->
+        Query.Eval.eval pushdown_env pushdown_optimized);
+    t "ablation:theta-forall-forall" (fun () ->
+        Erm.Predicate.eval Paperdata.schema garden pred_ff);
+    t "ablation:theta-forall-exists" (fun () ->
+        Erm.Predicate.eval Paperdata.schema garden pred_fe);
+    t "ablation:refine-evidence" (fun () ->
+        Dst.Refinement.refine refining coarse_evidence);
+    t "ablation:rank-top10-of-500" (fun () -> Erm.Rank.top 10 a);
+    t "ablation:select-eq-scan-10000" (fun () ->
+        Erm.Ops.select index_scan_pred indexed_relation);
+    t "ablation:select-eq-index-10000" (fun () ->
+        Erm.Index.select_eq city_index indexed_relation index_probe);
+    t "ablation:combine-approximated-16-to-6" (fun () ->
+        let _, a16, b16 = List.nth evidence_with_focals 3 in
+        Dst.Mass.F.combine
+          (Dst.Mass.F.approximate ~max_focals:6 a16)
+          (Dst.Mass.F.approximate ~max_focals:6 b16));
+    t "ablation:summarize-pool-500" (fun () ->
+        Erm.Summarize.pool_evidence a "e0") ]
+  @ List.map
+      (fun (skew, pairs) ->
+        t (Printf.sprintf "sweep:union-evidence-skew-%.1f" skew) (fun () ->
+            List.iter
+              (fun (x, y) -> ignore (Dst.Mass.F.combine x y))
+              pairs))
+      skew_pairs
+
+let federated_tests =
+  let a, b = baseline_pair in
+  let pred = Erm.Predicate.is_values "e0" [ "v0" ] in
+  let threshold = Erm.Threshold.sn_gt 0.2 in
+  [ t "federated:merge-first-1000" (fun () ->
+        Integration.Federated.merge_first ~threshold pred a b);
+    t "federated:select-first-1000" (fun () ->
+        Integration.Federated.select_first ~threshold pred a b) ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+
+let run_group (group_name, tests) =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  let grouped = Test.make_grouped ~name:group_name tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "%s:\n" group_name;
+  let rows =
+    Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ ns ] -> Printf.printf "  %-42s %12.1f ns/run\n" name ns
+         | Some _ | None -> Printf.printf "  %-42s (no estimate)\n" name);
+  print_newline ()
+
+let () =
+  print_endline "verifying artifacts against the paper:";
+  verify ();
+  List.iter run_group
+    [ ("paper-artifacts", artifact_tests);
+      ("combination-scaling", combine_sweep);
+      ("combination-rules", rules_sweep);
+      ("selection-scaling", select_sweep);
+      ("union-scaling", union_sweep);
+      ("product-join", join_tests);
+      ("baselines", baseline_tests);
+      ("query-processing", query_tests);
+      ("support-pairs", support_tests);
+      ("federated-strategies", federated_tests);
+      ("ablations", ablation_tests) ]

@@ -1,0 +1,1 @@
+bin/eridb.ml: Array Dst Erm Format In_channel Integration List Printf Query Store String Sys Unix

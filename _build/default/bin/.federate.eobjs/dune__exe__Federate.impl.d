@@ -1,0 +1,1 @@
+bin/federate.ml: Arg Cmd Cmdliner Erm Format Integration List Manpage Printf Query Term

@@ -1,0 +1,1 @@
+bin/repro.ml: Dst Erm Float List Paperdata Printf Query

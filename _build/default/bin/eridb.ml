@@ -1,0 +1,257 @@
+(* eridb — an interactive shell over extended relations.
+
+   Usage: eridb [FILE.erd ...]
+
+   Loads the given .erd files into the environment, then reads queries
+   (and dot-commands) from stdin. *)
+
+let usage = {|eridb — evidential extended-relation shell
+
+Commands:
+  .help                 show this help
+  .tables               list loaded relations
+  .schema NAME          print a relation's schema
+  .show NAME            print a relation
+  .load FILE            load relations from an .erd file
+  .save NAME FILE       write a relation to an .erd file
+  .let NAME = QUERY     evaluate a query and bind the result
+  .plan QUERY           show the optimized query
+  .explain QUERY        show the optimized plan tree with row estimates
+  .open DIR             open a catalog directory (loads all relations)
+  .commit DIR           write every bound relation into a catalog
+  .summary NAME         cardinality interval + evidence histograms
+  .top NAME K           the K most-supported tuples
+  .assess NAME NAME     pairwise conflict profile of two relations
+  .diff OLD NEW         per-key change log between two relation versions
+  .csv NAME [FILE]      CSV rendering (to FILE, or stdout)
+  .quit                 exit
+
+Anything else is evaluated as a query, e.g.:
+  SELECT rname, rating FROM ra WHERE speciality IS {si} WITH SN > 0.5
+  ra UNION rb
+|}
+
+let env : (string * Erm.Relation.t) list ref = ref []
+
+let bind name r = env := (name, r) :: List.remove_assoc name !env
+
+let load_file path =
+  match Erm.Io.load path with
+  | relations ->
+      List.iter
+        (fun r ->
+          let name = Erm.Schema.name (Erm.Relation.schema r) in
+          bind name r;
+          Printf.printf "loaded %s (%d tuples)\n" name
+            (Erm.Relation.cardinal r))
+        relations
+  | exception Erm.Io.Io_error { line; message } ->
+      Printf.printf "error: %s:%d: %s\n" path line message
+  | exception Sys_error m -> Printf.printf "error: %s\n" m
+
+let run_query text =
+  match Query.Eval.run !env text with
+  | r -> Erm.Render.print ~title:"result" r
+  | exception Query.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
+  | exception Query.Eval.Eval_error m -> Printf.printf "error: %s\n" m
+  | exception Dst.Mass.F.Total_conflict ->
+      Printf.printf
+        "error: total conflict (kappa = 1) while combining evidence\n"
+  | exception Erm.Ops.Incompatible_schemas m -> Printf.printf "error: %s\n" m
+  | exception Erm.Etuple.Tuple_error m -> Printf.printf "error: %s\n" m
+
+let split_first s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+let handle_command line =
+  let cmd, rest = split_first line in
+  match cmd with
+  | ".help" -> print_string usage
+  | ".quit" | ".exit" -> exit 0
+  | ".tables" ->
+      List.iter
+        (fun (name, r) ->
+          Printf.printf "%s (%d tuples)\n" name (Erm.Relation.cardinal r))
+        (List.sort compare !env)
+  | ".schema" -> (
+      match List.assoc_opt rest !env with
+      | Some r -> Format.printf "%a@." Erm.Schema.pp (Erm.Relation.schema r)
+      | None -> Printf.printf "unknown relation %s\n" rest)
+  | ".show" -> (
+      match List.assoc_opt rest !env with
+      | Some r -> Erm.Render.print ~title:rest r
+      | None -> Printf.printf "unknown relation %s\n" rest)
+  | ".load" -> load_file rest
+  | ".save" -> (
+      match String.split_on_char ' ' rest with
+      | [ name; file ] -> (
+          match List.assoc_opt name !env with
+          | Some r ->
+              Erm.Io.save file [ r ];
+              Printf.printf "saved %s to %s\n" name file
+          | None -> Printf.printf "unknown relation %s\n" name)
+      | _ -> print_string "usage: .save NAME FILE\n")
+  | ".let" -> (
+      match String.index_opt rest '=' with
+      | Some i ->
+          let name = String.trim (String.sub rest 0 i) in
+          let text = String.sub rest (i + 1) (String.length rest - i - 1) in
+          (match Query.Eval.run !env text with
+          | r ->
+              bind name
+                (Erm.Relation.map_tuples
+                   (fun t -> Some t)
+                   (Erm.Schema.rename_relation name (Erm.Relation.schema r))
+                   r);
+              Printf.printf "%s bound (%d tuples)\n" name
+                (Erm.Relation.cardinal r)
+          | exception Query.Parser.Parse_error m ->
+              Printf.printf "parse error: %s\n" m
+          | exception Query.Eval.Eval_error m -> Printf.printf "error: %s\n" m)
+      | None -> print_string "usage: .let NAME = QUERY\n")
+  | ".summary" -> (
+      match List.assoc_opt rest !env with
+      | None -> Printf.printf "unknown relation %s\n" rest
+      | Some r ->
+          let sn, sp = Erm.Summarize.cardinality_interval r in
+          Printf.printf "%d stored tuples; expected cardinality in [%.3f, %.3f]\n"
+            (Erm.Relation.cardinal r) sn sp;
+          List.iter
+            (fun attr ->
+              if Erm.Attr.is_evidential attr && not (Erm.Relation.is_empty r)
+              then begin
+                Printf.printf "%s (pignistic, membership-weighted):\n"
+                  (Erm.Attr.name attr);
+                List.iter
+                  (fun (v, p) ->
+                    if p > 0.0005 then
+                      Printf.printf "  %-12s %.3f\n" (Dst.Value.to_string v) p)
+                  (Erm.Summarize.pignistic_histogram r (Erm.Attr.name attr))
+              end)
+            (Erm.Schema.nonkey (Erm.Relation.schema r)))
+  | ".top" -> (
+      match String.split_on_char ' ' rest with
+      | [ name; k ] -> (
+          match (List.assoc_opt name !env, int_of_string_opt k) with
+          | Some r, Some k ->
+              Erm.Render.print
+                ~title:(Printf.sprintf "top %d of %s by sn" k name)
+                (Erm.Rank.top k r)
+          | None, _ -> Printf.printf "unknown relation %s\n" name
+          | _, None -> Printf.printf "not a count: %s\n" k)
+      | _ -> print_string "usage: .top NAME K\n")
+  | ".assess" -> (
+      match String.split_on_char ' ' rest with
+      | [ a; b ] -> (
+          match (List.assoc_opt a !env, List.assoc_opt b !env) with
+          | Some ra, Some rb -> (
+              match Integration.Reliability.assess ra rb with
+              | assessment ->
+                  Format.printf "%a@." Integration.Reliability.pp_assessment
+                    assessment
+              | exception Erm.Ops.Incompatible_schemas m ->
+                  Printf.printf "error: %s\n" m)
+          | None, _ -> Printf.printf "unknown relation %s\n" a
+          | _, None -> Printf.printf "unknown relation %s\n" b)
+      | _ -> print_string "usage: .assess NAME NAME\n")
+  | ".diff" -> (
+      match String.split_on_char ' ' rest with
+      | [ a; b ] -> (
+          match (List.assoc_opt a !env, List.assoc_opt b !env) with
+          | Some ra, Some rb -> (
+              match Erm.Delta.diff ra rb with
+              | d -> Format.printf "%a@." Erm.Delta.pp d
+              | exception Erm.Ops.Incompatible_schemas m ->
+                  Printf.printf "error: %s\n" m)
+          | None, _ -> Printf.printf "unknown relation %s\n" a
+          | _, None -> Printf.printf "unknown relation %s\n" b)
+      | _ -> print_string "usage: .diff OLD NEW\n")
+  | ".csv" -> (
+      match String.split_on_char ' ' rest with
+      | [ name ] -> (
+          match List.assoc_opt name !env with
+          | Some r -> print_string (Erm.Render.to_csv r)
+          | None -> Printf.printf "unknown relation %s\n" name)
+      | [ name; file ] -> (
+          match List.assoc_opt name !env with
+          | Some r ->
+              let oc = open_out file in
+              output_string oc (Erm.Render.to_csv r);
+              close_out oc;
+              Printf.printf "wrote %s\n" file
+          | None -> Printf.printf "unknown relation %s\n" name)
+      | _ -> print_string "usage: .csv NAME [FILE]\n")
+  | ".explain" -> (
+      match Query.Parser.parse rest with
+      | q -> (
+          match Query.Explain.explain_optimized !env q with
+          | node -> Printf.printf "%s\n" (Query.Explain.to_string node)
+          | exception Query.Eval.Eval_error m -> Printf.printf "error: %s\n" m)
+      | exception Query.Parser.Parse_error m ->
+          Printf.printf "parse error: %s\n" m)
+  | ".open" -> (
+      match Store.Catalog.load rest with
+      | catalog ->
+          List.iter
+            (fun (name, r) ->
+              bind name r;
+              Printf.printf "loaded %s (%d tuples)\n" name
+                (Erm.Relation.cardinal r))
+            (Store.Catalog.env catalog)
+      | exception Store.Catalog.Catalog_error m ->
+          Printf.printf "error: %s\n" m
+      | exception Erm.Io.Io_error { line; message } ->
+          Printf.printf "error: line %d: %s\n" line message)
+  | ".commit" -> (
+      let catalog =
+        List.fold_left
+          (fun c (name, r) -> Store.Catalog.put c name r)
+          (Store.Catalog.create rest)
+          (List.rev !env)
+      in
+      match Store.Catalog.commit catalog with
+      | () ->
+          Printf.printf "committed %d relation(s) to %s\n"
+            (List.length (Store.Catalog.names catalog))
+            rest
+      | exception Store.Catalog.Catalog_error m ->
+          Printf.printf "error: %s\n" m
+      | exception Sys_error m -> Printf.printf "error: %s\n" m)
+  | ".plan" -> (
+      match Query.Parser.parse rest with
+      | q ->
+          Printf.printf "%s\n"
+            (Query.Ast.to_string (Query.Plan.optimize !env q))
+      | exception Query.Parser.Parse_error m ->
+          Printf.printf "parse error: %s\n" m)
+  | _ -> Printf.printf "unknown command %s (try .help)\n" cmd
+
+let repl () =
+  let interactive = Unix.isatty Unix.stdin in
+  let rec loop () =
+    if interactive then begin
+      print_string "eridb> ";
+      flush stdout
+    end;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then ()
+        else if line.[0] = '.' then handle_command line
+        else run_query line;
+        loop ()
+  in
+  loop ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (match args with
+  | [ ("-h" | "--help") ] ->
+      print_string usage;
+      exit 0
+  | _ -> List.iter load_file args);
+  repl ()

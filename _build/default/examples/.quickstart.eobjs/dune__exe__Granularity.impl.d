@@ -1,0 +1,1 @@
+examples/granularity.ml: Dst Erm Format Integration List Query

@@ -1,0 +1,1 @@
+examples/hotel_merger.ml: Baselines Dst Erm Format Integration List Printf Query

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dst Erm Format Query

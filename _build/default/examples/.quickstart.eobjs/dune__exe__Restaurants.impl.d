@@ -1,0 +1,1 @@
+examples/restaurants.ml: Dst Erm Format Integration List Paperdata Printf Query

@@ -1,0 +1,1 @@
+examples/sensor_fusion.ml: Dst Erm Format List Query

@@ -1,0 +1,1 @@
+examples/stream_updates.ml: Dst Erm Format Integration List Printf Query

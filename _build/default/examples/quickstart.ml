@@ -1,0 +1,65 @@
+(* Quickstart: evidence sets, combination, and a first extended relation.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A frame of discernment and two evidence sets over it. *)
+  let cuisine = Dst.Domain.of_strings "cuisine" [ "thai"; "lao"; "viet" ] in
+  let from_menu = Dst.Evidence.of_string cuisine "[thai^0.6; {thai,lao}^0.3; ~^0.1]" in
+  let from_reviews = Dst.Evidence.of_string cuisine "[thai^0.5; lao^0.3; ~^0.2]" in
+  Format.printf "menu evidence:    %a@." Dst.Evidence.pp from_menu;
+  Format.printf "review evidence:  %a@." Dst.Evidence.pp from_reviews;
+
+  (* 2. Belief and plausibility bound how much each hypothesis is
+        supported. *)
+  let thai = Dst.Vset.of_strings [ "thai" ] in
+  let bel, pls = Dst.Mass.F.interval from_menu thai in
+  Format.printf "menu says thai:   Bel = %.3f, Pls = %.3f@." bel pls;
+
+  (* 3. Dempster's rule fuses the two sources (and reports conflict). *)
+  let fused = Dst.Mass.F.combine from_menu from_reviews in
+  Format.printf "fused:            %a (kappa = %.3f)@." Dst.Evidence.pp fused
+    (Dst.Mass.F.conflict from_menu from_reviews);
+
+  (* 4. An extended relation: definite key, evidential attribute, and a
+        tuple-membership support pair. *)
+  let schema =
+    Erm.Schema.make ~name:"stalls"
+      ~key:[ Erm.Attr.definite "name" "string" ]
+      ~nonkey:
+        [ Erm.Attr.definite "city" "string";
+          Erm.Attr.evidential "cuisine" cuisine ]
+  in
+  let stall name city ev tm =
+    Erm.Etuple.make schema
+      ~key:[ Dst.Value.string name ]
+      ~cells:
+        [ Erm.Etuple.Definite (Dst.Value.string city);
+          Erm.Etuple.Evidence (Dst.Evidence.of_string cuisine ev) ]
+      ~tm
+  in
+  let stalls =
+    Erm.Relation.of_tuples schema
+      [ stall "khao-san" "mpls" "[thai^0.8; ~^0.2]" Dst.Support.certain;
+        stall "mekong" "st-paul" "[lao^0.6; {lao,viet}^0.4]"
+          (Dst.Support.make ~sn:0.7 ~sp:1.0);
+        stall "pho-good" "mpls" "[viet^1]" Dst.Support.certain ]
+  in
+  Erm.Render.print ~title:"stalls" stalls;
+
+  (* 5. Extended selection grades every answer by (sn, sp). *)
+  let lao_ish =
+    Erm.Ops.select
+      ~threshold:(Erm.Threshold.sn_gt 0.0)
+      (Erm.Predicate.is_values "cuisine" [ "lao"; "viet" ])
+      stalls
+  in
+  Erm.Render.print ~title:"cuisine is {lao, viet}, sn > 0" lao_ish;
+
+  (* 6. The same through the query language. *)
+  let result =
+    Query.Eval.run
+      [ ("stalls", stalls) ]
+      "SELECT name, cuisine FROM stalls WHERE cuisine IS {thai} WITH SP >= 0.9"
+  in
+  Erm.Render.print ~title:"query result" result

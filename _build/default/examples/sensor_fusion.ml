@@ -1,0 +1,97 @@
+(* Multi-sensor target classification: evidence fusion beyond two
+   sources.
+
+   Three sensors of different reliability observe aircraft. Each report
+   is an evidence set over {friend, hostile, neutral}; reliability is
+   handled by Shafer discounting, and the combination rules exposed by
+   the library (Dempster, Yager, Dubois-Prade, averaging) are compared on
+   the same inputs — including a high-conflict case where their
+   behaviours differ sharply. *)
+
+let frame = Dst.Domain.of_strings "class" [ "friend"; "hostile"; "neutral" ]
+let ev s = Dst.Evidence.of_string frame s
+
+type sensor = { sensor_name : string; reliability : float }
+
+let radar = { sensor_name = "radar"; reliability = 0.9 }
+let infrared = { sensor_name = "infrared"; reliability = 0.7 }
+let acoustic = { sensor_name = "acoustic"; reliability = 0.5 }
+
+let fuse reports =
+  let discounted =
+    List.map
+      (fun (sensor, report) -> Dst.Mass.F.discount sensor.reliability report)
+      reports
+  in
+  Dst.Mass.F.combine_many discounted
+
+let describe label m =
+  let bel set = Dst.Mass.F.bel m (Dst.Vset.of_strings set) in
+  Format.printf "%-14s %a@." label Dst.Evidence.pp m;
+  Format.printf "%-14s Bel(friend)=%.3f Bel(hostile)=%.3f decision=%a@."
+    "" (bel [ "friend" ]) (bel [ "hostile" ]) Dst.Value.pp
+    (Dst.Mass.F.max_bel m)
+
+let () =
+  print_endline "-- Track 1: consistent reports --";
+  let track1 =
+    [ (radar, ev "[hostile^0.8; ~^0.2]");
+      (infrared, ev "[hostile^0.6; {hostile,neutral}^0.2; ~^0.2]");
+      (acoustic, ev "[{friend,hostile}^0.5; ~^0.5]") ]
+  in
+  List.iter
+    (fun (s, m) ->
+      Format.printf "%-14s %a (reliability %.1f)@." s.sensor_name
+        Dst.Evidence.pp m s.reliability)
+    track1;
+  describe "fused:" (fuse track1);
+
+  print_endline "\n-- Track 2: radar and infrared disagree --";
+  let r2 = ev "[friend^0.9; ~^0.1]" in
+  let i2 = ev "[hostile^0.85; ~^0.15]" in
+  Format.printf "radar:        %a@." Dst.Evidence.pp r2;
+  Format.printf "infrared:     %a@." Dst.Evidence.pp i2;
+  Format.printf "kappa = %.3f@." (Dst.Mass.F.conflict r2 i2);
+  describe "dempster:" (Dst.Mass.F.combine r2 i2);
+  describe "yager:" (Dst.Mass.F.combine_yager r2 i2);
+  describe "dubois-prade:" (Dst.Mass.F.combine_dubois_prade r2 i2);
+  describe "average:" (Dst.Mass.F.combine_average r2 i2);
+  print_endline
+    "(Dempster renormalizes the conflict away; Yager turns it into\n\
+    \ ignorance; Dubois-Prade keeps it as the disjunction; averaging\n\
+    \ just mixes. Discounting unreliable sources keeps kappa < 1.)";
+
+  print_endline "\n-- Track 2 with reliability discounting --";
+  describe "fused:" (fuse [ (radar, r2); (infrared, i2) ]);
+
+  (* The same data as an extended relation, queried for action. *)
+  print_endline "\n-- Tracks as an extended relation --";
+  let schema =
+    Erm.Schema.make ~name:"tracks"
+      ~key:[ Erm.Attr.definite "track" "int" ]
+      ~nonkey:
+        [ Erm.Attr.definite "sector" "string";
+          Erm.Attr.evidential "class" frame ]
+  in
+  let tuple track sector m tm =
+    Erm.Etuple.make schema
+      ~key:[ Dst.Value.int track ]
+      ~cells:
+        [ Erm.Etuple.Definite (Dst.Value.string sector);
+          Erm.Etuple.Evidence m ]
+      ~tm
+  in
+  let tracks =
+    Erm.Relation.of_tuples schema
+      [ tuple 1 "north" (fuse track1) Dst.Support.certain;
+        tuple 2 "north" (fuse [ (radar, r2); (infrared, i2) ])
+          (Dst.Support.make ~sn:0.9 ~sp:1.0);
+        tuple 3 "south" (ev "[neutral^0.7; ~^0.3]") Dst.Support.certain ]
+  in
+  Erm.Render.print ~title:"tracks" tracks;
+  let alerts =
+    Query.Eval.run
+      [ ("tracks", tracks) ]
+      "SELECT track, sector FROM tracks WHERE class IS {hostile} WITH SN > 0.5"
+  in
+  Erm.Render.print ~title:"alert: likely hostile (sn > 0.5)" alerts

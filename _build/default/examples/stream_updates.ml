@@ -1,0 +1,103 @@
+(* Streaming integration: observations arrive over time instead of as a
+   one-shot merge.
+
+   A monitoring station keeps an evidential store of network hosts. Each
+   "day", a batch of scanner observations arrives and is absorbed with
+   Integration.Incremental; the example tracks how the store's evidence
+   sharpens, logs the one poisoned observation as a conflict, and diffs
+   consecutive versions with Erm.Delta so an operator can review what a
+   day's intake actually changed. *)
+
+let status = Dst.Domain.of_strings "status" [ "up"; "degraded"; "down" ]
+let role = Dst.Domain.of_strings "role" [ "web"; "db"; "cache" ]
+
+let schema =
+  Erm.Schema.make ~name:"hosts"
+    ~key:[ Erm.Attr.definite "host" "string" ]
+    ~nonkey:
+      [ Erm.Attr.evidential "status" status;
+        Erm.Attr.evidential "role" role ]
+
+let obs ?(tm = Dst.Support.make ~sn:0.8 ~sp:1.0) host status_ev role_ev =
+  Erm.Etuple.make schema
+    ~key:[ Dst.Value.string host ]
+    ~cells:
+      [ Erm.Etuple.Evidence (Dst.Evidence.of_string status status_ev);
+        Erm.Etuple.Evidence (Dst.Evidence.of_string role role_ev) ]
+    ~tm
+
+(* Day 1: first sighting of three hosts — everything is hazy. *)
+let day1 =
+  [ obs "alpha" "[up^0.6; ~^0.4]" "[web^0.5; {web,cache}^0.3; ~^0.2]";
+    obs "bravo" "[up^0.5; degraded^0.3; ~^0.2]" "[db^0.7; {db,cache}^0.3]";
+    obs "carol" "[~^1]" "[cache^0.4; ~^0.6]" ]
+
+(* Day 2: corroborating scans sharpen the picture; a new host appears. *)
+let day2 =
+  [ obs "alpha" "[up^0.8; ~^0.2]" "[web^0.7; ~^0.3]";
+    obs "bravo" "[up^0.7; ~^0.3]" "[db^0.9; {db,cache}^0.1]";
+    obs "delta" "[up^0.9; ~^0.1]" "[cache^1]" ]
+
+(* Day 3: one sensor insists bravo is a web host with certainty — in
+   total conflict with the accumulated db-or-cache evidence (κ = 1).
+   The store must keep its state and log the conflict, not corrupt
+   itself. Had the stored evidence kept even a sliver of Ω, Dempster's
+   rule would instead have flipped the whole mass onto "web" — Zadeh's
+   classic overconfidence paradox; the discounted re-run below shows the
+   robust way to take such a sensor in. *)
+let day3 =
+  [ obs "bravo" "[up^0.9; ~^0.1]" "[web^1]";
+    obs "carol" "[degraded^0.6; ~^0.4]" "[cache^0.8; ~^0.2]" ]
+
+let day3_role_fixed =
+  (* The same intake after the operator discounts the suspect sensor. *)
+  [ obs "bravo" "[up^0.9; ~^0.1]" "[web^0.6; ~^0.4]";
+    obs "carol" "[degraded^0.6; ~^0.4]" "[cache^0.8; ~^0.2]" ]
+
+let show day store =
+  Printf.printf "\n== after day %d ==\n" day;
+  Format.printf "%a@." Integration.Incremental.pp store;
+  Erm.Render.print ~title:"store" (Integration.Incremental.relation store)
+
+let () =
+  let store = Integration.Incremental.init schema in
+  let store1 = Integration.Incremental.observe_all store day1 in
+  show 1 store1;
+
+  let store2 = Integration.Incremental.observe_all store1 day2 in
+  show 2 store2;
+  print_endline "what day 2 changed:";
+  Format.printf "%a@." Erm.Delta.pp
+    (Erm.Delta.diff
+       (Integration.Incremental.relation store1)
+       (Integration.Incremental.relation store2));
+
+  let store3 = Integration.Incremental.observe_all store2 day3 in
+  show 3 store3;
+  print_endline "conflict log:";
+  List.iter
+    (fun c -> Format.printf "  %a@." Erm.Ops.pp_conflict c)
+    (Integration.Incremental.conflicts store3);
+  print_endline
+    "(bravo kept its accumulated db role: a totally conflicting\n\
+    \ observation is quarantined, not merged)";
+
+  (* Re-running the day with the suspect sensor softened absorbs fine. *)
+  let store3' = Integration.Incremental.observe_all store2 day3_role_fixed in
+  print_endline "\nthe same intake with the suspect sensor discounted:";
+  Format.printf "%a@." Erm.Delta.pp
+    (Erm.Delta.diff
+       (Integration.Incremental.relation store2)
+       (Integration.Incremental.relation store3'));
+
+  (* Operational queries over the live store. *)
+  let env = [ ("hosts", Integration.Incremental.relation store3') ] in
+  print_endline "\n> hosts that are likely up (SN > 0.6):";
+  Erm.Render.print
+    (Query.Eval.run env
+       "SELECT host, status FROM hosts WHERE status IS {up} WITH SN > 0.6");
+  print_endline "> most certain db host:";
+  Erm.Render.print
+    (Query.Eval.run env
+       "SELECT host, role FROM hosts WHERE role IS {db} ORDER BY SN DESC \
+        LIMIT 1")

@@ -1,0 +1,1 @@
+lib/baselines/aggregate.ml: Dst Erm List

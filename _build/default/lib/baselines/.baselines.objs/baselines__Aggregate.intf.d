@@ -1,0 +1,1 @@
+lib/baselines/aggregate.mli: Dst Erm

@@ -1,0 +1,1 @@
+lib/baselines/lee.ml: Dst Erm Format List String

@@ -1,0 +1,1 @@
+lib/baselines/lee.mli: Dst Erm

@@ -1,0 +1,1 @@
+lib/baselines/partial_value.ml: Dst Erm List

@@ -1,0 +1,1 @@
+lib/baselines/prob_partial.ml: Dst Erm Format List

@@ -1,0 +1,1 @@
+lib/baselines/prob_partial.mli: Dst Erm Format

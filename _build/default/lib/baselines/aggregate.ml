@@ -1,0 +1,70 @@
+type fn = Average | Minimum | Maximum | Sum | First | Last
+
+exception Not_numeric of Dst.Value.t
+
+let as_float v =
+  match v with
+  | Dst.Value.Int n -> float_of_int n
+  | Dst.Value.Float f -> f
+  | Dst.Value.Bool _ | Dst.Value.String _ -> raise (Not_numeric v)
+
+let all_ints vs =
+  List.for_all (function Dst.Value.Int _ -> true | _ -> false) vs
+
+let resolve fn vs =
+  match vs with
+  | [] -> invalid_arg "Aggregate.resolve: no observations"
+  | first :: _ -> (
+      match fn with
+      | First -> first
+      | Last -> List.nth vs (List.length vs - 1)
+      | Average ->
+          let total = List.fold_left (fun acc v -> acc +. as_float v) 0.0 vs in
+          Dst.Value.float (total /. float_of_int (List.length vs))
+      | Sum ->
+          if all_ints vs then
+            Dst.Value.int
+              (List.fold_left
+                 (fun acc v ->
+                   match v with Dst.Value.Int n -> acc + n | _ -> acc)
+                 0 vs)
+          else
+            Dst.Value.float
+              (List.fold_left (fun acc v -> acc +. as_float v) 0.0 vs)
+      | Minimum | Maximum ->
+          let better a b =
+            let fa = as_float a and fb = as_float b in
+            match fn with
+            | Minimum -> if fb < fa then b else a
+            | Maximum -> if fb > fa then b else a
+            | Average | Sum | First | Last -> assert false
+          in
+          List.fold_left better first (List.tl vs))
+
+let cell_value = function
+  | Erm.Etuple.Definite v -> v
+  | Erm.Etuple.Evidence e -> (
+      (* Aggregates are undefined over uncertain values; surface the
+         offending candidate for the error message. *)
+      match Dst.Mass.F.focals e with
+      | (set, _) :: _ -> raise (Not_numeric (Dst.Vset.choose set))
+      | [] -> assert false)
+
+let resolve_cells fn cells =
+  Erm.Etuple.Definite (resolve fn (List.map cell_value cells))
+
+let applicable cells =
+  List.for_all
+    (function
+      | Erm.Etuple.Definite (Dst.Value.Int _ | Dst.Value.Float _) -> true
+      | Erm.Etuple.Definite (Dst.Value.Bool _ | Dst.Value.String _)
+      | Erm.Etuple.Evidence _ -> false)
+    cells
+
+let fn_to_string = function
+  | Average -> "average"
+  | Minimum -> "minimum"
+  | Maximum -> "maximum"
+  | Sum -> "sum"
+  | First -> "first"
+  | Last -> "last"

@@ -1,0 +1,29 @@
+(** Dayal's aggregate resolution (VLDB 1983) — the numeric baseline.
+
+    Conflicting numeric attribute values are resolved by an aggregate
+    function (average, min, max, …) over the conflicting observations.
+    The paper positions this as complementary: appropriate for numeric
+    attributes, inapplicable to categorical or uncertain ones — which is
+    exactly what {!applicable} captures. *)
+
+type fn = Average | Minimum | Maximum | Sum | First | Last
+
+exception Not_numeric of Dst.Value.t
+
+val resolve : fn -> Dst.Value.t list -> Dst.Value.t
+(** Resolve conflicting observations of one attribute.
+    Numeric results follow the inputs' kind (ints stay ints for
+    min/max/first/last/sum; [Average] always yields a float).
+    @raise Not_numeric when [Average]/[Minimum]/[Maximum]/[Sum] meets a
+    non-numeric value.
+    @raise Invalid_argument on the empty list. *)
+
+val resolve_cells : fn -> Erm.Etuple.cell list -> Erm.Etuple.cell
+(** {!resolve} over definite cells.
+    @raise Not_numeric if any cell holds evidence — aggregates are not
+    defined over uncertain values (the paper's §1.3 observation). *)
+
+val applicable : Erm.Etuple.cell list -> bool
+(** True iff every cell is a definite numeric value. *)
+
+val fn_to_string : fn -> string

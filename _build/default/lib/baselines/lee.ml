@@ -1,0 +1,101 @@
+type tuple = { key : Dst.Value.t; cells : (string * Dst.Evidence.t) list }
+type relation = { attr_names : string list; tuples : tuple list }
+
+exception Lee_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Lee_error s)) fmt
+
+let check_tuple attr_names t =
+  let bound = List.map fst t.cells in
+  if List.sort String.compare bound <> List.sort String.compare attr_names
+  then
+    fail "tuple %a binds [%s], expected [%s]" Dst.Value.pp t.key
+      (String.concat "; " bound)
+      (String.concat "; " attr_names)
+
+let make attr_names tuples =
+  List.iter (check_tuple attr_names) tuples;
+  let keys = List.map (fun t -> t.key) tuples in
+  if List.length (List.sort_uniq Dst.Value.compare keys) <> List.length keys
+  then fail "duplicate keys"
+  else { attr_names; tuples }
+
+let of_extended r =
+  let schema = Erm.Relation.schema r in
+  if Erm.Schema.key_arity schema <> 1 then
+    fail "Lee projection supports single-attribute keys"
+  else
+    let evidential =
+      List.filter Erm.Attr.is_evidential (Erm.Schema.nonkey schema)
+    in
+    let attr_names = List.map Erm.Attr.name evidential in
+    let tuples =
+      Erm.Relation.fold
+        (fun t acc ->
+          let key =
+            match Erm.Etuple.key t with [ k ] -> k | _ -> assert false
+          in
+          let cells =
+            List.map
+              (fun a ->
+                (Erm.Attr.name a, Erm.Etuple.evidence schema t (Erm.Attr.name a)))
+              evidential
+          in
+          { key; cells } :: acc)
+        r []
+      |> List.rev
+    in
+    make attr_names tuples
+
+let cardinal r = List.length r.tuples
+let attrs r = r.attr_names
+
+let find_opt r key =
+  List.find_opt (fun t -> Dst.Value.equal t.key key) r.tuples
+
+let union a b =
+  if a.attr_names <> b.attr_names then fail "attribute lists differ"
+  else begin
+    let conflicts = ref [] in
+    let merge ta tb =
+      let exception Bail in
+      try
+        Some
+          { ta with
+            cells =
+              List.map
+                (fun (name, ea) ->
+                  let eb = List.assoc name tb.cells in
+                  match Dst.Mass.F.combine_opt ea eb with
+                  | Some (m, _) -> (name, m)
+                  | None ->
+                      conflicts := (ta.key, name) :: !conflicts;
+                      raise Bail)
+                ta.cells }
+      with Bail -> None
+    in
+    let from_a =
+      List.filter_map
+        (fun ta ->
+          match find_opt b ta.key with
+          | None -> Some ta
+          | Some tb -> merge ta tb)
+        a.tuples
+    in
+    let from_b =
+      List.filter (fun tb -> find_opt a tb.key = None) b.tuples
+    in
+    ( { a with tuples = from_a @ from_b },
+      List.rev !conflicts )
+  end
+
+let select r attr set =
+  List.filter_map
+    (fun t ->
+      match List.assoc_opt attr t.cells with
+      | None -> fail "unknown attribute %s" attr
+      | Some e ->
+          let bel, pls = Dst.Mass.F.interval e set in
+          if pls <= Dst.Num.float_tolerance then None
+          else Some (t, (bel, pls)))
+    r.tuples

@@ -1,0 +1,58 @@
+(** A simplified rendition of S.K. Lee's evidential relational model
+    (ICDE 1992) — the fourth related-work system of §1.3.
+
+    The paper builds on Lee's model and names its own differences: Lim et
+    al. add the {e tuple membership attribute}, the generalized closed
+    world assumption CWA_ER, and the closure/boundedness guarantees that
+    make query processing finite. This module renders the contrast
+    executable: evidential attribute values exactly like the main model,
+    but {e no membership pair on tuples} and no CWA_ER invariant.
+    Consequences, each asserted in [test/test_baselines.ml]:
+
+    - a query cannot return "a full range of certainty" per tuple; the
+      best it can do is annotate each tuple with the predicate's belief
+      interval;
+    - integration cannot weigh how much each source believed the tuple
+      {e existed} — the paper's Table 4 mehl row (membership
+      (0.5,0.5) ⊕ (0.8,1) = (0.83,0.83)) has no counterpart;
+    - there is no [sn > 0] storage criterion, so "tuple known not to
+      exist" and "tuple fully believed" are indistinguishable at the
+      relation level.
+
+    Only evidential attributes are modeled (single-attribute string-ish
+    keys; definite descriptive columns are outside this comparison's
+    scope). This is deliberately a {e faithful-to-the-contrast}
+    simplification, not a complete reconstruction of Lee's paper. *)
+
+type tuple = { key : Dst.Value.t; cells : (string * Dst.Evidence.t) list }
+type relation
+
+exception Lee_error of string
+
+val make : string list -> tuple list -> relation
+(** [make attr_names tuples] validates that every tuple binds exactly
+    the listed attributes (frames are per-attribute consistent).
+    @raise Lee_error on shape mismatches or duplicate keys. *)
+
+val of_extended : Erm.Relation.t -> relation
+(** Project an extended relation onto Lee's model: evidential cells are
+    kept, the membership pair is {e dropped} (this is the lossy step the
+    paper's extension repairs), definite non-key attributes are ignored.
+    @raise Lee_error on multi-attribute keys. *)
+
+val cardinal : relation -> int
+val attrs : relation -> string list
+val find_opt : relation -> Dst.Value.t -> tuple option
+
+val union : relation -> relation -> relation * (Dst.Value.t * string) list
+(** Key-matched Dempster merge of every attribute, unmatched tuples pass
+    through — the part of the integration story Lee's model and the
+    paper share. Total conflict drops the pair and reports
+    [(key, attr)]. *)
+
+val select :
+  relation -> string -> Dst.Vset.t -> (tuple * (float * float)) list
+(** [select r a set]: tuples annotated with [(Bel, Pls)] of [a ∈ set].
+    Without a membership attribute there is nothing to multiply the
+    interval into — the caller gets the predicate support only, and
+    tuples the evidence cannot support at all ([Pls = 0]) are omitted. *)

@@ -1,0 +1,104 @@
+type pv = Dst.Vset.t
+
+exception Inconsistent of pv * pv
+
+let of_evidence e =
+  List.fold_left
+    (fun acc (set, _) -> Dst.Vset.union acc set)
+    Dst.Vset.empty (Dst.Mass.F.focals e)
+
+let definite v = Dst.Vset.singleton v
+let is_definite pv = Dst.Vset.cardinal pv = 1
+
+let combine a b =
+  let i = Dst.Vset.inter a b in
+  if Dst.Vset.is_empty i then raise (Inconsistent (a, b)) else i
+
+type answer = True | Maybe | False
+
+let satisfies_is pv set =
+  if Dst.Vset.subset pv set then True
+  else if Dst.Vset.disjoint pv set then False
+  else Maybe
+
+let answer_of_support s =
+  if Dst.Support.is_certain s then True
+  else if Dst.Support.sp s <= Dst.Num.float_tolerance then False
+  else Maybe
+
+type tuple = { key : Dst.Value.t; cells : (string * pv) list }
+type relation = tuple list
+
+exception Pv_error of string
+
+let relation_of_extended r =
+  let schema = Erm.Relation.schema r in
+  if Erm.Schema.key_arity schema <> 1 then
+    raise (Pv_error "partial-value relations support single-attribute keys")
+  else
+    Erm.Relation.fold
+      (fun t acc ->
+        let key =
+          match Erm.Etuple.key t with [ k ] -> k | _ -> assert false
+        in
+        let cells =
+          List.map2
+            (fun attr cell ->
+              let pv =
+                match cell with
+                | Erm.Etuple.Definite v -> definite v
+                | Erm.Etuple.Evidence e -> of_evidence e
+              in
+              (Erm.Attr.name attr, pv))
+            (Erm.Schema.nonkey schema)
+            (Erm.Etuple.cells t)
+        in
+        { key; cells } :: acc)
+      r []
+    |> List.rev
+
+let union a b =
+  let inconsistencies = ref [] in
+  let find_in rel key =
+    List.find_opt (fun t -> Dst.Value.equal t.key key) rel
+  in
+  let merge ta tb =
+    let exception Bail in
+    try
+      let cells =
+        List.map
+          (fun (name, pa) ->
+            match List.assoc_opt name tb.cells with
+            | None -> raise (Pv_error ("attribute mismatch: " ^ name))
+            | Some pb -> (
+                try (name, combine pa pb)
+                with Inconsistent _ ->
+                  inconsistencies := (ta.key, name) :: !inconsistencies;
+                  raise Bail))
+          ta.cells
+      in
+      Some { ta with cells }
+    with Bail -> None
+  in
+  let from_a =
+    List.filter_map
+      (fun ta ->
+        match find_in b ta.key with
+        | None -> Some ta
+        | Some tb -> merge ta tb)
+      a
+  in
+  let from_b = List.filter (fun tb -> find_in a tb.key = None) b in
+  (from_a @ from_b, List.rev !inconsistencies)
+
+let select_is rel attr set =
+  let answer t =
+    match List.assoc_opt attr t.cells with
+    | None -> raise (Pv_error ("unknown attribute " ^ attr))
+    | Some pv -> satisfies_is pv set
+  in
+  let true_tuples = List.filter (fun t -> answer t = True) rel in
+  let maybe_tuples = List.filter (fun t -> answer t = Maybe) rel in
+  (true_tuples, maybe_tuples)
+
+let pp_pv = Dst.Vset.pp

@@ -1,0 +1,62 @@
+(** DeMichiel's partial values (IEEE TKDE 1989) — the baseline the paper
+    generalizes.
+
+    A partial value is a set of candidate values of which {e exactly one}
+    is correct, with no belief distribution over the candidates. Combining
+    two partial values for the same entity is set intersection (both
+    sources are assumed consistent); an empty intersection is an
+    integration inconsistency. Queries return {e true} tuples (definitely
+    qualify) and {e may-be} tuples (possibly qualify) as two separate
+    sets — contrast with the paper's single result set graded by
+    [(sn, sp)]. *)
+
+type pv = Dst.Vset.t
+(** Invariant: non-empty. *)
+
+exception Inconsistent of pv * pv
+(** Raised by {!combine} when the intersection is empty. *)
+
+val of_evidence : Dst.Evidence.t -> pv
+(** Forgetful projection of an evidence set: the union of its focal
+    elements (every value with positive plausibility). This is what the
+    DS model degrades to when belief is discarded. *)
+
+val definite : Dst.Value.t -> pv
+val is_definite : pv -> bool
+
+val combine : pv -> pv -> pv
+(** Set intersection. @raise Inconsistent when empty. *)
+
+type answer = True | Maybe | False
+
+val satisfies_is : pv -> Dst.Vset.t -> answer
+(** [A is S]: [True] iff the partial value is contained in [S]; [Maybe]
+    iff it merely intersects [S]. *)
+
+val answer_of_support : Dst.Support.t -> answer
+(** How a DS support pair coarsens to the three-valued answer: [(1,·)]
+    is [True], [(·,0)] is [False], anything else [Maybe] — used by tests
+    to check that the DS model refines partial values. *)
+
+(** {1 A miniature partial-value relation} *)
+
+type tuple = { key : Dst.Value.t; cells : (string * pv) list }
+type relation = tuple list
+
+exception Pv_error of string
+
+val relation_of_extended : Erm.Relation.t -> relation
+(** Project an extended relation (single-attribute key) onto partial
+    values: evidential cells via {!of_evidence}, definite cells as
+    singletons; membership is discarded (partial-value relations cannot
+    express it). @raise Pv_error on multi-attribute keys. *)
+
+val union : relation -> relation -> relation * (Dst.Value.t * string) list
+(** Key-matched intersection merge. Inconsistent cells are reported as
+    [(key, attribute)] pairs and the pair's tuple is dropped, mirroring
+    {!Erm.Ops.union_report}. *)
+
+val select_is : relation -> string -> Dst.Vset.t -> relation * relation
+(** [(true_tuples, maybe_tuples)] — DeMichiel's two result sets. *)
+
+val pp_pv : Format.formatter -> pv -> unit

@@ -1,0 +1,122 @@
+type ppv = (Dst.Value.t * float) list
+
+exception Invalid_ppv of string
+
+let tol = Dst.Num.float_tolerance
+
+let make entries =
+  let positive = List.filter (fun (_, p) -> p > 0.0) entries in
+  if positive = [] then raise (Invalid_ppv "no positive probabilities")
+  else
+    let merged =
+      List.fold_left
+        (fun acc (v, p) ->
+          match List.partition (fun (w, _) -> Dst.Value.equal v w) acc with
+          | [ (_, q) ], rest -> (v, p +. q) :: rest
+          | [], rest -> (v, p) :: rest
+          | _ -> assert false)
+        [] positive
+    in
+    let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 merged in
+    if total <= tol then raise (Invalid_ppv "zero total probability")
+    else
+      List.map (fun (v, p) -> (v, p /. total)) merged
+      |> List.sort (fun (a, _) (b, _) -> Dst.Value.compare a b)
+
+let definite v = [ (v, 1.0) ]
+let of_evidence e = make (Dst.Mass.F.pignistic e)
+
+let prob_in ppv set =
+  List.fold_left
+    (fun acc (v, p) -> if Dst.Vset.mem v set then acc +. p else acc)
+    0.0 ppv
+
+let merge_weighted w a b =
+  if w < 0.0 || w > 1.0 then raise (Invalid_ppv "mixture weight outside [0,1]")
+  else
+    make
+      (List.map (fun (v, p) -> (v, w *. p)) a
+      @ List.map (fun (v, p) -> (v, (1.0 -. w) *. p)) b)
+
+let merge a b = merge_weighted 0.5 a b
+
+let expected_value ppv =
+  List.fold_left
+    (fun acc (v, p) ->
+      match v with
+      | Dst.Value.Int n -> acc +. (float_of_int n *. p)
+      | Dst.Value.Float f -> acc +. (f *. p)
+      | Dst.Value.Bool _ | Dst.Value.String _ ->
+          raise (Invalid_ppv "expected_value over non-numeric values"))
+    0.0 ppv
+
+type tuple = { key : Dst.Value.t; cells : (string * ppv) list }
+type relation = tuple list
+
+let relation_of_extended r =
+  let schema = Erm.Relation.schema r in
+  if Erm.Schema.key_arity schema <> 1 then
+    raise (Invalid_ppv "probabilistic relations support single-attribute keys")
+  else
+    Erm.Relation.fold
+      (fun t acc ->
+        let key =
+          match Erm.Etuple.key t with [ k ] -> k | _ -> assert false
+        in
+        let cells =
+          List.map2
+            (fun attr cell ->
+              let ppv =
+                match cell with
+                | Erm.Etuple.Definite v -> definite v
+                | Erm.Etuple.Evidence e -> of_evidence e
+              in
+              (Erm.Attr.name attr, ppv))
+            (Erm.Schema.nonkey schema)
+            (Erm.Etuple.cells t)
+        in
+        { key; cells } :: acc)
+      r []
+    |> List.rev
+
+let union a b =
+  let find_in rel key =
+    List.find_opt (fun t -> Dst.Value.equal t.key key) rel
+  in
+  let merge_tuples ta tb =
+    { ta with
+      cells =
+        List.map
+          (fun (name, pa) ->
+            match List.assoc_opt name tb.cells with
+            | None -> raise (Invalid_ppv ("attribute mismatch: " ^ name))
+            | Some pb -> (name, merge pa pb))
+          ta.cells }
+  in
+  let from_a =
+    List.map
+      (fun ta ->
+        match find_in b ta.key with
+        | None -> ta
+        | Some tb -> merge_tuples ta tb)
+      a
+  in
+  let from_b = List.filter (fun tb -> find_in a tb.key = None) b in
+  from_a @ from_b
+
+let select_is ~certainty rel attr set =
+  List.filter_map
+    (fun t ->
+      match List.assoc_opt attr t.cells with
+      | None -> raise (Invalid_ppv ("unknown attribute " ^ attr))
+      | Some ppv ->
+          let p = prob_in ppv set in
+          if p >= certainty then Some (t, p) else None)
+    rel
+
+let pp_ppv ppf ppv =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (v, p) -> Format.fprintf ppf "%a:%g" Dst.Value.pp v p))
+    ppv

@@ -1,0 +1,63 @@
+(** Tseng, Chen & Yang's probabilistic partial values (1992) — the
+    probabilistic baseline the paper contrasts with.
+
+    An attribute value is a discrete probability distribution over
+    candidate values. Unlike the paper's model, (1) probabilities attach
+    only to individual values, never to subsets — ignorance cannot be
+    represented apart from a uniform spread — and (2) sources are not
+    assumed consistent: merging {e retains} inconsistent alternatives (a
+    normalized mixture) instead of renormalizing them away as Dempster's
+    rule does. Queries filter on the probability that the condition
+    holds and annotate results with it. *)
+
+type ppv = (Dst.Value.t * float) list
+(** A distribution: positive probabilities summing to 1. *)
+
+exception Invalid_ppv of string
+
+val make : (Dst.Value.t * float) list -> ppv
+(** Validates and normalizes: drops non-positive entries, merges
+    duplicates. @raise Invalid_ppv if nothing positive remains or the
+    mass does not normalize. *)
+
+val definite : Dst.Value.t -> ppv
+
+val of_evidence : Dst.Evidence.t -> ppv
+(** Pignistic projection: a focal element's mass splits equally among its
+    values — the standard way to read a DS assignment as probabilities
+    (and exactly where subset-level information is lost). *)
+
+val prob_in : ppv -> Dst.Vset.t -> float
+(** P(A ∈ S). *)
+
+val merge : ppv -> ppv -> ppv
+(** Equal-weight mixture of the two distributions: alternatives from both
+    sources survive (inconsistency is retained, per Tseng et al.),
+    contrasting with {!Dst.Mass.F.combine}'s conflict renormalization. *)
+
+val merge_weighted : float -> ppv -> ppv -> ppv
+(** [merge_weighted w a b] mixes with weight [w] on [a]. *)
+
+val expected_value : ppv -> float
+(** For numeric distributions. @raise Invalid_ppv on non-numeric
+    values. *)
+
+(** {1 A miniature probabilistic relation} *)
+
+type tuple = { key : Dst.Value.t; cells : (string * ppv) list }
+type relation = tuple list
+
+val relation_of_extended : Erm.Relation.t -> relation
+(** Pignistic projection of an extended relation (single-attribute key);
+    membership is discarded. @raise Invalid_ppv on multi-attribute
+    keys. *)
+
+val union : relation -> relation -> relation
+(** Key-matched mixture merge; never fails (inconsistency is kept). *)
+
+val select_is :
+  certainty:float -> relation -> string -> Dst.Vset.t -> (tuple * float) list
+(** Tuples whose P(A ∈ S) reaches [certainty], with that probability —
+    Tseng et al.'s thresholded selection. *)
+
+val pp_ppv : Format.formatter -> ppv -> unit

@@ -1,0 +1,1 @@
+lib/dst/domain.ml: Format Value Vset

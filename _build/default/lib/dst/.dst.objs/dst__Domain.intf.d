@@ -1,0 +1,1 @@
+lib/dst/domain.mli: Format Value Vset

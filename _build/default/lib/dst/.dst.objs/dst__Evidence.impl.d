@@ -1,0 +1,1 @@
+lib/dst/evidence.ml: Domain List Mass String Value Vset

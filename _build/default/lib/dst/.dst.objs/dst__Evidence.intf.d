@@ -1,0 +1,1 @@
+lib/dst/evidence.mli: Domain Format Mass Value Vset

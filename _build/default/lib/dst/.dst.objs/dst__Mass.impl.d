@@ -1,0 +1,1 @@
+lib/dst/mass.ml: Domain Format Hashtbl List Map Num Value Vset

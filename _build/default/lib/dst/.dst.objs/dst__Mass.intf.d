@@ -1,0 +1,1 @@
+lib/dst/mass.mli: Domain Format Num Value Vset

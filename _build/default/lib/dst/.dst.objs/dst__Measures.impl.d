@@ -1,0 +1,1 @@
+lib/dst/measures.ml: Domain Float List Mass Value Vset

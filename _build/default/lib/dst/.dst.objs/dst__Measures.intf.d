@@ -1,0 +1,1 @@
+lib/dst/measures.mli: Mass

@@ -1,0 +1,1 @@
+lib/dst/num.ml: Float Format Qarith

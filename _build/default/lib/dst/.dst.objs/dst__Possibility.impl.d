@@ -1,0 +1,1 @@
+lib/dst/possibility.ml: Domain Float Format List Mass Num Support Value Vset

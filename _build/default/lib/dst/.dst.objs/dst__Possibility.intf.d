@@ -1,0 +1,1 @@
+lib/dst/possibility.mli: Domain Format Mass Support Value Vset

@@ -1,0 +1,1 @@
+lib/dst/refinement.ml: Domain Format List Mass Value Vset

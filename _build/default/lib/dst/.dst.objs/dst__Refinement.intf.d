@@ -1,0 +1,1 @@
+lib/dst/refinement.mli: Domain Mass Value Vset

@@ -1,0 +1,1 @@
+lib/dst/support.ml: Domain Float Format Mass Num String Value Vset

@@ -1,0 +1,1 @@
+lib/dst/support.mli: Format Mass

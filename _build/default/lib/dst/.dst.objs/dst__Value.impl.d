@@ -1,0 +1,1 @@
+lib/dst/value.ml: Float Format Scanf Stdlib String

@@ -1,0 +1,1 @@
+lib/dst/value.mli: Format

@@ -1,0 +1,1 @@
+lib/dst/vset.ml: Format List Set Value

@@ -1,0 +1,1 @@
+lib/dst/vset.mli: Format Value

@@ -1,0 +1,23 @@
+type t = { name : string; values : Vset.t }
+
+exception Empty_domain of string
+
+let make name values =
+  if Vset.is_empty values then raise (Empty_domain name)
+  else { name; values }
+
+let of_strings name atoms = make name (Vset.of_strings atoms)
+let of_values name vs = make name (Vset.of_list vs)
+let name d = d.name
+let values d = d.values
+let size d = Vset.cardinal d.values
+let mem v d = Vset.mem v d.values
+let subset s d = Vset.subset s d.values
+let equal a b = Vset.equal a.values b.values
+let compare a b = Vset.compare a.values b.values
+
+let boolean =
+  make "membership" (Vset.of_list [ Value.bool true; Value.bool false ])
+
+let pp ppf d = Format.fprintf ppf "%s = %a" d.name Vset.pp d.values
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,40 @@
+(** Frames of discernment.
+
+    A domain is the finite set Ω of values an attribute can take, plus a
+    human-readable name. Mass functions carry their domain, so Ω is an
+    ordinary focal element (the full value set) and combination can verify
+    that both operands discern the same frame. *)
+
+type t
+
+exception Empty_domain of string
+(** Raised by {!make} when the value set is empty: a frame of discernment
+    must contain at least one world. *)
+
+val make : string -> Vset.t -> t
+(** [make name values]. @raise Empty_domain if [values] is empty. *)
+
+val of_strings : string -> string list -> t
+(** [of_strings name atoms] builds a domain of string values. *)
+
+val of_values : string -> Value.t list -> t
+
+val name : t -> string
+val values : t -> Vset.t
+val size : t -> int
+val mem : Value.t -> t -> bool
+
+val subset : Vset.t -> t -> bool
+(** [subset s d] is true iff every value of [s] belongs to [d]. *)
+
+val equal : t -> t -> bool
+(** Equality of the underlying value sets; names are documentation only. *)
+
+val compare : t -> t -> int
+
+val boolean : t
+(** The membership frame Ψ = [{true, false}] used for tuple membership
+    support pairs (§2.3 of the paper). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

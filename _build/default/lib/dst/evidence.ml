@@ -1,0 +1,138 @@
+type t = Mass.F.t
+
+exception Parse_error of string * string
+
+(* ------------------------------------------------------------------ *)
+(* Lexer for the paper's evidence-set notation.                        *)
+
+type token =
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Semi
+  | Comma
+  | Caret
+  | Omega
+  | Lit of string
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let lex input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let c = input.[i] in
+      if is_space c then go (i + 1) acc
+      else
+        match c with
+        | '[' -> go (i + 1) (Lbracket :: acc)
+        | ']' -> go (i + 1) (Rbracket :: acc)
+        | '{' -> go (i + 1) (Lbrace :: acc)
+        | '}' -> go (i + 1) (Rbrace :: acc)
+        | ';' -> go (i + 1) (Semi :: acc)
+        | ',' -> go (i + 1) (Comma :: acc)
+        | '^' -> go (i + 1) (Caret :: acc)
+        | '~' -> go (i + 1) (Omega :: acc)
+        | '"' ->
+            (* Quoted string literal: scan to the closing quote, honouring
+               backslash escapes. *)
+            let rec close j =
+              if j >= n then
+                raise (Parse_error (input, "unterminated string literal"))
+              else if input.[j] = '\\' then close (j + 2)
+              else if input.[j] = '"' then j
+              else close (j + 1)
+            in
+            let j = close (i + 1) in
+            go (j + 1) (Lit (String.sub input i (j - i + 1)) :: acc)
+        | _ ->
+            let stop_char c =
+              is_space c || String.contains "[]{};,^" c
+            in
+            let j = ref i in
+            while !j < n && not (stop_char input.[!j]) do
+              incr j
+            done;
+            go !j (Lit (String.sub input i (!j - i)) :: acc)
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser.                                           *)
+
+let parse_mass input tok =
+  match tok with
+  | Lit s -> (
+      match String.index_opt s '/' with
+      | Some k -> (
+          let a = String.sub s 0 k
+          and b = String.sub s (k + 1) (String.length s - k - 1) in
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some a, Some b when b <> 0 -> float_of_int a /. float_of_int b
+          | _ -> raise (Parse_error (input, "malformed fraction " ^ s)))
+      | None -> (
+          match float_of_string_opt s with
+          | Some f -> f
+          | None -> raise (Parse_error (input, "expected a mass, got " ^ s))))
+  | _ -> raise (Parse_error (input, "expected a mass value"))
+
+let of_string frame input =
+  let fail msg = raise (Parse_error (input, msg)) in
+  let toks = lex input in
+  let parse_member toks =
+    match toks with
+    | Omega :: rest -> (Domain.values frame, rest)
+    | Lit s :: rest -> (Vset.singleton (Value.of_literal s), rest)
+    | Lbrace :: rest ->
+        let rec elems acc toks =
+          match toks with
+          | Lit s :: Comma :: rest -> elems (Value.of_literal s :: acc) rest
+          | Lit s :: Rbrace :: rest ->
+              (Vset.of_list (Value.of_literal s :: acc), rest)
+          | Rbrace :: rest when acc <> [] -> (Vset.of_list acc, rest)
+          | _ -> fail "malformed set {…}"
+        in
+        elems [] rest
+    | _ -> fail "expected a focal element"
+  in
+  let parse_focal toks =
+    let set, rest = parse_member toks in
+    match rest with
+    | Caret :: m :: rest -> ((set, parse_mass input m), rest)
+    | _ -> fail "expected ^mass after focal element"
+  in
+  let rec parse_focals acc toks =
+    let focal, rest = parse_focal toks in
+    match rest with
+    | Semi :: rest -> parse_focals (focal :: acc) rest
+    | Rbracket :: [] -> List.rev (focal :: acc)
+    | Rbracket :: _ -> fail "trailing input after ]"
+    | _ -> fail "expected ; or ]"
+  in
+  match toks with
+  | Lbracket :: rest -> Mass.F.make frame (parse_focals [] rest)
+  | _ -> fail "expected ["
+
+let to_string = Mass.F.to_string
+let pp = Mass.F.pp
+
+let of_counts frame tallies =
+  let omega = Domain.values frame in
+  let entries =
+    List.map
+      (fun (set, count) ->
+        if count < 0 then
+          raise (Mass.F.Invalid_mass "negative vote count")
+        else if Vset.is_empty set then (omega, float_of_int count)
+        else (set, float_of_int count))
+      tallies
+  in
+  Mass.F.make_normalized frame entries
+
+let of_value_counts frame tallies =
+  of_counts frame
+    (List.map (fun (v, c) -> (Vset.singleton v, c)) tallies)
+
+let definite = Mass.F.certain

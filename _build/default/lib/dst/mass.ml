@@ -1,0 +1,358 @@
+module type S = sig
+  type num
+  type t
+
+  exception Invalid_mass of string
+  exception Total_conflict
+  exception Frame_mismatch of Domain.t * Domain.t
+
+  val make : Domain.t -> (Vset.t * num) list -> t
+  val make_normalized : Domain.t -> (Vset.t * num) list -> t
+  val vacuous : Domain.t -> t
+  val certain : Domain.t -> Value.t -> t
+  val certain_set : Domain.t -> Vset.t -> t
+  val simple_support : Domain.t -> Vset.t -> num -> t
+  val bayesian : Domain.t -> (Value.t * num) list -> t
+  val frame : t -> Domain.t
+  val focals : t -> (Vset.t * num) list
+  val focal_count : t -> int
+  val mass : t -> Vset.t -> num
+  val bel : t -> Vset.t -> num
+  val pls : t -> Vset.t -> num
+  val doubt : t -> Vset.t -> num
+  val commonality : t -> Vset.t -> num
+  val interval : t -> Vset.t -> num * num
+  val ignorance : t -> Vset.t -> num
+  val is_vacuous : t -> bool
+  val is_bayesian : t -> bool
+  val is_definite : t -> bool
+  val definite_value : t -> Value.t option
+  val is_consonant : t -> bool
+  val conflict : t -> t -> num
+  val combine : t -> t -> t
+  val combine_opt : t -> t -> (t * num) option
+  val combine_yager : t -> t -> t
+  val combine_dubois_prade : t -> t -> t
+  val combine_average : t -> t -> t
+  val combine_disjunctive : t -> t -> t
+  val combine_many : t list -> t
+  val discount : float -> t -> t
+  val condition : t -> Vset.t -> t
+  val pignistic : t -> (Value.t * num) list
+  val approximate : max_focals:int -> t -> t
+  val max_bel : t -> Value.t
+  val max_pls : t -> Value.t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+module Vmap = Map.Make (Vset)
+
+module Make (N : Num.S) : S with type num = N.t = struct
+  type num = N.t
+  type t = { frame : Domain.t; focals : num Vmap.t }
+
+  exception Invalid_mass of string
+  exception Total_conflict
+  exception Frame_mismatch of Domain.t * Domain.t
+
+  let num_lt a b = N.compare a b < 0
+  let num_gt a b = N.compare a b > 0
+  let is_zero x = N.equal x N.zero
+
+  let sum_masses m = Vmap.fold (fun _ x acc -> N.add x acc) m N.zero
+
+  (* Shared validation: merge duplicates, drop zeros, check range. *)
+  let collect frame entries =
+    List.fold_left
+      (fun acc (set, x) ->
+        if num_lt x N.zero then
+          raise
+            (Invalid_mass
+               (Format.asprintf "negative mass %a on %a" N.pp x Vset.pp set))
+        else if is_zero x then acc
+        else if Vset.is_empty set then
+          raise (Invalid_mass "positive mass on the empty set")
+        else if not (Domain.subset set frame) then
+          raise
+            (Invalid_mass
+               (Format.asprintf "focal element %a outside frame %s" Vset.pp
+                  set (Domain.name frame)))
+        else
+          Vmap.update set
+            (function None -> Some x | Some y -> Some (N.add x y))
+            acc)
+      Vmap.empty entries
+
+  let make frame entries =
+    let focals = collect frame entries in
+    let total = sum_masses focals in
+    if not (N.equal total N.one) then
+      raise
+        (Invalid_mass (Format.asprintf "masses sum to %a, not 1" N.pp total))
+    else { frame; focals }
+
+  let make_normalized frame entries =
+    let focals = collect frame entries in
+    let total = sum_masses focals in
+    if not (num_gt total N.zero) then
+      raise (Invalid_mass "cannot normalize: total mass is zero")
+    else { frame; focals = Vmap.map (fun x -> N.div x total) focals }
+
+  let vacuous frame =
+    { frame; focals = Vmap.singleton (Domain.values frame) N.one }
+
+  let certain_set frame set = make frame [ (set, N.one) ]
+  let certain frame v = certain_set frame (Vset.singleton v)
+
+  let simple_support frame set w =
+    make frame [ (set, w); (Domain.values frame, N.sub N.one w) ]
+
+  let bayesian frame pairs =
+    make frame (List.map (fun (v, x) -> (Vset.singleton v, x)) pairs)
+
+  let frame m = m.frame
+  let focals m = Vmap.bindings m.focals
+  let focal_count m = Vmap.cardinal m.focals
+  let mass m set = match Vmap.find_opt set m.focals with
+    | Some x -> x
+    | None -> N.zero
+
+  let sum_where p m =
+    Vmap.fold
+      (fun set x acc -> if p set then N.add x acc else acc)
+      m.focals N.zero
+
+  let bel m a = sum_where (fun x -> Vset.subset x a) m
+  let pls m a = sum_where (fun x -> not (Vset.disjoint x a)) m
+  let doubt m a = bel m (Vset.diff (Domain.values m.frame) a)
+  let commonality m a = sum_where (fun x -> Vset.subset a x) m
+  let interval m a = (bel m a, pls m a)
+  let ignorance m a = N.sub (pls m a) (bel m a)
+
+  let is_vacuous m =
+    Vmap.cardinal m.focals = 1
+    && Vmap.mem (Domain.values m.frame) m.focals
+
+  let is_bayesian m =
+    Vmap.for_all (fun set _ -> Vset.cardinal set = 1) m.focals
+
+  let is_definite m =
+    Vmap.cardinal m.focals = 1 && is_bayesian m
+
+  let definite_value m =
+    if is_definite m then
+      match Vmap.min_binding_opt m.focals with
+      | Some (set, _) -> Some (Vset.choose set)
+      | None -> None
+    else None
+
+  let is_consonant m =
+    let sets = List.map fst (Vmap.bindings m.focals) in
+    let by_size =
+      List.sort (fun a b -> compare (Vset.cardinal a) (Vset.cardinal b)) sets
+    in
+    let rec chained = function
+      | a :: (b :: _ as rest) -> Vset.subset a b && chained rest
+      | [ _ ] | [] -> true
+    in
+    chained by_size
+
+  let check_frames m1 m2 =
+    if not (Domain.equal m1.frame m2.frame) then
+      raise (Frame_mismatch (m1.frame, m2.frame))
+
+  (* Conjunctive cross product: feed every pair (X ∩ Y, m1(X)·m2(Y)) to
+     [emit]; pairs with empty intersection go to [emit_conflict]. *)
+  let cross m1 m2 ~emit ~emit_conflict =
+    Vmap.iter
+      (fun x mx ->
+        Vmap.iter
+          (fun y my ->
+            let product = N.mul mx my in
+            let z = Vset.inter x y in
+            if Vset.is_empty z then emit_conflict x y product
+            else emit z product)
+          m2.focals)
+      m1.focals
+
+  let conflict m1 m2 =
+    check_frames m1 m2;
+    let kappa = ref N.zero in
+    cross m1 m2
+      ~emit:(fun _ _ -> ())
+      ~emit_conflict:(fun _ _ p -> kappa := N.add !kappa p);
+    !kappa
+
+  let accumulate table set p =
+    table :=
+      Vmap.update set
+        (function None -> Some p | Some q -> Some (N.add p q))
+        !table
+
+  let combine_opt m1 m2 =
+    check_frames m1 m2;
+    let table = ref Vmap.empty in
+    let kappa = ref N.zero in
+    cross m1 m2
+      ~emit:(fun set p -> accumulate table set p)
+      ~emit_conflict:(fun _ _ p -> kappa := N.add !kappa p);
+    if Vmap.is_empty !table then None
+    else
+      let norm = N.sub N.one !kappa in
+      (* Guard against float drift making norm ≤ 0 while some non-empty
+         product survived (cannot happen with exact arithmetic). *)
+      if N.compare norm N.zero <= 0 then None
+      else
+        Some
+          ( { frame = m1.frame; focals = Vmap.map (fun x -> N.div x norm) !table },
+            !kappa )
+
+  let combine m1 m2 =
+    match combine_opt m1 m2 with
+    | Some (m, _) -> m
+    | None -> raise Total_conflict
+
+  let combine_yager m1 m2 =
+    check_frames m1 m2;
+    let table = ref Vmap.empty in
+    let kappa = ref N.zero in
+    cross m1 m2
+      ~emit:(fun set p -> accumulate table set p)
+      ~emit_conflict:(fun _ _ p -> kappa := N.add !kappa p);
+    if not (is_zero !kappa) then
+      accumulate table (Domain.values m1.frame) !kappa;
+    { frame = m1.frame; focals = !table }
+
+  let combine_dubois_prade m1 m2 =
+    check_frames m1 m2;
+    let table = ref Vmap.empty in
+    cross m1 m2
+      ~emit:(fun set p -> accumulate table set p)
+      ~emit_conflict:(fun x y p -> accumulate table (Vset.union x y) p);
+    { frame = m1.frame; focals = !table }
+
+  let combine_average m1 m2 =
+    check_frames m1 m2;
+    let half = N.div N.one (N.add N.one N.one) in
+    let halved m = Vmap.map (fun x -> N.mul half x) m.focals in
+    let merged =
+      Vmap.union (fun _ a b -> Some (N.add a b)) (halved m1) (halved m2)
+    in
+    { frame = m1.frame; focals = merged }
+
+  let combine_disjunctive m1 m2 =
+    check_frames m1 m2;
+    let table = ref Vmap.empty in
+    Vmap.iter
+      (fun x mx ->
+        Vmap.iter
+          (fun y my -> accumulate table (Vset.union x y) (N.mul mx my))
+          m2.focals)
+      m1.focals;
+    { frame = m1.frame; focals = !table }
+
+  let combine_many = function
+    | [] -> raise (Invalid_mass "combine_many: empty list")
+    | m :: rest -> List.fold_left combine m rest
+
+  let discount alpha m =
+    if alpha < 0.0 || alpha > 1.0 then
+      invalid_arg "Mass.discount: reliability outside [0,1]"
+    else
+      let a = N.of_float alpha in
+      let omega = Domain.values m.frame in
+      let scaled =
+        Vmap.fold
+          (fun set x acc -> (set, N.mul a x) :: acc)
+          m.focals
+          [ (omega, N.sub N.one a) ]
+      in
+      (* [make] merges the Ω entries and drops zeros. *)
+      make m.frame scaled
+
+  let condition m set = combine m (certain_set m.frame set)
+
+  let pignistic m =
+    let table = Hashtbl.create 16 in
+    Vmap.iter
+      (fun set x ->
+        let share = N.div x (N.of_float (float_of_int (Vset.cardinal set))) in
+        Vset.iter
+          (fun v ->
+            let cur =
+              match Hashtbl.find_opt table v with Some c -> c | None -> N.zero
+            in
+            Hashtbl.replace table v (N.add cur share))
+          set)
+      m.focals;
+    Hashtbl.fold (fun v x acc -> (v, x) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> Value.compare a b)
+
+  let approximate ~max_focals m =
+    if max_focals < 1 then invalid_arg "Mass.approximate: max_focals < 1"
+    else if Vmap.cardinal m.focals <= max_focals then m
+    else begin
+      let omega = Domain.values m.frame in
+      (* Ω never counts against the budget: dropped mass lands there. *)
+      let by_mass =
+        Vmap.bindings m.focals
+        |> List.filter (fun (set, _) -> not (Vset.equal set omega))
+        |> List.sort (fun (_, a) (_, b) -> N.compare b a)
+      in
+      let keep_count = max_focals - 1 in
+      let rec split i kept = function
+        | [] -> (kept, N.zero)
+        | (set, x) :: rest ->
+            if i < keep_count then split (i + 1) ((set, x) :: kept) rest
+            else
+              ( kept,
+                List.fold_left (fun acc (_, y) -> N.add acc y) x rest )
+      in
+      let kept, dropped = split 0 [] by_mass in
+      let omega_mass = N.add (mass m omega) dropped in
+      make m.frame ((omega, omega_mass) :: kept)
+    end
+
+  let best_by measure m =
+    let omega = Domain.values m.frame in
+    let best =
+      Vset.fold
+        (fun v acc ->
+          let score = measure m (Vset.singleton v) in
+          match acc with
+          | Some (_, s) when N.compare s score >= 0 -> acc
+          | _ -> Some (v, score))
+        omega None
+    in
+    match best with
+    | Some (v, _) -> v
+    | None -> raise (Invalid_mass "empty frame")
+
+  let max_bel m = best_by bel m
+  let max_pls m = best_by pls m
+
+  let equal m1 m2 =
+    Domain.equal m1.frame m2.frame
+    && Vmap.cardinal m1.focals = Vmap.cardinal m2.focals
+    && Vmap.for_all
+         (fun set x -> N.equal x (mass m2 set))
+         m1.focals
+
+  let pp ppf m =
+    let omega = Domain.values m.frame in
+    let pp_focal ppf (set, x) =
+      if Vset.equal set omega then Format.fprintf ppf "~^%a" N.pp x
+      else Format.fprintf ppf "%a^%a" Vset.pp_compact set N.pp x
+    in
+    Format.fprintf ppf "[@[%a@]]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+         pp_focal)
+      (focals m)
+
+  let to_string m = Format.asprintf "%a" pp m
+end
+
+module F = Make (Num.Float)

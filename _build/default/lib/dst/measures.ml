@@ -1,0 +1,37 @@
+let log2 x = Float.log x /. Float.log 2.0
+
+let nonspecificity m =
+  List.fold_left
+    (fun acc (set, x) -> acc +. (x *. log2 (float_of_int (Vset.cardinal set))))
+    0.0 (Mass.F.focals m)
+
+let dissonance m =
+  List.fold_left
+    (fun acc (set, x) ->
+      let pls = Mass.F.pls m set in
+      (* Pls of a focal element is at least its own mass, hence > 0. *)
+      acc -. (x *. log2 pls))
+    0.0 (Mass.F.focals m)
+
+let pignistic_entropy m =
+  List.fold_left
+    (fun acc (_, p) -> if p <= 0.0 then acc else acc -. (p *. log2 p))
+    0.0 (Mass.F.pignistic m)
+
+let pignistic_distance m1 m2 =
+  if not (Domain.equal (Mass.F.frame m1) (Mass.F.frame m2)) then
+    raise (Mass.F.Frame_mismatch (Mass.F.frame m1, Mass.F.frame m2))
+  else
+    let p1 = Mass.F.pignistic m1 and p2 = Mass.F.pignistic m2 in
+    let prob dist v =
+      match List.find_opt (fun (w, _) -> Value.equal v w) dist with
+      | Some (_, p) -> p
+      | None -> 0.0
+    in
+    Vset.fold
+      (fun v acc -> acc +. Float.abs (prob p1 v -. prob p2 v))
+      (Domain.values (Mass.F.frame m1))
+      0.0
+    /. 2.0
+
+let total_uncertainty m = nonspecificity m +. dissonance m

@@ -1,0 +1,39 @@
+(** Scalar uncertainty measures over mass functions (extension).
+
+    Integration claims to {e reduce} uncertainty; these classical
+    measures make the claim quantitative (EXPERIMENTS.md cites them for
+    the Table 4 merge):
+
+    - {!nonspecificity} (Dubois & Prade's generalized Hartley measure)
+      captures {e imprecision}: how large the focal elements are;
+    - {!dissonance} (Yager's E) captures {e conflict within} the
+      evidence: mass on hypotheses the rest of the evidence refutes;
+    - {!pignistic_entropy} is the Shannon entropy of the pignistic
+      transform — the residual decision uncertainty.
+
+    All use log base 2 ("bits"). *)
+
+val nonspecificity : Mass.F.t -> float
+(** [N(m) = Σ_A m(A)·log₂|A|]. 0 for Bayesian assignments; [log₂|Ω|]
+    for the vacuous one (maximal imprecision). Dempster combination
+    intersects focal elements, so it tends to drive N down — the
+    "combination reduces uncertainty" trend the paper notes in §2.2. *)
+
+val dissonance : Mass.F.t -> float
+(** [E(m) = −Σ_A m(A)·log₂ Pls(A)]. 0 whenever the focal elements share
+    a common element (in particular for consonant and for definite
+    evidence); grows as the evidence pulls against itself. *)
+
+val pignistic_entropy : Mass.F.t -> float
+(** [H(BetP) = −Σ_v BetP(v)·log₂ BetP(v)]. *)
+
+val pignistic_distance : Mass.F.t -> Mass.F.t -> float
+(** Total-variation distance between the two pignistic transforms:
+    [½·Σ_v |BetP₁(v) − BetP₂(v)|], in [\[0,1\]]. A cheap, frame-agnostic
+    dissimilarity for comparing evidence versions (κ measures
+    {e incompatibility}; this measures {e difference of opinion} even
+    when compatible). @raise Mass.F.Frame_mismatch. *)
+
+val total_uncertainty : Mass.F.t -> float
+(** [nonspecificity + dissonance] — an aggregate measure in the spirit
+    of Klir's total uncertainty. *)

@@ -1,0 +1,87 @@
+type t = {
+  frame : Domain.t;
+  contour : (Value.t * float) list;  (** decreasing possibility, no zeros *)
+}
+
+exception Not_normalized
+
+let tol = Num.float_tolerance
+
+let make frame entries =
+  List.iter
+    (fun (v, p) ->
+      if not (Domain.mem v frame) then
+        invalid_arg
+          (Format.asprintf "Possibility.make: %a outside the frame" Value.pp v);
+      if p < -.tol || p > 1.0 +. tol then
+        invalid_arg "Possibility.make: degree outside [0,1]")
+    entries;
+  let contour =
+    entries
+    |> List.filter (fun (_, p) -> p > tol)
+    |> List.sort (fun (va, pa) (vb, pb) ->
+           match Float.compare pb pa with
+           | 0 -> Value.compare va vb
+           | c -> c)
+  in
+  match contour with
+  | (_, top) :: _ when top >= 1.0 -. tol -> { frame; contour }
+  | _ -> raise Not_normalized
+
+let frame t = t.frame
+
+let possibility_of t v =
+  match List.find_opt (fun (w, _) -> Value.equal v w) t.contour with
+  | Some (_, p) -> p
+  | None -> 0.0
+
+let possibility t set =
+  List.fold_left
+    (fun acc (v, p) -> if Vset.mem v set then Float.max acc p else acc)
+    0.0 t.contour
+
+let necessity t set =
+  1.0 -. possibility t (Vset.diff (Domain.values t.frame) set)
+
+let support t set = Support.make ~sn:(necessity t set) ~sp:(possibility t set)
+
+let of_consonant m =
+  if not (Mass.F.is_consonant m) then
+    invalid_arg "Possibility.of_consonant: focal elements are not nested"
+  else
+    make (Mass.F.frame m)
+      (List.map
+         (fun v -> (v, Mass.F.pls m (Vset.singleton v)))
+         (Vset.to_list (Domain.values (Mass.F.frame m))))
+
+let to_mass t =
+  (* Cut the contour at each distinct level: the set of values at or
+     above level λᵢ gets mass λᵢ − λᵢ₊₁. *)
+  let levels =
+    List.sort_uniq (fun a b -> Float.compare b a) (List.map snd t.contour)
+  in
+  let cut level =
+    t.contour
+    |> List.filter (fun (_, p) -> p >= level -. tol)
+    |> List.map fst |> Vset.of_list
+  in
+  let rec focals = function
+    | level :: (next :: _ as rest) ->
+        (cut level, level -. next) :: focals rest
+    | [ level ] -> [ (cut level, level) ]
+    | [] -> []
+  in
+  Mass.F.make t.frame (focals levels)
+
+let consonant_approximation m =
+  let values = Vset.to_list (Domain.values (Mass.F.frame m)) in
+  let raw = List.map (fun v -> (v, Mass.F.pls m (Vset.singleton v))) values in
+  let top = List.fold_left (fun acc (_, p) -> Float.max acc p) 0.0 raw in
+  make (Mass.F.frame m) (List.map (fun (v, p) -> (v, p /. top)) raw)
+
+let pp ppf t =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf (v, p) -> Format.fprintf ppf "%a:%g" Value.pp v p))
+    t.contour

@@ -1,0 +1,67 @@
+(** The possibilistic view of evidence (extension).
+
+    A mass function whose focal elements are nested (a {e consonant}
+    assignment) is equivalent to a possibility distribution: for such
+    [m], plausibility restricted to singletons determines everything —
+    [Π(A) = max_{v ∈ A} π(v)] and [N(A) = 1 − Π(Ā)] coincide with
+    [Pls]/[Bel]. This bridges the paper's evidential model to the fuzzy/
+    possibilistic tradition it cites (Baldwin's support-logic
+    programming): a support pair over a consonant body of evidence {e is}
+    a necessity/possibility pair.
+
+    For non-consonant evidence, {!consonant_approximation} produces the
+    standard outer consonant approximation, ordering candidates by
+    plausibility and nesting the focal elements accordingly. It is
+    conservative in the same direction as {!Mass.S.approximate}:
+    possibility never drops below the original plausibility on
+    singletons. *)
+
+type t
+(** A possibility distribution over a frame: [π : Ω → \[0,1\]] with
+    [max π = 1]. *)
+
+exception Not_normalized
+(** Raised by {!make} when no value reaches possibility 1 — the
+    distribution would encode contradiction. *)
+
+val make : Domain.t -> (Value.t * float) list -> t
+(** Missing values get possibility 0.
+    @raise Not_normalized unless some value has possibility 1 (within
+    the float tolerance).
+    @raise Invalid_argument on values outside the frame or degrees
+    outside [0,1]. *)
+
+val frame : t -> Domain.t
+
+val possibility_of : t -> Value.t -> float
+(** π(v); 0 for values outside the frame. *)
+
+val possibility : t -> Vset.t -> float
+(** Π(A) = max over the set; 0 on the empty set. *)
+
+val necessity : t -> Vset.t -> float
+(** N(A) = 1 − Π(Ā). *)
+
+val support : t -> Vset.t -> Support.t
+(** [(N(A), Π(A))] — a support pair, connecting to the paper's
+    selection machinery. *)
+
+val of_consonant : Mass.F.t -> t
+(** The exact translation: [π(v) = Pls({v})].
+    @raise Invalid_argument if the mass function is not consonant
+    ({!Mass.S.is_consonant}). *)
+
+val to_mass : t -> Mass.F.t
+(** The consonant mass function with this contour: nested focal elements
+    cut at each distinct possibility level. [of_consonant (to_mass p) =
+    p] and, for consonant [m], [to_mass (of_consonant m) = m]
+    (property-tested). *)
+
+val consonant_approximation : Mass.F.t -> t
+(** The outer consonant approximation of arbitrary evidence:
+    [π(v) = Pls({v})], renormalized so the top candidate reaches 1.
+    Exact on consonant inputs. *)
+
+val pp : Format.formatter -> t -> unit
+(** [{v1:1; v2:0.4; …}] in decreasing possibility order, zeros
+    omitted. *)

@@ -1,0 +1,93 @@
+type t = {
+  coarse : Domain.t;
+  fine : Domain.t;
+  images : (Value.t * Vset.t) list;  (** one entry per coarse value *)
+}
+
+exception Refinement_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Refinement_error s)) fmt
+
+let make ~coarse ~fine f =
+  let images =
+    List.map (fun v -> (v, f v)) (Vset.to_list (Domain.values coarse))
+  in
+  List.iter
+    (fun (v, img) ->
+      if Vset.is_empty img then
+        fail "coarse value %a has an empty image" Value.pp v;
+      if not (Domain.subset img fine) then
+        fail "image of %a escapes the fine frame" Value.pp v)
+    images;
+  let rec check_disjoint = function
+    | (v, img) :: rest ->
+        List.iter
+          (fun (w, img') ->
+            if not (Vset.disjoint img img') then
+              fail "images of %a and %a overlap" Value.pp v Value.pp w)
+          rest;
+        check_disjoint rest
+    | [] -> ()
+  in
+  check_disjoint images;
+  let covered =
+    List.fold_left (fun acc (_, img) -> Vset.union acc img) Vset.empty images
+  in
+  if not (Vset.equal covered (Domain.values fine)) then
+    fail "images do not cover the fine frame (missing %a)" Vset.pp
+      (Vset.diff (Domain.values fine) covered);
+  { coarse; fine; images }
+
+let of_assoc ~coarse ~fine assoc =
+  make ~coarse ~fine (fun v ->
+      match v with
+      | Value.String s -> (
+          match List.assoc_opt s assoc with
+          | Some img -> Vset.of_strings img
+          | None -> fail "no image listed for %s" s)
+      | _ -> fail "of_assoc expects string-valued coarse frames")
+
+let coarse t = t.coarse
+let fine t = t.fine
+
+let image_of_value t v =
+  match List.find_opt (fun (w, _) -> Value.equal v w) t.images with
+  | Some (_, img) -> img
+  | None -> fail "%a is not a coarse value" Value.pp v
+
+let image t set =
+  Vset.fold (fun v acc -> Vset.union (image_of_value t v) acc) set Vset.empty
+
+let inner_reduction t set =
+  List.filter_map
+    (fun (v, img) -> if Vset.subset img set then Some v else None)
+    t.images
+  |> Vset.of_list
+
+let outer_reduction t set =
+  List.filter_map
+    (fun (v, img) -> if Vset.disjoint img set then None else Some v)
+    t.images
+  |> Vset.of_list
+
+let refine t m =
+  if not (Domain.equal (Mass.F.frame m) t.coarse) then
+    fail "refine: mass function is not over the coarse frame"
+  else
+    Mass.F.make t.fine
+      (List.map (fun (set, x) -> (image t set, x)) (Mass.F.focals m))
+
+let coarsen t m =
+  if not (Domain.equal (Mass.F.frame m) t.fine) then
+    fail "coarsen: mass function is not over the fine frame"
+  else
+    Mass.F.make t.coarse
+      (List.map (fun (set, x) -> (outer_reduction t set, x)) (Mass.F.focals m))
+
+let compose f g =
+  if not (Domain.equal g.fine f.coarse) then
+    fail "compose: the frames do not chain"
+  else
+    { coarse = g.coarse;
+      fine = f.fine;
+      images = List.map (fun (v, img) -> (v, image f img)) g.images }

@@ -1,0 +1,63 @@
+(** Frame refinements and coarsenings (Shafer 1976, ch. 6).
+
+    Two databases rarely discern the world at the same granularity: one
+    catalogs cuisine as [{chinese, indian}], the other as [{hunan,
+    sichuan, cantonese, mughalai}]. A {e refining} maps each value of the
+    coarse frame to the non-empty, pairwise-disjoint set of fine values
+    it subsumes. Evidence moves along it in both directions:
+
+    - {!refine} (vacuous extension): coarse evidence becomes fine
+      evidence with no information invented — each focal element maps to
+      the union of its values' images;
+    - {!coarsen} (outer reduction): fine evidence maps back, each focal
+      element to the set of coarse values whose images it intersects.
+
+    This is the principled version of attribute-domain mapping: it lets
+    the integration layer combine evidence collected over different
+    attribute granularities on a common frame. *)
+
+type t
+
+exception Refinement_error of string
+
+val make : coarse:Domain.t -> fine:Domain.t -> (Value.t -> Vset.t) -> t
+(** [make ~coarse ~fine images] validates that every coarse value has a
+    non-empty image inside [fine], that images are pairwise disjoint,
+    and that they cover [fine] exactly (a partition).
+    @raise Refinement_error otherwise. *)
+
+val of_assoc : coarse:Domain.t -> fine:Domain.t -> (string * string list) list -> t
+(** Convenience over string values: [of_assoc ~coarse ~fine
+    [("chinese", ["hu"; "si"; "ca"]); …]].
+    @raise Refinement_error also when a coarse value is missing from the
+    list. *)
+
+val coarse : t -> Domain.t
+val fine : t -> Domain.t
+
+val image : t -> Vset.t -> Vset.t
+(** The fine image of a coarse set: the union of its values' images. *)
+
+val inner_reduction : t -> Vset.t -> Vset.t
+(** The coarse values whose images are {e contained} in the fine set. *)
+
+val outer_reduction : t -> Vset.t -> Vset.t
+(** The coarse values whose images {e intersect} the fine set. *)
+
+val refine : t -> Mass.F.t -> Mass.F.t
+(** Vacuous extension of a mass function from the coarse to the fine
+    frame. Preserves Bel/Pls: [Bel_fine (image A) = Bel_coarse A].
+    @raise Refinement_error if the mass function is not over the coarse
+    frame. *)
+
+val coarsen : t -> Mass.F.t -> Mass.F.t
+(** Restriction of a fine mass function to the coarse frame via the
+    outer reduction. Loses detail but never support:
+    [Pls_coarse A ≥ Pls_fine (image A)] with equality when every focal
+    element is a union of images.
+    @raise Refinement_error if the mass function is not over the fine
+    frame. *)
+
+val compose : t -> t -> t
+(** [compose f g]: if [g] refines A into B and [f] refines B into C,
+    the composite refines A into C. *)

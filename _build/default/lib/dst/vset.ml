@@ -1,0 +1,42 @@
+module S = Set.Make (Value)
+
+type t = S.t
+
+let empty = S.empty
+let is_empty = S.is_empty
+let singleton = S.singleton
+let of_list = S.of_list
+let of_strings l = of_list (List.map Value.string l)
+let to_list = S.elements
+let cardinal = S.cardinal
+let mem = S.mem
+let add = S.add
+let remove = S.remove
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let subset = S.subset
+let disjoint = S.disjoint
+let equal = S.equal
+let compare = S.compare
+let choose s = match S.choose_opt s with Some v -> v | None -> raise Not_found
+let for_all = S.for_all
+let exists = S.exists
+let fold = S.fold
+let iter = S.iter
+let filter = S.filter
+let map = S.map
+let forall_pairs p a b = S.for_all (fun x -> S.for_all (fun y -> p x y) b) a
+let exists_pair p a b = S.exists (fun x -> S.exists (fun y -> p x y) b) a
+
+let pp ppf s =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Value.pp)
+    (to_list s)
+
+let pp_compact ppf s =
+  match to_list s with [ v ] -> Value.pp ppf v | _ -> pp ppf s
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,1 @@
+lib/erm/attr.ml: Dst Format List String

@@ -1,0 +1,1 @@
+lib/erm/attr.mli: Dst Format

@@ -1,0 +1,1 @@
+lib/erm/delta.ml: Attr Dst Etuple Float Format Fun List Ops Relation Schema

@@ -1,0 +1,1 @@
+lib/erm/delta.mli: Dst Format Relation

@@ -1,0 +1,1 @@
+lib/erm/etuple.ml: Array Attr Dst Format List Schema

@@ -1,0 +1,1 @@
+lib/erm/etuple.mli: Dst Format Schema

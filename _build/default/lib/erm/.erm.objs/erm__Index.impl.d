@@ -1,0 +1,1 @@
+lib/erm/index.ml: Attr Dst Etuple List Map Predicate Relation Schema String

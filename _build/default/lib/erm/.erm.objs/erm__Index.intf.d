@@ -1,0 +1,1 @@
+lib/erm/index.mli: Dst Predicate Relation

@@ -1,0 +1,1 @@
+lib/erm/io.ml: Attr Buffer Dst Etuple Float Format List Printf Relation Schema String

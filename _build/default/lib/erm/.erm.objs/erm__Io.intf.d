@@ -1,0 +1,1 @@
+lib/erm/io.mli: Relation Schema

@@ -1,0 +1,1 @@
+lib/erm/ops.ml: Attr Dst Etuple Format List Predicate Relation Schema Threshold

@@ -1,0 +1,1 @@
+lib/erm/ops.mli: Dst Format Predicate Relation Threshold

@@ -1,0 +1,1 @@
+lib/erm/predicate.ml: Dst Etuple Format List Schema String

@@ -1,0 +1,1 @@
+lib/erm/predicate.mli: Dst Etuple Format Schema

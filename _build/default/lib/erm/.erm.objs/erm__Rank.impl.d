@@ -1,0 +1,1 @@
+lib/erm/rank.ml: Dst Etuple Float List Relation

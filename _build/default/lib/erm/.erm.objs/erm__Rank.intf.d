@@ -1,0 +1,1 @@
+lib/erm/rank.mli: Dst Etuple Relation

@@ -1,0 +1,1 @@
+lib/erm/relation.ml: Dst Etuple Format List Map Schema

@@ -1,0 +1,1 @@
+lib/erm/relation.mli: Dst Etuple Format Schema

@@ -1,0 +1,1 @@
+lib/erm/render.ml: Attr Buffer Dst Etuple Float Format List Printf Relation Schema String

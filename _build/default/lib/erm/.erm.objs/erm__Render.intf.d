@@ -1,0 +1,1 @@
+lib/erm/render.mli: Dst Etuple Relation

@@ -1,0 +1,1 @@
+lib/erm/schema.ml: Attr Format List String

@@ -1,0 +1,1 @@
+lib/erm/schema.mli: Attr Format

@@ -1,0 +1,1 @@
+lib/erm/summarize.ml: Attr Dst Etuple Hashtbl List Ops Relation Schema

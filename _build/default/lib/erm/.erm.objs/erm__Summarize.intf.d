@@ -1,0 +1,1 @@
+lib/erm/summarize.mli: Dst Predicate Relation Threshold

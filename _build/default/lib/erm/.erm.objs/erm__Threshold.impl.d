@@ -1,0 +1,1 @@
+lib/erm/threshold.ml: Dst Float Format

@@ -1,0 +1,1 @@
+lib/erm/threshold.mli: Dst Format

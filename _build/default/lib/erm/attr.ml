@@ -1,0 +1,39 @@
+type kind = Definite of string | Evidential of Dst.Domain.t
+type t = { name : string; kind : kind }
+
+let known_value_kinds = [ "string"; "int"; "float"; "bool" ]
+
+let definite name value_kind =
+  if not (List.mem value_kind known_value_kinds) then
+    invalid_arg ("Attr.definite: unknown value kind " ^ value_kind)
+  else { name; kind = Definite value_kind }
+
+let evidential name domain = { name; kind = Evidential domain }
+let name a = a.name
+let kind a = a.kind
+let is_evidential a = match a.kind with Evidential _ -> true | Definite _ -> false
+
+let domain a =
+  match a.kind with Evidential d -> Some d | Definite _ -> None
+
+let value_kind_ok a v =
+  match a.kind with
+  | Evidential _ -> true
+  | Definite k -> String.equal (Dst.Value.kind_name v) k
+
+let equal a b =
+  String.equal a.name b.name
+  &&
+  match (a.kind, b.kind) with
+  | Definite x, Definite y -> String.equal x y
+  | Evidential x, Evidential y -> Dst.Domain.equal x y
+  | Definite _, Evidential _ | Evidential _, Definite _ -> false
+
+let rename name a = { a with name }
+
+let pp ppf a =
+  match a.kind with
+  | Definite k -> Format.fprintf ppf "%s : %s" a.name k
+  | Evidential d ->
+      Format.fprintf ppf "%s : evidence %a" a.name Dst.Vset.pp
+        (Dst.Domain.values d)

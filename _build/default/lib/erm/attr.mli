@@ -1,0 +1,42 @@
+(** Attribute descriptors of extended relation schemas.
+
+    Keys and plain descriptive columns are {e definite} (exact values of a
+    declared kind); columns derived from summaries or conflicting sources
+    are {e evidential} (evidence sets over a declared finite domain) —
+    the paper prefixes these with [†]. *)
+
+type kind =
+  | Definite of string
+      (** Exact values; the payload names the value kind expected
+          (["string"], ["int"], ["float"], ["bool"]). *)
+  | Evidential of Dst.Domain.t
+      (** Evidence sets over the given frame of discernment. *)
+
+type t = { name : string; kind : kind }
+
+val definite : string -> string -> t
+(** [definite name value_kind]. @raise Invalid_argument on an unknown
+    value kind. *)
+
+val evidential : string -> Dst.Domain.t -> t
+(** [evidential name domain]. *)
+
+val name : t -> string
+val kind : t -> kind
+val is_evidential : t -> bool
+
+val domain : t -> Dst.Domain.t option
+(** The frame of an evidential attribute; [None] for definite ones. *)
+
+val value_kind_ok : t -> Dst.Value.t -> bool
+(** For a definite attribute, whether the value has the declared kind;
+    always true for evidential attributes (cells are checked against the
+    domain instead). *)
+
+val equal : t -> t -> bool
+(** Same name and same kind (domains compared by value set). *)
+
+val rename : string -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** [street : string] or [speciality : evidence {am, ca, hu, it, mu, si}]. *)

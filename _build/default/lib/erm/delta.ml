@@ -1,0 +1,120 @@
+type cell_change = { changed_attr : string; revision_conflict : float }
+
+type tuple_change = {
+  changed_key : Dst.Value.t list;
+  cell_changes : cell_change list;
+  old_tm : Dst.Support.t;
+  new_tm : Dst.Support.t;
+}
+
+type t = {
+  added : Dst.Value.t list list;
+  removed : Dst.Value.t list list;
+  changed : tuple_change list;
+  unchanged : int;
+}
+
+let cell_diffs schema old_t new_t =
+  List.map2
+    (fun attr (old_cell, new_cell) ->
+      if Etuple.cell_equal old_cell new_cell then None
+      else
+        let kappa =
+          match (old_cell, new_cell) with
+          | Etuple.Evidence a, Etuple.Evidence b -> Dst.Mass.F.conflict a b
+          | Etuple.Definite _, Etuple.Definite _
+          | Etuple.Definite _, Etuple.Evidence _
+          | Etuple.Evidence _, Etuple.Definite _ ->
+              1.0
+        in
+        Some { changed_attr = Attr.name attr; revision_conflict = kappa })
+    (Schema.nonkey schema)
+    (List.combine (Etuple.cells old_t) (Etuple.cells new_t))
+  |> List.filter_map Fun.id
+
+let diff old_r new_r =
+  if
+    not
+      (Schema.union_compatible (Relation.schema old_r) (Relation.schema new_r))
+  then
+    raise (Ops.Incompatible_schemas "delta needs union-compatible relations")
+  else begin
+    let schema = Relation.schema old_r in
+    let removed =
+      Relation.fold
+        (fun t acc ->
+          if Relation.mem new_r (Etuple.key t) then acc
+          else Etuple.key t :: acc)
+        old_r []
+      |> List.rev
+    in
+    let added, changed, unchanged =
+      Relation.fold
+        (fun new_t (added, changed, unchanged) ->
+          let key = Etuple.key new_t in
+          match Relation.find_opt old_r key with
+          | None -> (key :: added, changed, unchanged)
+          | Some old_t ->
+              let cells = cell_diffs schema old_t new_t in
+              let tm_moved =
+                not (Dst.Support.equal (Etuple.tm old_t) (Etuple.tm new_t))
+              in
+              if cells = [] && not tm_moved then
+                (added, changed, unchanged + 1)
+              else
+                ( added,
+                  { changed_key = key;
+                    cell_changes = cells;
+                    old_tm = Etuple.tm old_t;
+                    new_tm = Etuple.tm new_t }
+                  :: changed,
+                  unchanged ))
+        new_r ([], [], 0)
+    in
+    { added = List.rev added;
+      removed;
+      changed = List.rev changed;
+      unchanged }
+  end
+
+let is_empty d = d.added = [] && d.removed = [] && d.changed = []
+
+let max_revision_conflict d =
+  List.fold_left
+    (fun acc c ->
+      List.fold_left
+        (fun acc cc -> Float.max acc cc.revision_conflict)
+        acc c.cell_changes)
+    0.0 d.changed
+
+let pp_key ppf key =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Dst.Value.pp)
+    key
+
+let pp ppf d =
+  let sep = ref false in
+  let line fmt =
+    if !sep then Format.pp_print_cut ppf ();
+    sep := true;
+    Format.fprintf ppf fmt
+  in
+  Format.pp_open_vbox ppf 0;
+  List.iter (fun k -> line "+ %a" pp_key k) d.added;
+  List.iter (fun k -> line "- %a" pp_key k) d.removed;
+  List.iter
+    (fun c ->
+      line "~ %a:" pp_key c.changed_key;
+      List.iter
+        (fun cc ->
+          Format.fprintf ppf " %s kappa %.3f;" cc.changed_attr
+            cc.revision_conflict)
+        c.cell_changes;
+      if not (Dst.Support.equal c.old_tm c.new_tm) then
+        Format.fprintf ppf " membership %a -> %a" Dst.Support.pp c.old_tm
+          Dst.Support.pp c.new_tm)
+    d.changed;
+  if is_empty d then line "(no changes; %d tuples identical)" d.unchanged;
+  Format.pp_close_box ppf ()

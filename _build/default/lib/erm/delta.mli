@@ -1,0 +1,49 @@
+(** Differences between two versions of a relation (extension).
+
+    Re-running an integration after sources change produces a new
+    relation; the integrator wants to know {e what moved}: which entities
+    appeared or disappeared, whose membership strengthened or weakened,
+    and where the new evidence actually contradicts the old (as opposed
+    to merely sharpening it). Conflict between the old and new evidence
+    for the same cell is measured by Dempster's κ — high κ means the
+    revision disagrees with what was stored, not that it refines it. *)
+
+type cell_change = {
+  changed_attr : string;
+  revision_conflict : float;
+      (** κ between the old and new evidence: 0 = pure refinement,
+          towards 1 = contradiction. Definite-cell disagreements report
+          κ = 1. *)
+}
+
+type tuple_change = {
+  changed_key : Dst.Value.t list;
+  cell_changes : cell_change list;  (** Only the attributes that moved. *)
+  old_tm : Dst.Support.t;
+  new_tm : Dst.Support.t;
+}
+
+type t = {
+  added : Dst.Value.t list list;  (** Keys only in the new version. *)
+  removed : Dst.Value.t list list;  (** Keys only in the old version. *)
+  changed : tuple_change list;
+      (** Key-matched tuples whose cells or membership moved. *)
+  unchanged : int;
+}
+
+val diff : Relation.t -> Relation.t -> t
+(** [diff old_version new_version].
+    @raise Ops.Incompatible_schemas unless union-compatible. *)
+
+val is_empty : t -> bool
+
+val max_revision_conflict : t -> float
+(** The largest κ across all changed cells; 0 when nothing changed. *)
+
+val pp : Format.formatter -> t -> unit
+(** A per-key change log:
+    {v
+    + (ashiana)
+    - (closed-door)
+    ~ (mehl): best-dish kappa 0.42; membership (0.5, 0.5) -> (0.83, 0.83)
+    v} *)

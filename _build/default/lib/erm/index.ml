@@ -1,0 +1,58 @@
+module Vmap = Map.Make (Dst.Value)
+
+type t = {
+  indexed_attr : string;
+  entries : Dst.Value.t list list Vmap.t;  (** value -> keys, key-ordered *)
+}
+
+exception Not_definite of string
+
+let build r attr_name =
+  let schema = Relation.schema r in
+  (match Attr.kind (Schema.find schema attr_name) with
+  | Attr.Definite _ -> ()
+  | Attr.Evidential _ -> raise (Not_definite attr_name));
+  let entries =
+    Relation.fold
+      (fun t acc ->
+        let v = Etuple.definite_value schema t attr_name in
+        Vmap.update v
+          (function
+            | None -> Some [ Etuple.key t ]
+            | Some keys -> Some (Etuple.key t :: keys))
+          acc)
+      r Vmap.empty
+  in
+  (* The fold visits tuples in key order and conses, so reverse each
+     bucket to restore it. *)
+  { indexed_attr = attr_name; entries = Vmap.map List.rev entries }
+
+let attr t = t.indexed_attr
+let distinct_values t = Vmap.cardinal t.entries
+
+let lookup t v =
+  match Vmap.find_opt v t.entries with Some keys -> keys | None -> []
+
+let select_eq t r v =
+  List.fold_left
+    (fun acc key ->
+      match Relation.find_opt r key with
+      | Some tuple -> Relation.add acc tuple
+      | None -> acc)
+    (Relation.empty (Relation.schema r))
+    (lookup t v)
+
+let usable_for t pred =
+  match pred with
+  | Predicate.Theta
+      (Predicate.Eq, Predicate.Field a, Predicate.Const (Etuple.Definite v))
+    when String.equal a t.indexed_attr ->
+      Some v
+  | Predicate.Theta
+      (Predicate.Eq, Predicate.Const (Etuple.Definite v), Predicate.Field a)
+    when String.equal a t.indexed_attr ->
+      Some v
+  | Predicate.Is (a, set)
+    when String.equal a t.indexed_attr && Dst.Vset.cardinal set = 1 ->
+      Some (Dst.Vset.choose set)
+  | _ -> None

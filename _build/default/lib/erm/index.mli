@@ -1,0 +1,40 @@
+(** Secondary indexes on definite attributes (extension).
+
+    Extended selection scans every tuple; an equality predicate on a
+    definite attribute (including key attributes) can instead probe a
+    hash-consed value → keys map. Because definite attributes have crisp
+    support — (1,1) on match, (0,0) otherwise — index-backed equality
+    selection returns {e exactly} the tuples of
+    [σ̂(A = v)] with their membership unchanged (property-tested in
+    [test/test_extensions.ml] and measured in the [ablation:index-*]
+    benches). Indexes are immutable snapshots: rebuild after updating
+    the relation. *)
+
+type t
+
+exception Not_definite of string
+(** Raised by {!build} when the attribute is evidential — evidence
+    cells have no single value to index; select on Bel/Pls instead. *)
+
+val build : Relation.t -> string -> t
+(** [build r attr] indexes a definite (key or non-key) attribute.
+    @raise Not_definite as above. @raise Not_found on unknown names. *)
+
+val attr : t -> string
+val distinct_values : t -> int
+
+val lookup : t -> Dst.Value.t -> Dst.Value.t list list
+(** Keys of the tuples whose indexed attribute equals the value, in key
+    order. *)
+
+val select_eq : t -> Relation.t -> Dst.Value.t -> Relation.t
+(** Index-backed [σ̂(attr = v)] over the {e same} relation the index was
+    built from (checked by cardinality; using a different relation
+    returns whatever matches the stored keys). Equivalent to
+    [Ops.select (Theta (Eq, Field attr, Const v))] with threshold
+    [always]. *)
+
+val usable_for : t -> Predicate.t -> Dst.Value.t option
+(** [Some v] when the predicate is exactly an equality between the
+    indexed attribute and a definite constant — the planner-facing
+    test. *)

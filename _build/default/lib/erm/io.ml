@@ -1,0 +1,326 @@
+exception Io_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Io_error { line; message })) fmt
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+(* "name : string" or "name : evidence {a, b, c}" *)
+let parse_attr_decl line body =
+  match String.index_opt body ':' with
+  | None -> fail line "expected `name : kind` in attribute declaration"
+  | Some i ->
+      let name = String.trim (String.sub body 0 i) in
+      let kind =
+        String.trim (String.sub body (i + 1) (String.length body - i - 1))
+      in
+      if name = "" then fail line "empty attribute name"
+      else if String.length kind >= 8 && String.sub kind 0 8 = "evidence" then
+        let spec = String.trim (String.sub kind 8 (String.length kind - 8)) in
+        let inner =
+          if String.length spec >= 2 && spec.[0] = '{'
+             && spec.[String.length spec - 1] = '}'
+          then String.sub spec 1 (String.length spec - 2)
+          else fail line "expected evidence {v1, v2, …}"
+        in
+        let values =
+          String.split_on_char ',' inner
+          |> List.map String.trim
+          |> List.filter (fun v -> v <> "")
+          |> List.map Dst.Value.of_literal
+        in
+        if values = [] then fail line "empty evidence domain"
+        else Attr.evidential name (Dst.Domain.of_values name values)
+      else
+        try Attr.definite name kind
+        with Invalid_argument _ -> fail line "unknown attribute kind %s" kind
+
+let parse_definite line kind raw =
+  let raw = String.trim raw in
+  match kind with
+  | "string" ->
+      if String.length raw >= 2 && raw.[0] = '"' then
+        (try Dst.Value.of_literal raw
+         with Invalid_argument m -> fail line "%s" m)
+      else Dst.Value.string raw
+  | "int" -> (
+      match int_of_string_opt raw with
+      | Some n -> Dst.Value.int n
+      | None -> fail line "expected an int, got %s" raw)
+  | "float" -> (
+      match float_of_string_opt raw with
+      | Some f -> Dst.Value.float f
+      | None -> fail line "expected a float, got %s" raw)
+  | "bool" -> (
+      match bool_of_string_opt raw with
+      | Some b -> Dst.Value.bool b
+      | None -> fail line "expected a bool, got %s" raw)
+  | _ -> fail line "unknown value kind %s" kind
+
+let parse_cell line attr raw =
+  match Attr.kind attr with
+  | Attr.Definite kind -> Etuple.Definite (parse_definite line kind raw)
+  | Attr.Evidential domain -> (
+      try Etuple.Evidence (Dst.Evidence.of_string domain (String.trim raw))
+      with
+      | Dst.Evidence.Parse_error (_, m) ->
+          fail line "bad evidence for %s: %s" (Attr.name attr) m
+      | Dst.Mass.F.Invalid_mass m ->
+          fail line "bad evidence for %s: %s" (Attr.name attr) m)
+
+let parse_tuple line schema body =
+  let fields = String.split_on_char '|' body |> List.map String.trim in
+  let expected = Schema.arity schema + 1 in
+  if List.length fields <> expected then
+    fail line "expected %d |-separated fields, got %d" expected
+      (List.length fields);
+  let key_attrs = Schema.key schema in
+  let rec split n l =
+    if n = 0 then ([], l)
+    else
+      match l with
+      | x :: rest ->
+          let a, b = split (n - 1) rest in
+          (x :: a, b)
+      | [] -> assert false
+  in
+  let key_raw, rest = split (List.length key_attrs) fields in
+  let cell_raw, tm_raw = split (List.length (Schema.nonkey schema)) rest in
+  let key =
+    List.map2
+      (fun attr raw ->
+        match Attr.kind attr with
+        | Attr.Definite kind -> parse_definite line kind raw
+        | Attr.Evidential _ -> fail line "evidential key attribute")
+      key_attrs key_raw
+  in
+  let cells = List.map2 (parse_cell line) (Schema.nonkey schema) cell_raw in
+  let tm =
+    match tm_raw with
+    | [ raw ] -> (
+        try Dst.Support.of_string raw
+        with Invalid_argument _ | Dst.Support.Invalid_support _ ->
+          fail line "bad membership pair %s" raw)
+    | _ -> assert false
+  in
+  try Etuple.make schema ~key ~cells ~tm
+  with Etuple.Tuple_error m -> fail line "%s" m
+
+type block = {
+  mutable rname : string;
+  mutable keys : Attr.t list;
+  mutable attrs : Attr.t list;
+  mutable rows : (int * string) list;
+}
+
+let relations_of_string input =
+  let lines = String.split_on_char '\n' input in
+  let blocks = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some b ->
+        blocks := b :: !blocks;
+        current := None
+    | None -> ()
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match split_words line with
+        | "relation" :: rest ->
+            flush ();
+            let name = String.concat " " rest in
+            if name = "" then fail lineno "relation needs a name"
+            else
+              current :=
+                Some { rname = name; keys = []; attrs = []; rows = [] }
+        | word :: _ -> (
+            let body () =
+              String.trim
+                (String.sub line (String.length word)
+                   (String.length line - String.length word))
+            in
+            match (!current, word) with
+            | None, _ -> fail lineno "expected `relation <name>` first"
+            | Some b, "key" -> b.keys <- b.keys @ [ parse_attr_decl lineno (body ()) ]
+            | Some b, "attr" ->
+                b.attrs <- b.attrs @ [ parse_attr_decl lineno (body ()) ]
+            | Some b, "tuple" -> b.rows <- b.rows @ [ (lineno, body ()) ]
+            | Some _, other -> fail lineno "unknown directive %s" other)
+        | [] -> ())
+    lines;
+  flush ();
+  List.rev_map
+    (fun b ->
+      let schema =
+        try Schema.make ~name:b.rname ~key:b.keys ~nonkey:b.attrs
+        with Schema.Schema_error m -> fail 0 "relation %s: %s" b.rname m
+      in
+      List.fold_left
+        (fun r (lineno, body) ->
+          let tuple = parse_tuple lineno schema body in
+          try Relation.add r tuple
+          with
+          | Relation.Duplicate_key _ -> fail lineno "duplicate key"
+          | Relation.Relation_error m -> fail lineno "%s" m)
+        (Relation.empty schema) b.rows)
+    !blocks
+
+let relation_of_string input =
+  match relations_of_string input with
+  | [ r ] -> r
+  | l -> fail 0 "expected exactly one relation, found %d" (List.length l)
+
+(* Serialization prints masses losslessly but readably: the shortest of
+   %.15g/%.16g/%.17g that parses back to the same double (%.17g is always
+   exact; most masses round-trip at 15 digits already). *)
+let exact_float x =
+  let try_digits d =
+    let s = Printf.sprintf "%.*g" d x in
+    match float_of_string_opt s with
+    | Some y when Float.equal y x -> Some s
+    | Some _ | None -> None
+  in
+  match (try_digits 15, try_digits 16) with
+  | Some s, _ -> s
+  | None, Some s -> s
+  | None, None -> Printf.sprintf "%.17g" x
+
+let exact_evidence e =
+  let omega = Dst.Domain.values (Dst.Mass.F.frame e) in
+  let focal (set, x) =
+    let member =
+      if Dst.Vset.equal set omega then "~"
+      else Format.asprintf "%a" Dst.Vset.pp_compact set
+    in
+    member ^ "^" ^ exact_float x
+  in
+  "[" ^ String.concat "; " (List.map focal (Dst.Mass.F.focals e)) ^ "]"
+
+let exact_support s =
+  Printf.sprintf "(%s, %s)"
+    (exact_float (Dst.Support.sn s))
+    (exact_float (Dst.Support.sp s))
+
+let to_string r =
+  let schema = Relation.schema r in
+  let buf = Buffer.create 256 in
+  let add fmt = Format.kasprintf (Buffer.add_string buf) fmt in
+  add "relation %s\n" (Schema.name schema);
+  let attr_decl a =
+    match Attr.kind a with
+    | Attr.Definite k -> Format.asprintf "%s : %s" (Attr.name a) k
+    | Attr.Evidential d ->
+        Format.asprintf "%s : evidence {%s}" (Attr.name a)
+          (String.concat ", "
+             (List.map Dst.Value.to_string
+                (Dst.Vset.to_list (Dst.Domain.values d))))
+  in
+  List.iter (fun a -> add "key %s\n" (attr_decl a)) (Schema.key schema);
+  List.iter (fun a -> add "attr %s\n" (attr_decl a)) (Schema.nonkey schema);
+  Relation.iter
+    (fun t ->
+      let fields =
+        List.map Dst.Value.to_string (Etuple.key t)
+        @ List.map
+            (function
+              | Etuple.Definite v -> Dst.Value.to_string v
+              | Etuple.Evidence e -> exact_evidence e)
+            (Etuple.cells t)
+        @ [ exact_support (Etuple.tm t) ]
+      in
+      add "tuple %s\n" (String.concat " | " fields))
+    r;
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  relations_of_string content
+
+let save path rels =
+  let oc = open_out path in
+  List.iter (fun r -> output_string oc (to_string r ^ "\n")) rels;
+  close_out oc
+
+(* RFC 4180: fields separated by commas, quoted fields may contain
+   commas/newlines, doubled quotes escape a quote. Returns records of
+   fields; empty trailing line ignored. *)
+let csv_records input =
+  let records = ref [] and fields = ref [] and buf = Buffer.create 32 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let n = String.length input in
+  let rec plain i =
+    if i >= n then (if Buffer.length buf > 0 || !fields <> [] then flush_record ())
+    else
+      match input.[i] with
+      | ',' ->
+          flush_field ();
+          plain (i + 1)
+      | '\n' ->
+          flush_record ();
+          plain (i + 1)
+      | '\r' -> plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then fail 0 "unterminated quoted CSV field"
+    else
+      match input.[i] with
+      | '"' when i + 1 < n && input.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !records
+
+let relation_of_csv schema input =
+  match csv_records input with
+  | [] -> fail 0 "empty CSV document"
+  | header :: rows ->
+      let expected_header =
+        List.map Attr.name (Schema.attrs schema) @ [ "(sn,sp)" ]
+      in
+      if header <> expected_header then
+        fail 1 "CSV header does not match the schema (expected %s)"
+          (String.concat "," expected_header);
+      List.fold_left
+        (fun (r, lineno) fields ->
+          let expected = Schema.arity schema + 1 in
+          if List.length fields <> expected then
+            fail lineno "expected %d fields, got %d" expected
+              (List.length fields);
+          List.iter
+            (fun f ->
+              if String.contains f '|' then
+                fail lineno "CSV field contains '|', which the cell syntax reserves")
+            fields;
+          let tuple = parse_tuple lineno schema (String.concat "|" fields) in
+          match Relation.add r tuple with
+          | r -> (r, lineno + 1)
+          | exception Relation.Duplicate_key _ -> fail lineno "duplicate key"
+          | exception Relation.Relation_error m -> fail lineno "%s" m)
+        (Relation.empty schema, 2)
+        rows
+      |> fst

@@ -1,0 +1,42 @@
+(** Text serialization of extended relations (the [.erd] format).
+
+    {v
+    # comment
+    relation ra
+    key  rname : string
+    attr street : string
+    attr bldg-no : int
+    attr speciality : evidence {am, ca, hu, it, mu, si, ta}
+    tuple garden | univ.ave. | 2011 | [si^0.5; hu^0.25; ~^0.25] | (1, 1)
+    v}
+
+    A file holds one or more [relation] blocks. Tuple rows list the key
+    values, then the non-key cells, then the membership pair, separated
+    by [|]. Evidence cells use the paper notation of
+    {!Dst.Evidence.of_string}; definite cells are literals parsed
+    according to the attribute's declared kind. *)
+
+exception Io_error of { line : int; message : string }
+
+val relations_of_string : string -> Relation.t list
+(** @raise Io_error with a 1-based line number on malformed input. *)
+
+val relation_of_string : string -> Relation.t
+(** Expects exactly one relation block. @raise Io_error otherwise. *)
+
+val to_string : Relation.t -> string
+(** Round-trips through {!relation_of_string} (modulo float
+    formatting). *)
+
+val load : string -> Relation.t list
+(** Reads a [.erd] file. @raise Sys_error on IO failures. *)
+
+val save : string -> Relation.t list -> unit
+
+val relation_of_csv : Schema.t -> string -> Relation.t
+(** Parse a CSV document (RFC 4180 quoting) against a known schema: the
+    header row must name the schema's attributes in order followed by
+    ["(sn,sp)"]; each record supplies the key values, the cells (evidence
+    cells in the paper notation) and the membership pair. Inverse of
+    {!Render.to_csv} up to float display precision.
+    @raise Io_error with the 1-based record number on malformed input. *)

@@ -1,0 +1,180 @@
+exception Incompatible_schemas of string
+
+type conflict = {
+  conflict_key : Dst.Value.t list;
+  conflict_attr : string option;
+  conflict_detail : string;
+}
+
+(* Results of extended operators store only sn > 0 tuples (closure,
+   §3.6); complement tuples flowing through are silently dropped, which
+   is what makes the boundedness property hold. *)
+let add_if_positive acc t =
+  if Dst.Support.positive (Etuple.tm t) then Relation.add acc t else acc
+
+let select ?(threshold = Threshold.always) pred r =
+  let schema = Relation.schema r in
+  let step tuple =
+    let support = Predicate.eval schema tuple pred in
+    let tm = Dst.Support.f_tm (Etuple.tm tuple) support in
+    if Threshold.satisfies threshold tm then Some (Etuple.with_tm tm tuple)
+    else None
+  in
+  (* map_tuples drops any surviving tuple with sn = 0 (closure). *)
+  Relation.map_tuples step schema r
+
+let project names r =
+  let schema = Schema.project (Relation.schema r) names in
+  Relation.map_tuples
+    (fun t -> Some (Etuple.project (Relation.schema r) t names))
+    schema r
+
+let check_union_compatible a b =
+  if not (Schema.union_compatible (Relation.schema a) (Relation.schema b))
+  then
+    raise
+      (Incompatible_schemas
+         (Format.asprintf "%s and %s are not union-compatible"
+            (Schema.name (Relation.schema a))
+            (Schema.name (Relation.schema b))))
+
+(* Shared union skeleton: [merge] decides what happens to key-matched
+   pairs (raise, or record a conflict and drop). *)
+let union_with merge a b =
+  check_union_compatible a b;
+  let only_a =
+    Relation.fold
+      (fun t acc ->
+        if Relation.mem b (Etuple.key t) then acc else t :: acc)
+      a []
+  in
+  let rest =
+    Relation.fold
+      (fun t acc ->
+        match Relation.find_opt a (Etuple.key t) with
+        | None -> t :: acc
+        | Some ta -> (
+            match merge ta t with Some m -> m :: acc | None -> acc))
+      b []
+  in
+  List.fold_left add_if_positive (Relation.empty (Relation.schema a))
+    (only_a @ rest)
+
+let union a b =
+  let schema = Relation.schema a in
+  union_with (fun x y -> Some (Etuple.combine schema x y)) a b
+
+let union_report a b =
+  let schema = Relation.schema a in
+  let conflicts = ref [] in
+  let record key attr detail =
+    conflicts :=
+      { conflict_key = key; conflict_attr = attr; conflict_detail = detail }
+      :: !conflicts
+  in
+  (* Attribute-by-attribute merge so a conflict can name its column. *)
+  let merge x y =
+    let key = Etuple.key x in
+    let exception Bail in
+    try
+      let cells =
+        List.map2
+          (fun attr (cx, cy) ->
+            match (cx, cy) with
+            | Etuple.Definite v, Etuple.Definite w ->
+                if Dst.Value.equal v w then Etuple.Definite v
+                else begin
+                  record key
+                    (Some (Attr.name attr))
+                    (Format.asprintf "definite values disagree: %a vs %a"
+                       Dst.Value.pp v Dst.Value.pp w);
+                  raise Bail
+                end
+            | Etuple.Evidence e, Etuple.Evidence f -> (
+                match Dst.Mass.F.combine_opt e f with
+                | Some (m, _) -> Etuple.Evidence m
+                | None ->
+                    record key
+                      (Some (Attr.name attr))
+                      "total conflict (kappa = 1) between evidence sets";
+                    raise Bail)
+            | Etuple.Definite _, Etuple.Evidence _
+            | Etuple.Evidence _, Etuple.Definite _ ->
+                record key (Some (Attr.name attr)) "cell kinds disagree";
+                raise Bail)
+          (Schema.nonkey schema)
+          (List.combine (Etuple.cells x) (Etuple.cells y))
+      in
+      let tm =
+        try Dst.Support.combine (Etuple.tm x) (Etuple.tm y)
+        with Dst.Mass.F.Total_conflict ->
+          record key None "membership evidence in total conflict";
+          raise Bail
+      in
+      Some (Etuple.make schema ~key ~cells ~tm)
+    with Bail -> None
+  in
+  let result = union_with merge a b in
+  (result, List.rev !conflicts)
+
+let product a b =
+  let schema = Schema.product (Relation.schema a) (Relation.schema b) in
+  Relation.fold
+    (fun ta acc ->
+      Relation.fold
+        (fun tb acc -> add_if_positive acc (Etuple.concat ta tb))
+        b acc)
+    a (Relation.empty schema)
+
+let join ?(threshold = Threshold.always) pred a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let schema = Schema.product sa sb in
+  Relation.fold
+    (fun ta acc ->
+      Relation.fold
+        (fun tb acc ->
+          let support = Predicate.eval_product sa sb ta tb pred in
+          let paired = Etuple.concat ta tb in
+          let tm = Dst.Support.f_tm (Etuple.tm paired) support in
+          if Threshold.satisfies threshold tm && Dst.Support.positive tm then
+            Relation.add acc (Etuple.with_tm tm paired)
+          else acc)
+        b acc)
+    a (Relation.empty schema)
+
+let rename_attrs f r =
+  let schema = Schema.rename_attrs f (Relation.schema r) in
+  Relation.map_tuples (fun t -> Some t) schema r
+
+let intersect_keys a b =
+  Relation.fold
+    (fun t acc ->
+      let key = Etuple.key t in
+      if Relation.mem b key then key :: acc else acc)
+    a []
+  |> List.rev
+
+let pp_conflict ppf c =
+  Format.fprintf ppf "key (%a)%s: %s"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Dst.Value.pp)
+    c.conflict_key
+    (match c.conflict_attr with
+    | Some a -> " attribute " ^ a
+    | None -> " membership")
+    c.conflict_detail
+
+let difference a b =
+  check_union_compatible a b;
+  Relation.filter (fun t -> not (Relation.mem b (Etuple.key t))) a
+
+let intersection a b =
+  check_union_compatible a b;
+  let schema = Relation.schema a in
+  Relation.fold
+    (fun t acc ->
+      match Relation.find_opt b (Etuple.key t) with
+      | Some u -> add_if_positive acc (Etuple.combine schema t u)
+      | None -> acc)
+    a (Relation.empty schema)

@@ -1,0 +1,94 @@
+(** The extended relational operations of §3.
+
+    Every operator preserves the closure property of §3.6: result tuples
+    always have [sn > 0] (tuples whose derived membership loses all
+    necessary support are dropped, which is exactly the CWA_ER reading of
+    "not in the relation"). Boundedness follows from the membership
+    derivations being monotone in [sn] — both are exercised by property
+    tests in [test/test_properties.ml]. *)
+
+exception Incompatible_schemas of string
+
+val select :
+  ?threshold:Threshold.t -> Predicate.t -> Relation.t -> Relation.t
+(** Extended selection [σ̂^Q_P] (§3.1). For each tuple: evaluates the
+    selection support [F_SS(r, P)], derives the new membership
+    [F_TM(r.(sn,sp), F_SS(r,P))] — the original attribute values are
+    retained (the paper departs from DeMichiel here, footnote 4) — and
+    keeps the tuple iff the threshold [Q] holds and [sn > 0]. *)
+
+val project : string list -> Relation.t -> Relation.t
+(** Extended projection [π̂_Ã] (§3.3). The attribute list must include the
+    key; membership is always retained.
+    @raise Schema.Schema_error on invalid attribute lists. *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+(** Extended union [R ∪̂_K̃ S] (§3.2): tuples whose key appears in only
+    one operand are retained unchanged (the other source is treated as
+    wholly ignorant about them); key-matched tuples are merged by
+    Dempster's rule applied to every non-key evidence attribute and to
+    the membership frame. Commutative and associative.
+    @raise Incompatible_schemas unless the operands are union-compatible.
+    @raise Dst.Mass.F.Total_conflict when matched evidence is completely
+    contradictory (κ = 1) — see {!union_report} for the non-raising
+    variant used by the integration pipeline.
+    @raise Etuple.Tuple_error when matched definite attributes disagree
+    (the paper's consistent-sources assumption). *)
+
+type conflict = {
+  conflict_key : Dst.Value.t list;
+  conflict_attr : string option;
+      (** The attribute in total conflict; [None] when the membership
+          evidence itself conflicts. *)
+  conflict_detail : string;
+}
+
+val union_report : Relation.t -> Relation.t -> Relation.t * conflict list
+(** {!union} that, instead of raising on total conflict or definite
+    disagreement, omits the offending pair from the result and reports it
+    — the paper's "inform the data administrators" action (§2.2). *)
+
+val product : Relation.t -> Relation.t -> Relation.t
+(** Extended cartesian product [R ×̂ S] (§3.4): tuple concatenation with
+    membership combined by [F_TM].
+    @raise Schema.Schema_error on attribute-name collisions. *)
+
+val join :
+  ?threshold:Threshold.t ->
+  Predicate.t ->
+  Relation.t ->
+  Relation.t ->
+  Relation.t
+(** Extended join [R ⋈̂^Q_P S ≡ σ̂^Q_P (R ×̂ S)] (§3.5). Implemented
+    without materializing the full product: the predicate and threshold
+    are evaluated per tuple pair. *)
+
+val rename_attrs : (string -> string) -> Relation.t -> Relation.t
+(** Attribute renaming (utility; the paper leaves product collisions to
+    the reader). *)
+
+val intersect_keys : Relation.t -> Relation.t -> Dst.Value.t list list
+(** Keys present in both operands — the tuple-matching information of
+    Figure 1 under the common-key assumption. *)
+
+val pp_conflict : Format.formatter -> conflict -> unit
+
+(** {1 Extensions beyond the paper}
+
+    The paper defines σ̂, π̂, ∪̂, ×̂ and ⋈̂. Difference and intersection
+    complete the set algebra under the same key-matching discipline and
+    preserve closure/boundedness (property-tested alongside Theorem 1). *)
+
+val difference : Relation.t -> Relation.t -> Relation.t
+(** [difference r s]: tuples of [r] whose key does not appear in [s],
+    unchanged. Membership evidence from [s] is not subtracted — under
+    CWA_ER [s] carries no negative evidence about its absent keys, so
+    removal by key is the only sound reading.
+    @raise Incompatible_schemas unless union-compatible. *)
+
+val intersection : Relation.t -> Relation.t -> Relation.t
+(** [intersection r s]: exactly the key-matched pairs of extended union,
+    Dempster-merged; tuples present in only one source are dropped. The
+    "both sources corroborate" reading of integration.
+    @raise Incompatible_schemas / @raise Dst.Mass.F.Total_conflict /
+    @raise Etuple.Tuple_error as for {!union}. *)

@@ -1,0 +1,154 @@
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+type operand = Field of string | Const of Etuple.cell
+
+type t =
+  | Is of string * Dst.Vset.t
+  | Theta of cmp * operand * operand
+  | Theta_fe of cmp * operand * operand
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Const_true
+
+exception Predicate_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Predicate_error s)) fmt
+let is_ a set = Is (a, set)
+let is_values a atoms = Is (a, Dst.Vset.of_strings atoms)
+let theta cmp x y = Theta (cmp, x, y)
+let theta_fe cmp x y = Theta_fe (cmp, x, y)
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let not_ a = Not a
+
+let rec paper_fragment = function
+  | Is _ -> true
+  | Theta (Ne, _, _) -> false
+  | Theta _ -> true
+  | Theta_fe _ -> false
+  | And (a, b) -> paper_fragment a && paper_fragment b
+  | Or _ | Not _ -> false
+  | Const_true -> true
+
+(* θ on individual values. Equality across kinds is simply false;
+   ordered comparisons across kinds are type errors. *)
+let holds cmp x y =
+  match cmp with
+  | Eq -> Dst.Value.equal x y
+  | Ne -> not (Dst.Value.equal x y)
+  | Lt -> Dst.Value.compare_ordered x y < 0
+  | Le -> Dst.Value.compare_ordered x y <= 0
+  | Gt -> Dst.Value.compare_ordered x y > 0
+  | Ge -> Dst.Value.compare_ordered x y >= 0
+
+(* Focal decomposition of an operand: a definite value is a certain
+   singleton; an evidence set contributes its focal elements. *)
+let focals_of_cell = function
+  | Etuple.Definite v -> [ (Dst.Vset.singleton v, 1.0) ]
+  | Etuple.Evidence e -> Dst.Mass.F.focals e
+
+(* [necessarily] decides whether a focal pair contributes to sn:
+   ∀∀ for the paper's formal definition, ∀∃ for the variant its worked
+   example uses. The sp side is ∃∃ in both. *)
+let theta_support_with ~necessarily cmp a_focals b_focals =
+  let sn = ref 0.0 and sp = ref 0.0 in
+  List.iter
+    (fun (x, mx) ->
+      List.iter
+        (fun (y, my) ->
+          let p = mx *. my in
+          if necessarily (holds cmp) x y then sn := !sn +. p;
+          if Dst.Vset.exists_pair (holds cmp) x y then sp := !sp +. p)
+        b_focals)
+    a_focals;
+  Dst.Support.make ~sn:!sn ~sp:!sp
+
+let theta_support cmp a b =
+  theta_support_with ~necessarily:Dst.Vset.forall_pairs cmp a b
+
+let forall_exists p x y =
+  Dst.Vset.for_all (fun a -> Dst.Vset.exists (fun b -> p a b) y) x
+
+let theta_fe_support cmp a b =
+  theta_support_with ~necessarily:forall_exists cmp a b
+
+let is_support cell set =
+  match cell with
+  | Etuple.Definite v ->
+      Dst.Support.of_bool (Dst.Vset.mem v set)
+  | Etuple.Evidence e ->
+      let bel, pls = Dst.Mass.F.interval e set in
+      Dst.Support.make ~sn:bel ~sp:pls
+
+let rec eval_with resolve pred =
+  match pred with
+  | Const_true -> Dst.Support.certain
+  | Is (a, set) -> is_support (resolve a) set
+  | Theta (cmp, x, y) ->
+      let cell_of = function Field a -> resolve a | Const c -> c in
+      theta_support cmp
+        (focals_of_cell (cell_of x))
+        (focals_of_cell (cell_of y))
+  | Theta_fe (cmp, x, y) ->
+      let cell_of = function Field a -> resolve a | Const c -> c in
+      theta_fe_support cmp
+        (focals_of_cell (cell_of x))
+        (focals_of_cell (cell_of y))
+  | And (a, b) ->
+      Dst.Support.conjunction (eval_with resolve a) (eval_with resolve b)
+  | Or (a, b) ->
+      Dst.Support.disjunction (eval_with resolve a) (eval_with resolve b)
+  | Not a -> Dst.Support.negation (eval_with resolve a)
+
+let eval schema tuple pred =
+  let resolve a =
+    match Schema.find_opt schema a with
+    | None -> fail "unknown attribute %s" a
+    | Some _ -> Etuple.cell schema tuple a
+  in
+  eval_with resolve pred
+
+let eval_product left_schema right_schema left right pred =
+  let resolve a =
+    if Schema.mem left_schema a then Etuple.cell left_schema left a
+    else if Schema.mem right_schema a then Etuple.cell right_schema right a
+    else fail "unknown attribute %s" a
+  in
+  eval_with resolve pred
+
+let attrs_used pred =
+  let rec go acc = function
+    | Const_true -> acc
+    | Is (a, _) -> a :: acc
+    | Theta (_, x, y) | Theta_fe (_, x, y) ->
+        let add acc = function Field a -> a :: acc | Const _ -> acc in
+        add (add acc x) y
+    | And (a, b) | Or (a, b) -> go (go acc a) b
+    | Not a -> go acc a
+  in
+  List.sort_uniq String.compare (go [] pred)
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp ppf = function
+  | Const_true -> Format.fprintf ppf "true"
+  | Is (a, set) -> Format.fprintf ppf "%s is %a" a Dst.Vset.pp set
+  | Theta (cmp, x, y) ->
+      Format.fprintf ppf "%a %s %a" pp_operand x (cmp_to_string cmp)
+        pp_operand y
+  | Theta_fe (cmp, x, y) ->
+      Format.fprintf ppf "%a ~%s %a" pp_operand x (cmp_to_string cmp)
+        pp_operand y
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "(not %a)" pp a
+
+and pp_operand ppf = function
+  | Field a -> Format.pp_print_string ppf a
+  | Const c -> Etuple.pp_cell ppf c

@@ -1,0 +1,47 @@
+type order = By_sn | By_sp
+
+let key_compare a b =
+  List.compare Dst.Value.compare (Etuple.key a) (Etuple.key b)
+
+let membership_compare order a b =
+  let sa = Etuple.tm a and sb = Etuple.tm b in
+  match order with
+  | By_sn -> Dst.Support.compare sa sb
+  | By_sp -> (
+      match Float.compare (Dst.Support.sp sa) (Dst.Support.sp sb) with
+      | 0 -> Float.compare (Dst.Support.sn sa) (Dst.Support.sn sb)
+      | c -> c)
+
+let sorted ?(order = By_sn) ?(ascending = false) r =
+  let cmp a b =
+    let c = membership_compare order a b in
+    let c = if ascending then c else -c in
+    if c <> 0 then c else key_compare a b
+  in
+  List.sort cmp (Relation.tuples r)
+
+let take k l =
+  let rec go k l acc =
+    if k <= 0 then List.rev acc
+    else match l with [] -> List.rev acc | x :: rest -> go (k - 1) rest (x :: acc)
+  in
+  go k l []
+
+let rebuild schema tuples =
+  List.fold_left Relation.add (Relation.empty schema) tuples
+
+let top ?order k r =
+  rebuild (Relation.schema r) (take k (sorted ?order ~ascending:false r))
+
+let bottom ?order k r =
+  rebuild (Relation.schema r) (take k (sorted ?order ~ascending:true r))
+
+let best r =
+  match sorted r with t :: _ -> Some t | [] -> None
+
+let membership_range r =
+  match sorted ~ascending:true r with
+  | [] -> None
+  | weakest :: _ as l ->
+      let strongest = List.nth l (List.length l - 1) in
+      Some (Etuple.tm weakest, Etuple.tm strongest)

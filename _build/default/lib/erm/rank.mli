@@ -1,0 +1,28 @@
+(** Ranking query results by membership certainty (extension).
+
+    The paper's model returns "tuples with a full range of certainty" in
+    a single result set; this module orders that set. Tuples are ranked
+    by their support pair — [sn] first, [sp] as tie-breaker (the
+    lexicographic order of {!Dst.Support.compare}) — which backs the
+    query language's [ORDER BY SN/SP] and [LIMIT]. *)
+
+type order = By_sn | By_sp
+
+val sorted : ?order:order -> ?ascending:bool -> Relation.t -> Etuple.t list
+(** Tuples sorted by membership (default: [By_sn], descending — most
+    certain first). Ties beyond the support pair fall back to key order,
+    keeping results deterministic. *)
+
+val top : ?order:order -> int -> Relation.t -> Relation.t
+(** The [k] most-supported tuples, as a relation. [k] larger than the
+    relation is not an error. *)
+
+val bottom : ?order:order -> int -> Relation.t -> Relation.t
+(** The [k] least-supported tuples. *)
+
+val best : Relation.t -> Etuple.t option
+(** The single most-supported tuple, [None] on the empty relation. *)
+
+val membership_range : Relation.t -> (Dst.Support.t * Dst.Support.t) option
+(** [(weakest, strongest)] membership over the relation, [None] when
+    empty. *)

@@ -1,0 +1,82 @@
+module Key = struct
+  type t = Dst.Value.t list
+
+  let compare = List.compare Dst.Value.compare
+end
+
+module Kmap = Map.Make (Key)
+
+type t = { schema : Schema.t; tuples : Etuple.t Kmap.t }
+
+exception Relation_error of string
+exception Duplicate_key of Dst.Value.t list
+
+let empty schema = { schema; tuples = Kmap.empty }
+
+let add_unchecked r tuple =
+  let key = Etuple.key tuple in
+  if Kmap.mem key r.tuples then raise (Duplicate_key key)
+  else { r with tuples = Kmap.add key tuple r.tuples }
+
+let add r tuple =
+  if not (Dst.Support.positive (Etuple.tm tuple)) then
+    raise
+      (Relation_error
+         (Format.asprintf
+            "CWA_ER violation: tuple %a has sn = 0 and cannot be stored"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               Dst.Value.pp)
+            (Etuple.key tuple)))
+  else add_unchecked r tuple
+
+let of_tuples schema ts = List.fold_left add (empty schema) ts
+let of_tuples_unchecked schema ts =
+  List.fold_left add_unchecked (empty schema) ts
+
+let replace r tuple =
+  let r = { r with tuples = Kmap.remove (Etuple.key tuple) r.tuples } in
+  add r tuple
+
+let remove r key = { r with tuples = Kmap.remove key r.tuples }
+let schema r = r.schema
+let cardinal r = Kmap.cardinal r.tuples
+let is_empty r = Kmap.is_empty r.tuples
+
+let find r key =
+  match Kmap.find_opt key r.tuples with
+  | Some t -> t
+  | None -> raise Not_found
+
+let find_opt r key = Kmap.find_opt key r.tuples
+let mem r key = Kmap.mem key r.tuples
+let tuples r = List.map snd (Kmap.bindings r.tuples)
+let fold f r acc = Kmap.fold (fun _ t acc -> f t acc) r.tuples acc
+let iter f r = Kmap.iter (fun _ t -> f t) r.tuples
+let filter p r = { r with tuples = Kmap.filter (fun _ t -> p t) r.tuples }
+let for_all p r = Kmap.for_all (fun _ t -> p t) r.tuples
+let exists p r = Kmap.exists (fun _ t -> p t) r.tuples
+
+let map_tuples f schema r =
+  fold
+    (fun t acc ->
+      match f t with
+      | Some t' when Dst.Support.positive (Etuple.tm t') ->
+          (* Results of the extended operators keep only sn > 0 tuples:
+             the closure property of §3.6. *)
+          add acc t'
+      | Some _ | None -> acc)
+    r (empty schema)
+
+let equal a b =
+  Schema.union_compatible a.schema b.schema
+  && Kmap.equal Etuple.equal a.tuples b.tuples
+
+let satisfies_cwa r = for_all (fun t -> Dst.Support.positive (Etuple.tm t)) r
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@,%a@]" Schema.pp r.schema
+    (Format.pp_print_list
+       ~pp_sep:Format.pp_print_cut
+       (fun ppf t -> Etuple.pp r.schema ppf t))
+    (tuples r)

@@ -1,0 +1,67 @@
+(** Extended relations.
+
+    A set of extended tuples with definite, unique keys, under the
+    generalized closed world assumption CWA_ER (§2.3): every stored tuple
+    has positive necessary support ([sn > 0]); tuples not stored are
+    interpreted as having [sn = 0]. {!add} enforces the invariant; the
+    [_unchecked] variants exist solely for the Theorem-1 boundedness
+    experiments, which must materialize complement tuples. *)
+
+type t
+
+exception Relation_error of string
+
+exception Duplicate_key of Dst.Value.t list
+(** Raised when inserting a tuple whose key is already present. *)
+
+val empty : Schema.t -> t
+
+val add : t -> Etuple.t -> t
+(** @raise Relation_error when the tuple violates CWA_ER ([sn = 0]).
+    @raise Duplicate_key when the key is already bound. *)
+
+val add_unchecked : t -> Etuple.t -> t
+(** {!add} without the CWA_ER check — test instrumentation only. *)
+
+val of_tuples : Schema.t -> Etuple.t list -> t
+val of_tuples_unchecked : Schema.t -> Etuple.t list -> t
+
+val replace : t -> Etuple.t -> t
+(** Insert-or-overwrite by key (still CWA_ER-checked). *)
+
+val remove : t -> Dst.Value.t list -> t
+
+val schema : t -> Schema.t
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val find : t -> Dst.Value.t list -> Etuple.t
+(** @raise Not_found. *)
+
+val find_opt : t -> Dst.Value.t list -> Etuple.t option
+val mem : t -> Dst.Value.t list -> bool
+
+val tuples : t -> Etuple.t list
+(** In increasing key order — a deterministic iteration order makes the
+    reproduced tables stable. *)
+
+val fold : (Etuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Etuple.t -> unit) -> t -> unit
+val filter : (Etuple.t -> bool) -> t -> t
+val for_all : (Etuple.t -> bool) -> t -> bool
+val exists : (Etuple.t -> bool) -> t -> bool
+
+val map_tuples : (Etuple.t -> Etuple.t option) -> Schema.t -> t -> t
+(** Rebuilds a relation under a (possibly different) schema from the
+    mapped tuples; [None] drops the tuple. Tuples with [sn = 0] after the
+    map are dropped too, preserving CWA_ER — this is how the operators
+    guarantee the closure property. *)
+
+val equal : t -> t -> bool
+(** Same schema (union-compatible, names ignored) and equal tuple sets. *)
+
+val satisfies_cwa : t -> bool
+(** True iff every stored tuple has [sn > 0]. Always true for relations
+    built without the [_unchecked] constructors. *)
+
+val pp : Format.formatter -> t -> unit

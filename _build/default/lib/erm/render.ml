@@ -1,0 +1,114 @@
+let round_to digits x =
+  let scale = Float.of_int (int_of_float (10.0 ** float_of_int digits)) in
+  Float.round (x *. scale) /. scale
+
+(* Precision tracks the rounding: digits 3 prints like %g (6 significant
+   digits); digits 12+ prints enough to re-import losslessly. *)
+let mass_to_string digits x =
+  Printf.sprintf "%.*g" (digits + 3) (round_to digits x)
+
+let evidence_to_string ?(digits = 3) e =
+  let omega = Dst.Domain.values (Dst.Mass.F.frame e) in
+  let focal_to_string (set, x) =
+    let member =
+      if Dst.Vset.equal set omega then "~"
+      else Format.asprintf "%a" Dst.Vset.pp_compact set
+    in
+    member ^ "^" ^ mass_to_string digits x
+  in
+  "[" ^ String.concat "; " (List.map focal_to_string (Dst.Mass.F.focals e)) ^ "]"
+
+let support_to_string ?(digits = 3) s =
+  Format.asprintf "(%s, %s)"
+    (mass_to_string digits (Dst.Support.sn s))
+    (mass_to_string digits (Dst.Support.sp s))
+
+let cell_to_string = function
+  | Etuple.Definite v -> Dst.Value.to_string v
+  | Etuple.Evidence e -> evidence_to_string e
+
+let row_strings ?(digits = 3) r =
+  let schema = Relation.schema r in
+  let header =
+    List.map Attr.name (Schema.attrs schema) @ [ "(sn,sp)" ]
+  in
+  let cell = function
+    | Etuple.Definite v -> Dst.Value.to_string v
+    | Etuple.Evidence e -> evidence_to_string ~digits e
+  in
+  let row t =
+    List.map Dst.Value.to_string (Etuple.key t)
+    @ List.map cell (Etuple.cells t)
+    @ [ support_to_string ~digits (Etuple.tm t) ]
+  in
+  header :: List.map row (Relation.tuples r)
+
+let to_string ?title r =
+  let title =
+    match title with Some t -> t | None -> Schema.name (Relation.schema r)
+  in
+  let rows = row_strings r in
+  let columns =
+    match rows with header :: _ -> List.length header | [] -> 0
+  in
+  let width i =
+    List.fold_left (fun w row -> max w (String.length (List.nth row i))) 0 rows
+  in
+  let widths = List.init columns width in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let render_row row =
+    "| " ^ String.concat " | " (List.map2 pad row widths) ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let body =
+    match List.map render_row rows with
+    | header :: rest ->
+        [ rule; header; rule ] @ rest @ [ rule ]
+    | [] -> [ rule ]
+  in
+  String.concat "\n" ((title ^ ":") :: body) ^ "\n"
+
+let print ?title r = print_string (to_string ?title r)
+
+let csv_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+let to_csv ?digits r =
+  row_strings ?digits r
+  |> List.map (fun row -> String.concat "," (List.map csv_field row))
+  |> String.concat "\n"
+  |> fun body -> body ^ "\n"
+
+let to_markdown ?title r =
+  let rows = row_strings r in
+  let escape s =
+    String.concat "\\|" (String.split_on_char '|' s)
+  in
+  let line row = "| " ^ String.concat " | " (List.map escape row) ^ " |" in
+  match rows with
+  | [] -> ""
+  | header :: body ->
+      let rule =
+        "|" ^ String.concat "|" (List.map (fun _ -> " --- ") header) ^ "|"
+      in
+      let prefix =
+        match title with Some t -> [ "**" ^ t ^ "**"; "" ] | None -> []
+      in
+      String.concat "\n" (prefix @ (line header :: rule :: List.map line body))
+      ^ "\n"

@@ -1,0 +1,106 @@
+type t = { name : string; key : Attr.t list; nonkey : Attr.t list }
+
+exception Schema_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Schema_error s)) fmt
+
+let check_distinct_names attrs =
+  let sorted = List.sort String.compare (List.map Attr.name attrs) in
+  let rec dup = function
+    | a :: b :: _ when String.equal a b -> Some a
+    | _ :: rest -> dup rest
+    | [] -> None
+  in
+  match dup sorted with
+  | Some a -> fail "duplicate attribute name %s" a
+  | None -> ()
+
+let make ~name ~key ~nonkey =
+  if key = [] then fail "relation %s has an empty key" name;
+  List.iter
+    (fun a ->
+      if Attr.is_evidential a then
+        fail "key attribute %s must be definite" (Attr.name a))
+    key;
+  check_distinct_names (key @ nonkey);
+  { name; key; nonkey }
+
+let name s = s.name
+let key s = s.key
+let nonkey s = s.nonkey
+let attrs s = s.key @ s.nonkey
+let arity s = List.length s.key + List.length s.nonkey
+let key_arity s = List.length s.key
+
+let find s n =
+  match List.find_opt (fun a -> String.equal (Attr.name a) n) (attrs s) with
+  | Some a -> a
+  | None -> raise Not_found
+
+let find_opt s n =
+  List.find_opt (fun a -> String.equal (Attr.name a) n) (attrs s)
+
+let index_in attrs n =
+  let rec go i = function
+    | [] -> raise Not_found
+    | a :: rest ->
+        if String.equal (Attr.name a) n then i else go (i + 1) rest
+  in
+  go 0 attrs
+
+let nonkey_index s n = index_in s.nonkey n
+let key_index s n = index_in s.key n
+let mem s n = find_opt s n <> None
+
+let is_key s n =
+  List.exists (fun a -> String.equal (Attr.name a) n) s.key
+
+let union_compatible a b =
+  List.length a.key = List.length b.key
+  && List.length a.nonkey = List.length b.nonkey
+  && List.for_all2 Attr.equal a.key b.key
+  && List.for_all2 Attr.equal a.nonkey b.nonkey
+
+let equal a b = String.equal a.name b.name && union_compatible a b
+
+let project s names =
+  List.iter
+    (fun n -> if not (mem s n) then fail "unknown attribute %s" n)
+    names;
+  List.iter
+    (fun a ->
+      if not (List.mem (Attr.name a) names) then
+        fail "projection must retain key attribute %s" (Attr.name a))
+    s.key;
+  let nonkey =
+    List.filter_map
+      (fun n -> if is_key s n then None else Some (find s n))
+      names
+  in
+  { s with nonkey }
+
+let product a b =
+  let schema =
+    { name = a.name ^ "_x_" ^ b.name;
+      key = a.key @ b.key;
+      nonkey = a.nonkey @ b.nonkey }
+  in
+  check_distinct_names (attrs schema);
+  schema
+
+let rename_relation name s = { s with name }
+
+let rename_attrs f s =
+  let schema =
+    { s with
+      key = List.map (fun a -> Attr.rename (f (Attr.name a)) a) s.key;
+      nonkey = List.map (fun a -> Attr.rename (f (Attr.name a)) a) s.nonkey }
+  in
+  check_distinct_names (attrs schema);
+  schema
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v 2>relation %s" s.name;
+  List.iter (fun a -> Format.fprintf ppf "@,key %a" Attr.pp a) s.key;
+  List.iter (fun a -> Format.fprintf ppf "@,attr %a" Attr.pp a) s.nonkey;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+let cardinality_interval r =
+  Relation.fold
+    (fun t (sn, sp) ->
+      let m = Etuple.tm t in
+      (sn +. Dst.Support.sn m, sp +. Dst.Support.sp m))
+    r (0.0, 0.0)
+
+let count_where ?threshold pred r =
+  cardinality_interval (Ops.select ?threshold pred r)
+
+let pool_evidence r attr =
+  let schema = Relation.schema r in
+  let weighted =
+    Relation.fold
+      (fun t acc ->
+        let e = Etuple.evidence schema t attr in
+        let w = Dst.Support.sn (Etuple.tm t) in
+        List.map (fun (set, x) -> (set, w *. x)) (Dst.Mass.F.focals e) @ acc)
+      r []
+  in
+  match weighted with
+  | [] -> raise (Dst.Mass.F.Invalid_mass "pool_evidence: empty relation")
+  | (set0, _) :: _ ->
+      ignore set0;
+      let frame =
+        match Attr.domain (Schema.find schema attr) with
+        | Some d -> d
+        | None ->
+            raise
+              (Etuple.Tuple_error
+                 (attr ^ " holds definite values; pool evidential attributes"))
+      in
+      Dst.Mass.F.make_normalized frame weighted
+
+let pignistic_histogram r attr = Dst.Mass.F.pignistic (pool_evidence r attr)
+
+let group_count_by_definite r attr =
+  let schema = Relation.schema r in
+  let table = Hashtbl.create 16 in
+  Relation.iter
+    (fun t ->
+      let v = Etuple.definite_value schema t attr in
+      let m = Etuple.tm t in
+      let sn0, sp0 =
+        match Hashtbl.find_opt table v with
+        | Some bounds -> bounds
+        | None -> (0.0, 0.0)
+      in
+      Hashtbl.replace table v
+        (sn0 +. Dst.Support.sn m, sp0 +. Dst.Support.sp m))
+    r;
+  Hashtbl.fold (fun v bounds acc -> (v, bounds) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Dst.Value.compare a b)

@@ -1,0 +1,36 @@
+(** Aggregate summaries of extended relations (extension).
+
+    Under uncertain membership a relation has no single cardinality and
+    an evidential column has no single histogram; summaries come out as
+    intervals (from [sn]/[sp]) or membership-weighted pools. These power
+    the integrator-facing reports and the benchmark statistics. *)
+
+val cardinality_interval : Relation.t -> float * float
+(** [(Σ sn, Σ sp)] over all tuples: the expected number of tuples that
+    really belong, bounded below by necessary and above by possible
+    support. A classical relation returns [(n, n)]. *)
+
+val count_where :
+  ?threshold:Threshold.t -> Predicate.t -> Relation.t -> float * float
+(** Expected-count interval of tuples satisfying a predicate:
+    [(Σ sn', Σ sp')] of the would-be selection result (threshold applied
+    as in σ̂). *)
+
+val pool_evidence : Relation.t -> string -> Dst.Evidence.t
+(** Membership-weighted mixture of an evidential column: each tuple's
+    evidence weighted by its [sn] and normalized — "what does the
+    relation as a whole say this attribute looks like". Mixing (not
+    Dempster) is deliberate: tuples describe {e different} entities, so
+    their evidence must be averaged, not conjunctively combined.
+    @raise Etuple.Tuple_error if the attribute is definite.
+    @raise Dst.Mass.F.Invalid_mass on an empty or zero-support
+    relation. *)
+
+val pignistic_histogram : Relation.t -> string -> (Dst.Value.t * float) list
+(** The pignistic transform of {!pool_evidence}: a probability
+    distribution over the attribute's domain, suitable for display. *)
+
+val group_count_by_definite :
+  Relation.t -> string -> (Dst.Value.t * (float * float)) list
+(** Cardinality intervals grouped by a definite attribute's value —
+    e.g. expected restaurants per street. Sorted by value. *)

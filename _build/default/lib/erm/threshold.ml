@@ -1,0 +1,46 @@
+type field = Sn | Sp
+type op = Gt | Ge | Lt | Le | Eq
+
+type t = Always | Cmp of field * op * float | Both of t * t
+
+let always = Always
+let sn_gt x = Cmp (Sn, Gt, x)
+let sn_ge x = Cmp (Sn, Ge, x)
+let sp_gt x = Cmp (Sp, Gt, x)
+let sp_ge x = Cmp (Sp, Ge, x)
+let certain_only = Cmp (Sn, Eq, 1.0)
+let ( &&& ) a b = Both (a, b)
+
+let tol = Dst.Num.float_tolerance
+
+let rec satisfies q support =
+  match q with
+  | Always -> true
+  | Both (a, b) -> satisfies a support && satisfies b support
+  | Cmp (field, op, bound) -> (
+      let v =
+        match field with
+        | Sn -> Dst.Support.sn support
+        | Sp -> Dst.Support.sp support
+      in
+      match op with
+      | Gt -> v > bound +. tol
+      | Ge -> v >= bound -. tol
+      | Lt -> v < bound -. tol
+      | Le -> v <= bound +. tol
+      | Eq -> Float.abs (v -. bound) <= tol)
+
+let field_to_string = function Sn -> "sn" | Sp -> "sp"
+
+let op_to_string = function
+  | Gt -> ">"
+  | Ge -> ">="
+  | Lt -> "<"
+  | Le -> "<="
+  | Eq -> "="
+
+let rec pp ppf = function
+  | Always -> Format.fprintf ppf "always"
+  | Cmp (f, op, b) ->
+      Format.fprintf ppf "%s %s %g" (field_to_string f) (op_to_string op) b
+  | Both (a, b) -> Format.fprintf ppf "%a and %a" pp a pp b

@@ -1,0 +1,33 @@
+(** Membership threshold conditions Q (§3.1.3).
+
+    A constraint on the revised membership [(sn, sp)] of a result tuple.
+    The extended operators additionally enforce [sn > 0] on every result
+    regardless of the threshold, keeping results consistent with CWA_ER
+    — so [Q = always] yields exactly the paper's default behaviour. *)
+
+type field = Sn | Sp
+type op = Gt | Ge | Lt | Le | Eq
+
+type t =
+  | Always  (** No extra constraint beyond the implicit [sn > 0]. *)
+  | Cmp of field * op * float
+  | Both of t * t  (** Conjunction. *)
+
+val always : t
+
+val sn_gt : float -> t
+val sn_ge : float -> t
+val sp_gt : float -> t
+val sp_ge : float -> t
+
+val certain_only : t
+(** [sn = 1]: only tuples that definitely qualify (the paper's example of
+    a stricter Q). *)
+
+val ( &&& ) : t -> t -> t
+
+val satisfies : t -> Dst.Support.t -> bool
+(** Comparisons are tolerance-aware, so [sn_ge 1.0] accepts a support of
+    [1.0] computed through float products. *)
+
+val pp : Format.formatter -> t -> unit

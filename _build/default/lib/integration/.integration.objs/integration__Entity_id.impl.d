@@ -1,0 +1,1 @@
+lib/integration/entity_id.ml: Array Dst Erm List Set String

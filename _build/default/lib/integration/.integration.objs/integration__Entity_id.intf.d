@@ -1,0 +1,1 @@
+lib/integration/entity_id.mli: Dst Erm

@@ -1,0 +1,1 @@
+lib/integration/federated.ml: Dst Erm Float Format List

@@ -1,0 +1,1 @@
+lib/integration/federated.mli: Dst Erm Format

@@ -1,0 +1,1 @@
+lib/integration/incremental.ml: Dst Erm Format List

@@ -1,0 +1,1 @@
+lib/integration/incremental.mli: Erm Format

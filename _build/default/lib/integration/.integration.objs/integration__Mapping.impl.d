@@ -1,0 +1,1 @@
+lib/integration/mapping.ml: Dst List

@@ -1,0 +1,1 @@
+lib/integration/merge.ml: Dst Entity_id Erm Format List

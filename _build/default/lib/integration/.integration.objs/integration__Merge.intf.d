@@ -1,0 +1,1 @@
+lib/integration/merge.mli: Entity_id Erm Format

@@ -1,0 +1,1 @@
+lib/integration/multi.ml: Erm Float Format List Reliability String

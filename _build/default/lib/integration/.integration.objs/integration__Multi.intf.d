@@ -1,0 +1,1 @@
+lib/integration/multi.mli: Erm Format

@@ -1,0 +1,1 @@
+lib/integration/pipeline.ml: Erm Merge Preprocess

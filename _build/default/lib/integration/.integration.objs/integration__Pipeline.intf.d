@@ -1,0 +1,1 @@
+lib/integration/pipeline.mli: Erm Merge Preprocess

@@ -1,0 +1,1 @@
+lib/integration/preprocess.ml: Dst Erm Format List Mapping Survey

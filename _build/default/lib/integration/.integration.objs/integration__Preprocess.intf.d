@@ -1,0 +1,1 @@
+lib/integration/preprocess.mli: Dst Erm Mapping Survey

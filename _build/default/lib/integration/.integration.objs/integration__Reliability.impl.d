@@ -1,0 +1,1 @@
+lib/integration/reliability.ml: Dst Erm Float Format Lazy List Merge

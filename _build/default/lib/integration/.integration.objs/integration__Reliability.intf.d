@@ -1,0 +1,1 @@
+lib/integration/reliability.mli: Erm Format Merge

@@ -1,0 +1,1 @@
+lib/integration/survey.ml: Dst Format List Map

@@ -1,0 +1,1 @@
+lib/integration/survey.mli: Dst Format

@@ -1,0 +1,150 @@
+type matching = {
+  matched : (Erm.Etuple.t * Erm.Etuple.t) list;
+  only_left : Erm.Etuple.t list;
+  only_right : Erm.Etuple.t list;
+}
+
+let by_key left right =
+  if
+    not
+      (Erm.Schema.union_compatible
+         (Erm.Relation.schema left)
+         (Erm.Relation.schema right))
+  then
+    raise
+      (Erm.Ops.Incompatible_schemas
+         "entity identification by key needs union-compatible relations")
+  else
+    let matched, only_left =
+      Erm.Relation.fold
+        (fun t (matched, only) ->
+          match Erm.Relation.find_opt right (Erm.Etuple.key t) with
+          | Some u -> ((t, u) :: matched, only)
+          | None -> (matched, t :: only))
+        left ([], [])
+    in
+    let only_right =
+      Erm.Relation.fold
+        (fun u acc ->
+          if Erm.Relation.mem left (Erm.Etuple.key u) then acc else u :: acc)
+        right []
+    in
+    { matched = List.rev matched;
+      only_left = List.rev only_left;
+      only_right = List.rev only_right }
+
+type similarity = Exact | Edit_distance of float
+
+type witness = {
+  witness_attr : string;
+  reliability : float;
+  similarity : similarity;
+}
+
+let exact_witness ?(reliability = 0.9) witness_attr =
+  { witness_attr; reliability; similarity = Exact }
+
+let fuzzy_witness ?(reliability = 0.9) ?(floor = 0.7) witness_attr =
+  { witness_attr; reliability; similarity = Edit_distance floor }
+
+(* Classic O(|a|·|b|) dynamic program, two rows. *)
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) (fun j -> j) in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <-
+          min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+(* Degree of agreement in [0,1] between two definite values under the
+   witness's similarity notion. *)
+let agreement w va vb =
+  match (w.similarity, va, vb) with
+  | Edit_distance _, Dst.Value.String sa, Dst.Value.String sb ->
+      let longest = max (String.length sa) (String.length sb) in
+      if longest = 0 then 1.0
+      else 1.0 -. (float_of_int (levenshtein sa sb) /. float_of_int longest)
+  | (Exact | Edit_distance _), _, _ ->
+      if Dst.Value.equal va vb then 1.0 else 0.0
+
+let match_support schema witnesses a b =
+  (* Each witness is a simple support function on the boolean frame:
+     agreement puts (scaled) reliability on {true}, disagreement on
+     {false}, the rest on Ψ. Witnesses combine by Dempster's rule. *)
+  let witness_support w =
+    let va = Erm.Etuple.definite_value schema a w.witness_attr in
+    let vb = Erm.Etuple.definite_value schema b w.witness_attr in
+    let degree = agreement w va vb in
+    let agrees =
+      match w.similarity with
+      | Exact -> degree >= 1.0
+      | Edit_distance floor -> degree >= floor
+    in
+    if agrees then Dst.Support.make ~sn:(w.reliability *. degree) ~sp:1.0
+    else Dst.Support.make ~sn:0.0 ~sp:(1.0 -. w.reliability)
+  in
+  List.fold_left
+    (fun acc w -> Dst.Support.combine acc (witness_support w))
+    Dst.Support.unknown witnesses
+
+let by_similarity ~threshold ~witnesses left right =
+  let schema = Erm.Relation.schema left in
+  let scored =
+    Erm.Relation.fold
+      (fun a acc ->
+        Erm.Relation.fold
+          (fun b acc ->
+            let support =
+              try match_support schema witnesses a b
+              with Dst.Mass.F.Total_conflict ->
+                (* Perfectly contradictory witnesses: not a match. *)
+                Dst.Support.impossible
+            in
+            if Dst.Support.sn support >= threshold then
+              (support, a, b) :: acc
+            else acc)
+          right acc)
+      left []
+    |> List.sort (fun (s1, _, _) (s2, _, _) -> Dst.Support.compare s2 s1)
+  in
+  (* Greedy best-first assignment; each tuple participates in at most
+     one match. *)
+  let module Keys = Set.Make (struct
+    type t = Dst.Value.t list
+
+    let compare = List.compare Dst.Value.compare
+  end) in
+  let taken_l = ref Keys.empty and taken_r = ref Keys.empty in
+  let matched =
+    List.filter_map
+      (fun (_, a, b) ->
+        let ka = Erm.Etuple.key a and kb = Erm.Etuple.key b in
+        if Keys.mem ka !taken_l || Keys.mem kb !taken_r then None
+        else begin
+          taken_l := Keys.add ka !taken_l;
+          taken_r := Keys.add kb !taken_r;
+          Some (a, b)
+        end)
+      scored
+  in
+  let unmatched taken r =
+    Erm.Relation.fold
+      (fun t acc ->
+        if Keys.mem (Erm.Etuple.key t) taken then acc else t :: acc)
+      r []
+    |> List.rev
+  in
+  { matched;
+    only_left = unmatched !taken_l left;
+    only_right = unmatched !taken_r right }

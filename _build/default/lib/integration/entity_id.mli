@@ -1,0 +1,70 @@
+(** Entity identification (Figure 1): which tuples of the two
+    preprocessed relations model the same real-world entity.
+
+    The paper assumes a common definite key ("rname is the key used to
+    match tuples in R_A and R_B") and defers the general problem to its
+    companion work [10]; {!by_key} implements that assumption. As a
+    documented extension, {!by_similarity} produces match {e evidence}
+    from definite attribute agreement — each compared attribute acts as
+    an independent witness, discounted by its reliability, and the
+    combined support decides the match. *)
+
+type matching = {
+  matched : (Erm.Etuple.t * Erm.Etuple.t) list;
+      (** Pairs believed to model the same entity. *)
+  only_left : Erm.Etuple.t list;
+  only_right : Erm.Etuple.t list;
+}
+
+val by_key : Erm.Relation.t -> Erm.Relation.t -> matching
+(** Common-key matching: tuples match iff their key values are equal.
+    @raise Erm.Ops.Incompatible_schemas unless the relations are
+    union-compatible. *)
+
+(** Similarity-based matching (extension). *)
+
+type similarity =
+  | Exact  (** Agreement iff the values are equal. *)
+  | Edit_distance of float
+      (** String values compared by normalized Levenshtein distance:
+          agreement degree [1 − dist/max_len], and the witness's support
+          scales with it — ["371-2155"] vs ["371-2156"] still supports a
+          match strongly. The payload is the minimum degree treated as
+          any agreement at all (below it the witness speaks against the
+          match). Non-string values fall back to {!Exact}. *)
+
+type witness = {
+  witness_attr : string;  (** A definite attribute to compare. *)
+  reliability : float;
+      (** How strongly agreement on this attribute supports a match
+          (Shafer discount rate), in [\[0,1\]]. *)
+  similarity : similarity;
+}
+
+val exact_witness : ?reliability:float -> string -> witness
+(** [exact_witness attr] with default reliability 0.9. *)
+
+val fuzzy_witness : ?reliability:float -> ?floor:float -> string -> witness
+(** Edit-distance witness (default reliability 0.9, agreement floor
+    0.7). *)
+
+val levenshtein : string -> string -> int
+(** Classic edit distance (insert/delete/substitute, unit costs) —
+    exposed for tests and custom matchers. *)
+
+val match_support :
+  Erm.Schema.t -> witness list -> Erm.Etuple.t -> Erm.Etuple.t -> Dst.Support.t
+(** The combined match evidence for one tuple pair: each witness
+    contributes a simple support function on the boolean "same entity"
+    frame — agreement supports [true] at its reliability, disagreement
+    supports [false] — and the witnesses are Dempster-combined. *)
+
+val by_similarity :
+  threshold:float ->
+  witnesses:witness list ->
+  Erm.Relation.t ->
+  Erm.Relation.t ->
+  matching
+(** Greedy matching: every cross pair with match belief [sn ≥ threshold]
+    is matched best-first; remaining tuples are unmatched. Intended for
+    sources whose keys do not align. *)

@@ -1,0 +1,67 @@
+let merge_first ?threshold pred a b =
+  let merged, _conflicts = Erm.Ops.union_report a b in
+  Erm.Ops.select ?threshold pred merged
+
+let select_first ?threshold pred a b =
+  let pa = Erm.Ops.select pred a and pb = Erm.Ops.select pred b in
+  let merged, _conflicts = Erm.Ops.union_report pa pb in
+  match threshold with
+  | None -> merged
+  | Some q ->
+      Erm.Relation.filter
+        (fun t -> Erm.Threshold.satisfies q (Erm.Etuple.tm t))
+        merged
+
+type comparison = {
+  reference : Erm.Relation.t;
+  approximate : Erm.Relation.t;
+  missing : Dst.Value.t list list;
+  spurious : Dst.Value.t list list;
+  max_sn_gap : float;
+}
+
+let compare ?threshold pred a b =
+  let reference = merge_first ?threshold pred a b in
+  let approximate = select_first ?threshold pred a b in
+  let keys_not_in other r =
+    Erm.Relation.fold
+      (fun t acc ->
+        if Erm.Relation.mem other (Erm.Etuple.key t) then acc
+        else Erm.Etuple.key t :: acc)
+      r []
+    |> List.rev
+  in
+  let max_sn_gap =
+    Erm.Relation.fold
+      (fun t acc ->
+        match Erm.Relation.find_opt approximate (Erm.Etuple.key t) with
+        | None -> acc
+        | Some t' ->
+            Float.max acc
+              (Float.abs
+                 (Dst.Support.sn (Erm.Etuple.tm t)
+                 -. Dst.Support.sn (Erm.Etuple.tm t'))))
+      reference 0.0
+  in
+  { reference;
+    approximate;
+    missing = keys_not_in approximate reference;
+    spurious = keys_not_in reference approximate;
+    max_sn_gap }
+
+let pp_key ppf key =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Dst.Value.pp)
+    key
+
+let pp_comparison ppf c =
+  Format.fprintf ppf
+    "@[<v>reference %d tuples, approximation %d; max sn gap %.4f"
+    (Erm.Relation.cardinal c.reference)
+    (Erm.Relation.cardinal c.approximate)
+    c.max_sn_gap;
+  List.iter (fun k -> Format.fprintf ppf "@,missing %a" pp_key k) c.missing;
+  List.iter (fun k -> Format.fprintf ppf "@,spurious %a" pp_key k) c.spurious;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,64 @@
+(** Federated query-processing strategies — the paper's §4 "ongoing
+    research" ("how query processing can be combined with different
+    approaches of resolving attribute conflicts"), made executable.
+
+    A federated query over unmerged sources can be evaluated two ways:
+
+    - {!merge_first}: integrate with extended union, then select — the
+      reference semantics (what the paper's integrated relation gives);
+    - {!select_first}: select at each source, ship only the candidates,
+      merge those, then apply the membership threshold. Cheaper — the
+      expensive Dempster merge runs on the selected fraction only — but
+      {e not equivalent}: selection multiplies the predicate support
+      into each source's membership {e before} Dempster combines them,
+      so the support is counted once per source:
+      [F(F_TM(tm_r, s) , F_TM(tm_s, s)) ≠ F_TM(F(tm_r, tm_s), s)].
+      Attribute evidence itself is unaffected (σ̂ retains cells), so the
+      deviation is confined to membership values and to which borderline
+      tuples clear the threshold.
+
+    {!compare} quantifies the deviation on concrete data;
+    [bench/main.ml]'s [federated:*] group measures the cost side. The
+    non-equivalence is the same algebraic fact that stops the optimizer
+    from pushing σ̂ through ∪̂ ({!Query.Plan}). *)
+
+val merge_first :
+  ?threshold:Erm.Threshold.t ->
+  Erm.Predicate.t ->
+  Erm.Relation.t ->
+  Erm.Relation.t ->
+  Erm.Relation.t
+(** [σ̂^Q_P (A ∪̂ B)] — the reference. Conflicting pairs are dropped and
+    not reported here (use {!Merge.by_key} for reports). *)
+
+val select_first :
+  ?threshold:Erm.Threshold.t ->
+  Erm.Predicate.t ->
+  Erm.Relation.t ->
+  Erm.Relation.t ->
+  Erm.Relation.t
+(** [Q-filter (σ̂_P A ∪̂ σ̂_P B)] — the shipped-candidates approximation.
+    The per-source selections run threshold-free; [Q] applies to the
+    merged memberships at the end. *)
+
+type comparison = {
+  reference : Erm.Relation.t;
+  approximate : Erm.Relation.t;
+  missing : Dst.Value.t list list;
+      (** Keys the approximation loses (supports double-counted {e
+          downwards} past the threshold, or a source-local sn of 0
+          dropping a tuple the merged evidence would have supported). *)
+  spurious : Dst.Value.t list list;
+      (** Keys the approximation adds. *)
+  max_sn_gap : float;
+      (** Largest |sn_ref − sn_approx| over the common keys. *)
+}
+
+val compare :
+  ?threshold:Erm.Threshold.t ->
+  Erm.Predicate.t ->
+  Erm.Relation.t ->
+  Erm.Relation.t ->
+  comparison
+
+val pp_comparison : Format.formatter -> comparison -> unit

@@ -1,0 +1,53 @@
+type t = {
+  store : Erm.Relation.t;
+  conflict_log : Erm.Ops.conflict list;  (** newest first *)
+  seen : int;
+}
+
+let init schema = { store = Erm.Relation.empty schema; conflict_log = []; seen = 0 }
+let of_relation r = { store = r; conflict_log = []; seen = 0 }
+
+let log t key detail =
+  { t with
+    conflict_log =
+      { Erm.Ops.conflict_key = key; conflict_attr = None;
+        conflict_detail = detail }
+      :: t.conflict_log }
+
+let observe t tuple =
+  let t = { t with seen = t.seen + 1 } in
+  if not (Dst.Support.positive (Erm.Etuple.tm tuple)) then t
+  else
+    let schema = Erm.Relation.schema t.store in
+    let key = Erm.Etuple.key tuple in
+    match Erm.Relation.find_opt t.store key with
+    | None -> { t with store = Erm.Relation.add t.store tuple }
+    | Some stored -> (
+        match Erm.Etuple.combine schema stored tuple with
+        | merged -> { t with store = Erm.Relation.replace t.store merged }
+        | exception Dst.Mass.F.Total_conflict ->
+            log t key "observation in total conflict with the store; kept stored tuple"
+        | exception Erm.Etuple.Tuple_error detail ->
+            log t key ("inconsistent observation dropped: " ^ detail))
+
+let observe_all t tuples = List.fold_left observe t tuples
+
+let absorb t source =
+  if
+    not
+      (Erm.Schema.union_compatible
+         (Erm.Relation.schema t.store)
+         (Erm.Relation.schema source))
+  then
+    raise (Erm.Ops.Incompatible_schemas "absorb: source does not fit the store")
+  else Erm.Relation.fold (fun tuple t -> observe t tuple) source t
+
+let relation t = t.store
+let conflicts t = List.rev t.conflict_log
+let observations t = t.seen
+
+let pp ppf t =
+  Format.fprintf ppf "store of %d tuples after %d observations (%d conflicts)"
+    (Erm.Relation.cardinal t.store)
+    t.seen
+    (List.length t.conflict_log)

@@ -1,0 +1,38 @@
+(** Incremental integration: fold a stream of observations into an
+    integrated relation (extension — the paper's §4 names combining
+    query processing with ongoing conflict resolution as future work).
+
+    Each observation is an extended tuple from some source. A new key
+    inserts; a known key Dempster-combines into the stored tuple,
+    sharpening it. Total conflict is logged and the stored tuple kept
+    (first-writer-wins under contradiction), so a stream can never
+    corrupt the store. *)
+
+type t
+
+val init : Erm.Schema.t -> t
+val of_relation : Erm.Relation.t -> t
+(** Seed the store with an existing integrated relation. *)
+
+val observe : t -> Erm.Etuple.t -> t
+(** One observation. Tuples with [sn = 0] are ignored (CWA_ER: nothing
+    to assert). @raise Erm.Etuple.Tuple_error if the tuple does not fit
+    the store's schema. *)
+
+val observe_all : t -> Erm.Etuple.t list -> t
+
+val absorb : t -> Erm.Relation.t -> t
+(** Observe every tuple of a whole source relation.
+    @raise Erm.Ops.Incompatible_schemas unless union-compatible with the
+    store. *)
+
+val relation : t -> Erm.Relation.t
+(** The current integrated relation. *)
+
+val conflicts : t -> Erm.Ops.conflict list
+(** Conflicts logged so far, oldest first. *)
+
+val observations : t -> int
+(** Observations processed (including ignored and conflicting ones). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+exception Unmapped of Dst.Value.t
+
+type t = {
+  target : Dst.Domain.t;
+  image : Dst.Value.t -> (Dst.Vset.t * float) list;
+      (** Raises {!Unmapped} for values with no image. *)
+}
+
+let weighted target image =
+  { target;
+    image =
+      (fun v -> match image v with [] -> raise (Unmapped v) | l -> l) }
+
+let ambiguous target f =
+  weighted target (fun v ->
+      let s = f v in
+      if Dst.Vset.is_empty s then raise (Unmapped v) else [ (s, 1.0) ])
+
+let exact target f = ambiguous target (fun v -> Dst.Vset.singleton (f v))
+
+let table ?(default_to_omega = false) target entries =
+  weighted target (fun v ->
+      match
+        List.find_opt (fun (key, _) -> Dst.Value.equal key v) entries
+      with
+      | Some (_, image) -> image
+      | None ->
+          if default_to_omega then [ (Dst.Domain.values target, 1.0) ]
+          else raise (Unmapped v))
+
+let identity target =
+  ambiguous target (fun v ->
+      if Dst.Domain.mem v target then Dst.Vset.singleton v
+      else raise (Unmapped v))
+
+let target t = t.target
+let apply t v = Dst.Mass.F.make_normalized t.target (t.image v)
+
+let compose f g =
+  (* Possibility semantics: a focal set of [g]'s image maps to the union
+     of [f]'s candidate values for each of its members; weights multiply
+     through. *)
+  let image_of_set s =
+    Dst.Vset.fold
+      (fun b acc ->
+        List.fold_left
+          (fun acc (img, _) -> Dst.Vset.union img acc)
+          acc (f.image b))
+      s Dst.Vset.empty
+  in
+  weighted f.target (fun v ->
+      List.map (fun (s, w) -> (image_of_set s, w)) (g.image v))

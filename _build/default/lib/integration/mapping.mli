@@ -1,0 +1,53 @@
+(** Attribute domain mappings: actual attributes → virtual attributes.
+
+    Attribute preprocessing (Figure 1) rewrites each source relation over
+    the global schema's domains. When a source value maps to more than
+    one possible target value — DeMichiel's motivating case — the image
+    is an evidence set: mass 1 on the image set for a plain ambiguous
+    mapping, or a weighted split when finer domain knowledge exists. *)
+
+type t
+(** A mapping from one source domain's values into a target domain. *)
+
+exception Unmapped of Dst.Value.t
+(** Raised by {!apply} when the source value has no image and the mapping
+    was built without [~default_to_omega]. *)
+
+val exact : Dst.Domain.t -> (Dst.Value.t -> Dst.Value.t) -> t
+(** One-to-one: each source value has a single certain image. *)
+
+val ambiguous : Dst.Domain.t -> (Dst.Value.t -> Dst.Vset.t) -> t
+(** One-to-many: the image is a set of candidates, exactly one of which
+    is correct (a DeMichiel partial value, embedded as categorical
+    evidence). An empty image set raises {!Unmapped} at {!apply} time. *)
+
+val weighted :
+  Dst.Domain.t -> (Dst.Value.t -> (Dst.Vset.t * float) list) -> t
+(** Many-to-many with belief: the image is an evidence set built from the
+    returned (set, weight) list, normalized. An empty list raises
+    {!Unmapped} at {!apply} time. *)
+
+val table :
+  ?default_to_omega:bool ->
+  Dst.Domain.t ->
+  (Dst.Value.t * (Dst.Vset.t * float) list) list ->
+  t
+(** An explicit finite mapping. Lookups miss either raise {!Unmapped}
+    (default) or map to total ignorance — mass 1 on Ω — when
+    [~default_to_omega:true]. *)
+
+val identity : Dst.Domain.t -> t
+(** Values already in the target domain pass through as certain
+    evidence; values outside it raise {!Unmapped}. *)
+
+val target : t -> Dst.Domain.t
+
+val apply : t -> Dst.Value.t -> Dst.Evidence.t
+(** @raise Unmapped as described above.
+    @raise Dst.Mass.F.Invalid_mass if an image references values outside
+    the target domain or has non-positive total weight. *)
+
+val compose : t -> t -> t
+(** [compose f g] applies [g] to each value, then maps every value in
+    [g]'s image sets through [f], combining weights multiplicatively.
+    Only meaningful when [f] is built over [g]'s target domain. *)

@@ -1,0 +1,70 @@
+type report = {
+  integrated : Erm.Relation.t;
+  conflicts : Erm.Ops.conflict list;
+  merged_count : int;
+  left_only : int;
+  right_only : int;
+}
+
+let by_key left right =
+  let integrated, conflicts = Erm.Ops.union_report left right in
+  let shared = List.length (Erm.Ops.intersect_keys left right) in
+  { integrated;
+    conflicts;
+    merged_count = shared - List.length conflicts;
+    left_only = Erm.Relation.cardinal left - shared;
+    right_only = Erm.Relation.cardinal right - shared }
+
+let rekey schema key t =
+  Erm.Etuple.make schema ~key ~cells:(Erm.Etuple.cells t)
+    ~tm:(Erm.Etuple.tm t)
+
+let of_matching schema (m : Entity_id.matching) =
+  let conflicts = ref [] in
+  let merged = ref 0 in
+  let combine_pair acc (a, b) =
+    let key = Erm.Etuple.key a in
+    let b = if Erm.Etuple.key_equal a b then b else rekey schema key b in
+    match Erm.Etuple.combine schema a b with
+    | t ->
+        incr merged;
+        Erm.Relation.replace acc t
+    | exception Dst.Mass.F.Total_conflict ->
+        conflicts :=
+          { Erm.Ops.conflict_key = key;
+            conflict_attr = None;
+            conflict_detail = "total conflict while merging matched pair" }
+          :: !conflicts;
+        acc
+    | exception Erm.Etuple.Tuple_error detail ->
+        conflicts :=
+          { Erm.Ops.conflict_key = key;
+            conflict_attr = None;
+            conflict_detail = detail }
+          :: !conflicts;
+        acc
+  in
+  let base =
+    List.fold_left
+      (fun acc t -> Erm.Relation.replace acc t)
+      (Erm.Relation.empty schema)
+      (m.only_left @ m.only_right)
+  in
+  let integrated = List.fold_left combine_pair base m.matched in
+  { integrated;
+    conflicts = List.rev !conflicts;
+    merged_count = !merged;
+    left_only = List.length m.only_left;
+    right_only = List.length m.only_right }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>integrated %d tuples (%d merged, %d left-only, %d right-only, %d \
+     conflicts)"
+    (Erm.Relation.cardinal r.integrated)
+    r.merged_count r.left_only r.right_only
+    (List.length r.conflicts);
+  List.iter
+    (fun c -> Format.fprintf ppf "@,  conflict: %a" Erm.Ops.pp_conflict c)
+    r.conflicts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Tuple merging (Figure 1): combine matched tuples into the integrated
+    relation, with conflict reporting.
+
+    Thin orchestration over {!Erm.Ops.union_report} when matching is by
+    key, and over {!Erm.Etuple.combine} for an explicit {!Entity_id.matching}.
+    Total conflict (κ = 1) or definite-attribute disagreement does not
+    abort the integration: the offending pair is excluded and reported,
+    per §2.2's "some actions may be necessary to inform the data
+    administrators or integrators about the conflict". *)
+
+type report = {
+  integrated : Erm.Relation.t;
+  conflicts : Erm.Ops.conflict list;
+  merged_count : int;  (** Key-matched pairs successfully combined. *)
+  left_only : int;
+  right_only : int;
+}
+
+val by_key : Erm.Relation.t -> Erm.Relation.t -> report
+(** Extended union with reporting; the paper's integration step. *)
+
+val of_matching :
+  Erm.Schema.t -> Entity_id.matching -> report
+(** Merge an explicit matching (e.g. from {!Entity_id.by_similarity}).
+    Matched pairs are combined with Dempster's rule; unmatched tuples
+    pass through. When a similarity matching pairs tuples with different
+    keys, the left tuple's key names the merged tuple. *)
+
+val pp : Format.formatter -> report -> unit
+(** Summary line plus one line per conflict. *)

@@ -1,0 +1,90 @@
+type source = { source_name : string; source_relation : Erm.Relation.t }
+
+type report = {
+  integrated : Erm.Relation.t;
+  conflicts : (string * Erm.Ops.conflict) list;
+  conflict_matrix : (string * string * float) list;
+  reliabilities : (string * float) list;
+}
+
+exception No_sources
+
+let conflict_matrix sources =
+  let rec pairs = function
+    | a :: rest ->
+        List.map
+          (fun b ->
+            let assessment =
+              Reliability.assess a.source_relation b.source_relation
+            in
+            (a.source_name, b.source_name, assessment.Reliability.mean_conflict))
+          rest
+        @ pairs rest
+    | [] -> []
+  in
+  pairs sources
+
+let reliability_from_matrix matrix name =
+  let kappas =
+    List.filter_map
+      (fun (a, b, k) ->
+        if String.equal a name || String.equal b name then Some k else None)
+      matrix
+  in
+  match kappas with
+  | [] -> 1.0
+  | _ ->
+      let mean =
+        List.fold_left ( +. ) 0.0 kappas /. float_of_int (List.length kappas)
+      in
+      Float.max 0.0 (Float.min 1.0 (1.0 -. mean))
+
+let integrate ?(discount = false) sources =
+  match sources with
+  | [] -> raise No_sources
+  | first :: rest ->
+      let matrix = conflict_matrix sources in
+      let reliabilities =
+        List.map
+          (fun s ->
+            ( s.source_name,
+              if discount then reliability_from_matrix matrix s.source_name
+              else 1.0 ))
+          sources
+      in
+      let prepared s =
+        let alpha = List.assoc s.source_name reliabilities in
+        if alpha >= 1.0 then s.source_relation
+        else Reliability.discount_relation alpha s.source_relation
+      in
+      let conflicts = ref [] in
+      let integrated =
+        List.fold_left
+          (fun acc s ->
+            let merged, cs = Erm.Ops.union_report acc (prepared s) in
+            conflicts :=
+              !conflicts @ List.map (fun c -> (s.source_name, c)) cs;
+            merged)
+          (prepared first) rest
+      in
+      { integrated; conflicts = !conflicts; conflict_matrix = matrix;
+        reliabilities }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>integrated %d tuples from %d sources"
+    (Erm.Relation.cardinal r.integrated)
+    (List.length r.reliabilities);
+  List.iter
+    (fun (name, alpha) ->
+      Format.fprintf ppf "@,  %s: reliability %.3f" name alpha)
+    r.reliabilities;
+  List.iter
+    (fun (a, b, k) ->
+      Format.fprintf ppf "@,  mean kappa(%s, %s) = %.3f" a b k)
+    r.conflict_matrix;
+  List.iter
+    (fun (name, c) ->
+      Format.fprintf ppf "@,  conflict absorbing %s: %a" name
+        Erm.Ops.pp_conflict c)
+    r.conflicts;
+  Format.fprintf ppf "@]"

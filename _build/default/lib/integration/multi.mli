@@ -1,0 +1,35 @@
+(** N-source integration (extension).
+
+    The paper integrates two databases; Dempster's rule is associative
+    and commutative, so any number of sources fold into one integrated
+    relation with an order-independent result. This module also computes
+    the pairwise conflict matrix — which sources disagree with which —
+    and can discount each source by its own estimated reliability (mean
+    conflict against all peers) before merging, generalizing
+    {!Reliability.merge_discounted}. *)
+
+type source = { source_name : string; source_relation : Erm.Relation.t }
+
+type report = {
+  integrated : Erm.Relation.t;
+  conflicts : (string * Erm.Ops.conflict) list;
+      (** Conflicts with the name of the source whose absorption raised
+          them. *)
+  conflict_matrix : (string * string * float) list;
+      (** Mean pairwise κ for every unordered source pair, from
+          {!Reliability.assess}. *)
+  reliabilities : (string * float) list;
+      (** Per-source discount rate (1 when merging undiscounted). *)
+}
+
+exception No_sources
+
+val integrate : ?discount:bool -> source list -> report
+(** Fold all sources into one relation (left to right; the result is
+    order-independent up to float rounding because ⊕ is associative).
+    With [~discount:true] (default false), each source is first
+    α-discounted by [1 − (mean κ against the other sources)].
+    @raise No_sources on the empty list.
+    @raise Erm.Ops.Incompatible_schemas if any source's schema differs. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,11 @@
+type source = { relation : Erm.Relation.t; spec : Preprocess.spec }
+
+let preprocessed s = Preprocess.run s.spec s.relation
+
+let integrate_preprocessed a b = Merge.by_key a b
+
+let integrate a b =
+  integrate_preprocessed (preprocessed a) (preprocessed b)
+
+let query (report : Merge.report) ?threshold predicate =
+  Erm.Ops.select ?threshold predicate report.integrated

@@ -1,0 +1,37 @@
+(** The full integration pipeline of Figure 1, end to end:
+
+    {v
+    raw source A --preprocess--> R'_A \
+                                       entity id --> tuple merging --> integrated
+    raw source B --preprocess--> R'_B /                                relation
+    v}
+
+    Each source pairs a raw relation with its preprocessing spec; the
+    integrated relation is produced by key-based entity identification
+    and Dempster merging, with conflicts reported rather than raised. *)
+
+type source = {
+  relation : Erm.Relation.t;  (** Raw, definite-valued source relation. *)
+  spec : Preprocess.spec;
+}
+
+val preprocessed : source -> Erm.Relation.t
+(** Just the attribute-preprocessing stage. *)
+
+val integrate : source -> source -> Merge.report
+(** Preprocess both sources, match by common key, merge.
+    @raise Preprocess.Preprocess_error on preprocessing failures.
+    @raise Erm.Ops.Incompatible_schemas if the specs disagree on the
+    global schema. *)
+
+val integrate_preprocessed : Erm.Relation.t -> Erm.Relation.t -> Merge.report
+(** Skip preprocessing (sources already over the global schema) — the
+    paper's §2/§3 setting. *)
+
+val query :
+  Merge.report ->
+  ?threshold:Erm.Threshold.t ->
+  Erm.Predicate.t ->
+  Erm.Relation.t
+(** Query processing over the integrated relation — extended selection
+    with a membership threshold. *)

@@ -1,0 +1,74 @@
+type derivation =
+  | Copy of string
+  | Mapped of string * Mapping.t
+  | From_survey of (Dst.Value.t list -> Survey.t)
+  | Computed of (Dst.Value.t list -> Erm.Etuple.cell)
+
+type spec = {
+  target : Erm.Schema.t;
+  rules : (string * derivation) list;
+  membership : Dst.Value.t list -> Dst.Support.t;
+}
+
+exception Preprocess_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Preprocess_error s)) fmt
+
+let check_keys spec source_schema =
+  let target_keys = Erm.Schema.key spec.target in
+  let source_keys = Erm.Schema.key source_schema in
+  if
+    List.length target_keys <> List.length source_keys
+    || not (List.for_all2 Erm.Attr.equal target_keys source_keys)
+  then fail "source and target key attributes differ"
+
+let source_value source_schema tuple attr_name =
+  match Erm.Schema.find_opt source_schema attr_name with
+  | None -> fail "unknown source attribute %s" attr_name
+  | Some _ -> (
+      try Erm.Etuple.definite_value source_schema tuple attr_name
+      with Erm.Etuple.Tuple_error _ ->
+        fail "source attribute %s is not definite" attr_name)
+
+let derive spec source_schema tuple target_attr =
+  let name = Erm.Attr.name target_attr in
+  let derivation =
+    match List.assoc_opt name spec.rules with
+    | Some d -> d
+    | None -> fail "no derivation rule for target attribute %s" name
+  in
+  let key = Erm.Etuple.key tuple in
+  match derivation with
+  | Copy src -> Erm.Etuple.Definite (source_value source_schema tuple src)
+  | Mapped (src, mapping) -> (
+      let v = source_value source_schema tuple src in
+      try Erm.Etuple.Evidence (Mapping.apply mapping v)
+      with Mapping.Unmapped v ->
+        fail "attribute %s: no mapping for value %a" name Dst.Value.pp v)
+  | From_survey lookup -> (
+      try Erm.Etuple.Evidence (Survey.to_evidence (lookup key))
+      with Survey.Survey_error m -> fail "attribute %s: %s" name m)
+  | Computed f -> f key
+
+let run spec source =
+  let source_schema = Erm.Relation.schema source in
+  check_keys spec source_schema;
+  List.iter
+    (fun (name, _) ->
+      if not (Erm.Schema.mem spec.target name) then
+        fail "rule for %s, which is not a target attribute" name)
+    spec.rules;
+  Erm.Relation.fold
+    (fun tuple acc ->
+      let key = Erm.Etuple.key tuple in
+      let cells =
+        List.map (derive spec source_schema tuple) (Erm.Schema.nonkey spec.target)
+      in
+      let built =
+        try
+          Erm.Etuple.make spec.target ~key ~cells ~tm:(spec.membership key)
+        with Erm.Etuple.Tuple_error m -> fail "%s" m
+      in
+      Erm.Relation.add acc built)
+    source
+    (Erm.Relation.empty spec.target)

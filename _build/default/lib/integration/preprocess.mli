@@ -1,0 +1,41 @@
+(** Attribute preprocessing (Figure 1): rewrite a source relation over
+    the global schema, introducing evidence where derivation is
+    uncertain.
+
+    Each target attribute is produced by a {!derivation}: copied verbatim,
+    mapped through a {!Mapping.t} (possibly one-to-many, yielding
+    evidence), or consolidated from external summary data such as the
+    paper's reviewer surveys. This is where the paper's "uncertain
+    information arising from summaries of data" enters the model. *)
+
+type derivation =
+  | Copy of string
+      (** Target definite attribute copied from the named source
+          attribute. *)
+  | Mapped of string * Mapping.t
+      (** Target evidential attribute: the named source attribute's
+          definite value pushed through the mapping. *)
+  | From_survey of (Dst.Value.t list -> Survey.t)
+      (** Target evidential attribute consolidated from a per-entity
+          tally, looked up by key (e.g. the restaurant's review votes). *)
+  | Computed of (Dst.Value.t list -> Erm.Etuple.cell)
+      (** Escape hatch: arbitrary per-key cell computation. *)
+
+type spec = {
+  target : Erm.Schema.t;
+  rules : (string * derivation) list;
+      (** One rule per non-key target attribute, keyed by its name. *)
+  membership : Dst.Value.t list -> Dst.Support.t;
+      (** Membership assigned to each produced tuple (by key); use
+          [fun _ -> Dst.Support.certain] when the source relation is
+          fully trusted. *)
+}
+
+exception Preprocess_error of string
+
+val run : spec -> Erm.Relation.t -> Erm.Relation.t
+(** Applies the spec to every tuple. The source relation's key attributes
+    must be a prefix-compatible match of the target's (same names and
+    kinds).
+    @raise Preprocess_error on missing rules, unknown source attributes,
+    kind mismatches, or {!Mapping.Unmapped} values. *)

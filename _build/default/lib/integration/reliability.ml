@@ -1,0 +1,89 @@
+type assessment = {
+  pairs_compared : int;
+  mean_conflict : float;
+  max_conflict : float;
+  total_conflicts : int;
+}
+
+let assess left right =
+  if
+    not
+      (Erm.Schema.union_compatible
+         (Erm.Relation.schema left)
+         (Erm.Relation.schema right))
+  then
+    raise
+      (Erm.Ops.Incompatible_schemas "reliability assessment needs compatible relations")
+  else begin
+    let count = ref 0 and sum = ref 0.0 and worst = ref 0.0 in
+    let totals = ref 0 in
+    let record kappa =
+      incr count;
+      sum := !sum +. kappa;
+      if kappa > !worst then worst := kappa;
+      if kappa >= 1.0 -. Dst.Num.float_tolerance then incr totals
+    in
+    Erm.Relation.iter
+      (fun t ->
+        match Erm.Relation.find_opt right (Erm.Etuple.key t) with
+        | None -> ()
+        | Some u ->
+            List.iter2
+              (fun ct cu ->
+                match (ct, cu) with
+                | Erm.Etuple.Evidence e, Erm.Etuple.Evidence f ->
+                    record (Dst.Mass.F.conflict e f)
+                | Erm.Etuple.Definite v, Erm.Etuple.Definite w ->
+                    record (if Dst.Value.equal v w then 0.0 else 1.0)
+                | Erm.Etuple.Definite _, Erm.Etuple.Evidence _
+                | Erm.Etuple.Evidence _, Erm.Etuple.Definite _ ->
+                    record 1.0)
+              (Erm.Etuple.cells t) (Erm.Etuple.cells u))
+      left;
+    { pairs_compared = !count;
+      mean_conflict = (if !count = 0 then 0.0 else !sum /. float_of_int !count);
+      max_conflict = !worst;
+      total_conflicts = !totals }
+  end
+
+let reliability_of_assessment a =
+  if a.pairs_compared = 0 then 1.0
+  else Float.max 0.0 (Float.min 1.0 (1.0 -. a.mean_conflict))
+
+let discount_support alpha s =
+  Dst.Support.make
+    ~sn:(alpha *. Dst.Support.sn s)
+    ~sp:(1.0 -. (alpha *. (1.0 -. Dst.Support.sp s)))
+
+let discount_relation alpha r =
+  if alpha < 0.0 || alpha > 1.0 then
+    invalid_arg "Reliability.discount_relation: alpha outside [0,1]"
+  else
+    let schema = Erm.Relation.schema r in
+    Erm.Relation.map_tuples
+      (fun t ->
+        let cells =
+          List.map
+            (function
+              | Erm.Etuple.Evidence e ->
+                  Erm.Etuple.Evidence (Dst.Mass.F.discount alpha e)
+              | Erm.Etuple.Definite _ as c -> c)
+            (Erm.Etuple.cells t)
+        in
+        Some
+          (Erm.Etuple.make schema ~key:(Erm.Etuple.key t) ~cells
+             ~tm:(discount_support alpha (Erm.Etuple.tm t))))
+      schema r
+
+let merge_discounted ?alpha_left ?alpha_right left right =
+  let estimated =
+    lazy (reliability_of_assessment (assess left right))
+  in
+  let al = match alpha_left with Some a -> a | None -> Lazy.force estimated in
+  let ar = match alpha_right with Some a -> a | None -> Lazy.force estimated in
+  Merge.by_key (discount_relation al left) (discount_relation ar right)
+
+let pp_assessment ppf a =
+  Format.fprintf ppf
+    "%d cell pairs compared: mean kappa %.3f, max %.3f, %d total conflicts"
+    a.pairs_compared a.mean_conflict a.max_conflict a.total_conflicts

@@ -1,0 +1,65 @@
+type vote = For of Dst.Value.t | For_any of Dst.Vset.t | Abstain
+
+exception Survey_error of string
+
+module Vmap = Map.Make (Dst.Vset)
+
+type t = {
+  domain : Dst.Domain.t;
+  tallies : int Vmap.t;  (** keyed by the voted set; Ω keys abstentions *)
+}
+
+let fail fmt = Format.kasprintf (fun s -> raise (Survey_error s)) fmt
+let create domain = { domain; tallies = Vmap.empty }
+
+let set_of_vote t = function
+  | For v ->
+      if not (Dst.Domain.mem v t.domain) then
+        fail "vote for %a outside domain %s" Dst.Value.pp v
+          (Dst.Domain.name t.domain)
+      else Dst.Vset.singleton v
+  | For_any s ->
+      if Dst.Vset.is_empty s then fail "vote for an empty set"
+      else if not (Dst.Domain.subset s t.domain) then
+        fail "vote for %a outside domain %s" Dst.Vset.pp s
+          (Dst.Domain.name t.domain)
+      else s
+  | Abstain -> Dst.Domain.values t.domain
+
+let cast t vote =
+  let set = set_of_vote t vote in
+  { t with
+    tallies =
+      Vmap.update set
+        (function None -> Some 1 | Some n -> Some (n + 1))
+        t.tallies }
+
+let cast_many t votes = List.fold_left cast t votes
+let of_votes domain votes = cast_many (create domain) votes
+let total t = Vmap.fold (fun _ n acc -> n + acc) t.tallies 0
+
+let count t vote =
+  match Vmap.find_opt (set_of_vote t vote) t.tallies with
+  | Some n -> n
+  | None -> 0
+
+let to_evidence t =
+  if total t = 0 then fail "empty tally for domain %s" (Dst.Domain.name t.domain)
+  else Dst.Evidence.of_counts t.domain (Vmap.bindings t.tallies)
+
+let consensus t =
+  let omega = Dst.Domain.values t.domain in
+  let committed =
+    Vmap.filter (fun set _ -> not (Dst.Vset.equal set omega)) t.tallies
+  in
+  match Vmap.bindings committed with
+  | [ (set, _) ] when Dst.Vset.cardinal set = 1 -> Some (Dst.Vset.choose set)
+  | _ -> None
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>survey over %s (%d votes)" (Dst.Domain.name t.domain)
+    (total t);
+  Vmap.iter
+    (fun set n -> Format.fprintf ppf "@,  %a: %d" Dst.Vset.pp set n)
+    t.tallies;
+  Format.fprintf ppf "@]"

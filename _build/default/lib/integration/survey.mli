@@ -1,0 +1,46 @@
+(** The group-voting model of §1.2 and §2.1.
+
+    The paper derives its uncertain attribute values from panels: each
+    reviewer casts a vote for a value (or, when undecided, a {e set} of
+    values — the §2.1 menu items that "cannot be classified as pure Hunan
+    or pure Sichuan"), or abstains. Consolidating a tally into masses is
+    exactly the vote share: the abstaining fraction becomes nonbelief,
+    i.e. mass on Ω. *)
+
+type vote =
+  | For of Dst.Value.t  (** A vote for a single value. *)
+  | For_any of Dst.Vset.t
+      (** An undecided vote for a set of values (e.g. "hunan or
+          sichuan"). *)
+  | Abstain  (** No classification information: contributes to Ω. *)
+
+type t
+(** A tally of votes over a fixed domain. *)
+
+exception Survey_error of string
+
+val create : Dst.Domain.t -> t
+(** An empty tally. *)
+
+val cast : t -> vote -> t
+(** @raise Survey_error if a vote names values outside the domain or an
+    empty set. *)
+
+val cast_many : t -> vote list -> t
+
+val of_votes : Dst.Domain.t -> vote list -> t
+
+val total : t -> int
+(** Number of votes cast, abstentions included. *)
+
+val count : t -> vote -> int
+
+val to_evidence : t -> Dst.Evidence.t
+(** Vote shares as masses; abstentions accrue to Ω. The paper's example —
+    votes d1:3, d2:2, d3:1 — yields [[d1^0.5; d2^0.33; d3^0.17]].
+    @raise Survey_error on an empty tally. *)
+
+val consensus : t -> Dst.Value.t option
+(** The single value every non-abstaining vote supports, if any. *)
+
+val pp : Format.formatter -> t -> unit

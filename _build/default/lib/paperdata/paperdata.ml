@@ -1,0 +1,187 @@
+let speciality =
+  Dst.Domain.of_strings "speciality"
+    [ "am"; "ca"; "hu"; "it"; "mu"; "si"; "ta" ]
+
+let dish =
+  Dst.Domain.of_strings "best-dish"
+    (List.init 36 (fun i -> "d" ^ string_of_int (i + 1)))
+
+let rating = Dst.Domain.of_strings "rating" [ "ex"; "gd"; "avg" ]
+
+let domain_decl d =
+  String.concat ", "
+    (List.map Dst.Value.to_string (Dst.Vset.to_list (Dst.Domain.values d)))
+
+let header name =
+  Printf.sprintf
+    {|relation %s
+key rname : string
+attr street : string
+attr bldg-no : int
+attr phone : string
+attr speciality : evidence {%s}
+attr best-dish : evidence {%s}
+attr rating : evidence {%s}
+|}
+    name (domain_decl speciality) (domain_decl dish) (domain_decl rating)
+
+(* Table 1, R_A. The paper's 0.33/0.17/0.34 columns are six-reviewer vote
+   shares; the exact fractions below are what make Table 4 come out as
+   printed (e.g. garden's rating 1/3,1/2,1/6 combines to 1/7, 6/7 =
+   0.143, 0.857). *)
+let r_a_text =
+  header "r_a"
+  ^ {|tuple garden  | univ.ave.  | 2011 | 371-2155 | [si^0.5; hu^0.25; ~^0.25]  | [d31^0.5; {d35,d36}^0.5]  | [ex^1/3; gd^1/2; avg^1/6] | (1, 1)
+tuple wok     | wash.ave.  | 600  | 382-4165 | [si^1]                     | [d6^1/3; d7^1/3; d25^1/3] | [gd^0.25; avg^0.75]       | (1, 1)
+tuple country | plato.blvd | 12   | 293-9111 | [am^1]                     | [d1^1/2; d2^1/3; ~^1/6]   | [ex^1]                    | (1, 1)
+tuple olive   | nic.ave.   | 514  | 338-0355 | [it^1]                     | [d1^1]                    | [gd^0.5; avg^0.5]         | (1, 1)
+tuple mehl    | 9th-street | 820  | 333-4035 | [mu^0.8; ta^0.2]           | [d24^0.4; d31^0.6]        | [ex^0.8; gd^0.2]          | (0.5, 0.5)
+tuple ashiana | univ.ave.  | 353  | 371-0824 | [mu^0.9; ~^0.1]            | [d34^0.8; d25^0.2]        | [ex^1]                    | (1, 1)
+|}
+
+let r_b_text =
+  header "r_b"
+  ^ {|tuple garden  | univ.ave.  | 2011 | 371-2155 | [si^0.5; hu^0.3; ~^0.2]  | [d31^0.7; d35^0.3]          | [ex^0.2; gd^0.8] | (1, 1)
+tuple wok     | wash.ave.  | 600  | 382-4165 | [ca^0.2; si^0.7; ~^0.1]  | [d6^0.5; d7^0.25; d25^0.25] | [gd^1]           | (1, 1)
+tuple country | plato.blvd | 12   | 293-9111 | [am^1]                   | [d1^0.2; d2^0.8]            | [ex^0.7; gd^0.3] | (1, 1)
+tuple olive   | nic.ave.   | 514  | 338-0355 | [it^1]                   | [d1^0.8; d2^0.2]            | [gd^0.8; avg^0.2]| (1, 1)
+tuple mehl    | 9th-street | 820  | 333-4035 | [mu^1]                   | [d24^0.1; d31^0.9]          | [ex^1]           | (0.8, 1)
+|}
+
+let r_a = Erm.Io.relation_of_string r_a_text
+let r_b = Erm.Io.relation_of_string r_b_text
+let schema = Erm.Relation.schema r_a
+
+(* Table 2: original R_A cells, revised membership. *)
+let table2 =
+  Erm.Io.relation_of_string
+    (header "table2"
+    ^ {|tuple garden | univ.ave. | 2011 | 371-2155 | [si^0.5; hu^0.25; ~^0.25] | [d31^0.5; {d35,d36}^0.5]  | [ex^1/3; gd^1/2; avg^1/6] | (0.5, 0.75)
+tuple wok    | wash.ave. | 600  | 382-4165 | [si^1]                    | [d6^1/3; d7^1/3; d25^1/3] | [gd^0.25; avg^0.75]       | (1, 1)
+|})
+
+let table3 =
+  Erm.Io.relation_of_string
+    (header "table3"
+    ^ {|tuple mehl    | 9th-street | 820 | 333-4035 | [mu^0.8; ta^0.2] | [d24^0.4; d31^0.6] | [ex^0.8; gd^0.2] | (0.32, 0.32)
+tuple ashiana | univ.ave.  | 353 | 371-0824 | [mu^0.9; ~^0.1]  | [d34^0.8; d25^0.2] | [ex^1]           | (0.9, 1)
+|})
+
+(* Table 4 with exact fractions (the paper prints 3-decimal roundings). *)
+let table4 =
+  Erm.Io.relation_of_string
+    (header "table4"
+    ^ {|tuple garden  | univ.ave.  | 2011 | 371-2155 | [si^19/29; hu^8/29; ~^2/29] | [d31^0.7; d35^0.3]          | [ex^1/7; gd^6/7] | (1, 1)
+tuple wok     | wash.ave.  | 600  | 382-4165 | [si^1]                      | [d6^0.5; d7^0.25; d25^0.25] | [gd^1]           | (1, 1)
+tuple country | plato.blvd | 12   | 293-9111 | [am^1]                      | [d1^0.25; d2^0.75]          | [ex^1]           | (1, 1)
+tuple olive   | nic.ave.   | 514  | 338-0355 | [it^1]                      | [d1^1]                      | [gd^0.8; avg^0.2]| (1, 1)
+tuple mehl    | 9th-street | 820  | 333-4035 | [mu^1]                      | [d24^2/29; d31^27/29]       | [ex^1]           | (5/6, 5/6)
+tuple ashiana | univ.ave.  | 353  | 371-0824 | [mu^0.9; ~^0.1]             | [d34^0.8; d25^0.2]          | [ex^1]           | (1, 1)
+|})
+
+let table5_attrs = [ "rname"; "phone"; "speciality"; "rating" ]
+
+let table5 =
+  Erm.Io.relation_of_string
+    (Printf.sprintf
+       {|relation table5
+key rname : string
+attr phone : string
+attr speciality : evidence {%s}
+attr rating : evidence {%s}
+|}
+       (domain_decl speciality) (domain_decl rating)
+    ^ {|tuple garden  | 371-2155 | [si^0.5; hu^0.25; ~^0.25] | [ex^1/3; gd^1/2; avg^1/6] | (1, 1)
+tuple wok     | 382-4165 | [si^1]                    | [gd^0.25; avg^0.75]       | (1, 1)
+tuple country | 293-9111 | [am^1]                    | [ex^1]                    | (1, 1)
+tuple olive   | 338-0355 | [it^1]                    | [gd^0.5; avg^0.5]         | (1, 1)
+tuple mehl    | 333-4035 | [mu^0.8; ta^0.2]          | [ex^0.8; gd^0.2]          | (0.5, 0.5)
+tuple ashiana | 371-0824 | [mu^0.9; ~^0.1]           | [ex^1]                    | (1, 1)
+|})
+
+(* §2.1 / §2.2 worked example. The §2.1 frame lists six cuisines (no ta);
+   frames must match for combination, so both assignments use it. *)
+let sec21_frame =
+  Dst.Domain.of_strings "speciality" [ "am"; "ca"; "hu"; "it"; "mu"; "si" ]
+
+let wok_m1 =
+  Dst.Evidence.of_string sec21_frame "[ca^1/2; {hu,si}^1/3; ~^1/6]"
+
+let wok_m2 = Dst.Evidence.of_string sec21_frame "[{ca,hu}^1/2; hu^1/4; ~^1/4]"
+
+let wok_combined =
+  Dst.Evidence.of_string sec21_frame
+    "[ca^3/7; hu^1/3; {ca,hu}^2/21; {hu,si}^2/21; ~^1/21]"
+
+let wok_conflict = 1.0 /. 8.0
+
+let q = Qarith.Q.make
+let vs = Dst.Vset.of_strings
+let omega21 = Dst.Domain.values sec21_frame
+
+let sec22_m1_exact =
+  [ (vs [ "ca" ], q 1 2); (vs [ "hu"; "si" ], q 1 3); (omega21, q 1 6) ]
+
+let sec22_m2_exact =
+  [ (vs [ "ca"; "hu" ], q 1 2); (vs [ "hu" ], q 1 4); (omega21, q 1 4) ]
+
+let sec22_expected_exact =
+  [ (vs [ "ca" ], q 3 7);
+    (vs [ "hu" ], q 1 3);
+    (vs [ "ca"; "hu" ], q 2 21);
+    (vs [ "hu"; "si" ], q 2 21);
+    (omega21, q 1 21) ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: Manager entities and the Manages relationship.            *)
+
+let position = Dst.Domain.of_strings "position" [ "head-chef"; "manager"; "owner" ]
+
+let m_header name =
+  Printf.sprintf
+    {|relation %s
+key mname : string
+attr phone : string
+attr position : evidence {%s}
+|}
+    name (domain_decl position)
+
+let m_a =
+  Erm.Io.relation_of_string
+    (m_header "m_a"
+    ^ {|tuple chen  | 555-1111 | [head-chef^0.8; ~^0.2] | (1, 1)
+tuple anand | 555-2222 | [owner^1]              | (1, 1)
+|})
+
+let m_b =
+  Erm.Io.relation_of_string
+    (m_header "m_b"
+    ^ {|tuple chen | 555-1111 | [head-chef^0.5; manager^0.5] | (1, 1)
+|})
+
+let m_schema = Erm.Relation.schema m_a
+
+let rm_header name =
+  Printf.sprintf {|relation %s
+key rname : string
+key manager : string
+|} name
+
+let rm_a =
+  Erm.Io.relation_of_string
+    (rm_header "rm_a"
+    ^ {|tuple garden | chen  | (1, 1)
+tuple mehl   | anand | (0.7, 1)
+|})
+
+let rm_b =
+  Erm.Io.relation_of_string
+    (rm_header "rm_b"
+    ^ {|tuple garden | chen | (0.9, 1)
+tuple wok    | chen | (0.8, 0.9)
+|})
+
+let rm_schema = Erm.Relation.schema rm_a
+
+let chen_position_expected =
+  Dst.Evidence.of_string position "[head-chef^5/6; manager^1/6]"

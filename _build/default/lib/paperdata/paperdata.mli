@@ -1,0 +1,95 @@
+(** The paper's running example: source relations, worked combination
+    example, and expected results for every table.
+
+    Where the paper prints rounded masses (e.g. [0.33]/[0.17] for a
+    six-reviewer panel), the underlying exact fractions ([1/3], [1/6])
+    are used — they are the only values that reproduce the paper's
+    combined results such as [ex^0.143; gd^0.857] in Table 4. *)
+
+val speciality : Dst.Domain.t
+(** Ω_speciality = {am, ca, hu, it, mu, si, ta} (§2.1's six cuisines plus
+    [ta], which appears in Table 1's mehl row). *)
+
+val dish : Dst.Domain.t
+(** Dish names d1 … d36. *)
+
+val rating : Dst.Domain.t
+(** {ex, gd, avg}. *)
+
+val schema : Erm.Schema.t
+(** rname (key), street, bldg-no, phone, †speciality, †best-dish,
+    †rating. *)
+
+val r_a : Erm.Relation.t
+(** Table 1, R_A — Minnesota Daily. *)
+
+val r_b : Erm.Relation.t
+(** Table 1, R_B — Star Tribute. *)
+
+val table2 : Erm.Relation.t
+(** Expected [σ̂\[sn>0; speciality is {si}\] R_A]. *)
+
+val table3 : Erm.Relation.t
+(** Expected [σ̂\[sn>0; (speciality is {mu}) ∧ (rating is {ex})\] R_A]. *)
+
+val table4 : Erm.Relation.t
+(** Expected [R_A ∪̂_(rname) R_B] — exact fractions, e.g. garden's
+    speciality is [\[si^19/29; hu^8/29; ~^2/29\]] where the paper prints
+    [0.655/0.276/0.069]. *)
+
+val table5 : Erm.Relation.t
+(** Expected [π̂\[rname, phone, speciality, rating\] R_A]. *)
+
+val table5_attrs : string list
+(** The projection list of Table 5. *)
+
+(** {1 The §2.1 / §2.2 worked example} *)
+
+val wok_m1 : Dst.Evidence.t
+(** §2.1: [\[ca^1/2; {hu,si}^1/3; ~^1/6\]] from DB_1. *)
+
+val wok_m2 : Dst.Evidence.t
+(** §2.2: [\[{ca,hu}^1/2; hu^1/4; ~^1/4\]] from DB_2. *)
+
+val wok_combined : Dst.Evidence.t
+(** §2.2's result: [\[ca^3/7; hu^1/3; {ca,hu}^2/21; {hu,si}^2/21;
+    ~^1/21\]]. *)
+
+val wok_conflict : float
+(** §2.2's κ = 1/8. *)
+
+val sec22_m1_exact : (Dst.Vset.t * Qarith.Q.t) list
+val sec22_m2_exact : (Dst.Vset.t * Qarith.Q.t) list
+val sec22_expected_exact : (Dst.Vset.t * Qarith.Q.t) list
+(** The same three assignments as exact rationals, for instantiating
+    {!Dst.Mass.Make}[(Num.Rational)] and checking §2.2 with zero
+    tolerance. *)
+
+(** {1 The rest of the Figure 2 global schema}
+
+    The paper's global schema also has a Manager entity set [M] and a
+    Manages/Managed-by relationship set [RM]; §4 claims "relations
+    modeling both entity and relationship types can be integrated in a
+    uniform manner". These relations exercise that claim: [RM] has a
+    composite key and carries its uncertainty purely in the tuple
+    membership. The data is constructed (the paper prints none for M/RM);
+    expected values below are hand-computed. *)
+
+val position : Dst.Domain.t
+(** {head-chef, manager, owner}. *)
+
+val m_schema : Erm.Schema.t
+(** mname (key), phone, †position. *)
+
+val rm_schema : Erm.Schema.t
+(** (rname, manager) composite key, no non-key attributes: membership
+    support is the only uncertain component. *)
+
+val m_a : Erm.Relation.t
+val m_b : Erm.Relation.t
+val rm_a : Erm.Relation.t
+val rm_b : Erm.Relation.t
+
+val chen_position_expected : Dst.Evidence.t
+(** [M_A ∪̂ M_B]'s chen row: [\[head-chef^0.8; ~^0.2\] ⊕ \[head-chef^0.5;
+    manager^0.5\] = \[head-chef^5/6; manager^1/6\]]. *)

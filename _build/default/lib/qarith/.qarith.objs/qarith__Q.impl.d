@@ -1,0 +1,1 @@
+lib/qarith/q.ml: Float Format Stdlib

@@ -1,0 +1,133 @@
+(* Exact rationals over native ints with explicit overflow detection.
+   Intermediate products use a checked multiply: native ints are 63-bit,
+   so products of operands up to ~2^31 are always safe; larger operands go
+   through a division-based check. *)
+
+type t = { num : int; den : int }
+
+exception Overflow
+exception Division_by_zero
+
+let zero = { num = 0; den = 1 }
+let one = { num = 1; den = 1 }
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow else p
+
+let checked_add a b =
+  let s = a + b in
+  (* Overflow iff operands share a sign and the sum's sign differs. *)
+  if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then raise Overflow else s
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let normalize num den =
+  if den = 0 then raise Division_by_zero
+  else if num = 0 then zero
+  else
+    let s = if den < 0 then -1 else 1 in
+    if num = min_int || den = min_int then raise Overflow
+    else
+      let num = s * num and den = s * den in
+      let g = gcd (abs num) den in
+      { num = num / g; den = den / g }
+
+let make num den = normalize num den
+let of_int n = { num = n; den = 1 }
+let num t = t.num
+let den t = t.den
+
+let add a b =
+  (* Use gcd of denominators to keep intermediates small. *)
+  let g = gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  let n = checked_add (checked_mul a.num db) (checked_mul b.num da) in
+  normalize n (checked_mul a.den db)
+
+let neg a = { a with num = -a.num }
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* Cross-reduce first to delay overflow. *)
+  let g1 = gcd (abs a.num) b.den and g2 = gcd (abs b.num) a.den in
+  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+  let n = checked_mul (a.num / g1) (b.num / g2) in
+  let d = checked_mul (a.den / g2) (b.den / g1) in
+  normalize n d
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero
+  else if a.num < 0 then { num = -a.den; den = -a.num }
+  else { num = a.den; den = a.num }
+
+let div a b = mul a (inv b)
+let abs a = { a with num = Stdlib.abs a.num }
+
+let sign a = compare a.num 0
+let is_zero a = a.num = 0
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den.
+     Denominators are positive so the direction is preserved. *)
+  match (sign a, sign b) with
+  | -1, (0 | 1) -> -1
+  | 0, 0 -> 0
+  | 0, 1 -> -1
+  | 0, -1 -> 1
+  | 1, (-1 | 0) -> 1
+  | _ ->
+      let lhs = checked_mul a.num b.den and rhs = checked_mul b.num a.den in
+      Stdlib.compare lhs rhs
+
+let equal a b = a.num = b.num && a.den = b.den
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( = ) = equal
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let of_float_dyadic f =
+  let open Stdlib in
+  if not (Float.is_finite f) then invalid_arg "Q.of_float_dyadic: not finite"
+  else begin
+    let mantissa, exponent = Float.frexp f in
+    (* mantissa * 2^53 is an integer for any finite float. *)
+    let scaled = Float.ldexp mantissa 53 in
+    if Float.abs scaled >= Float.ldexp 1.0 62 then raise Overflow
+    else
+      let n = int_of_float scaled in
+      let e = exponent - 53 in
+      if e >= 0 then begin
+        if e > 61 then raise Overflow
+        else normalize (checked_mul n (1 lsl e)) 1
+      end
+      else begin
+        let e = -e in
+        if e > 61 then begin
+          (* Strip trailing zero bits of the mantissa first. *)
+          let rec strip n e =
+            if n <> 0 && n land 1 = 0 && e > 61 then strip (n asr 1) (e - 1)
+            else (n, e)
+          in
+          let n, e = strip n e in
+          if e > 61 then raise Overflow else normalize n (1 lsl e)
+        end
+        else normalize n (1 lsl e)
+      end
+  end
+
+let pp ppf a =
+  if Stdlib.( = ) a.den 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,84 @@
+(** Exact rational arithmetic over native integers with overflow checking.
+
+    Masses in Dempster-Shafer combination are products and normalized sums
+    of rationals; the paper's worked example (§2.2) produces fractions such
+    as [3/7] and [2/21] which cannot be compared exactly in floating point.
+    This module provides a small, dependency-free rational type used to
+    instantiate the {!Dst.Mass.Make} functor in tests, so the paper's
+    numbers are checked exactly rather than within an epsilon.
+
+    All operations normalize (gcd-reduced, positive denominator) and raise
+    {!Overflow} if an intermediate product would exceed the native integer
+    range, rather than silently wrapping. *)
+
+type t
+(** A rational number [num/den] in lowest terms with [den > 0]. *)
+
+exception Overflow
+(** Raised when an operation would overflow native integer arithmetic. *)
+
+exception Division_by_zero
+(** Raised by {!div} and {!make} when the denominator is zero. *)
+
+val make : int -> int -> t
+(** [make num den] is the rational [num/den] in lowest terms.
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+(** [of_int n] is the rational [n/1]. *)
+
+val zero : t
+val one : t
+
+val num : t -> int
+(** Numerator of the normalized representation. *)
+
+val den : t -> int
+(** Denominator of the normalized representation; always positive. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is {!zero}. *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+
+val compare : t -> t -> int
+(** Total order; exact (no overflow for comparisons of reduced values
+    within range — falls back to cross multiplication with checks). *)
+
+val equal : t -> t -> bool
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+
+val to_float : t -> float
+
+val of_float_dyadic : float -> t
+(** Exact conversion of a finite float whose representation fits native
+    integers (used for converting decimal literals like [0.25]).
+    @raise Overflow if the float's exact dyadic expansion does not fit.
+    @raise Invalid_argument on nan/infinite input. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [n/d], or just [n] when [d = 1]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/query/eval.ml: Ast Dst Erm Format List Parser

@@ -1,0 +1,1 @@
+lib/query/explain.ml: Ast Erm Eval Float Format List Plan Printf String

@@ -1,0 +1,1 @@
+lib/query/explain.mli: Ast Eval Format

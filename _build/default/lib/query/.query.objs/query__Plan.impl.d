@@ -1,0 +1,1 @@
+lib/query/plan.ml: Ast Erm Eval Format List

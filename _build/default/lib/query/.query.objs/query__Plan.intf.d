@@ -1,0 +1,1 @@
+lib/query/plan.mli: Ast Erm Eval

@@ -1,0 +1,130 @@
+type operand =
+  | Attr of string
+  | Scalar of Dst.Value.t
+  | Set_lit of Dst.Value.t list
+  | Evidence_lit of string
+
+type pred =
+  | True
+  | Is of string * Dst.Value.t list
+  | Cmp of Erm.Predicate.cmp * operand * operand
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type query =
+  | Rel of string
+  | Select of {
+      cols : string list option;
+      from : query;
+      where : pred;
+      threshold : Erm.Threshold.t;
+    }
+  | Union of query * query
+  | Intersect of query * query
+  | Except of query * query
+  | Product of query * query
+  | Join of {
+      left : query;
+      right : query;
+      on : pred;
+      threshold : Erm.Threshold.t;
+    }
+  | Ranked of {
+      from : query;
+      by : Erm.Threshold.field;
+      ascending : bool;
+      limit : int option;
+    }
+  | Prefixed of { from : query; prefix : string }
+
+let pp_operand ppf = function
+  | Attr a -> Format.pp_print_string ppf a
+  | Scalar v -> Dst.Value.pp ppf v
+  | Set_lit vs ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Dst.Value.pp)
+        vs
+  | Evidence_lit raw -> Format.pp_print_string ppf raw
+
+let rec pp_pred ppf = function
+  | True -> Format.pp_print_string ppf "TRUE"
+  | Is (a, vs) -> Format.fprintf ppf "%s IS %a" a pp_operand (Set_lit vs)
+  | Cmp (cmp, x, y) ->
+      Format.fprintf ppf "%a %s %a" pp_operand x
+        (Erm.Predicate.cmp_to_string cmp)
+        pp_operand y
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp_pred a pp_pred b
+  | Not a -> Format.fprintf ppf "(NOT %a)" pp_pred a
+
+let pp_threshold ppf (t : Erm.Threshold.t) =
+  let rec go ppf = function
+    | Erm.Threshold.Always -> Format.pp_print_string ppf "ALWAYS"
+    | Erm.Threshold.Cmp (f, op, b) ->
+        let field =
+          match f with Erm.Threshold.Sn -> "SN" | Erm.Threshold.Sp -> "SP"
+        in
+        let op =
+          match op with
+          | Erm.Threshold.Gt -> ">"
+          | Erm.Threshold.Ge -> ">="
+          | Erm.Threshold.Lt -> "<"
+          | Erm.Threshold.Le -> "<="
+          | Erm.Threshold.Eq -> "="
+        in
+        Format.fprintf ppf "%s %s %g" field op b
+    | Erm.Threshold.Both (a, b) -> Format.fprintf ppf "%a AND %a" go a go b
+  in
+  go ppf t
+
+let rec pp ppf = function
+  | Rel name -> Format.pp_print_string ppf name
+  | Select { cols; from; where; threshold } ->
+      let pp_cols ppf = function
+        | None -> Format.pp_print_string ppf "*"
+        | Some cs ->
+            Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+              Format.pp_print_string ppf cs
+      in
+      Format.fprintf ppf "SELECT %a FROM %a" pp_cols cols pp_nested from;
+      (match where with
+      | True -> ()
+      | _ -> Format.fprintf ppf " WHERE %a" pp_pred where);
+      (match threshold with
+      | Erm.Threshold.Always -> ()
+      | t -> Format.fprintf ppf " WITH %a" pp_threshold t)
+  | Union (a, b) -> Format.fprintf ppf "%a UNION %a" pp_nested a pp_nested b
+  | Intersect (a, b) ->
+      Format.fprintf ppf "%a INTERSECT %a" pp_nested a pp_nested b
+  | Except (a, b) -> Format.fprintf ppf "%a EXCEPT %a" pp_nested a pp_nested b
+  | Product (a, b) ->
+      Format.fprintf ppf "%a TIMES %a" pp_nested a pp_nested b
+  | Join { left; right; on; threshold } ->
+      Format.fprintf ppf "%a JOIN %a ON %a" pp_nested left pp_nested right
+        pp_pred on;
+      (match threshold with
+      | Erm.Threshold.Always -> ()
+      | t -> Format.fprintf ppf " WITH %a" pp_threshold t)
+  | Ranked { from; by; ascending; limit } ->
+      Format.fprintf ppf "%a ORDER BY %s %s" pp_nested from
+        (match by with Erm.Threshold.Sn -> "SN" | Erm.Threshold.Sp -> "SP")
+        (if ascending then "ASC" else "DESC");
+      (match limit with
+      | Some k -> Format.fprintf ppf " LIMIT %d" k
+      | None -> ())
+  | Prefixed { from; prefix } ->
+      Format.fprintf ppf "%a PREFIX %s" pp_nested from prefix
+
+and pp_nested ppf q =
+  match q with
+  | Rel name -> Format.pp_print_string ppf name
+  | Select _ | Union _ | Intersect _ | Except _ | Product _ | Join _
+  | Ranked _ | Prefixed _ ->
+      Format.fprintf ppf "(%a)" pp q
+
+let to_string q = Format.asprintf "%a" pp q
+let equal (a : query) (b : query) = a = b

@@ -1,0 +1,80 @@
+(** Abstract syntax of the ERIDB query language.
+
+    A small SQL-like surface over the extended algebra (the "Query
+    Processing" box of Figure 1; the paper's §4 names query processing
+    over these operators as its ongoing work):
+
+    {v
+    SELECT rname, phone FROM ra WHERE speciality IS {si} WITH SN > 0.5
+    ra UNION rb
+    SELECT * FROM ra JOIN rm ON rname = r_rname WHERE rating IS {ex}
+    v}
+
+    Evidence literals in θ-comparisons keep their raw text here; they can
+    only be given a frame once the evaluator knows which attribute they
+    are compared against. *)
+
+type operand =
+  | Attr of string
+  | Scalar of Dst.Value.t
+  | Set_lit of Dst.Value.t list
+      (** [{a, b}] — categorical evidence over the peer attribute's
+          domain. *)
+  | Evidence_lit of string
+      (** Raw [[…^…]] text, parsed against the peer attribute's domain
+          at evaluation time. *)
+
+type pred =
+  | True
+  | Is of string * Dst.Value.t list
+  | Cmp of Erm.Predicate.cmp * operand * operand
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type query =
+  | Rel of string  (** A named relation from the evaluation environment. *)
+  | Select of {
+      cols : string list option;  (** [None] is [SELECT *]. *)
+      from : query;
+      where : pred;
+      threshold : Erm.Threshold.t;
+    }
+  | Union of query * query
+  | Intersect of query * query
+      (** Key-matched Dempster merge only (extension; see
+          {!Erm.Ops.intersection}). *)
+  | Except of query * query
+      (** Key-based difference (extension; see {!Erm.Ops.difference}). *)
+  | Product of query * query
+  | Join of {
+      left : query;
+      right : query;
+      on : pred;
+      threshold : Erm.Threshold.t;
+    }
+  | Ranked of {
+      from : query;
+      by : Erm.Threshold.field;
+      ascending : bool;
+      limit : int option;
+    }
+      (** [ORDER BY SN/SP \[ASC|DESC\] \[LIMIT k\]] (extension): keep the
+          [k] best/worst tuples by membership. Without [LIMIT] the node
+          is the identity — extended relations are sets; ordering only
+          selects, it cannot persist. *)
+  | Prefixed of { from : query; prefix : string }
+      (** [rb PREFIX r_] (extension): rename every attribute with the
+          prefix, so self-joins need no pre-renamed copies:
+          [ra JOIN (ra PREFIX r_) ON rname = r_rname]. *)
+
+val pp_operand : Format.formatter -> operand -> unit
+val pp_pred : Format.formatter -> pred -> unit
+
+val pp : Format.formatter -> query -> unit
+(** Prints re-parsable query text. *)
+
+val to_string : query -> string
+
+val equal : query -> query -> bool
+(** Structural equality (used by optimizer tests). *)

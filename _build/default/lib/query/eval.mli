@@ -1,0 +1,22 @@
+(** Query evaluation: bind an {!Ast.query} against an environment of
+    named extended relations and run the extended operators. *)
+
+type env = (string * Erm.Relation.t) list
+
+exception Eval_error of string
+
+val bind_pred :
+  (string -> Erm.Attr.t option) -> Ast.pred -> Erm.Predicate.t
+(** Resolve literals into a typed {!Erm.Predicate.t}. Set literals become
+    categorical evidence over their own values; evidence literals are
+    parsed against the {e peer} attribute's domain, so [e0 = \[v1^0.5;
+    v2^0.5\]] requires [e0] to be evidential.
+    @raise Eval_error on unknown attributes or unbindable literals. *)
+
+val eval : env -> Ast.query -> Erm.Relation.t
+(** @raise Eval_error on unknown relation names, binding failures, or
+    schema errors (wrapped with context). Evidence conflicts raised by
+    union ({!Dst.Mass.F.Total_conflict}) propagate unchanged. *)
+
+val run : env -> string -> Erm.Relation.t
+(** Parse then evaluate. @raise Parser.Parse_error / {!Eval_error}. *)

@@ -1,0 +1,35 @@
+(** Query plans as printable trees with cardinality estimates.
+
+    Estimation is structural and conservative — it never evaluates the
+    query. A scan's bounds are the stored tuple count; a selection can
+    keep anything from nothing to everything; union bounds add, product
+    bounds multiply; [LIMIT k] caps both ends. The point is to show
+    {e shape} (what the optimizer moved where) and {e blow-up risk}
+    (products), not precise selectivities — evidential selectivity would
+    need the very Bel/Pls evaluation the explainer avoids. *)
+
+type node = {
+  op : string;  (** e.g. ["scan"], ["select"], ["join"]. *)
+  detail : string;  (** Relation name, predicate text, threshold, … *)
+  rows_min : float;
+  rows_max : float;
+  children : node list;
+}
+
+val explain : Eval.env -> Ast.query -> node
+(** @raise Eval.Eval_error on unknown relations (schemas must
+    resolve). *)
+
+val explain_optimized : Eval.env -> Ast.query -> node
+(** {!explain} of [Plan.optimize]'s output — what will actually run. *)
+
+val pp : Format.formatter -> node -> unit
+(** An indented tree, one node per line:
+    {v
+    select [rating IS {ex}] rows=[0, 6]
+      union rows=[6, 11]
+        scan ra rows=[6, 6]
+        scan rb rows=[5, 5]
+    v} *)
+
+val to_string : node -> string

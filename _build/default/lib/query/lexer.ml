@@ -1,0 +1,207 @@
+type token =
+  | SELECT
+  | FROM
+  | WHERE
+  | WITH
+  | UNION
+  | INTERSECT
+  | EXCEPT
+  | JOIN
+  | ON
+  | TIMES
+  | AND
+  | OR
+  | NOT
+  | IS
+  | TRUE
+  | SN
+  | SP
+  | ORDER
+  | BY
+  | ASC
+  | DESC
+  | LIMIT
+  | PREFIX
+  | STAR
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | EVIDENCE of string
+
+exception Lex_error of { position : int; message : string }
+
+let fail position message = raise (Lex_error { position; message })
+
+let keyword_of_string s =
+  match String.uppercase_ascii s with
+  | "SELECT" -> Some SELECT
+  | "FROM" -> Some FROM
+  | "WHERE" -> Some WHERE
+  | "WITH" -> Some WITH
+  | "UNION" -> Some UNION
+  | "INTERSECT" -> Some INTERSECT
+  | "EXCEPT" -> Some EXCEPT
+  | "JOIN" -> Some JOIN
+  | "ON" -> Some ON
+  | "TIMES" -> Some TIMES
+  | "AND" -> Some AND
+  | "OR" -> Some OR
+  | "NOT" -> Some NOT
+  | "IS" -> Some IS
+  | "TRUE" -> Some TRUE
+  | "SN" -> Some SN
+  | "SP" -> Some SP
+  | "ORDER" -> Some ORDER
+  | "BY" -> Some BY
+  | "ASC" -> Some ASC
+  | "DESC" -> Some DESC
+  | "LIMIT" -> Some LIMIT
+  | "PREFIX" -> Some PREFIX
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c || c = '-' || c = '.'
+
+let tokenize input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else
+        match c with
+        | '(' -> go (i + 1) (LPAREN :: acc)
+        | ')' -> go (i + 1) (RPAREN :: acc)
+        | '{' -> go (i + 1) (LBRACE :: acc)
+        | '}' -> go (i + 1) (RBRACE :: acc)
+        | ',' -> go (i + 1) (COMMA :: acc)
+        | '*' -> go (i + 1) (STAR :: acc)
+        | '=' -> go (i + 1) (EQ :: acc)
+        | '<' ->
+            if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (LE :: acc)
+            else if i + 1 < n && input.[i + 1] = '>' then go (i + 2) (NE :: acc)
+            else go (i + 1) (LT :: acc)
+        | '>' ->
+            if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (GE :: acc)
+            else go (i + 1) (GT :: acc)
+        | '[' ->
+            (* Capture the whole evidence literal verbatim. *)
+            let rec close j =
+              if j >= n then fail i "unterminated evidence literal"
+              else if input.[j] = ']' then j
+              else close (j + 1)
+            in
+            let j = close (i + 1) in
+            go (j + 1) (EVIDENCE (String.sub input i (j - i + 1)) :: acc)
+        | '"' ->
+            let rec close j =
+              if j >= n then fail i "unterminated string literal"
+              else if input.[j] = '\\' then close (j + 2)
+              else if input.[j] = '"' then j
+              else close (j + 1)
+            in
+            let j = close (i + 1) in
+            let raw = String.sub input i (j - i + 1) in
+            let value =
+              try Scanf.sscanf raw "%S%!" (fun s -> s)
+              with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+                fail i "malformed string literal"
+            in
+            go (j + 1) (STRING value :: acc)
+        | c when is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1])
+          ->
+            let j = ref (i + 1) in
+            let seen_dot = ref false in
+            while
+              !j < n
+              && (is_digit input.[!j] || (input.[!j] = '.' && not !seen_dot))
+            do
+              if input.[!j] = '.' then seen_dot := true;
+              incr j
+            done;
+            let raw = String.sub input i (!j - i) in
+            let tok =
+              if !seen_dot then
+                match float_of_string_opt raw with
+                | Some f -> FLOAT f
+                | None -> fail i ("malformed number " ^ raw)
+              else
+                match int_of_string_opt raw with
+                | Some k -> INT k
+                | None -> fail i ("malformed number " ^ raw)
+            in
+            go !j (tok :: acc)
+        | c when is_ident_start c ->
+            let j = ref (i + 1) in
+            while !j < n && is_ident_char input.[!j] do
+              incr j
+            done;
+            let raw = String.sub input i (!j - i) in
+            let tok =
+              match keyword_of_string raw with
+              | Some kw -> kw
+              | None -> IDENT raw
+            in
+            go !j (tok :: acc)
+        | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+let token_to_string = function
+  | SELECT -> "SELECT"
+  | FROM -> "FROM"
+  | WHERE -> "WHERE"
+  | WITH -> "WITH"
+  | UNION -> "UNION"
+  | INTERSECT -> "INTERSECT"
+  | EXCEPT -> "EXCEPT"
+  | JOIN -> "JOIN"
+  | ON -> "ON"
+  | TIMES -> "TIMES"
+  | AND -> "AND"
+  | OR -> "OR"
+  | NOT -> "NOT"
+  | IS -> "IS"
+  | TRUE -> "TRUE"
+  | SN -> "SN"
+  | SP -> "SP"
+  | ORDER -> "ORDER"
+  | BY -> "BY"
+  | ASC -> "ASC"
+  | DESC -> "DESC"
+  | LIMIT -> "LIMIT"
+  | PREFIX -> "PREFIX"
+  | STAR -> "*"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | EVIDENCE s -> s

@@ -1,0 +1,55 @@
+(** Tokenizer for the ERIDB query language.
+
+    Keywords are case-insensitive; identifiers keep their case. Evidence
+    literals ([[…]]) are captured verbatim as single tokens, since their
+    interpretation needs a frame that only the evaluator knows. *)
+
+type token =
+  | SELECT
+  | FROM
+  | WHERE
+  | WITH
+  | UNION
+  | INTERSECT
+  | EXCEPT
+  | JOIN
+  | ON
+  | TIMES
+  | AND
+  | OR
+  | NOT
+  | IS
+  | TRUE
+  | SN
+  | SP
+  | ORDER
+  | BY
+  | ASC
+  | DESC
+  | LIMIT
+  | PREFIX
+  | STAR
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | EVIDENCE of string  (** Raw bracketed evidence-literal text. *)
+
+exception Lex_error of { position : int; message : string }
+
+val tokenize : string -> token list
+(** @raise Lex_error on unterminated strings/evidence literals or
+    unexpected characters. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,253 @@
+exception Parse_error of string
+
+type state = { mutable tokens : Lexer.token list }
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.tokens with
+  | [] -> fail "unexpected end of query"
+  | t :: rest ->
+      st.tokens <- rest;
+      t
+
+let expect st tok =
+  let got = advance st in
+  if got <> tok then
+    fail "expected %s, got %s" (Lexer.token_to_string tok)
+      (Lexer.token_to_string got)
+
+let accept st tok =
+  match peek st with
+  | Some t when t = tok ->
+      ignore (advance st);
+      true
+  | Some _ | None -> false
+
+let literal_value st =
+  match advance st with
+  | Lexer.INT n -> Dst.Value.int n
+  | Lexer.FLOAT f -> Dst.Value.float f
+  | Lexer.STRING s -> Dst.Value.string s
+  | Lexer.IDENT s -> Dst.Value.string s
+  | t -> fail "expected a literal, got %s" (Lexer.token_to_string t)
+
+let set_literal st =
+  expect st Lexer.LBRACE;
+  let rec elems acc =
+    let v = literal_value st in
+    if accept st Lexer.COMMA then elems (v :: acc)
+    else begin
+      expect st Lexer.RBRACE;
+      List.rev (v :: acc)
+    end
+  in
+  elems []
+
+let cmp_of_token = function
+  | Lexer.EQ -> Some Erm.Predicate.Eq
+  | Lexer.NE -> Some Erm.Predicate.Ne
+  | Lexer.LT -> Some Erm.Predicate.Lt
+  | Lexer.LE -> Some Erm.Predicate.Le
+  | Lexer.GT -> Some Erm.Predicate.Gt
+  | Lexer.GE -> Some Erm.Predicate.Ge
+  | _ -> None
+
+let operand st =
+  match peek st with
+  | Some (Lexer.IDENT a) ->
+      ignore (advance st);
+      Ast.Attr a
+  | Some (Lexer.INT _ | Lexer.FLOAT _ | Lexer.STRING _) ->
+      Ast.Scalar (literal_value st)
+  | Some Lexer.LBRACE -> Ast.Set_lit (set_literal st)
+  | Some (Lexer.EVIDENCE raw) ->
+      ignore (advance st);
+      Ast.Evidence_lit raw
+  | Some t -> fail "expected an operand, got %s" (Lexer.token_to_string t)
+  | None -> fail "expected an operand, got end of query"
+
+let rec pred st = or_pred st
+
+and or_pred st =
+  let left = and_pred st in
+  if accept st Lexer.OR then Ast.Or (left, or_pred st) else left
+
+and and_pred st =
+  let left = unary_pred st in
+  if accept st Lexer.AND then Ast.And (left, and_pred st) else left
+
+and unary_pred st =
+  match peek st with
+  | Some Lexer.NOT ->
+      ignore (advance st);
+      Ast.Not (unary_pred st)
+  | Some Lexer.LPAREN ->
+      ignore (advance st);
+      let p = pred st in
+      expect st Lexer.RPAREN;
+      p
+  | Some Lexer.TRUE ->
+      ignore (advance st);
+      Ast.True
+  | _ -> atom_pred st
+
+and atom_pred st =
+  let left = operand st in
+  match (left, peek st) with
+  | Ast.Attr a, Some Lexer.IS ->
+      ignore (advance st);
+      Ast.Is (a, set_literal st)
+  | _, Some t -> (
+      match cmp_of_token t with
+      | Some cmp ->
+          ignore (advance st);
+          Ast.Cmp (cmp, left, operand st)
+      | None ->
+          fail "expected IS or a comparison, got %s" (Lexer.token_to_string t))
+  | _, None -> fail "dangling operand at end of query"
+
+let threshold st =
+  let atom () =
+    let field =
+      match advance st with
+      | Lexer.SN -> Erm.Threshold.Sn
+      | Lexer.SP -> Erm.Threshold.Sp
+      | t -> fail "expected SN or SP, got %s" (Lexer.token_to_string t)
+    in
+    let op =
+      match advance st with
+      | Lexer.GT -> Erm.Threshold.Gt
+      | Lexer.GE -> Erm.Threshold.Ge
+      | Lexer.LT -> Erm.Threshold.Lt
+      | Lexer.LE -> Erm.Threshold.Le
+      | Lexer.EQ -> Erm.Threshold.Eq
+      | t -> fail "expected a comparison, got %s" (Lexer.token_to_string t)
+    in
+    let bound =
+      match advance st with
+      | Lexer.FLOAT f -> f
+      | Lexer.INT n -> float_of_int n
+      | t -> fail "expected a number, got %s" (Lexer.token_to_string t)
+    in
+    Erm.Threshold.Cmp (field, op, bound)
+  in
+  let rec go acc = if accept st Lexer.AND then go (Erm.Threshold.Both (acc, atom ())) else acc in
+  go (atom ())
+
+let columns st =
+  if accept st Lexer.STAR then None
+  else
+    let rec go acc =
+      match advance st with
+      | Lexer.IDENT c ->
+          if accept st Lexer.COMMA then go (c :: acc)
+          else Some (List.rev (c :: acc))
+      | t -> fail "expected a column name, got %s" (Lexer.token_to_string t)
+    in
+    go []
+
+let rec query st =
+  let left = term st in
+  if accept st Lexer.UNION then Ast.Union (left, query st)
+  else if accept st Lexer.INTERSECT then Ast.Intersect (left, query st)
+  else if accept st Lexer.EXCEPT then Ast.Except (left, query st)
+  else left
+
+and term st =
+  let base =
+    if accept st Lexer.SELECT then begin
+      let cols = columns st in
+      expect st Lexer.FROM;
+      let from = joinable st in
+      let where = if accept st Lexer.WHERE then pred st else Ast.True in
+      let thr =
+        if accept st Lexer.WITH then threshold st else Erm.Threshold.Always
+      in
+      Ast.Select { cols; from; where; threshold = thr }
+    end
+    else joinable st
+  in
+  ranked st base
+
+(* Optional trailing ORDER BY SN|SP [ASC|DESC] [LIMIT k] / bare LIMIT k. *)
+and ranked st base =
+  if accept st Lexer.ORDER then begin
+    expect st Lexer.BY;
+    let by =
+      match advance st with
+      | Lexer.SN -> Erm.Threshold.Sn
+      | Lexer.SP -> Erm.Threshold.Sp
+      | t -> fail "expected SN or SP after ORDER BY, got %s" (Lexer.token_to_string t)
+    in
+    let ascending =
+      if accept st Lexer.ASC then true
+      else begin
+        ignore (accept st Lexer.DESC);
+        false
+      end
+    in
+    let limit = limit_clause st in
+    Ast.Ranked { from = base; by; ascending; limit }
+  end
+  else
+    match limit_clause st with
+    | Some _ as limit ->
+        Ast.Ranked { from = base; by = Erm.Threshold.Sn; ascending = false; limit }
+    | None -> base
+
+and limit_clause st =
+  if accept st Lexer.LIMIT then
+    match advance st with
+    | Lexer.INT k when k >= 0 -> Some k
+    | t -> fail "expected a count after LIMIT, got %s" (Lexer.token_to_string t)
+  else None
+
+and joinable st =
+  let rec loop left =
+    if accept st Lexer.JOIN then begin
+      let right = atom st in
+      expect st Lexer.ON;
+      let on = pred st in
+      let thr =
+        if accept st Lexer.WITH then threshold st else Erm.Threshold.Always
+      in
+      loop (Ast.Join { left; right; on; threshold = thr })
+    end
+    else if accept st Lexer.TIMES then loop (Ast.Product (left, atom st))
+    else left
+  in
+  loop (atom st)
+
+and atom st =
+  let base =
+    match advance st with
+    | Lexer.IDENT name -> Ast.Rel name
+    | Lexer.LPAREN ->
+        let q = query st in
+        expect st Lexer.RPAREN;
+        q
+    | t -> fail "expected a relation or (…), got %s" (Lexer.token_to_string t)
+  in
+  if accept st Lexer.PREFIX then
+    match advance st with
+    | Lexer.IDENT prefix -> Ast.Prefixed { from = base; prefix }
+    | t -> fail "expected a prefix identifier, got %s" (Lexer.token_to_string t)
+  else base
+
+let run_parser f input =
+  let tokens =
+    try Lexer.tokenize input
+    with Lexer.Lex_error { position; message } ->
+      fail "lexical error at offset %d: %s" position message
+  in
+  let st = { tokens } in
+  let result = f st in
+  match st.tokens with
+  | [] -> result
+  | t :: _ -> fail "trailing input at %s" (Lexer.token_to_string t)
+
+let parse input = run_parser query input
+let parse_pred input = run_parser pred input

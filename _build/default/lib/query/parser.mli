@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the ERIDB query language.
+
+    Grammar (keywords case-insensitive):
+    {v
+    query    := term (UNION term)*
+    term     := SELECT cols FROM joinable [WHERE pred] [WITH thresh]
+              | joinable
+    joinable := atom ( JOIN atom ON pred [WITH thresh] | TIMES atom )*
+    atom     := ident | '(' query ')'
+    cols     := '*' | ident (',' ident)*
+    pred     := orp ; orp := andp (OR andp)* ; andp := unary (AND unary)*
+    unary    := NOT unary | '(' pred ')' | TRUE | atom_pred
+    atom_pred:= ident IS set | operand cmp operand
+    operand  := ident | literal | set | evidence-literal
+    set      := '{' literal (',' literal)* '}'
+    cmp      := = | <> | < | <= | > | >=
+    thresh   := (SN|SP) cmp number (AND (SN|SP) cmp number)*
+    v} *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.query
+(** @raise Parse_error (also wraps {!Lexer.Lex_error}) with a readable
+    message. *)
+
+val parse_pred : string -> Ast.pred
+(** Parses a bare predicate — handy for tests and the REPL. *)

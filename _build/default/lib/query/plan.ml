@@ -1,0 +1,156 @@
+let fail fmt = Format.kasprintf (fun s -> raise (Eval.Eval_error s)) fmt
+
+let rec infer_schema env = function
+  | Ast.Rel name -> (
+      match List.assoc_opt name env with
+      | Some r -> Erm.Relation.schema r
+      | None -> fail "unknown relation %s" name)
+  | Ast.Select { cols; from; _ } -> (
+      let inner = infer_schema env from in
+      match cols with
+      | None -> inner
+      | Some names -> (
+          try Erm.Schema.project inner names
+          with Erm.Schema.Schema_error m -> fail "projection: %s" m))
+  | Ast.Union (a, _) | Ast.Intersect (a, _) | Ast.Except (a, _) ->
+      infer_schema env a
+  | Ast.Product (a, b) | Ast.Join { left = a; right = b; _ } -> (
+      try Erm.Schema.product (infer_schema env a) (infer_schema env b)
+      with Erm.Schema.Schema_error m -> fail "product: %s" m)
+  | Ast.Ranked { from; _ } -> infer_schema env from
+  | Ast.Prefixed { from; prefix } -> (
+      try Erm.Schema.rename_attrs (fun n -> prefix ^ n) (infer_schema env from)
+      with Erm.Schema.Schema_error m -> fail "prefix: %s" m)
+
+(* Attributes a predicate references. *)
+let rec pred_attrs = function
+  | Ast.True -> []
+  | Ast.Is (a, _) -> [ a ]
+  | Ast.Cmp (_, x, y) ->
+      let of_op = function Ast.Attr a -> [ a ] | _ -> [] in
+      of_op x @ of_op y
+  | Ast.And (a, b) | Ast.Or (a, b) -> pred_attrs a @ pred_attrs b
+  | Ast.Not a -> pred_attrs a
+
+let all_in schema attrs =
+  List.for_all (fun a -> Erm.Schema.mem schema a) attrs
+
+(* Split a predicate into its top-level conjuncts. *)
+let rec conjuncts = function
+  | Ast.And (a, b) -> conjuncts a @ conjuncts b
+  | Ast.True -> []
+  | p -> [ p ]
+
+let conjoin = function
+  | [] -> Ast.True
+  | p :: rest -> List.fold_left (fun acc q -> Ast.And (acc, q)) p rest
+
+(* Wrap an operand of a product/join in a pushed-down, threshold-free
+   selection. *)
+let select_on side preds =
+  match preds with
+  | [] -> side
+  | _ ->
+      Ast.Select
+        { cols = None;
+          from = side;
+          where = conjoin preds;
+          threshold = Erm.Threshold.Always }
+
+(* Partition conjuncts by which operand's schema covers them. An
+   evidence literal binds against its peer attribute, which moves with
+   the conjunct, so pushing is safe for every operand form. *)
+let partition_conjuncts sl sr preds =
+  List.fold_left
+    (fun (left, right, keep) p ->
+      let attrs = pred_attrs p in
+      if attrs <> [] && all_in sl attrs then (p :: left, right, keep)
+      else if attrs <> [] && all_in sr attrs then (left, p :: right, keep)
+      else (left, right, p :: keep))
+    ([], [], []) preds
+  |> fun (l, r, k) -> (List.rev l, List.rev r, List.rev k)
+
+let rec rewrite env q =
+  match q with
+  | Ast.Rel _ -> q
+  | Ast.Ranked { from; by; ascending; limit = None } ->
+      (* ORDER BY without LIMIT is the identity on a set. *)
+      ignore by;
+      ignore ascending;
+      rewrite env from
+  | Ast.Ranked ({ from; _ } as r) ->
+      Ast.Ranked { r with from = rewrite env from }
+  | Ast.Prefixed ({ from; _ } as r) ->
+      Ast.Prefixed { r with from = rewrite env from }
+  | Ast.Union (a, b) -> Ast.Union (rewrite env a, rewrite env b)
+  | Ast.Intersect (a, b) -> Ast.Intersect (rewrite env a, rewrite env b)
+  | Ast.Except (a, b) -> Ast.Except (rewrite env a, rewrite env b)
+  | Ast.Product (a, b) -> Ast.Product (rewrite env a, rewrite env b)
+  | Ast.Join { left; right; on; threshold } ->
+      let left = rewrite env left and right = rewrite env right in
+      let sl = infer_schema env left and sr = infer_schema env right in
+      let push_l, push_r, keep = partition_conjuncts sl sr (conjuncts on) in
+      Ast.Join
+        { left = select_on left push_l;
+          right = select_on right push_r;
+          on = conjoin keep;
+          threshold }
+  | Ast.Select { cols; from; where; threshold } -> (
+      let from = rewrite env from in
+      match from with
+      (* Cascade: merge into an inner threshold-free selection. *)
+      | Ast.Select
+          { cols = None; from = inner; where = w'; threshold = Erm.Threshold.Always }
+        ->
+          rewrite env
+            (Ast.Select
+               { cols; from = inner; where = Ast.And (where, w'); threshold })
+      (* Fusion: select over product becomes a join. *)
+      | Ast.Product (a, b) when cols = None ->
+          rewrite env (Ast.Join { left = a; right = b; on = where; threshold })
+      (* Pushdown through a threshold-free join: conjuncts covered by one
+         side move into that side. *)
+      | Ast.Join
+          { left; right; on; threshold = Erm.Threshold.Always }
+        when cols = None ->
+          let sl = infer_schema env left and sr = infer_schema env right in
+          let push_l, push_r, keep =
+            partition_conjuncts sl sr (conjuncts where)
+          in
+          if push_l = [] && push_r = [] then
+            if
+              cols = None && where = Ast.True
+              && threshold = Erm.Threshold.Always
+            then from
+            else Ast.Select { cols; from; where; threshold }
+          else
+            rewrite env
+              (Ast.Select
+                 { cols;
+                   from =
+                     Ast.Join
+                       { left = select_on left push_l;
+                         right = select_on right push_r;
+                         on;
+                         threshold = Erm.Threshold.Always };
+                   where = conjoin keep;
+                   threshold })
+      | _ ->
+          (* A trivial selection is the identity: no predicate, no
+             threshold, no column list. *)
+          if cols = None && where = Ast.True && threshold = Erm.Threshold.Always
+          then from
+          else Ast.Select { cols; from; where; threshold })
+
+let optimize env q =
+  (* Rewrites are size-reducing or strictly-structuring; a short fixpoint
+     loop suffices. *)
+  let rec fixpoint n q =
+    if n = 0 then q
+    else
+      let q' = rewrite env q in
+      if Ast.equal q q' then q else fixpoint (n - 1) q'
+  in
+  fixpoint 8 q
+
+let eval_optimized env q = Eval.eval env (optimize env q)

@@ -1,0 +1,34 @@
+(** Algebraic query rewrites.
+
+    Only rewrites that are {e sound in the extended algebra} are applied.
+    Because selection multiplies support pairs into the membership
+    ([F_TM]), and products are commutative and associative, the classic
+    pushdowns through product/join hold. Two classical rewrites are
+    {e unsound} here and deliberately absent:
+
+    - σ does {b not} distribute over extended union: union combines
+      matched tuples with Dempster's rule, and
+      [F_TM(tm_r ⊕ tm_s, s) ≠ F_TM(tm_r, s) ⊕ F_TM(tm_s, s)] in general;
+    - membership thresholds cannot be pushed below an operator: they
+      constrain the {e final} membership, so pushed selections always
+      carry threshold [Always] while the original threshold stays at the
+      top.
+
+    Applied rewrites (to fixpoint):
+    + selection cascade: [σ_P[Q](σ_P'[Always](R)) → σ_(P∧P')[Q](R)];
+    + select-over-product fusion into join;
+    + predicate pushdown through product and join: conjuncts of the
+      selection (and of a join's [ON]) that reference only one operand's
+      attributes move to that operand as a threshold-free selection. *)
+
+val infer_schema : Eval.env -> Ast.query -> Erm.Schema.t
+(** The output schema of a query without evaluating it.
+    @raise Eval.Eval_error on unknown relations or invalid column
+    lists. *)
+
+val optimize : Eval.env -> Ast.query -> Ast.query
+(** Rewrite to fixpoint. The result always evaluates to a relation equal
+    to the original's (property-tested in [test/test_query.ml]). *)
+
+val eval_optimized : Eval.env -> Ast.query -> Erm.Relation.t
+(** [Eval.eval env (optimize env q)]. *)

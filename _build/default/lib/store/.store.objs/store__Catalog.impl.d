@@ -1,0 +1,1 @@
+lib/store/catalog.ml: Array Erm Filename Format Fun List String Sys

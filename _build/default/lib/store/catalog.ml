@@ -1,0 +1,107 @@
+type t = {
+  dir : string;
+  relations : (string * Erm.Relation.t) list;  (** manifest order *)
+}
+
+exception Catalog_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Catalog_error s)) fmt
+let manifest_file dir = Filename.concat dir "CATALOG"
+let relation_file dir name = Filename.concat dir (name ^ ".erd")
+
+let check_name name =
+  if
+    name = ""
+    || String.exists (fun c -> c = '/' || c = '\\' || c = '\000') name
+  then fail "relation name %S is not usable as a filename" name
+
+let create dir =
+  if Sys.file_exists dir && not (Sys.is_directory dir) then
+    fail "%s exists and is not a directory" dir
+  else { dir; relations = [] }
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load dir =
+  let manifest = manifest_file dir in
+  if not (Sys.file_exists manifest) then
+    fail "no catalog at %s (missing %s)" dir manifest
+  else
+    let names =
+      read_file manifest
+      |> String.split_on_char '\n'
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    in
+    let relations =
+      List.map
+        (fun name ->
+          let path = relation_file dir name in
+          if not (Sys.file_exists path) then
+            fail "manifest lists %s but %s is missing" name path
+          else (name, Erm.Io.relation_of_string (read_file path)))
+        names
+    in
+    { dir; relations }
+
+let dir t = t.dir
+let names t = List.map fst t.relations
+let mem t name = List.mem_assoc name t.relations
+
+let get t name =
+  match List.assoc_opt name t.relations with
+  | Some r -> r
+  | None -> raise Not_found
+
+let get_opt t name = List.assoc_opt name t.relations
+
+let put t name r =
+  check_name name;
+  let renamed =
+    Erm.Relation.map_tuples
+      (fun tuple -> Some tuple)
+      (Erm.Schema.rename_relation name (Erm.Relation.schema r))
+      r
+  in
+  if mem t name then
+    { t with
+      relations =
+        List.map
+          (fun (n, old) -> if String.equal n name then (n, renamed) else (n, old))
+          t.relations }
+  else { t with relations = t.relations @ [ (name, renamed) ] }
+
+let drop t name =
+  { t with
+    relations = List.filter (fun (n, _) -> not (String.equal n name)) t.relations }
+
+let env t = t.relations
+
+let write_atomically path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let commit t =
+  if not (Sys.file_exists t.dir) then Sys.mkdir t.dir 0o755;
+  List.iter
+    (fun (name, r) ->
+      write_atomically (relation_file t.dir name) (Erm.Io.to_string r))
+    t.relations;
+  write_atomically (manifest_file t.dir)
+    (String.concat "\n" (names t) ^ "\n");
+  (* Garbage-collect files for relations no longer in the manifest. *)
+  Array.iter
+    (fun file ->
+      if Filename.check_suffix file ".erd" then begin
+        let name = Filename.chop_suffix file ".erd" in
+        if not (mem t name) then Sys.remove (Filename.concat t.dir file)
+      end)
+    (Sys.readdir t.dir)

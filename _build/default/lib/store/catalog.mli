@@ -1,0 +1,62 @@
+(** A persistent catalog: a directory of [.erd] files with a manifest.
+
+    The on-disk layout is deliberately boring —
+
+    {v
+    mydb/
+      CATALOG            # one relation name per line, in commit order
+      ra.erd             # one relation per file, Erm.Io format
+      rb.erd
+    v}
+
+    — so databases are diffable and editable by hand. {!commit} is
+    crash-safe in the write-temp-then-rename sense: every file is
+    written to [<name>.tmp] and renamed into place, the manifest last,
+    so an interrupted commit leaves the previous state readable. The
+    in-memory catalog is immutable; {!put}/{!drop} return new values and
+    nothing touches the disk until {!commit}. *)
+
+type t
+
+exception Catalog_error of string
+
+val create : string -> t
+(** [create dir] starts an empty catalog rooted at [dir] (created on
+    {!commit} if missing). @raise Catalog_error if [dir] exists and is
+    not a directory. *)
+
+val load : string -> t
+(** Read a committed catalog back from disk.
+    @raise Catalog_error on a missing/corrupt manifest.
+    @raise Erm.Io.Io_error on malformed relation files. *)
+
+val dir : t -> string
+
+val names : t -> string list
+(** Relation names, in manifest order. *)
+
+val mem : t -> string -> bool
+
+val get : t -> string -> Erm.Relation.t
+(** @raise Not_found. *)
+
+val get_opt : t -> string -> Erm.Relation.t option
+
+val put : t -> string -> Erm.Relation.t -> t
+(** Bind (or replace) a relation under the given name. The stored
+    relation is renamed to match, so {!get} and the query environment
+    agree with the catalog name.
+    @raise Catalog_error on names unfit for filenames (empty, or
+    containing [/], [\\] or NUL). *)
+
+val drop : t -> string -> t
+(** Forget a relation (removes its file on the next {!commit}). Unknown
+    names are a no-op. *)
+
+val env : t -> (string * Erm.Relation.t) list
+(** The catalog as a query-evaluation environment. *)
+
+val commit : t -> unit
+(** Persist atomically-per-file as described above. Files for dropped
+    relations are deleted after the manifest no longer mentions them.
+    @raise Sys_error on IO failures. *)

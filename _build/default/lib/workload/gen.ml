@@ -1,0 +1,152 @@
+let domain ~size name =
+  Dst.Domain.of_strings name (List.init size (fun i -> "v" ^ string_of_int i))
+
+let vset rng dom ~max_size =
+  let values = Dst.Vset.to_list (Dst.Domain.values dom) in
+  let n = min max_size (List.length values) in
+  let size = 1 + Rng.int rng n in
+  Dst.Vset.of_list (Rng.sample rng size values)
+
+(* A focal set drawn by Zipf rank: popular (low-rank) values co-occur
+   across sources, lowering conflict. Duplicated ranks collapse, so the
+   set can come out smaller than the uniform version's. *)
+let vset_zipf rng dom ~max_size ~s =
+  let values = Array.of_list (Dst.Vset.to_list (Dst.Domain.values dom)) in
+  let n = Array.length values in
+  let size = 1 + Rng.int rng (min max_size n) in
+  List.init size (fun _ -> values.(Rng.zipf rng ~s ~n - 1))
+  |> Dst.Vset.of_list
+
+let evidence rng ?(focals = 3) ?(max_focal_size = 2) ?(omega_floor = 0.05)
+    ?(zipf_skew = 0.0) dom =
+  let draw () =
+    if zipf_skew > 0.0 then
+      vset_zipf rng dom ~max_size:max_focal_size ~s:zipf_skew
+    else vset rng dom ~max_size:max_focal_size
+  in
+  (* Draw distinct focal sets; duplicates collapse, so the result has at
+     most [focals] focal elements. *)
+  let sets = List.init focals (fun _ -> draw ()) in
+  let weighted =
+    List.map (fun s -> (s, 0.1 +. Rng.float rng 1.0)) sets
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 weighted in
+  let scale = (1.0 -. omega_floor) /. total in
+  let entries = List.map (fun (s, w) -> (s, w *. scale)) weighted in
+  let entries =
+    if omega_floor > 0.0 then
+      (Dst.Domain.values dom, omega_floor) :: entries
+    else entries
+  in
+  Dst.Mass.F.make dom entries
+
+let conflicting_pair rng ~conflict dom =
+  let values = Dst.Vset.to_list (Dst.Domain.values dom) in
+  let n = List.length values in
+  if n < 4 then invalid_arg "Gen.conflicting_pair: domain too small"
+  else
+    let rec split i l (left, right) =
+      match l with
+      | [] -> (left, right)
+      | v :: rest ->
+          if i < n / 2 then split (i + 1) rest (v :: left, right)
+          else split (i + 1) rest (left, v :: right)
+    in
+    let left, right = split 0 values ([], []) in
+    (* m1 concentrates on the left half; m2 puts ~[conflict] of its mass
+       on the right half (disjoint from every m1 focal). *)
+    let m1 =
+      Dst.Mass.F.make dom
+        [ (Dst.Vset.of_list (Rng.sample rng 2 left), 0.7);
+          (Dst.Vset.singleton (Rng.pick rng left), 0.3) ]
+    in
+    let agree = Dst.Vset.of_list left in
+    let disagree = Dst.Vset.of_list (Rng.sample rng 2 right) in
+    let m2 =
+      if conflict <= 0.0 then Dst.Mass.F.certain_set dom agree
+      else if conflict >= 1.0 then Dst.Mass.F.certain_set dom disagree
+      else
+        Dst.Mass.F.make dom [ (agree, 1.0 -. conflict); (disagree, conflict) ]
+    in
+    (m1, m2)
+
+let support rng =
+  let sn = 0.05 +. Rng.float rng 0.95 in
+  let sp = sn +. Rng.float rng (1.0 -. sn) in
+  Dst.Support.make ~sn ~sp
+
+let schema ?(definite = 1) ?(evidential = 2) ?(domain_size = 8) name =
+  let key = [ Erm.Attr.definite "k" "string" ] in
+  let defs =
+    List.init definite (fun i ->
+        Erm.Attr.definite ("a" ^ string_of_int i) "string")
+  in
+  let evs =
+    List.init evidential (fun i ->
+        let attr_name = "e" ^ string_of_int i in
+        Erm.Attr.evidential attr_name (domain ~size:domain_size attr_name))
+  in
+  Erm.Schema.make ~name ~key ~nonkey:(defs @ evs)
+
+let tuple rng ?focals schema key_name =
+  let cells =
+    List.map
+      (fun attr ->
+        match Erm.Attr.kind attr with
+        | Erm.Attr.Definite _ ->
+            Erm.Etuple.Definite
+              (Dst.Value.string
+                 (Printf.sprintf "%s-%d" (Erm.Attr.name attr)
+                    (Rng.int rng 1000)))
+        | Erm.Attr.Evidential dom ->
+            Erm.Etuple.Evidence (evidence rng ?focals dom))
+      (Erm.Schema.nonkey schema)
+  in
+  Erm.Etuple.make schema
+    ~key:[ Dst.Value.string key_name ]
+    ~cells ~tm:(support rng)
+
+let relation rng ?focals ~size schema =
+  let tuples =
+    List.init size (fun i -> tuple rng ?focals schema ("key" ^ string_of_int i))
+  in
+  Erm.Relation.of_tuples schema tuples
+
+(* Another observation of the same tuple: definite cells agree (the
+   paper's consistent-sources assumption), evidential cells are fresh
+   evidence from this source, membership is re-assessed. *)
+let reobserve_tuple rng ?focals schema base =
+  let cells =
+    List.map2
+      (fun attr cell ->
+        match (Erm.Attr.kind attr, cell) with
+        | Erm.Attr.Evidential dom, Erm.Etuple.Evidence _ ->
+            Erm.Etuple.Evidence (evidence rng ?focals dom)
+        | (Erm.Attr.Definite _ | Erm.Attr.Evidential _), cell -> cell)
+      (Erm.Schema.nonkey schema) (Erm.Etuple.cells base)
+  in
+  Erm.Etuple.make schema ~key:(Erm.Etuple.key base) ~cells ~tm:(support rng)
+
+let reobserve rng ?focals r =
+  let schema = Erm.Relation.schema r in
+  Erm.Relation.fold
+    (fun t acc -> Erm.Relation.add acc (reobserve_tuple rng ?focals schema t))
+    r (Erm.Relation.empty schema)
+
+let source_pair rng ?focals ~size ~overlap schema =
+  let shared = int_of_float (float_of_int size *. overlap) in
+  let a =
+    Erm.Relation.of_tuples schema
+      (List.init size (fun i ->
+           tuple rng ?focals schema ("key" ^ string_of_int i)))
+  in
+  let second_observation key =
+    reobserve_tuple rng ?focals schema (Erm.Relation.find a key)
+  in
+  let b_tuples =
+    List.init size (fun i ->
+        if i < shared then
+          second_observation [ Dst.Value.string ("key" ^ string_of_int i) ]
+        else tuple rng ?focals schema ("key" ^ string_of_int (size + i)))
+  in
+  (a, Erm.Relation.of_tuples schema b_tuples)

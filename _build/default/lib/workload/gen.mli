@@ -1,0 +1,72 @@
+(** Synthetic workload generation for benchmarks and property tests.
+
+    The paper's own tables have six rows; scaling behaviour is
+    characterized on synthetic extended relations with controlled size,
+    key overlap between sources, focal-set counts and conflict level. All
+    generation is deterministic given the {!Rng.t}. *)
+
+val domain : size:int -> string -> Dst.Domain.t
+(** [domain ~size name]: values [v0 … v(size-1)]. *)
+
+val vset : Rng.t -> Dst.Domain.t -> max_size:int -> Dst.Vset.t
+(** A random non-empty subset with 1 to [max_size] elements. *)
+
+val evidence :
+  Rng.t ->
+  ?focals:int ->
+  ?max_focal_size:int ->
+  ?omega_floor:float ->
+  ?zipf_skew:float ->
+  Dst.Domain.t ->
+  Dst.Evidence.t
+(** A random evidence set with (up to) [focals] distinct focal elements
+    (default 3) of at most [max_focal_size] values (default 2) and random
+    normalized masses. [omega_floor] (default 0.05) reserves that much
+    mass for Ω, which guarantees κ < 1 when combining any two generated
+    evidence sets — benchmarks can then exercise Dempster's rule without
+    total-conflict exceptions. Pass [~omega_floor:0.0] to allow total
+    conflict. [zipf_skew] (default 0: uniform) draws focal-element values
+    by Zipf rank over the domain's value order instead of uniformly —
+    skewed workloads make sources {e agree} more often (popular values
+    co-occur), which lowers κ; the [sweep:union-*-skew] benches measure
+    the effect. *)
+
+val conflicting_pair :
+  Rng.t ->
+  conflict:float ->
+  Dst.Domain.t ->
+  Dst.Evidence.t * Dst.Evidence.t
+(** A pair of evidence sets whose Dempster conflict κ is approximately
+    [conflict] (the second source places that fraction of its mass on
+    values disjoint from the first source's focals). Requires a domain of
+    at least 4 values. *)
+
+val support : Rng.t -> Dst.Support.t
+(** A random support pair with [sn > 0] (CWA_ER-admissible). *)
+
+val schema :
+  ?definite:int -> ?evidential:int -> ?domain_size:int -> string -> Erm.Schema.t
+(** A schema with one string key [k], [definite] string attributes
+    [a0 …] (default 1) and [evidential] attributes [e0 …] (default 2)
+    over fresh domains of [domain_size] values (default 8). *)
+
+val relation :
+  Rng.t -> ?focals:int -> size:int -> Erm.Schema.t -> Erm.Relation.t
+(** [size] tuples with keys [key0 … key(size-1)], random definite cells,
+    random evidence and random admissible membership. *)
+
+val reobserve : Rng.t -> ?focals:int -> Erm.Relation.t -> Erm.Relation.t
+(** Another source's observation of the same entities: same keys and
+    definite cells, fresh evidence and membership. Union-safe with the
+    input (and with anything the input is union-safe with). *)
+
+val source_pair :
+  Rng.t ->
+  ?focals:int ->
+  size:int ->
+  overlap:float ->
+  Erm.Schema.t ->
+  Erm.Relation.t * Erm.Relation.t
+(** Two relations of [size] tuples each sharing [overlap·size] keys —
+    the two-database integration workload. Evidence cells keep the
+    default Ω floor, so extended union never hits total conflict. *)

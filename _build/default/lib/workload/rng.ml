@@ -1,0 +1,82 @@
+(* splitmix64: Steele, Lea & Flood (2014). State is a single 64-bit
+   counter; each draw mixes the incremented state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive"
+  else
+    (* Mask to 62 bits: OCaml's native int is 63-bit, so a 63-bit draw
+       would wrap negative through Int64.to_int. *)
+    let raw = Int64.to_int (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL) in
+    raw mod bound
+
+let float t bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. raw /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let pick t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let sample t k l =
+  let n = List.length l in
+  if k > n then invalid_arg "Rng.sample: k exceeds list length"
+  else
+    (* Reservoir-free: walk the list keeping each element with the
+       probability of filling the remaining quota. *)
+    let rec go need left l acc =
+      if need = 0 then List.rev acc
+      else
+        match l with
+        | [] -> List.rev acc
+        | x :: rest ->
+            if int t left < need then go (need - 1) (left - 1) rest (x :: acc)
+            else go need (left - 1) rest acc
+    in
+    go k n l []
+
+let shuffle t l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let zipf t ~s ~n =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive"
+  else
+    let weight k = 1.0 /. (float_of_int k ** s) in
+    let total = ref 0.0 in
+    for k = 1 to n do
+      total := !total +. weight k
+    done;
+    let target = float t !total in
+    let rec find k acc =
+      if k >= n then n
+      else
+        let acc = acc +. weight k in
+        if target < acc then k else find (k + 1) acc
+    in
+    find 1 0.0

@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Benchmarks and property tests need reproducible workloads independent
+    of the stdlib [Random] state; this is a self-contained splitmix64
+    with convenience draws. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. Equal seeds produce equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from the current state — lets
+    sub-workloads draw without perturbing their parent's stream. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0 .. bound-1].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. @raise Invalid_argument on the empty list. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k l] draws [k] distinct elements (in stream order).
+    @raise Invalid_argument if [k] exceeds the list length. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val zipf : t -> s:float -> n:int -> int
+(** A draw from a Zipf distribution with exponent [s] over ranks
+    [1 .. n] (via inverse-CDF on precomputable weights; O(n) per call,
+    fine for workload generation). *)

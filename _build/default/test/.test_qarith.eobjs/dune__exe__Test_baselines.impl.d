@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Dst Erm Format List Paperdata

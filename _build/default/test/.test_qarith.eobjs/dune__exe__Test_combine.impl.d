@@ -1,0 +1,1 @@
+test/test_combine.ml: Alcotest Dst List Paperdata Qarith

@@ -1,0 +1,1 @@
+test/test_dst.ml: Alcotest Dst Float Format List Paperdata

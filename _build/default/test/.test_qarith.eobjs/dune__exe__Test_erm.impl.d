@@ -1,0 +1,1 @@
+test/test_erm.ml: Alcotest Dst Erm List

@@ -1,0 +1,1 @@
+test/test_evidence.ml: Alcotest Dst List Paperdata

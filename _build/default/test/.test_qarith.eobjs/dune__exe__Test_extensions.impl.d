@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Dst Erm Integration List Paperdata Printf Query String

@@ -1,0 +1,1 @@
+test/test_federated.ml: Alcotest Dst Erm Float Format Integration List Paperdata String Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Dst Erm Integration List Paperdata Workload

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Dst Erm Filename Fun List Paperdata String Sys

@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest Dst Erm List String

@@ -1,0 +1,1 @@
+test/test_possibility.ml: Alcotest Dst Float List QCheck QCheck_alcotest Workload

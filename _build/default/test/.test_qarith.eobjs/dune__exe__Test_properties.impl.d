@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Baselines Dst Erm Float Integration List Printf QCheck QCheck_alcotest Qarith Query String Workload

@@ -1,0 +1,1 @@
+test/test_qarith.ml: Alcotest Float QCheck QCheck_alcotest Qarith

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Dst Erm Format List Paperdata Printf QCheck QCheck_alcotest Query String Workload

@@ -1,0 +1,1 @@
+test/test_refinement.ml: Alcotest Dst Format List

@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Dst Erm Format List String

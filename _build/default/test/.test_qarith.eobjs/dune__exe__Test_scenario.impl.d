@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Array Dst Erm Filename Fun Integration List Printf Query Store Sys Unix Workload

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Dst Erm Filename Fun List Paperdata Printf QCheck Query Random Store String Sys Unix Workload

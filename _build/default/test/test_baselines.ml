@@ -1,0 +1,354 @@
+(* Related-work baselines (§1.3): DeMichiel partial values, Tseng
+   probabilistic partial values, Dayal aggregates — their own semantics
+   plus the projections from the evidential model and the refinement
+   relationships the paper claims. *)
+
+module V = Dst.Value
+module Vs = Dst.Vset
+module D = Dst.Domain
+module M = Dst.Mass.F
+module S = Dst.Support
+module Pv = Baselines.Partial_value
+module Ppv = Baselines.Prob_partial
+module Ag = Baselines.Aggregate
+
+let feq = Alcotest.float 1e-9
+let vset = Alcotest.testable Vs.pp Vs.equal
+
+let colors = D.of_strings "color" [ "red"; "green"; "blue" ]
+let ev s = Dst.Evidence.of_string colors s
+
+(* --- Partial values -------------------------------------------------- *)
+
+let test_pv_of_evidence () =
+  Alcotest.check vset "union of focals"
+    (Vs.of_strings [ "green"; "red" ])
+    (Pv.of_evidence (ev "[red^0.6; {red,green}^0.4]"));
+  Alcotest.(check bool) "definite detection" true
+    (Pv.is_definite (Pv.of_evidence (ev "[red^1]")))
+
+let test_pv_combine () =
+  Alcotest.check vset "intersection"
+    (Vs.of_strings [ "red" ])
+    (Pv.combine (Vs.of_strings [ "red"; "green" ]) (Vs.of_strings [ "red"; "blue" ]));
+  Alcotest.(check bool)
+    "empty intersection is inconsistent" true
+    (match Pv.combine (Vs.of_strings [ "red" ]) (Vs.of_strings [ "blue" ]) with
+    | _ -> false
+    | exception Pv.Inconsistent _ -> true)
+
+let test_pv_satisfies () =
+  let pv = Vs.of_strings [ "red"; "green" ] in
+  Alcotest.(check bool) "subset is True" true
+    (Pv.satisfies_is pv (Vs.of_strings [ "red"; "green"; "blue" ]) = Pv.True);
+  Alcotest.(check bool) "overlap is Maybe" true
+    (Pv.satisfies_is pv (Vs.of_strings [ "red" ]) = Pv.Maybe);
+  Alcotest.(check bool) "disjoint is False" true
+    (Pv.satisfies_is pv (Vs.of_strings [ "blue" ]) = Pv.False)
+
+let test_pv_refines_support () =
+  (* The DS answer coarsens to DeMichiel's three buckets consistently:
+     Bel=1 -> True, Pls=0 -> False, otherwise Maybe. *)
+  let cases =
+    [ (S.certain, Pv.True); (S.impossible, Pv.False);
+      (S.make ~sn:0.3 ~sp:0.9, Pv.Maybe); (S.make ~sn:0.0 ~sp:0.4, Pv.Maybe) ]
+  in
+  List.iter
+    (fun (s, expected) ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a coarsens correctly" S.pp s)
+        true
+        (Pv.answer_of_support s = expected))
+    cases
+
+let schema =
+  Erm.Schema.make ~name:"r"
+    ~key:[ Erm.Attr.definite "k" "string" ]
+    ~nonkey:[ Erm.Attr.evidential "color" colors ]
+
+let etuple ?(tm = S.certain) k color =
+  Erm.Etuple.make schema ~key:[ V.string k ]
+    ~cells:[ Erm.Etuple.Evidence (ev color) ]
+    ~tm
+
+let extended =
+  Erm.Relation.of_tuples schema
+    [ etuple "a" "[red^0.6; {red,green}^0.4]"; etuple "b" "[blue^1]" ]
+
+let test_pv_relation_roundtrip () =
+  let rel = Pv.relation_of_extended extended in
+  Alcotest.(check int) "two tuples" 2 (List.length rel);
+  let a = List.find (fun (t : Pv.tuple) -> V.equal t.key (V.string "a")) rel in
+  Alcotest.check vset "a's partial value"
+    (Vs.of_strings [ "green"; "red" ])
+    (List.assoc "color" a.cells)
+
+let test_pv_union_and_select () =
+  let mk k pv = { Pv.key = V.string k; cells = [ ("color", pv) ] } in
+  let left = [ mk "a" (Vs.of_strings [ "red"; "green" ]); mk "b" (Vs.of_strings [ "blue" ]) ] in
+  let right = [ mk "a" (Vs.of_strings [ "red" ]); mk "c" (Vs.of_strings [ "green" ]) ] in
+  let merged, bad = Pv.union left right in
+  Alcotest.(check int) "three tuples" 3 (List.length merged);
+  Alcotest.(check int) "no inconsistencies" 0 (List.length bad);
+  let conflicting = [ mk "b" (Vs.of_strings [ "red" ]) ] in
+  let merged2, bad2 = Pv.union left conflicting in
+  Alcotest.(check int) "b dropped on inconsistency" 1 (List.length merged2);
+  Alcotest.(check int) "reported" 1 (List.length bad2);
+  let true_t, maybe_t =
+    Pv.select_is merged "color" (Vs.of_strings [ "red" ])
+  in
+  (* a merged to {red} -> True; b {blue} -> False; c {green} -> False. *)
+  Alcotest.(check int) "true set" 1 (List.length true_t);
+  Alcotest.(check int) "maybe set" 0 (List.length maybe_t)
+
+(* --- Probabilistic partial values ------------------------------------ *)
+
+let test_ppv_make () =
+  let p = Ppv.make [ (V.string "red", 2.0); (V.string "green", 2.0) ] in
+  Alcotest.check feq "normalizes" 0.5 (Ppv.prob_in p (Vs.of_strings [ "red" ]));
+  let dup = Ppv.make [ (V.string "red", 1.0); (V.string "red", 1.0) ] in
+  Alcotest.check feq "duplicates merge" 1.0
+    (Ppv.prob_in dup (Vs.of_strings [ "red" ]));
+  Alcotest.(check bool)
+    "empty rejected" true
+    (match Ppv.make [] with _ -> false | exception Ppv.Invalid_ppv _ -> true);
+  Alcotest.(check bool)
+    "non-positive dropped then rejected" true
+    (match Ppv.make [ (V.string "x", 0.0) ] with
+    | _ -> false
+    | exception Ppv.Invalid_ppv _ -> true)
+
+let test_ppv_of_evidence_pignistic () =
+  let p = Ppv.of_evidence (ev "[{red,green}^0.6; red^0.2; ~^0.2]") in
+  (* red: .3 + .2 + .2/3; green: .3 + .2/3; blue: .2/3. *)
+  Alcotest.check feq "red" (0.3 +. 0.2 +. (0.2 /. 3.0))
+    (Ppv.prob_in p (Vs.of_strings [ "red" ]));
+  Alcotest.check feq "blue only from omega" (0.2 /. 3.0)
+    (Ppv.prob_in p (Vs.of_strings [ "blue" ]));
+  Alcotest.check feq "total is one" 1.0
+    (Ppv.prob_in p (D.values colors))
+
+let test_ppv_merge_retains_inconsistency () =
+  (* Contradictory certainties: Dempster raises; Tseng's mixture keeps
+     both alternatives — the §1.3 contrast. *)
+  let a = Ppv.definite (V.string "red") in
+  let b = Ppv.definite (V.string "green") in
+  let m = Ppv.merge a b in
+  Alcotest.check feq "red survives at 0.5" 0.5
+    (Ppv.prob_in m (Vs.of_strings [ "red" ]));
+  Alcotest.check feq "green survives at 0.5" 0.5
+    (Ppv.prob_in m (Vs.of_strings [ "green" ]));
+  let w = Ppv.merge_weighted 0.8 a b in
+  Alcotest.check feq "weighted mixture" 0.8
+    (Ppv.prob_in w (Vs.of_strings [ "red" ]))
+
+let test_ppv_relation_and_select () =
+  let rel = Ppv.relation_of_extended extended in
+  let hits =
+    Ppv.select_is ~certainty:0.7 rel "color" (Vs.of_strings [ "red"; "green" ])
+  in
+  (* a: P(red or green) = 1; b: 0. *)
+  Alcotest.(check int) "one qualifying tuple" 1 (List.length hits);
+  let _, p = List.hd hits in
+  Alcotest.check feq "with its probability" 1.0 p
+
+let test_ppv_union () =
+  let mk k p = { Ppv.key = V.string k; cells = [ ("color", p) ] } in
+  let left = [ mk "a" (Ppv.definite (V.string "red")) ] in
+  let right = [ mk "a" (Ppv.definite (V.string "green")); mk "b" (Ppv.definite (V.string "blue")) ] in
+  let merged = Ppv.union left right in
+  Alcotest.(check int) "never drops tuples" 2 (List.length merged)
+
+let test_ppv_expected_value () =
+  let p = Ppv.make [ (V.int 10, 0.5); (V.int 20, 0.5) ] in
+  Alcotest.check feq "expected value" 15.0 (Ppv.expected_value p);
+  Alcotest.(check bool)
+    "non-numeric rejected" true
+    (match Ppv.expected_value (Ppv.definite (V.string "x")) with
+    | _ -> false
+    | exception Ppv.Invalid_ppv _ -> true)
+
+(* --- Lee's membership-less evidential model --------------------------- *)
+
+module Lee = Baselines.Lee
+
+let test_lee_of_extended () =
+  let r = Lee.of_extended Paperdata.r_a in
+  Alcotest.(check int) "six tuples" 6 (Lee.cardinal r);
+  Alcotest.(check (list string))
+    "evidential attributes only"
+    [ "speciality"; "best-dish"; "rating" ]
+    (Lee.attrs r);
+  match Lee.find_opt r (V.string "garden") with
+  | Some t ->
+      Alcotest.check feq "evidence carried over" 0.5
+        (M.mass (List.assoc "speciality" t.cells) (Vs.of_strings [ "si" ]))
+  | None -> Alcotest.fail "garden missing"
+
+let test_lee_union_matches_evidence_but_not_membership () =
+  let a = Lee.of_extended Paperdata.r_a in
+  let b = Lee.of_extended Paperdata.r_b in
+  let merged, conflicts = Lee.union a b in
+  Alcotest.(check int) "no conflicts on the paper data" 0
+    (List.length conflicts);
+  Alcotest.(check int) "six integrated tuples" 6 (Lee.cardinal merged);
+  (* The evidence agrees with Table 4... *)
+  let expected = Lee.of_extended Paperdata.table4 in
+  List.iter
+    (fun name ->
+      match (Lee.find_opt merged (V.string name), Lee.find_opt expected (V.string name)) with
+      | Some got, Some want ->
+          List.iter
+            (fun (attr, e) ->
+              Alcotest.(check bool)
+                (name ^ "." ^ attr ^ " matches Table 4")
+                true
+                (M.equal e (List.assoc attr want.Lee.cells)))
+            got.Lee.cells
+      | _ -> Alcotest.fail ("missing " ^ name))
+    [ "garden"; "wok"; "country"; "olive"; "mehl"; "ashiana" ];
+  (* ...but the membership story is gone: the paper's mehl row carries
+     (0.5,0.5) ⊕ (0.8,1) = (0.83,0.83); Lee's model has nowhere to put
+     it. That lost column is exactly the paper's §1.3 contribution
+     claim. *)
+  Alcotest.(check bool) "mehl indistinguishable from certain tuples" true
+    (Lee.find_opt merged (V.string "mehl") <> None)
+
+let test_lee_union_conflict_reporting () =
+  let mk key ev =
+    { Lee.key = V.string key;
+      cells = [ ("color", Dst.Evidence.of_string colors ev) ] }
+  in
+  let a = Lee.make [ "color" ] [ mk "x" "[red^1]" ] in
+  let b = Lee.make [ "color" ] [ mk "x" "[blue^1]" ] in
+  let merged, conflicts = Lee.union a b in
+  Alcotest.(check int) "pair dropped" 0 (Lee.cardinal merged);
+  Alcotest.(check int) "conflict reported" 1 (List.length conflicts)
+
+let test_lee_select_annotates () =
+  let r = Lee.of_extended Paperdata.r_a in
+  let hits = Lee.select r "speciality" (Vs.of_strings [ "si" ]) in
+  (* garden (0.5, 0.75), wok (1, 1) and ashiana (0, 0.1 via its Ω mass)
+     have Pls > 0 — but unlike the paper's σ̂, mehl's stale listing
+     (membership (0.5, 0.5) in the extended model) is not reflected
+     anywhere. *)
+  Alcotest.(check int) "three plausible tuples" 3 (List.length hits);
+  let garden_interval =
+    List.find_map
+      (fun ((t : Lee.tuple), iv) ->
+        if V.equal t.key (V.string "garden") then Some iv else None)
+      hits
+  in
+  (match garden_interval with
+  | Some (bel, pls) ->
+      Alcotest.check feq "Bel" 0.5 bel;
+      Alcotest.check feq "Pls" 0.75 pls
+  | None -> Alcotest.fail "garden missing");
+  Alcotest.(check bool)
+    "unknown attribute" true
+    (match Lee.select r "bogus" (Vs.of_strings [ "si" ]) with
+    | _ -> false
+    | exception Lee.Lee_error _ -> true)
+
+let test_lee_make_validation () =
+  let fails f =
+    Alcotest.(check bool)
+      "raises Lee_error" true
+      (match f () with _ -> false | exception Lee.Lee_error _ -> true)
+  in
+  let cell = ("color", Dst.Evidence.of_string colors "[red^1]") in
+  fails (fun () ->
+      Lee.make [ "color" ]
+        [ { Lee.key = V.string "x"; cells = [] } ]);
+  fails (fun () ->
+      Lee.make [ "color" ]
+        [ { Lee.key = V.string "x"; cells = [ cell ] };
+          { Lee.key = V.string "x"; cells = [ cell ] } ])
+
+(* --- Aggregates ------------------------------------------------------ *)
+
+let value = Alcotest.testable V.pp V.equal
+
+let test_aggregate_numeric () =
+  let obs = [ V.int 100; V.int 140; V.int 120 ] in
+  Alcotest.check value "average" (V.float 120.0) (Ag.resolve Ag.Average obs);
+  Alcotest.check value "min" (V.int 100) (Ag.resolve Ag.Minimum obs);
+  Alcotest.check value "max" (V.int 140) (Ag.resolve Ag.Maximum obs);
+  Alcotest.check value "sum" (V.int 360) (Ag.resolve Ag.Sum obs);
+  Alcotest.check value "first" (V.int 100) (Ag.resolve Ag.First obs);
+  Alcotest.check value "last" (V.int 120) (Ag.resolve Ag.Last obs);
+  Alcotest.check value "mixed int/float sum" (V.float 3.5)
+    (Ag.resolve Ag.Sum [ V.int 1; V.float 2.5 ])
+
+let test_aggregate_errors () =
+  Alcotest.(check bool)
+    "strings rejected" true
+    (match Ag.resolve Ag.Average [ V.string "x" ] with
+    | _ -> false
+    | exception Ag.Not_numeric _ -> true);
+  Alcotest.(check bool)
+    "empty rejected" true
+    (match Ag.resolve Ag.Average [] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* First/Last work on any kind: they don't aggregate. *)
+  Alcotest.check value "first of strings" (V.string "x")
+    (Ag.resolve Ag.First [ V.string "x"; V.string "y" ])
+
+let test_aggregate_cells () =
+  Alcotest.(check bool)
+    "evidence cells rejected" true
+    (match
+       Ag.resolve_cells Ag.Average [ Erm.Etuple.Evidence (ev "[red^1]") ]
+     with
+    | _ -> false
+    | exception Ag.Not_numeric _ -> true);
+  Alcotest.(check bool) "applicable on numerics" true
+    (Ag.applicable [ Erm.Etuple.Definite (V.int 1) ]);
+  Alcotest.(check bool) "not applicable on evidence" false
+    (Ag.applicable [ Erm.Etuple.Evidence (ev "[red^1]") ]);
+  match
+    Ag.resolve_cells Ag.Average
+      [ Erm.Etuple.Definite (V.int 1); Erm.Etuple.Definite (V.int 2) ]
+  with
+  | Erm.Etuple.Definite v -> Alcotest.check value "resolve_cells" (V.float 1.5) v
+  | Erm.Etuple.Evidence _ -> Alcotest.fail "expected a definite cell"
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "partial-values",
+        [ Alcotest.test_case "of_evidence" `Quick test_pv_of_evidence;
+          Alcotest.test_case "combine" `Quick test_pv_combine;
+          Alcotest.test_case "satisfies_is" `Quick test_pv_satisfies;
+          Alcotest.test_case "DS refines the 3 buckets" `Quick
+            test_pv_refines_support;
+          Alcotest.test_case "relation projection" `Quick
+            test_pv_relation_roundtrip;
+          Alcotest.test_case "union and select" `Quick
+            test_pv_union_and_select ] );
+      ( "prob-partial-values",
+        [ Alcotest.test_case "make" `Quick test_ppv_make;
+          Alcotest.test_case "pignistic projection" `Quick
+            test_ppv_of_evidence_pignistic;
+          Alcotest.test_case "mixture keeps inconsistency" `Quick
+            test_ppv_merge_retains_inconsistency;
+          Alcotest.test_case "relation and select" `Quick
+            test_ppv_relation_and_select;
+          Alcotest.test_case "union" `Quick test_ppv_union;
+          Alcotest.test_case "expected value" `Quick test_ppv_expected_value
+        ] );
+      ( "lee",
+        [ Alcotest.test_case "projection from extended" `Quick
+            test_lee_of_extended;
+          Alcotest.test_case "union: evidence yes, membership no" `Quick
+            test_lee_union_matches_evidence_but_not_membership;
+          Alcotest.test_case "conflict reporting" `Quick
+            test_lee_union_conflict_reporting;
+          Alcotest.test_case "select annotates intervals" `Quick
+            test_lee_select_annotates;
+          Alcotest.test_case "validation" `Quick test_lee_make_validation ] );
+      ( "aggregates",
+        [ Alcotest.test_case "numeric resolution" `Quick
+            test_aggregate_numeric;
+          Alcotest.test_case "errors" `Quick test_aggregate_errors;
+          Alcotest.test_case "cells" `Quick test_aggregate_cells ] ) ]

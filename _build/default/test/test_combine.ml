@@ -1,0 +1,238 @@
+(* Combination rules: Dempster's rule (worked examples, algebraic
+   properties, conflict handling) and the extension rules (Yager,
+   Dubois-Prade, averaging, disjunctive), cross-checked between the
+   float and exact-rational functor instances. *)
+
+module V = Dst.Value
+module Vs = Dst.Vset
+module D = Dst.Domain
+module M = Dst.Mass.F
+module Mq = Dst.Mass.Make (Dst.Num.Rational)
+module Q = Qarith.Q
+
+let feq = Alcotest.float 1e-9
+let mass_t = Alcotest.testable M.pp M.equal
+
+let colors = D.of_strings "colors" [ "red"; "green"; "blue" ]
+let red = Vs.of_strings [ "red" ]
+let green = Vs.of_strings [ "green" ]
+let blue = Vs.of_strings [ "blue" ]
+let red_green = Vs.of_strings [ "red"; "green" ]
+let omega = D.values colors
+
+(* --- Dempster's rule ------------------------------------------------ *)
+
+let test_simple_combination () =
+  (* Two simple support functions for {red}: classic reinforcement. *)
+  let m1 = M.simple_support colors red 0.6 in
+  let m2 = M.simple_support colors red 0.7 in
+  let c = M.combine m1 m2 in
+  (* m(red) = 0.6·0.7 + 0.6·0.3 + 0.4·0.7 = 0.88, m(Ω) = 0.12; κ = 0. *)
+  Alcotest.check feq "reinforced belief" 0.88 (M.mass c red);
+  Alcotest.check feq "remaining ignorance" 0.12 (M.mass c omega);
+  Alcotest.check feq "no conflict" 0.0 (M.conflict m1 m2)
+
+let test_conflict_normalization () =
+  let m1 = M.make colors [ (red, 0.9); (omega, 0.1) ] in
+  let m2 = M.make colors [ (green, 0.8); (omega, 0.2) ] in
+  Alcotest.check feq "kappa = 0.72" 0.72 (M.conflict m1 m2);
+  let c = M.combine m1 m2 in
+  (* red: 0.9·0.2 = 0.18; green: 0.1·0.8 = 0.08; Ω: 0.02; /0.28 *)
+  Alcotest.check feq "red" (0.18 /. 0.28) (M.mass c red);
+  Alcotest.check feq "green" (0.08 /. 0.28) (M.mass c green);
+  Alcotest.check feq "omega" (0.02 /. 0.28) (M.mass c omega)
+
+let test_total_conflict () =
+  let m1 = M.certain colors (V.string "red") in
+  let m2 = M.certain colors (V.string "green") in
+  Alcotest.check feq "kappa = 1" 1.0 (M.conflict m1 m2);
+  Alcotest.check_raises "combine raises" M.Total_conflict (fun () ->
+      ignore (M.combine m1 m2));
+  Alcotest.(check bool) "combine_opt returns None" true
+    (M.combine_opt m1 m2 = None)
+
+let test_combine_opt_reports_kappa () =
+  let m1 = M.make colors [ (red, 0.5); (omega, 0.5) ] in
+  let m2 = M.make colors [ (green, 0.5); (omega, 0.5) ] in
+  match M.combine_opt m1 m2 with
+  | Some (_, kappa) -> Alcotest.check feq "kappa = 0.25" 0.25 kappa
+  | None -> Alcotest.fail "combination should succeed"
+
+let test_vacuous_neutral () =
+  let m = M.make colors [ (red, 0.4); (red_green, 0.6) ] in
+  Alcotest.check mass_t "m ⊕ vacuous = m" m (M.combine m (M.vacuous colors));
+  Alcotest.check mass_t "vacuous ⊕ m = m" m (M.combine (M.vacuous colors) m)
+
+let test_commutative_associative () =
+  let m1 = M.make colors [ (red, 0.5); (omega, 0.5) ] in
+  let m2 = M.make colors [ (red_green, 0.7); (omega, 0.3) ] in
+  let m3 = M.make colors [ (green, 0.4); (omega, 0.6) ] in
+  Alcotest.check mass_t "commutes" (M.combine m1 m2) (M.combine m2 m1);
+  Alcotest.check mass_t "associates"
+    (M.combine (M.combine m1 m2) m3)
+    (M.combine m1 (M.combine m2 m3));
+  Alcotest.check mass_t "combine_many folds left"
+    (M.combine (M.combine m1 m2) m3)
+    (M.combine_many [ m1; m2; m3 ])
+
+let test_frame_mismatch () =
+  let other = D.of_strings "other" [ "x"; "y" ] in
+  let m1 = M.vacuous colors and m2 = M.vacuous other in
+  Alcotest.(check bool)
+    "frame mismatch raises" true
+    (match M.combine m1 m2 with
+    | _ -> false
+    | exception M.Frame_mismatch _ -> true)
+
+let test_certain_absorbs () =
+  (* Combining with certainty on a plausible set yields certainty. *)
+  let m = M.make colors [ (red, 0.5); (red_green, 0.5) ] in
+  let c = M.combine m (M.certain colors (V.string "red")) in
+  Alcotest.check feq "certainty absorbs" 1.0 (M.mass c red)
+
+(* --- Exact rational cross-check ------------------------------------ *)
+
+let to_rational m =
+  Mq.make (M.frame m)
+    (List.map (fun (s, x) -> (s, Q.of_float_dyadic x)) (M.focals m))
+
+let test_exact_matches_float () =
+  (* Dyadic masses convert exactly, so the two instances must agree
+     to float rounding. *)
+  let m1 = M.make colors [ (red, 0.5); (red_green, 0.25); (omega, 0.25) ] in
+  let m2 = M.make colors [ (green, 0.375); (omega, 0.625) ] in
+  let float_result = M.combine m1 m2 in
+  let exact_result = Mq.combine (to_rational m1) (to_rational m2) in
+  List.iter
+    (fun (set, x) ->
+      Alcotest.check feq
+        ("focal " ^ Vs.to_string set)
+        (Q.to_float (Mq.mass exact_result set))
+        x)
+    (M.focals float_result);
+  Alcotest.(check int) "same focal count" (Mq.focal_count exact_result)
+    (M.focal_count float_result)
+
+let test_exact_paper_example () =
+  let frame = M.frame Paperdata.wok_m1 in
+  let m1 = Mq.make frame Paperdata.sec22_m1_exact in
+  let m2 = Mq.make frame Paperdata.sec22_m2_exact in
+  let c = Mq.combine m1 m2 in
+  Alcotest.(check bool)
+    "exact §2.2" true
+    (Mq.equal c (Mq.make frame Paperdata.sec22_expected_exact));
+  (* The paper's observation: singleton {hu} gained mass, {ca} shrank. *)
+  Alcotest.(check bool)
+    "hu gained" true
+    Q.(Mq.mass c (Vs.of_strings [ "hu" ]) > Mq.mass m2 (Vs.of_strings [ "hu" ]));
+  Alcotest.(check bool)
+    "ca shrank" true
+    Q.(Mq.mass c (Vs.of_strings [ "ca" ]) < Mq.mass m1 (Vs.of_strings [ "ca" ]))
+
+(* --- Alternative rules --------------------------------------------- *)
+
+let m_red = M.make colors [ (red, 0.9); (omega, 0.1) ]
+let m_green = M.make colors [ (green, 0.8); (omega, 0.2) ]
+
+let test_yager () =
+  let y = M.combine_yager m_red m_green in
+  (* Unnormalized products: red 0.18, green 0.08, Ω 0.02 + κ 0.72. *)
+  Alcotest.check feq "red unnormalized" 0.18 (M.mass y red);
+  Alcotest.check feq "green unnormalized" 0.08 (M.mass y green);
+  Alcotest.check feq "conflict goes to omega" 0.74 (M.mass y omega);
+  (* Total conflict becomes the vacuous assignment. *)
+  let v =
+    M.combine_yager
+      (M.certain colors (V.string "red"))
+      (M.certain colors (V.string "green"))
+  in
+  Alcotest.(check bool) "total conflict -> vacuous" true (M.is_vacuous v)
+
+let test_dubois_prade () =
+  let d = M.combine_dubois_prade m_red m_green in
+  Alcotest.check feq "red" 0.18 (M.mass d red);
+  Alcotest.check feq "green" 0.08 (M.mass d green);
+  Alcotest.check feq "conflict goes to the union" 0.72 (M.mass d red_green);
+  Alcotest.check feq "omega keeps only its own product" 0.02 (M.mass d omega);
+  (* Never raises, even on total conflict. *)
+  let t =
+    M.combine_dubois_prade
+      (M.certain colors (V.string "red"))
+      (M.certain colors (V.string "green"))
+  in
+  Alcotest.check feq "disjunction of certainties" 1.0 (M.mass t red_green)
+
+let test_average () =
+  let a = M.combine_average m_red m_green in
+  Alcotest.check feq "red averaged" 0.45 (M.mass a red);
+  Alcotest.check feq "green averaged" 0.4 (M.mass a green);
+  Alcotest.check feq "omega averaged" 0.15 (M.mass a omega);
+  Alcotest.check mass_t "idempotent" m_red (M.combine_average m_red m_red)
+
+let test_disjunctive () =
+  let d = M.combine_disjunctive m_red m_green in
+  (* Products accumulate on unions: red∪green 0.72, red∪Ω=Ω 0.18,
+     green∪Ω=Ω... red·Ω = 0.9·0.2 = 0.18 → Ω; Ω·green = 0.08 → Ω;
+     Ω·Ω = 0.02 → Ω. *)
+  Alcotest.check feq "union focal" 0.72 (M.mass d red_green);
+  Alcotest.check feq "omega" 0.28 (M.mass d omega);
+  Alcotest.check feq "no singleton focals" 0.0 (M.mass d red)
+
+let test_rules_preserve_mass () =
+  let total m =
+    List.fold_left (fun acc (_, x) -> acc +. x) 0.0 (M.focals m)
+  in
+  List.iter
+    (fun rule -> Alcotest.check feq "sums to one" 1.0 (total (rule m_red m_green)))
+    [ M.combine; M.combine_yager; M.combine_dubois_prade; M.combine_average;
+      M.combine_disjunctive ]
+
+(* Dempster reduces uncertainty relative to either input on agreeing
+   evidence: the paper's "general trend that large focal elements have
+   smaller mass after combination". *)
+let test_uncertainty_reduction () =
+  let m1 = M.make colors [ (red_green, 0.6); (omega, 0.4) ] in
+  let m2 = M.make colors [ (red, 0.5); (omega, 0.5) ] in
+  let c = M.combine m1 m2 in
+  Alcotest.(check bool) "omega mass shrinks" true
+    (M.mass c omega < M.mass m1 omega && M.mass c omega < M.mass m2 omega);
+  Alcotest.(check bool) "Bel(red) grows" true
+    (M.bel c red >= M.bel m2 red)
+
+let test_blue_untouched () =
+  (* No focal mentions blue, so Pls(blue) comes only from Ω. *)
+  let c = M.combine m_red m_green in
+  Alcotest.check feq "Bel(blue) = 0" 0.0 (M.bel c blue);
+  Alcotest.check feq "Pls(blue) = m(omega)" (M.mass c omega) (M.pls c blue)
+
+let () =
+  Alcotest.run "combine"
+    [ ( "dempster",
+        [ Alcotest.test_case "simple support reinforcement" `Quick
+            test_simple_combination;
+          Alcotest.test_case "conflict normalization" `Quick
+            test_conflict_normalization;
+          Alcotest.test_case "total conflict" `Quick test_total_conflict;
+          Alcotest.test_case "combine_opt kappa" `Quick
+            test_combine_opt_reports_kappa;
+          Alcotest.test_case "vacuous is neutral" `Quick test_vacuous_neutral;
+          Alcotest.test_case "commutative and associative" `Quick
+            test_commutative_associative;
+          Alcotest.test_case "frame mismatch" `Quick test_frame_mismatch;
+          Alcotest.test_case "certainty absorbs" `Quick test_certain_absorbs;
+          Alcotest.test_case "uncertainty reduction" `Quick
+            test_uncertainty_reduction;
+          Alcotest.test_case "unmentioned hypotheses" `Quick
+            test_blue_untouched ] );
+      ( "exact",
+        [ Alcotest.test_case "rational matches float" `Quick
+            test_exact_matches_float;
+          Alcotest.test_case "paper §2.2 exact" `Quick test_exact_paper_example
+        ] );
+      ( "other-rules",
+        [ Alcotest.test_case "yager" `Quick test_yager;
+          Alcotest.test_case "dubois-prade" `Quick test_dubois_prade;
+          Alcotest.test_case "average" `Quick test_average;
+          Alcotest.test_case "disjunctive" `Quick test_disjunctive;
+          Alcotest.test_case "all rules preserve total mass" `Quick
+            test_rules_preserve_mass ] ) ]

@@ -1,0 +1,340 @@
+(* The extended relational model: attributes, schemas, tuples and
+   relations — construction, validation, accessors, CWA_ER enforcement,
+   and the tuple-level combine used by extended union. *)
+
+module V = Dst.Value
+module Vs = Dst.Vset
+module D = Dst.Domain
+module M = Dst.Mass.F
+module S = Dst.Support
+
+let value = Alcotest.testable V.pp V.equal
+
+let colors = D.of_strings "color" [ "red"; "green"; "blue" ]
+
+let schema =
+  Erm.Schema.make ~name:"cars"
+    ~key:[ Erm.Attr.definite "plate" "string" ]
+    ~nonkey:
+      [ Erm.Attr.definite "year" "int";
+        Erm.Attr.evidential "color" colors ]
+
+let ev s = Dst.Evidence.of_string colors s
+
+let car ?(tm = S.certain) plate year color =
+  Erm.Etuple.make schema
+    ~key:[ V.string plate ]
+    ~cells:[ Erm.Etuple.Definite (V.int year); Erm.Etuple.Evidence (ev color) ]
+    ~tm
+
+(* --- Attr ----------------------------------------------------------- *)
+
+let test_attr () =
+  let a = Erm.Attr.definite "year" "int" in
+  Alcotest.(check bool) "not evidential" false (Erm.Attr.is_evidential a);
+  Alcotest.(check bool) "value kind ok" true
+    (Erm.Attr.value_kind_ok a (V.int 2020));
+  Alcotest.(check bool) "value kind mismatch" false
+    (Erm.Attr.value_kind_ok a (V.string "2020"));
+  let e = Erm.Attr.evidential "color" colors in
+  Alcotest.(check bool) "evidential" true (Erm.Attr.is_evidential e);
+  Alcotest.(check bool) "equal requires same domain" false
+    (Erm.Attr.equal e (Erm.Attr.evidential "color" D.boolean));
+  Alcotest.(check string) "rename" "hue"
+    (Erm.Attr.name (Erm.Attr.rename "hue" e));
+  Alcotest.check_raises "unknown kind rejected"
+    (Invalid_argument "Attr.definite: unknown value kind uuid") (fun () ->
+      ignore (Erm.Attr.definite "x" "uuid"))
+
+(* --- Schema --------------------------------------------------------- *)
+
+let schema_error f =
+  Alcotest.(check bool)
+    "raises Schema_error" true
+    (match f () with _ -> false | exception Erm.Schema.Schema_error _ -> true)
+
+let test_schema_make () =
+  Alcotest.(check int) "arity" 3 (Erm.Schema.arity schema);
+  Alcotest.(check int) "key arity" 1 (Erm.Schema.key_arity schema);
+  Alcotest.(check bool) "is_key" true (Erm.Schema.is_key schema "plate");
+  Alcotest.(check bool) "non-key" false (Erm.Schema.is_key schema "year");
+  Alcotest.(check int) "nonkey index" 1 (Erm.Schema.nonkey_index schema "color");
+  Alcotest.(check bool) "mem" true (Erm.Schema.mem schema "color");
+  Alcotest.(check bool) "not mem" false (Erm.Schema.mem schema "wheels");
+  schema_error (fun () ->
+      Erm.Schema.make ~name:"nokey" ~key:[]
+        ~nonkey:[ Erm.Attr.definite "a" "int" ]);
+  schema_error (fun () ->
+      Erm.Schema.make ~name:"evkey"
+        ~key:[ Erm.Attr.evidential "k" colors ]
+        ~nonkey:[]);
+  schema_error (fun () ->
+      Erm.Schema.make ~name:"dup"
+        ~key:[ Erm.Attr.definite "a" "string" ]
+        ~nonkey:[ Erm.Attr.definite "a" "int" ])
+
+let test_schema_union_compatible () =
+  let same = Erm.Schema.rename_relation "other" schema in
+  Alcotest.(check bool) "renamed relation still compatible" true
+    (Erm.Schema.union_compatible schema same);
+  Alcotest.(check bool) "equal needs same name too" false
+    (Erm.Schema.equal schema same);
+  let different =
+    Erm.Schema.make ~name:"cars"
+      ~key:[ Erm.Attr.definite "plate" "string" ]
+      ~nonkey:[ Erm.Attr.definite "year" "int" ]
+  in
+  Alcotest.(check bool) "different attrs incompatible" false
+    (Erm.Schema.union_compatible schema different)
+
+let test_schema_project () =
+  let p = Erm.Schema.project schema [ "plate"; "color" ] in
+  Alcotest.(check int) "projected arity" 2 (Erm.Schema.arity p);
+  Alcotest.(check bool) "key kept" true (Erm.Schema.is_key p "plate");
+  schema_error (fun () -> Erm.Schema.project schema [ "year" ]);
+  schema_error (fun () -> Erm.Schema.project schema [ "plate"; "wheels" ])
+
+let test_schema_product_rename () =
+  let other =
+    Erm.Schema.make ~name:"owners"
+      ~key:[ Erm.Attr.definite "oid" "int" ]
+      ~nonkey:[ Erm.Attr.definite "name" "string" ]
+  in
+  let p = Erm.Schema.product schema other in
+  Alcotest.(check int) "product arity" 5 (Erm.Schema.arity p);
+  Alcotest.(check int) "product key arity" 2 (Erm.Schema.key_arity p);
+  schema_error (fun () -> Erm.Schema.product schema schema);
+  let renamed = Erm.Schema.rename_attrs (fun n -> "r_" ^ n) schema in
+  Alcotest.(check bool) "renamed product works" true
+    (Erm.Schema.arity (Erm.Schema.product schema renamed) = 6);
+  schema_error (fun () -> Erm.Schema.rename_attrs (fun _ -> "same") schema)
+
+(* --- Etuple --------------------------------------------------------- *)
+
+let tuple_error f =
+  Alcotest.(check bool)
+    "raises Tuple_error" true
+    (match f () with _ -> false | exception Erm.Etuple.Tuple_error _ -> true)
+
+let test_etuple_make_validation () =
+  tuple_error (fun () ->
+      Erm.Etuple.make schema ~key:[] ~cells:[] ~tm:S.certain);
+  tuple_error (fun () ->
+      (* wrong key kind *)
+      Erm.Etuple.make schema ~key:[ V.int 3 ]
+        ~cells:
+          [ Erm.Etuple.Definite (V.int 2020); Erm.Etuple.Evidence (ev "[red^1]") ]
+        ~tm:S.certain);
+  tuple_error (fun () ->
+      (* definite cell of the wrong kind *)
+      Erm.Etuple.make schema ~key:[ V.string "abc" ]
+        ~cells:
+          [ Erm.Etuple.Definite (V.string "2020");
+            Erm.Etuple.Evidence (ev "[red^1]") ]
+        ~tm:S.certain);
+  tuple_error (fun () ->
+      (* evidence in a definite attribute *)
+      Erm.Etuple.make schema ~key:[ V.string "abc" ]
+        ~cells:
+          [ Erm.Etuple.Evidence (ev "[red^1]");
+            Erm.Etuple.Evidence (ev "[red^1]") ]
+        ~tm:S.certain);
+  tuple_error (fun () ->
+      (* definite value in an evidential attribute *)
+      Erm.Etuple.make schema ~key:[ V.string "abc" ]
+        ~cells:
+          [ Erm.Etuple.Definite (V.int 2020);
+            Erm.Etuple.Definite (V.string "red") ]
+        ~tm:S.certain);
+  tuple_error (fun () ->
+      (* evidence over the wrong frame *)
+      Erm.Etuple.make schema ~key:[ V.string "abc" ]
+        ~cells:
+          [ Erm.Etuple.Definite (V.int 2020);
+            Erm.Etuple.Evidence (M.vacuous D.boolean) ]
+        ~tm:S.certain)
+
+let test_etuple_accessors () =
+  let t = car "abc-123" 2019 "[red^0.5; {red,green}^0.5]" in
+  Alcotest.check value "key" (V.string "abc-123")
+    (List.nth (Erm.Etuple.key t) 0);
+  Alcotest.check value "definite via cell" (V.int 2019)
+    (Erm.Etuple.definite_value schema t "year");
+  Alcotest.check value "key attr via definite_value" (V.string "abc-123")
+    (Erm.Etuple.definite_value schema t "plate");
+  Alcotest.(check bool) "evidence accessor" true
+    (M.equal
+       (Erm.Etuple.evidence schema t "color")
+       (ev "[red^0.5; {red,green}^0.5]"));
+  tuple_error (fun () -> Erm.Etuple.evidence schema t "year");
+  tuple_error (fun () -> Erm.Etuple.definite_value schema t "color");
+  Alcotest.check_raises "unknown attribute" Not_found (fun () ->
+      ignore (Erm.Etuple.cell schema t "wheels"))
+
+let test_etuple_of_assoc () =
+  let t =
+    Erm.Etuple.of_assoc schema
+      ~key:[ V.string "xyz" ]
+      ~cells:
+        [ ("color", Erm.Etuple.Evidence (ev "[green^1]"));
+          ("year", Erm.Etuple.Definite (V.int 2021)) ]
+      ~tm:S.certain
+  in
+  Alcotest.check value "order-independent" (V.int 2021)
+    (Erm.Etuple.definite_value schema t "year");
+  tuple_error (fun () ->
+      Erm.Etuple.of_assoc schema ~key:[ V.string "x" ]
+        ~cells:[ ("year", Erm.Etuple.Definite (V.int 1)) ]
+        ~tm:S.certain);
+  tuple_error (fun () ->
+      Erm.Etuple.of_assoc schema ~key:[ V.string "x" ]
+        ~cells:
+          [ ("year", Erm.Etuple.Definite (V.int 1));
+            ("color", Erm.Etuple.Evidence (ev "[red^1]"));
+            ("plate", Erm.Etuple.Definite (V.string "x")) ]
+        ~tm:S.certain)
+
+let test_etuple_combine () =
+  let a = car ~tm:(S.make ~sn:0.5 ~sp:0.5) "abc" 2019 "[red^0.9; ~^0.1]" in
+  let b = car ~tm:(S.make ~sn:0.8 ~sp:1.0) "abc" 2019 "[red^0.5; green^0.5]" in
+  let c = Erm.Etuple.combine schema a b in
+  (* red: .45 + .05; green: .05 -> kappa = .45, norm .55 *)
+  let color = Erm.Etuple.evidence schema c "color" in
+  Alcotest.(check (float 1e-9)) "red" (0.5 /. 0.55)
+    (M.mass color (Vs.of_strings [ "red" ]));
+  Alcotest.(check (float 1e-9)) "membership Dempster" (5.0 /. 6.0)
+    (S.sn (Erm.Etuple.tm c));
+  (* Key mismatch and definite disagreement are structural errors. *)
+  tuple_error (fun () -> Erm.Etuple.combine schema a (car "zzz" 2019 "[red^1]"));
+  tuple_error (fun () -> Erm.Etuple.combine schema a (car "abc" 2020 "[red^1]"));
+  Alcotest.check_raises "total evidence conflict" M.Total_conflict (fun () ->
+      ignore
+        (Erm.Etuple.combine schema
+           (car "k" 1 "[red^1]")
+           (car "k" 1 "[green^1]")))
+
+let test_etuple_concat () =
+  let other_schema =
+    Erm.Schema.make ~name:"owners"
+      ~key:[ Erm.Attr.definite "oid" "int" ]
+      ~nonkey:[ Erm.Attr.definite "name" "string" ]
+  in
+  let owner =
+    Erm.Etuple.make other_schema ~key:[ V.int 7 ]
+      ~cells:[ Erm.Etuple.Definite (V.string "ada") ]
+      ~tm:(S.make ~sn:0.5 ~sp:1.0)
+  in
+  let t = car ~tm:(S.make ~sn:0.8 ~sp:0.9) "abc" 2019 "[red^1]" in
+  let c = Erm.Etuple.concat t owner in
+  Alcotest.(check int) "concatenated key" 2 (List.length (Erm.Etuple.key c));
+  Alcotest.(check int) "concatenated cells" 3
+    (List.length (Erm.Etuple.cells c));
+  Alcotest.(check (float 1e-9)) "F_TM membership" 0.4 (S.sn (Erm.Etuple.tm c))
+
+(* --- Relation ------------------------------------------------------- *)
+
+let test_relation_cwa () =
+  let r = Erm.Relation.empty schema in
+  let dead = car ~tm:S.impossible "dead" 2000 "[red^1]" in
+  Alcotest.(check bool)
+    "sn = 0 rejected" true
+    (match Erm.Relation.add r dead with
+    | _ -> false
+    | exception Erm.Relation.Relation_error _ -> true);
+  let unknown_t = car ~tm:S.unknown "unk" 2000 "[red^1]" in
+  Alcotest.(check bool)
+    "(0,1) also rejected" true
+    (match Erm.Relation.add r unknown_t with
+    | _ -> false
+    | exception Erm.Relation.Relation_error _ -> true);
+  let r = Erm.Relation.add_unchecked r dead in
+  Alcotest.(check bool) "unchecked bypass for tests" false
+    (Erm.Relation.satisfies_cwa r)
+
+let test_relation_keys () =
+  let t1 = car "aaa" 2018 "[red^1]" in
+  let t2 = car "bbb" 2019 "[green^1]" in
+  let r = Erm.Relation.of_tuples schema [ t1; t2 ] in
+  Alcotest.(check int) "cardinal" 2 (Erm.Relation.cardinal r);
+  Alcotest.(check bool) "mem" true (Erm.Relation.mem r [ V.string "aaa" ]);
+  Alcotest.(check bool) "find returns the tuple" true
+    (Erm.Etuple.equal t1 (Erm.Relation.find r [ V.string "aaa" ]));
+  Alcotest.check_raises "find missing" Not_found (fun () ->
+      ignore (Erm.Relation.find r [ V.string "zzz" ]));
+  Alcotest.(check bool)
+    "duplicate key rejected" true
+    (match Erm.Relation.add r (car "aaa" 1999 "[blue^1]") with
+    | _ -> false
+    | exception Erm.Relation.Duplicate_key _ -> true);
+  let r2 = Erm.Relation.replace r (car "aaa" 1999 "[blue^1]") in
+  Alcotest.check value "replace overwrites" (V.int 1999)
+    (Erm.Etuple.definite_value schema
+       (Erm.Relation.find r2 [ V.string "aaa" ])
+       "year");
+  let r3 = Erm.Relation.remove r [ V.string "aaa" ] in
+  Alcotest.(check int) "remove" 1 (Erm.Relation.cardinal r3)
+
+let test_relation_iteration_order () =
+  let r =
+    Erm.Relation.of_tuples schema
+      [ car "zz" 1 "[red^1]"; car "aa" 2 "[red^1]"; car "mm" 3 "[red^1]" ]
+  in
+  let keys =
+    List.map (fun t -> List.nth (Erm.Etuple.key t) 0) (Erm.Relation.tuples r)
+  in
+  Alcotest.(check (list string))
+    "tuples in key order"
+    [ "aa"; "mm"; "zz" ]
+    (List.map V.to_string keys)
+
+let test_relation_map_tuples_closure () =
+  let r =
+    Erm.Relation.of_tuples schema
+      [ car ~tm:(S.make ~sn:0.5 ~sp:1.0) "aa" 1 "[red^1]";
+        car "bb" 2 "[green^1]" ]
+  in
+  (* Zeroing the membership drops the tuple rather than storing it. *)
+  let zeroed =
+    Erm.Relation.map_tuples
+      (fun t ->
+        Some
+          (Erm.Etuple.with_tm
+             (S.f_tm (Erm.Etuple.tm t) S.impossible)
+             t))
+      schema r
+  in
+  Alcotest.(check int) "all dropped" 0 (Erm.Relation.cardinal zeroed);
+  Alcotest.(check bool) "result still satisfies CWA" true
+    (Erm.Relation.satisfies_cwa zeroed)
+
+let test_relation_equal () =
+  let r1 = Erm.Relation.of_tuples schema [ car "aa" 1 "[red^1]" ] in
+  let r2 = Erm.Relation.of_tuples schema [ car "aa" 1 "[red^1]" ] in
+  let r3 = Erm.Relation.of_tuples schema [ car "aa" 1 "[green^1]" ] in
+  Alcotest.(check bool) "equal" true (Erm.Relation.equal r1 r2);
+  Alcotest.(check bool) "cells differ" false (Erm.Relation.equal r1 r3)
+
+let () =
+  Alcotest.run "erm"
+    [ ("attr", [ Alcotest.test_case "basics" `Quick test_attr ]);
+      ( "schema",
+        [ Alcotest.test_case "make and lookup" `Quick test_schema_make;
+          Alcotest.test_case "union compatibility" `Quick
+            test_schema_union_compatible;
+          Alcotest.test_case "projection" `Quick test_schema_project;
+          Alcotest.test_case "product and rename" `Quick
+            test_schema_product_rename ] );
+      ( "etuple",
+        [ Alcotest.test_case "validation" `Quick test_etuple_make_validation;
+          Alcotest.test_case "accessors" `Quick test_etuple_accessors;
+          Alcotest.test_case "of_assoc" `Quick test_etuple_of_assoc;
+          Alcotest.test_case "combine" `Quick test_etuple_combine;
+          Alcotest.test_case "concat" `Quick test_etuple_concat ] );
+      ( "relation",
+        [ Alcotest.test_case "CWA enforcement" `Quick test_relation_cwa;
+          Alcotest.test_case "key operations" `Quick test_relation_keys;
+          Alcotest.test_case "iteration order" `Quick
+            test_relation_iteration_order;
+          Alcotest.test_case "map_tuples drops sn=0" `Quick
+            test_relation_map_tuples_closure;
+          Alcotest.test_case "equality" `Quick test_relation_equal ] ) ]

@@ -1,0 +1,186 @@
+(* Relation deltas and federated query strategies — the tooling around
+   re-integration and the paper's §4 "query processing combined with
+   conflict resolution" question. *)
+
+module V = Dst.Value
+module S = Dst.Support
+module M = Dst.Mass.F
+
+let feq = Alcotest.float 1e-9
+
+(* --- Delta ------------------------------------------------------------ *)
+
+let colors = Dst.Domain.of_strings "color" [ "red"; "green"; "blue" ]
+
+let schema =
+  Erm.Schema.make ~name:"v"
+    ~key:[ Erm.Attr.definite "k" "string" ]
+    ~nonkey:[ Erm.Attr.evidential "color" colors ]
+
+let tup ?(tm = S.certain) k ev =
+  Erm.Etuple.make schema
+    ~key:[ V.string k ]
+    ~cells:[ Erm.Etuple.Evidence (Dst.Evidence.of_string colors ev) ]
+    ~tm
+
+let v1 =
+  Erm.Relation.of_tuples schema
+    [ tup "stable" "[red^1]";
+      tup "sharpened" "[red^0.5; ~^0.5]";
+      tup "contradicted" "[red^0.9; ~^0.1]";
+      tup ~tm:(S.make ~sn:0.5 ~sp:1.0) "strengthened" "[green^1]";
+      tup "dropped" "[blue^1]" ]
+
+let v2 =
+  Erm.Relation.of_tuples schema
+    [ tup "stable" "[red^1]";
+      tup "sharpened" "[red^0.8; ~^0.2]";
+      tup "contradicted" "[green^0.9; ~^0.1]";
+      tup ~tm:(S.make ~sn:0.9 ~sp:1.0) "strengthened" "[green^1]";
+      tup "appeared" "[red^1]" ]
+
+let delta = Erm.Delta.diff v1 v2
+
+let find_change k =
+  List.find
+    (fun (c : Erm.Delta.tuple_change) ->
+      c.changed_key = [ V.string k ])
+    delta.changed
+
+let test_delta_partition () =
+  Alcotest.(check int) "one added" 1 (List.length delta.added);
+  Alcotest.(check int) "one removed" 1 (List.length delta.removed);
+  Alcotest.(check int) "three changed" 3 (List.length delta.changed);
+  Alcotest.(check int) "one unchanged" 1 delta.unchanged;
+  Alcotest.(check bool) "not empty" false (Erm.Delta.is_empty delta);
+  Alcotest.(check bool) "identity diff is empty" true
+    (Erm.Delta.is_empty (Erm.Delta.diff v1 v1))
+
+let test_delta_conflict_grading () =
+  let sharpened = find_change "sharpened" in
+  let contradicted = find_change "contradicted" in
+  (* Refinement: [red^.5,Ω^.5] vs [red^.8,Ω^.2] never conflict. *)
+  (match sharpened.cell_changes with
+  | [ c ] -> Alcotest.check feq "refinement has kappa 0" 0.0 c.revision_conflict
+  | _ -> Alcotest.fail "expected one cell change");
+  (* Contradiction: [red^.9,Ω^.1] vs [green^.9,Ω^.1] -> κ = 0.81. *)
+  (match contradicted.cell_changes with
+  | [ c ] ->
+      Alcotest.check feq "contradiction has high kappa" 0.81
+        c.revision_conflict
+  | _ -> Alcotest.fail "expected one cell change");
+  Alcotest.check feq "max over the delta" 0.81
+    (Erm.Delta.max_revision_conflict delta)
+
+let test_delta_membership_only_change () =
+  let strengthened = find_change "strengthened" in
+  Alcotest.(check int) "no cell changes" 0
+    (List.length strengthened.cell_changes);
+  Alcotest.check feq "old sn" 0.5 (S.sn strengthened.old_tm);
+  Alcotest.check feq "new sn" 0.9 (S.sn strengthened.new_tm)
+
+let test_delta_pp () =
+  let text = Format.asprintf "%a" Erm.Delta.pp delta in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length text && (String.sub text i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "mentions the added key" true (contains "+ (appeared)");
+  Alcotest.(check bool) "mentions the removed key" true (contains "- (dropped)");
+  Alcotest.(check bool) "mentions kappa" true (contains "kappa")
+
+(* --- Federated strategies --------------------------------------------- *)
+
+let pred = Erm.Predicate.is_values "speciality" [ "mu" ]
+let threshold = Erm.Threshold.sn_gt 0.5
+
+let test_strategies_agree_on_content_keys () =
+  (* On the paper data with this query, both strategies find the same
+     entities; what differs is the membership arithmetic. *)
+  let c =
+    Integration.Federated.compare ~threshold pred Paperdata.r_a Paperdata.r_b
+  in
+  Alcotest.(check int) "no missing keys here" 0 (List.length c.missing);
+  Alcotest.(check int) "no spurious keys here" 0 (List.length c.spurious);
+  Alcotest.(check int) "mehl and ashiana both ways" 2
+    (Erm.Relation.cardinal c.reference)
+
+let test_strategies_memberships_differ () =
+  let c =
+    Integration.Federated.compare ~threshold pred Paperdata.r_a Paperdata.r_b
+  in
+  (* Reference mehl: F_TM((5/6,5/6), (1,1)) = (5/6, 5/6).
+     Approximation: σ̂ first gives A (0.8·0.5) = (0.4,0.4), B (1·0.8, 1·1)
+     = (0.8,1); Dempster of those ≠ 5/6 — the support got counted twice. *)
+  let sn_of r =
+    S.sn (Erm.Etuple.tm (Erm.Relation.find r [ V.string "mehl" ]))
+  in
+  Alcotest.check feq "reference keeps the integrated membership"
+    (5.0 /. 6.0) (sn_of c.reference);
+  Alcotest.(check bool) "approximation deviates" true (c.max_sn_gap > 0.01);
+  Alcotest.(check bool) "gap is what the mehl row shows" true
+    (Float.abs (Float.abs (sn_of c.reference -. sn_of c.approximate)
+               -. c.max_sn_gap)
+    < 1e-9)
+
+let test_strategies_can_disagree_on_answers () =
+  (* A borderline tuple. Each source: evidence [red^0.5; Ω^0.5] and
+     membership (0.9, 1).
+     Reference: merged evidence has Bel({red}) = 0.75 and the merged
+     membership is F((0.9,1),(0.9,1)) = (0.99,1), so sn = 0.7425 > 0.7.
+     Approximation: each source's local support is only (0.5, 1), giving
+     tm' = (0.45, 1); F((0.45,1),(0.45,1)) has sn ≈ 0.6975 < 0.7.
+     The same entity clears the threshold one way and not the other. *)
+  let mk name ev tm = Erm.Relation.of_tuples schema [ tup ~tm name ev ] in
+  let a = mk "x" "[red^0.5; ~^0.5]" (S.make ~sn:0.9 ~sp:1.0) in
+  let b = mk "x" "[red^0.5; ~^0.5]" (S.make ~sn:0.9 ~sp:1.0) in
+  let pred = Erm.Predicate.is_values "color" [ "red" ] in
+  let threshold = Erm.Threshold.sn_gt 0.7 in
+  let c = Integration.Federated.compare ~threshold pred a b in
+  Alcotest.(check int) "reference answers" 1
+    (Erm.Relation.cardinal c.reference);
+  Alcotest.(check int) "approximation misses the tuple" 1
+    (List.length c.missing)
+
+let test_select_first_is_cheaper_input () =
+  (* The approximation merges only the selected candidates: with a
+     selective predicate the merge input shrinks. *)
+  let rng = Workload.Rng.create 77 in
+  let gschema = Workload.Gen.schema "fed" in
+  let a, b = Workload.Gen.source_pair rng ~size:200 ~overlap:0.8 gschema in
+  let pred = Erm.Predicate.is_values "e0" [ "v0" ] in
+  let selected_a = Erm.Ops.select pred a in
+  Alcotest.(check bool) "predicate is selective" true
+    (Erm.Relation.cardinal selected_a < Erm.Relation.cardinal a / 2);
+  (* And the approximation still satisfies closure + threshold. *)
+  let approx =
+    Integration.Federated.select_first ~threshold:(Erm.Threshold.sn_gt 0.3)
+      pred a b
+  in
+  Alcotest.(check bool) "closure" true (Erm.Relation.satisfies_cwa approx);
+  Erm.Relation.iter
+    (fun t ->
+      if S.sn (Erm.Etuple.tm t) <= 0.3 then Alcotest.fail "threshold violated")
+    approx
+
+let () =
+  Alcotest.run "federated"
+    [ ( "delta",
+        [ Alcotest.test_case "partition" `Quick test_delta_partition;
+          Alcotest.test_case "conflict grading" `Quick
+            test_delta_conflict_grading;
+          Alcotest.test_case "membership-only changes" `Quick
+            test_delta_membership_only_change;
+          Alcotest.test_case "rendering" `Quick test_delta_pp ] );
+      ( "strategies",
+        [ Alcotest.test_case "same keys on the paper query" `Quick
+            test_strategies_agree_on_content_keys;
+          Alcotest.test_case "memberships differ (non-equivalence)" `Quick
+            test_strategies_memberships_differ;
+          Alcotest.test_case "borderline answers can flip" `Quick
+            test_strategies_can_disagree_on_answers;
+          Alcotest.test_case "approximation stays sound on CWA/threshold"
+            `Quick test_select_first_is_cheaper_input ] ) ]

@@ -1,0 +1,344 @@
+(* The five extended operators of §3 on small hand-built relations:
+   selection supports (is- and θ-predicates, including the paper's
+   §3.1.1 inline example), thresholds, union corner cases and conflict
+   reporting, product, join, and the select-over-product ≡ join law. *)
+
+module V = Dst.Value
+module Vs = Dst.Vset
+module D = Dst.Domain
+module M = Dst.Mass.F
+module S = Dst.Support
+module P = Erm.Predicate
+
+let feq = Alcotest.float 1e-9
+let sup = Alcotest.testable S.pp S.equal
+
+let colors = D.of_strings "color" [ "red"; "green"; "blue" ]
+let sizes = D.of_values "size" [ V.int 1; V.int 2; V.int 4; V.int 5; V.int 6 ]
+
+let schema =
+  Erm.Schema.make ~name:"boxes"
+    ~key:[ Erm.Attr.definite "id" "string" ]
+    ~nonkey:
+      [ Erm.Attr.definite "shelf" "string";
+        Erm.Attr.evidential "color" colors;
+        Erm.Attr.evidential "size" sizes ]
+
+let box ?(tm = S.certain) ?(shelf = "s1") id color size =
+  Erm.Etuple.make schema
+    ~key:[ V.string id ]
+    ~cells:
+      [ Erm.Etuple.Definite (V.string shelf);
+        Erm.Etuple.Evidence (Dst.Evidence.of_string colors color);
+        Erm.Etuple.Evidence (Dst.Evidence.of_string sizes size) ]
+    ~tm
+
+let boxes =
+  Erm.Relation.of_tuples schema
+    [ box "b1" "[red^0.6; ~^0.4]" "[1^1]";
+      box "b2" ~shelf:"s2" "[green^1]" "[{1,4}^0.6; {2,6}^0.4]";
+      box ~tm:(S.make ~sn:0.5 ~sp:0.8) "b3" "[blue^0.5; green^0.5]" "[5^1]" ]
+
+let find r id = Erm.Relation.find r [ V.string id ]
+let tm_of r id = Erm.Etuple.tm (find r id)
+
+(* --- Selection ------------------------------------------------------ *)
+
+let test_select_is () =
+  let r = Erm.Ops.select (P.is_values "color" [ "red" ]) boxes in
+  (* b1: Bel = 0.6, Pls = 1; b2 and b3 have Bel = 0 -> dropped. *)
+  Alcotest.(check int) "only b1 survives" 1 (Erm.Relation.cardinal r);
+  Alcotest.check sup "b1 membership" (S.make ~sn:0.6 ~sp:1.0) (tm_of r "b1")
+
+let test_select_retains_original_cells () =
+  (* Footnote 4: selection does not modify attribute values. *)
+  let r = Erm.Ops.select (P.is_values "color" [ "red" ]) boxes in
+  Alcotest.(check bool)
+    "cells unchanged" true
+    (List.for_all2 Erm.Etuple.cell_equal
+       (Erm.Etuple.cells (find r "b1"))
+       (Erm.Etuple.cells (find boxes "b1")))
+
+let test_select_on_definite_attr () =
+  let r =
+    Erm.Ops.select
+      (P.is_ "shelf" (Vs.of_strings [ "s2" ]))
+      boxes
+  in
+  Alcotest.(check int) "definite match is crisp" 1 (Erm.Relation.cardinal r);
+  Alcotest.check sup "full certainty" S.certain (tm_of r "b2")
+
+let test_select_threshold () =
+  let pred = P.is_values "color" [ "green"; "blue" ] in
+  let all = Erm.Ops.select pred boxes in
+  Alcotest.(check int) "b2 and b3" 2 (Erm.Relation.cardinal all);
+  let strict =
+    Erm.Ops.select ~threshold:(Erm.Threshold.sn_ge 0.9) pred boxes
+  in
+  Alcotest.(check int) "sn >= 0.9 keeps only b2" 1
+    (Erm.Relation.cardinal strict);
+  let certain = Erm.Ops.select ~threshold:Erm.Threshold.certain_only pred boxes in
+  Alcotest.(check int) "sn = 1 keeps only b2" 1 (Erm.Relation.cardinal certain);
+  let sp_cap =
+    Erm.Ops.select ~threshold:(Erm.Threshold.sp_ge 0.9) pred boxes
+  in
+  Alcotest.(check int) "sp >= 0.9" 1 (Erm.Relation.cardinal sp_cap)
+
+let test_select_theta_paper_example () =
+  (* §3.1.1: [{1,4}^0.6; {2,6}^0.4] θ [{2,4}^0.8; 5^0.2]. Under the
+     formal ∀∀ definition, ≤ gives (0.12, 1); under the ∀∃ reading the
+     paper's printed (0.6, 1) follows. Both are implemented. *)
+  let a =
+    P.Const
+      (Erm.Etuple.Evidence
+         (Dst.Evidence.of_string sizes "[{1,4}^0.6; {2,6}^0.4]"))
+  in
+  let b =
+    P.Const
+      (Erm.Etuple.Evidence (Dst.Evidence.of_string sizes "[{2,4}^0.8; 5^0.2]"))
+  in
+  let t = find boxes "b1" in
+  let forall_forall = P.eval schema t (P.theta P.Le a b) in
+  Alcotest.check sup "formal definition: (0.12, 1)" (S.make ~sn:0.12 ~sp:1.0)
+    forall_forall;
+  let forall_exists = P.eval schema t (P.theta_fe P.Le a b) in
+  Alcotest.check sup "paper's worked numbers: (0.6, 1)"
+    (S.make ~sn:0.6 ~sp:1.0) forall_exists
+
+let test_select_theta_between_attrs () =
+  (* b2's size [{1,4}^0.6; {2,6}^0.4] = 4 against a constant. *)
+  let pred = P.theta P.Eq (P.Field "size") (P.Const (Erm.Etuple.Definite (V.int 1))) in
+  let r = Erm.Ops.select pred boxes in
+  (* b1: size {1} = 1 definitely (sn=1). b2: {1,4} =? {1}: not forall;
+     exists -> sp 0.6. sn=0 -> dropped. *)
+  Alcotest.(check int) "b1 only" 1 (Erm.Relation.cardinal r);
+  Alcotest.check sup "b1 crisp" S.certain (tm_of r "b1")
+
+let test_select_theta_type_mismatch () =
+  let pred =
+    P.theta P.Lt (P.Field "size") (P.Const (Erm.Etuple.Definite (V.string "x")))
+  in
+  Alcotest.(check bool)
+    "ordered θ across kinds raises" true
+    (match Erm.Ops.select pred boxes with
+    | _ -> false
+    | exception V.Type_mismatch _ -> true);
+  (* Equality across kinds is just false, not an error. *)
+  let eq_pred =
+    P.theta P.Eq (P.Field "size") (P.Const (Erm.Etuple.Definite (V.string "x")))
+  in
+  Alcotest.(check int) "= across kinds selects nothing" 0
+    (Erm.Relation.cardinal (Erm.Ops.select eq_pred boxes))
+
+let test_select_compound () =
+  (* The size domain holds ints, so the is-set must too. *)
+  let pred =
+    P.(is_values "color" [ "red" ] &&& is_ "size" (Vs.of_list [ V.int 1 ]))
+  in
+  let r = Erm.Ops.select pred boxes in
+  Alcotest.check sup "multiplicative supports: (0.6·1, 1·1)"
+    (S.make ~sn:0.6 ~sp:1.0) (tm_of r "b1")
+
+let test_select_or_not_extensions () =
+  let p_red = P.is_values "color" [ "red" ] in
+  let t = find boxes "b1" in
+  let s_or = P.eval schema t P.(p_red ||| p_red) in
+  Alcotest.check sup "or of (0.6,1) with itself" (S.make ~sn:0.84 ~sp:1.0) s_or;
+  let s_not = P.eval schema t (P.not_ p_red) in
+  Alcotest.check sup "not (0.6,1) = (0, 0.4)" (S.make ~sn:0.0 ~sp:0.4) s_not;
+  Alcotest.(check bool) "paper_fragment flags extensions" false
+    (P.paper_fragment (P.not_ p_red));
+  Alcotest.(check bool) "conjunctions are in the paper fragment" true
+    (P.paper_fragment P.(p_red &&& p_red))
+
+let test_select_unknown_attr () =
+  Alcotest.(check bool)
+    "unknown attribute raises" true
+    (match Erm.Ops.select (P.is_values "wheels" [ "x" ]) boxes with
+    | _ -> false
+    | exception P.Predicate_error _ -> true)
+
+(* --- Projection ----------------------------------------------------- *)
+
+let test_project () =
+  let r = Erm.Ops.project [ "id"; "color" ] boxes in
+  Alcotest.(check int) "all tuples kept" 3 (Erm.Relation.cardinal r);
+  Alcotest.(check int) "narrowed arity" 2
+    (Erm.Schema.arity (Erm.Relation.schema r));
+  Alcotest.check sup "membership retained"
+    (S.make ~sn:0.5 ~sp:0.8) (tm_of r "b3");
+  Alcotest.(check bool)
+    "projecting away the key is an error" true
+    (match Erm.Ops.project [ "color" ] boxes with
+    | _ -> false
+    | exception Erm.Schema.Schema_error _ -> true)
+
+(* --- Union ---------------------------------------------------------- *)
+
+let other_boxes =
+  Erm.Relation.of_tuples
+    (Erm.Schema.rename_relation "boxes2" schema)
+    [ box "b1" "[red^0.5; green^0.5]" "[1^1]";
+      box ~tm:(S.make ~sn:0.9 ~sp:1.0) "b9" "[blue^1]" "[6^1]" ]
+
+let test_union_merges_and_passes_through () =
+  let u = Erm.Ops.union boxes other_boxes in
+  Alcotest.(check int) "b1 merged, b2 b3 b9 pass through" 4
+    (Erm.Relation.cardinal u);
+  (* b1 color: [red^.6, Ω^.4] ⊕ [red^.5, green^.5]:
+     red .3+.2=.5, green .2, κ=.3 -> red 5/7, green 2/7. *)
+  let color = Erm.Etuple.evidence schema (find u "b1") "color" in
+  Alcotest.check feq "red 5/7" (5.0 /. 7.0)
+    (M.mass color (Vs.of_strings [ "red" ]));
+  Alcotest.check feq "green 2/7" (2.0 /. 7.0)
+    (M.mass color (Vs.of_strings [ "green" ]));
+  (* Pass-through tuples keep their membership. *)
+  Alcotest.check sup "b9 untouched" (S.make ~sn:0.9 ~sp:1.0) (tm_of u "b9");
+  Alcotest.check sup "b3 untouched" (S.make ~sn:0.5 ~sp:0.8) (tm_of u "b3")
+
+let test_union_incompatible () =
+  let other =
+    Erm.Relation.empty
+      (Erm.Schema.make ~name:"x"
+         ~key:[ Erm.Attr.definite "id" "string" ]
+         ~nonkey:[])
+  in
+  Alcotest.(check bool)
+    "incompatible schemas rejected" true
+    (match Erm.Ops.union boxes other with
+    | _ -> false
+    | exception Erm.Ops.Incompatible_schemas _ -> true)
+
+let test_union_total_conflict_raises () =
+  let a = Erm.Relation.of_tuples schema [ box "k" "[red^1]" "[1^1]" ] in
+  let b = Erm.Relation.of_tuples schema [ box "k" "[green^1]" "[1^1]" ] in
+  Alcotest.check_raises "raises Total_conflict" M.Total_conflict (fun () ->
+      ignore (Erm.Ops.union a b))
+
+let test_union_report () =
+  let a =
+    Erm.Relation.of_tuples schema
+      [ box "good" "[red^0.5; ~^0.5]" "[1^1]";
+        box "bad" "[red^1]" "[1^1]";
+        box "worse" ~shelf:"s1" "[red^1]" "[1^1]" ]
+  in
+  let b =
+    Erm.Relation.of_tuples schema
+      [ box "good" "[red^0.8; ~^0.2]" "[1^1]";
+        box "bad" "[green^1]" "[1^1]";
+        box "worse" ~shelf:"s9" "[red^1]" "[1^1]" ]
+  in
+  let result, conflicts = Erm.Ops.union_report a b in
+  Alcotest.(check int) "only the clean pair merges" 1
+    (Erm.Relation.cardinal result);
+  Alcotest.(check int) "two conflicts reported" 2 (List.length conflicts);
+  let attrs =
+    List.filter_map (fun c -> c.Erm.Ops.conflict_attr) conflicts
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string))
+    "conflicts name their columns" [ "color"; "shelf" ] attrs
+
+let test_union_associative () =
+  let third =
+    Erm.Relation.of_tuples schema
+      [ box "b1" "[red^0.7; ~^0.3]" "[1^1]"; box "b7" "[green^1]" "[2^1]" ]
+  in
+  Alcotest.(check bool)
+    "(a ∪ b) ∪ c = a ∪ (b ∪ c)" true
+    (Erm.Relation.equal
+       (Erm.Ops.union (Erm.Ops.union boxes other_boxes) third)
+       (Erm.Ops.union boxes (Erm.Ops.union other_boxes third)))
+
+(* --- Product and join ----------------------------------------------- *)
+
+let shelves_schema =
+  Erm.Schema.make ~name:"shelves"
+    ~key:[ Erm.Attr.definite "sid" "string" ]
+    ~nonkey:[ Erm.Attr.definite "room" "string" ]
+
+let shelves =
+  Erm.Relation.of_tuples shelves_schema
+    [ Erm.Etuple.make shelves_schema ~key:[ V.string "s1" ]
+        ~cells:[ Erm.Etuple.Definite (V.string "attic") ]
+        ~tm:S.certain;
+      Erm.Etuple.make shelves_schema ~key:[ V.string "s2" ]
+        ~cells:[ Erm.Etuple.Definite (V.string "cellar") ]
+        ~tm:(S.make ~sn:0.5 ~sp:1.0) ]
+
+let test_product () =
+  let p = Erm.Ops.product boxes shelves in
+  Alcotest.(check int) "3 x 2 pairs" 6 (Erm.Relation.cardinal p);
+  Alcotest.(check int) "key concatenation" 2
+    (Erm.Schema.key_arity (Erm.Relation.schema p));
+  (* Membership multiplies: b3 (0.5, 0.8) x s2 (0.5, 1). *)
+  let t = Erm.Relation.find p [ V.string "b3"; V.string "s2" ] in
+  Alcotest.check sup "F_TM" (S.make ~sn:0.25 ~sp:0.8) (Erm.Etuple.tm t)
+
+let test_join_equals_select_product () =
+  let pred =
+    P.theta P.Eq (P.Field "shelf") (P.Field "sid")
+  in
+  let joined = Erm.Ops.join pred boxes shelves in
+  let via_product = Erm.Ops.select pred (Erm.Ops.product boxes shelves) in
+  Alcotest.(check bool) "⋈ = σ∘× (§3.5)" true
+    (Erm.Relation.equal joined via_product);
+  Alcotest.(check int) "each box meets its shelf" 3
+    (Erm.Relation.cardinal joined)
+
+let test_join_threshold () =
+  let pred = P.theta P.Eq (P.Field "shelf") (P.Field "sid") in
+  let strict =
+    Erm.Ops.join ~threshold:Erm.Threshold.certain_only pred boxes shelves
+  in
+  (* b1-s1 is (1,1); b2-s2 is (0.5,1); b3-s1 is (0.5,0.8). *)
+  Alcotest.(check int) "only fully certain pairs" 1
+    (Erm.Relation.cardinal strict)
+
+let test_rename_attrs_op () =
+  let r = Erm.Ops.rename_attrs (fun n -> "x_" ^ n) boxes in
+  Alcotest.(check bool) "renamed schema" true
+    (Erm.Schema.mem (Erm.Relation.schema r) "x_color");
+  Alcotest.(check int) "tuples preserved" 3 (Erm.Relation.cardinal r)
+
+let test_intersect_keys () =
+  let keys = Erm.Ops.intersect_keys boxes other_boxes in
+  Alcotest.(check int) "one shared key" 1 (List.length keys)
+
+let () =
+  Alcotest.run "ops"
+    [ ( "select",
+        [ Alcotest.test_case "is-predicate" `Quick test_select_is;
+          Alcotest.test_case "original cells retained" `Quick
+            test_select_retains_original_cells;
+          Alcotest.test_case "definite attributes" `Quick
+            test_select_on_definite_attr;
+          Alcotest.test_case "thresholds" `Quick test_select_threshold;
+          Alcotest.test_case "θ paper example (both semantics)" `Quick
+            test_select_theta_paper_example;
+          Alcotest.test_case "θ against constants" `Quick
+            test_select_theta_between_attrs;
+          Alcotest.test_case "θ type mismatch" `Quick
+            test_select_theta_type_mismatch;
+          Alcotest.test_case "compound predicates" `Quick test_select_compound;
+          Alcotest.test_case "or/not extensions" `Quick
+            test_select_or_not_extensions;
+          Alcotest.test_case "unknown attribute" `Quick
+            test_select_unknown_attr ] );
+      ("project", [ Alcotest.test_case "projection" `Quick test_project ]);
+      ( "union",
+        [ Alcotest.test_case "merge and pass-through" `Quick
+            test_union_merges_and_passes_through;
+          Alcotest.test_case "incompatible schemas" `Quick
+            test_union_incompatible;
+          Alcotest.test_case "total conflict raises" `Quick
+            test_union_total_conflict_raises;
+          Alcotest.test_case "union_report" `Quick test_union_report;
+          Alcotest.test_case "associativity" `Quick test_union_associative ] );
+      ( "product-join",
+        [ Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "join = select of product" `Quick
+            test_join_equals_select_product;
+          Alcotest.test_case "join threshold" `Quick test_join_threshold;
+          Alcotest.test_case "rename" `Quick test_rename_attrs_op;
+          Alcotest.test_case "intersect_keys" `Quick test_intersect_keys ] ) ]

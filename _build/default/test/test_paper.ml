@@ -1,0 +1,227 @@
+(* End-to-end reproduction of every numeric artifact in the paper:
+   §2.1 (mass/Bel/Pls), §2.2 (Dempster combination, exact), Tables 2-5. *)
+
+let feq = Alcotest.float 1e-9
+let approx = Alcotest.float 5e-4
+(* 5e-4: the paper prints three decimals. *)
+
+let check_relations_equal what expected actual =
+  Alcotest.(check bool)
+    (what ^ ": expected and computed relations are equal")
+    true
+    (Erm.Relation.equal expected actual)
+
+let pp_diff expected actual =
+  Format.asprintf "expected:@.%s@.got:@.%s"
+    (Erm.Render.to_string expected)
+    (Erm.Render.to_string actual)
+
+let check_table what expected actual =
+  if not (Erm.Relation.equal expected actual) then
+    Alcotest.failf "%s mismatch.@.%s" what (pp_diff expected actual)
+
+(* --- §2.1: the wok mass function ---------------------------------- *)
+
+let test_sec21_bel_pls () =
+  let m = Paperdata.wok_m1 in
+  let set = Dst.Vset.of_strings [ "ca"; "hu"; "si" ] in
+  Alcotest.check feq "Bel({ca,hu,si}) = 5/6" (5.0 /. 6.0)
+    (Dst.Mass.F.bel m set);
+  Alcotest.check feq "Pls({ca,hu,si}) = 1" 1.0 (Dst.Mass.F.pls m set);
+  Alcotest.check feq "m({ca}) = 1/2" 0.5
+    (Dst.Mass.F.mass m (Dst.Vset.of_strings [ "ca" ]));
+  Alcotest.check feq "m({ca,hu}) = 0 (mass is not monotone in set size)" 0.0
+    (Dst.Mass.F.mass m (Dst.Vset.of_strings [ "ca"; "hu" ]))
+
+(* --- §2.2: Dempster's rule, float and exact ----------------------- *)
+
+let test_sec22_float () =
+  let combined = Dst.Mass.F.combine Paperdata.wok_m1 Paperdata.wok_m2 in
+  Alcotest.(check bool)
+    "m1 ⊕ m2 matches the paper's fractions" true
+    (Dst.Mass.F.equal combined Paperdata.wok_combined);
+  Alcotest.check feq "κ = 1/8" Paperdata.wok_conflict
+    (Dst.Mass.F.conflict Paperdata.wok_m1 Paperdata.wok_m2)
+
+module Mq = Dst.Mass.Make (Dst.Num.Rational)
+
+let test_sec22_exact () =
+  let frame = Dst.Mass.F.frame Paperdata.wok_m1 in
+  let m1 = Mq.make frame Paperdata.sec22_m1_exact in
+  let m2 = Mq.make frame Paperdata.sec22_m2_exact in
+  let expected = Mq.make frame Paperdata.sec22_expected_exact in
+  let combined = Mq.combine m1 m2 in
+  Alcotest.(check bool)
+    "exact rational combination equals the paper's fractions exactly" true
+    (Mq.equal combined expected);
+  Alcotest.(check bool)
+    "exact κ = 1/8" true
+    (Qarith.Q.equal (Mq.conflict m1 m2) (Qarith.Q.make 1 8))
+
+let test_sec22_commutes () =
+  let a = Dst.Mass.F.combine Paperdata.wok_m1 Paperdata.wok_m2 in
+  let b = Dst.Mass.F.combine Paperdata.wok_m2 Paperdata.wok_m1 in
+  Alcotest.(check bool) "⊕ commutes on the worked example" true
+    (Dst.Mass.F.equal a b)
+
+(* --- Table 2: σ̂[sn>0; speciality is {si}] R_A --------------------- *)
+
+let table2_actual () =
+  Erm.Ops.select
+    ~threshold:(Erm.Threshold.sn_gt 0.0)
+    (Erm.Predicate.is_values "speciality" [ "si" ])
+    Paperdata.r_a
+
+let test_table2 () = check_table "Table 2" Paperdata.table2 (table2_actual ())
+
+let test_table2_garden_membership () =
+  let r = table2_actual () in
+  let t = Erm.Relation.find r [ Dst.Value.string "garden" ] in
+  Alcotest.check feq "garden sn = Bel({si}) = 0.5" 0.5
+    (Dst.Support.sn (Erm.Etuple.tm t));
+  Alcotest.check feq "garden sp = Pls({si}) = 0.75" 0.75
+    (Dst.Support.sp (Erm.Etuple.tm t))
+
+(* --- Table 3: compound predicate ----------------------------------- *)
+
+let table3_actual () =
+  let open Erm.Predicate in
+  Erm.Ops.select
+    ~threshold:(Erm.Threshold.sn_gt 0.0)
+    (is_values "speciality" [ "mu" ] &&& is_values "rating" [ "ex" ])
+    Paperdata.r_a
+
+let test_table3 () = check_table "Table 3" Paperdata.table3 (table3_actual ())
+
+let test_table3_mehl_membership () =
+  let r = table3_actual () in
+  let t = Erm.Relation.find r [ Dst.Value.string "mehl" ] in
+  Alcotest.check feq "mehl (sn,sp) = (0.32, 0.32): 0.8·0.8·0.5" 0.32
+    (Dst.Support.sn (Erm.Etuple.tm t));
+  Alcotest.check feq "mehl sp" 0.32 (Dst.Support.sp (Erm.Etuple.tm t))
+
+(* --- Table 4: extended union --------------------------------------- *)
+
+let table4_actual () = Erm.Ops.union Paperdata.r_a Paperdata.r_b
+
+let test_table4 () = check_table "Table 4" Paperdata.table4 (table4_actual ())
+
+let test_table4_paper_roundings () =
+  (* Check the printed 3-decimal values of the paper directly. *)
+  let r = table4_actual () in
+  let ev name attr =
+    Erm.Etuple.evidence Paperdata.schema
+      (Erm.Relation.find r [ Dst.Value.string name ])
+      attr
+  in
+  let mass e s = Dst.Mass.F.mass e (Dst.Vset.of_strings s) in
+  let garden_spec = ev "garden" "speciality" in
+  Alcotest.check approx "garden si = 0.655" 0.655 (mass garden_spec [ "si" ]);
+  Alcotest.check approx "garden hu = 0.276" 0.276 (mass garden_spec [ "hu" ]);
+  Alcotest.check approx "garden ~ = 0.069" 0.069
+    (Dst.Mass.F.mass garden_spec (Dst.Domain.values Paperdata.speciality));
+  let garden_rating = ev "garden" "rating" in
+  Alcotest.check approx "garden ex = 0.143" 0.143 (mass garden_rating [ "ex" ]);
+  Alcotest.check approx "garden gd = 0.857" 0.857 (mass garden_rating [ "gd" ]);
+  let mehl_dish = ev "mehl" "best-dish" in
+  Alcotest.check approx "mehl d24 = 0.069" 0.069 (mass mehl_dish [ "d24" ]);
+  Alcotest.check approx "mehl d31 = 0.931" 0.931 (mass mehl_dish [ "d31" ]);
+  let mehl = Erm.Relation.find r [ Dst.Value.string "mehl" ] in
+  Alcotest.check (Alcotest.float 5e-3) "mehl sn = 0.83" 0.83
+    (Dst.Support.sn (Erm.Etuple.tm mehl));
+  Alcotest.check (Alcotest.float 5e-3) "mehl sp = 0.83" 0.83
+    (Dst.Support.sp (Erm.Etuple.tm mehl))
+
+let test_table4_commutes () =
+  check_relations_equal "union commutes on the paper data"
+    (Erm.Ops.union Paperdata.r_a Paperdata.r_b)
+    (Erm.Ops.union Paperdata.r_b Paperdata.r_a)
+
+(* --- Table 5: projection ------------------------------------------- *)
+
+let table5_actual () = Erm.Ops.project Paperdata.table5_attrs Paperdata.r_a
+
+let test_table5 () = check_table "Table 5" Paperdata.table5 (table5_actual ())
+
+(* --- Figure 2: entity and relationship relations integrate uniformly - *)
+
+let test_figure2_manager_union () =
+  let merged = Erm.Ops.union Paperdata.m_a Paperdata.m_b in
+  Alcotest.(check int) "chen merged, anand passes through" 2
+    (Erm.Relation.cardinal merged);
+  let chen =
+    Erm.Etuple.evidence Paperdata.m_schema
+      (Erm.Relation.find merged [ Dst.Value.string "chen" ])
+      "position"
+  in
+  Alcotest.(check bool)
+    "chen's position = [head-chef^5/6; manager^1/6]" true
+    (Dst.Mass.F.equal chen Paperdata.chen_position_expected)
+
+let test_figure2_relationship_union () =
+  (* RM carries uncertainty only in tuple membership; union combines the
+     membership evidence on the boolean frame. *)
+  let merged = Erm.Ops.union Paperdata.rm_a Paperdata.rm_b in
+  Alcotest.(check int) "three manages facts" 3 (Erm.Relation.cardinal merged);
+  let tm_of rname manager =
+    Erm.Etuple.tm
+      (Erm.Relation.find merged
+         [ Dst.Value.string rname; Dst.Value.string manager ])
+  in
+  (* (1,1) ⊕ (0.9,1) = (1,1). *)
+  Alcotest.check feq "garden-chen reinforced to certainty" 1.0
+    (Dst.Support.sn (tm_of "garden" "chen"));
+  Alcotest.check feq "mehl-anand pass-through sn" 0.7
+    (Dst.Support.sn (tm_of "mehl" "anand"));
+  Alcotest.check feq "wok-chen pass-through sp" 0.9
+    (Dst.Support.sp (tm_of "wok" "chen"))
+
+let test_figure2_join_query () =
+  let env =
+    [ ("rm", Erm.Ops.union Paperdata.rm_a Paperdata.rm_b);
+      ("m", Erm.Ops.union Paperdata.m_a Paperdata.m_b) ]
+  in
+  let result =
+    Query.Eval.run env
+      "SELECT * FROM (rm JOIN m ON manager = mname) WHERE position IS \
+       {head-chef} WITH SN > 0.5"
+  in
+  (* garden-chen: (1,1)·(5/6,5/6); wok-chen: (0.8,0.9)·(5/6,5/6) = (2/3,
+     0.75); mehl-anand: Bel(head-chef) = 0, dropped. *)
+  Alcotest.(check int) "two restaurants run by a likely head-chef" 2
+    (Erm.Relation.cardinal result);
+  let garden =
+    Erm.Relation.find result
+      [ Dst.Value.string "garden"; Dst.Value.string "chen";
+        Dst.Value.string "chen" ]
+  in
+  Alcotest.check feq "garden support" (5.0 /. 6.0)
+    (Dst.Support.sn (Erm.Etuple.tm garden))
+
+let () =
+  Alcotest.run "paper"
+    [ ( "sec2",
+        [ Alcotest.test_case "2.1 Bel/Pls" `Quick test_sec21_bel_pls;
+          Alcotest.test_case "2.2 combination (float)" `Quick test_sec22_float;
+          Alcotest.test_case "2.2 combination (exact rationals)" `Quick
+            test_sec22_exact;
+          Alcotest.test_case "2.2 commutativity" `Quick test_sec22_commutes ] );
+      ( "tables",
+        [ Alcotest.test_case "table 2" `Quick test_table2;
+          Alcotest.test_case "table 2 garden membership" `Quick
+            test_table2_garden_membership;
+          Alcotest.test_case "table 3" `Quick test_table3;
+          Alcotest.test_case "table 3 mehl membership" `Quick
+            test_table3_mehl_membership;
+          Alcotest.test_case "table 4" `Quick test_table4;
+          Alcotest.test_case "table 4 paper roundings" `Quick
+            test_table4_paper_roundings;
+          Alcotest.test_case "table 4 commutativity" `Quick
+            test_table4_commutes;
+          Alcotest.test_case "table 5" `Quick test_table5 ] );
+      ( "figure2",
+        [ Alcotest.test_case "manager union" `Quick
+            test_figure2_manager_union;
+          Alcotest.test_case "relationship union" `Quick
+            test_figure2_relationship_union;
+          Alcotest.test_case "join query" `Quick test_figure2_join_query ] ) ]

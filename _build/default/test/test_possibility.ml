@@ -1,0 +1,175 @@
+(* The possibilistic bridge: contour validation, Π/N measures, the exact
+   correspondence with consonant mass functions, and the outer consonant
+   approximation — plus qcheck laws. *)
+
+module V = Dst.Value
+module Vs = Dst.Vset
+module D = Dst.Domain
+module M = Dst.Mass.F
+module P = Dst.Possibility
+module S = Dst.Support
+
+let feq = Alcotest.float 1e-9
+let frame = D.of_strings "size" [ "small"; "medium"; "large"; "huge" ]
+
+let pi =
+  P.make frame
+    [ (V.string "medium", 1.0); (V.string "small", 0.7);
+      (V.string "large", 0.3) ]
+
+let test_make_validation () =
+  Alcotest.check_raises "no value at 1 is contradiction" P.Not_normalized
+    (fun () -> ignore (P.make frame [ (V.string "small", 0.4) ]));
+  Alcotest.(check bool)
+    "outside frame rejected" true
+    (match P.make frame [ (V.string "giant", 1.0) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "degree above 1 rejected" true
+    (match P.make frame [ (V.string "small", 1.4) ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_measures () =
+  Alcotest.check feq "pi(medium)" 1.0 (P.possibility_of pi (V.string "medium"));
+  Alcotest.check feq "pi(huge) defaults to 0" 0.0
+    (P.possibility_of pi (V.string "huge"));
+  Alcotest.check feq "Pi of a set is the max" 0.7
+    (P.possibility pi (Vs.of_strings [ "small"; "large" ]));
+  Alcotest.check feq "Pi of empty set" 0.0 (P.possibility pi Vs.empty);
+  (* N(A) = 1 - Pi(complement): complement of {medium,small} is
+     {large,huge} with Pi = 0.3. *)
+  Alcotest.check feq "necessity" 0.7
+    (P.necessity pi (Vs.of_strings [ "medium"; "small" ]));
+  Alcotest.check feq "N(omega) = 1" 1.0 (P.necessity pi (D.values frame));
+  let s = P.support pi (Vs.of_strings [ "medium" ]) in
+  Alcotest.check feq "support sn = N" 0.3 (S.sn s);
+  Alcotest.check feq "support sp = Pi" 1.0 (S.sp s)
+
+let test_necessity_le_possibility () =
+  List.iter
+    (fun names ->
+      let set = Vs.of_strings names in
+      Alcotest.(check bool)
+        "N <= Pi" true
+        (P.necessity pi set <= P.possibility pi set +. 1e-12))
+    [ [ "small" ]; [ "medium" ]; [ "large"; "huge" ]; [ "small"; "medium" ] ]
+
+let test_to_mass_levels () =
+  let m = P.to_mass pi in
+  (* Levels 1 > 0.7 > 0.3: {medium}^0.3, {medium,small}^0.4,
+     {medium,small,large}^0.3. *)
+  Alcotest.check feq "innermost cut" 0.3
+    (M.mass m (Vs.of_strings [ "medium" ]));
+  Alcotest.check feq "middle cut" 0.4
+    (M.mass m (Vs.of_strings [ "medium"; "small" ]));
+  Alcotest.check feq "outer cut" 0.3
+    (M.mass m (Vs.of_strings [ "medium"; "small"; "large" ]));
+  Alcotest.(check bool) "consonant by construction" true (M.is_consonant m)
+
+let test_consonant_roundtrip () =
+  let m = P.to_mass pi in
+  let pi' = P.of_consonant m in
+  List.iter
+    (fun v ->
+      Alcotest.check feq
+        ("contour preserved at " ^ v)
+        (P.possibility_of pi (V.string v))
+        (P.possibility_of pi' (V.string v)))
+    [ "small"; "medium"; "large"; "huge" ];
+  (* And measures agree with Bel/Pls on the consonant body. *)
+  let set = Vs.of_strings [ "medium"; "small" ] in
+  Alcotest.check feq "Pi = Pls" (M.pls m set) (P.possibility pi set);
+  Alcotest.check feq "N = Bel" (M.bel m set) (P.necessity pi set)
+
+let test_of_consonant_rejects () =
+  let split =
+    M.make frame
+      [ (Vs.of_strings [ "small" ], 0.5); (Vs.of_strings [ "large" ], 0.5) ]
+  in
+  Alcotest.(check bool)
+    "non-consonant rejected" true
+    (match P.of_consonant split with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_consonant_approximation () =
+  let split =
+    M.make frame
+      [ (Vs.of_strings [ "small" ], 0.6); (Vs.of_strings [ "large" ], 0.4) ]
+  in
+  let approx = P.consonant_approximation split in
+  Alcotest.check feq "most plausible value normalized to 1" 1.0
+    (P.possibility_of approx (V.string "small"));
+  Alcotest.check feq "runner-up keeps its ratio" (0.4 /. 0.6)
+    (P.possibility_of approx (V.string "large"));
+  (* Exact on consonant inputs. *)
+  let pi' = P.consonant_approximation (P.to_mass pi) in
+  List.iter
+    (fun v ->
+      Alcotest.check feq ("exact on consonant: " ^ v)
+        (P.possibility_of pi (V.string v))
+        (P.possibility_of pi' (V.string v)))
+    [ "small"; "medium"; "large" ]
+
+(* qcheck: consonant correspondence laws on random contours. *)
+let prop name law =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:300 (QCheck.int_range 0 100000) law)
+
+let random_contour seed =
+  let rng = Workload.Rng.create seed in
+  let values = Vs.to_list (D.values frame) in
+  let top = List.nth values (Workload.Rng.int rng (List.length values)) in
+  List.map
+    (fun v ->
+      if V.equal v top then (v, 1.0)
+      else (v, float_of_int (Workload.Rng.int rng 11) /. 10.0))
+    values
+
+let qcheck_tests =
+  [ prop "to_mass is well-formed and consonant" (fun s ->
+        let p = P.make frame (random_contour s) in
+        let m = P.to_mass p in
+        M.is_consonant m
+        && Float.abs
+             (List.fold_left (fun acc (_, x) -> acc +. x) 0.0 (M.focals m)
+             -. 1.0)
+           <= 1e-9);
+    prop "of_consonant inverts to_mass" (fun s ->
+        let p = P.make frame (random_contour s) in
+        let p' = P.of_consonant (P.to_mass p) in
+        List.for_all
+          (fun v ->
+            Float.abs (P.possibility_of p v -. P.possibility_of p' v) <= 1e-9)
+          (Vs.to_list (D.values frame)));
+    prop "support pairs are valid and ordered" (fun s ->
+        let p = P.make frame (random_contour s) in
+        let rng = Workload.Rng.create (s + 13) in
+        let set = Workload.Gen.vset rng frame ~max_size:3 in
+        let sup = P.support p set in
+        S.sn sup <= S.sp sup +. 1e-12);
+    prop "approximation dominates plausibility on singletons" (fun s ->
+        let rng = Workload.Rng.create (s + 31) in
+        let m = Workload.Gen.evidence rng ~focals:4 ~max_focal_size:3 frame in
+        let p = P.consonant_approximation m in
+        List.for_all
+          (fun v ->
+            P.possibility_of p v >= M.pls m (Vs.singleton v) -. 1e-9)
+          (Vs.to_list (D.values frame))) ]
+
+let () =
+  Alcotest.run "possibility"
+    [ ( "unit",
+        [ Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "measures" `Quick test_measures;
+          Alcotest.test_case "N <= Pi" `Quick test_necessity_le_possibility;
+          Alcotest.test_case "to_mass level cuts" `Quick test_to_mass_levels;
+          Alcotest.test_case "consonant roundtrip" `Quick
+            test_consonant_roundtrip;
+          Alcotest.test_case "of_consonant rejects" `Quick
+            test_of_consonant_rejects;
+          Alcotest.test_case "consonant approximation" `Quick
+            test_consonant_approximation ] );
+      ("laws", qcheck_tests) ]

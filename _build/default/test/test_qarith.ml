@@ -1,0 +1,149 @@
+(* Exact rational arithmetic: unit tests for normalization, the four
+   operations, ordering, conversion, and overflow behaviour, plus qcheck
+   properties for the field laws. *)
+
+module Q = Qarith.Q
+
+let q = Alcotest.testable (fun ppf x -> Q.pp ppf x) Q.equal
+
+let test_normalization () =
+  Alcotest.check q "6/8 reduces to 3/4" (Q.make 3 4) (Q.make 6 8);
+  Alcotest.check q "negative denominator moves to numerator" (Q.make (-1) 2)
+    (Q.make 1 (-2));
+  Alcotest.check q "-3/-6 is 1/2" (Q.make 1 2) (Q.make (-3) (-6));
+  Alcotest.check q "0/5 is zero" Q.zero (Q.make 0 5);
+  Alcotest.(check int) "den of normalized zero" 1 (Q.den Q.zero);
+  Alcotest.check q "42/42 is one" Q.one (Q.make 42 42)
+
+let test_zero_denominator () =
+  Alcotest.check_raises "make _ 0" Q.Division_by_zero (fun () ->
+      ignore (Q.make 1 0));
+  Alcotest.check_raises "div by zero" Q.Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero));
+  Alcotest.check_raises "inv zero" Q.Division_by_zero (fun () ->
+      ignore (Q.inv Q.zero))
+
+let test_arithmetic () =
+  Alcotest.check q "1/2 + 1/3 = 5/6" (Q.make 5 6)
+    (Q.add (Q.make 1 2) (Q.make 1 3));
+  Alcotest.check q "1/2 - 1/3 = 1/6" (Q.make 1 6)
+    (Q.sub (Q.make 1 2) (Q.make 1 3));
+  Alcotest.check q "2/3 * 3/4 = 1/2" (Q.make 1 2)
+    (Q.mul (Q.make 2 3) (Q.make 3 4));
+  Alcotest.check q "(1/2) / (3/4) = 2/3" (Q.make 2 3)
+    (Q.div (Q.make 1 2) (Q.make 3 4));
+  Alcotest.check q "neg (2/3)" (Q.make (-2) 3) (Q.neg (Q.make 2 3));
+  Alcotest.check q "abs (-2/3)" (Q.make 2 3) (Q.abs (Q.make (-2) 3));
+  Alcotest.check q "inv (2/3) = 3/2" (Q.make 3 2) (Q.inv (Q.make 2 3));
+  Alcotest.check q "inv (-2/3) = -3/2" (Q.make (-3) 2) (Q.inv (Q.make (-2) 3))
+
+let test_paper_fractions () =
+  (* The §2.2 normalization: (1/4 + 1/8) / (1 - 1/8) = 3/7 etc. *)
+  let kappa = Q.make 1 8 in
+  let norm = Q.sub Q.one kappa in
+  Alcotest.check q "ca mass" (Q.make 3 7)
+    (Q.div (Q.add (Q.make 1 4) (Q.make 1 8)) norm);
+  Alcotest.check q "hu mass" (Q.make 1 3)
+    (Q.div (Q.add (Q.make 1 6) (Q.add (Q.make 1 12) (Q.make 1 24))) norm);
+  Alcotest.check q "subset masses" (Q.make 2 21) (Q.div (Q.make 1 12) norm);
+  Alcotest.check q "omega mass" (Q.make 1 21) (Q.div (Q.make 1 24) norm)
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Q.(make 1 3 < make 1 2);
+  Alcotest.(check bool) "-1/2 < 1/3" true Q.(make (-1) 2 < make 1 3);
+  Alcotest.(check bool) "2/4 = 1/2" true Q.(make 2 4 = make 1 2);
+  Alcotest.(check int) "sign of -5/7" (-1) (Q.sign (Q.make (-5) 7));
+  Alcotest.(check int) "sign of zero" 0 (Q.sign Q.zero);
+  Alcotest.check q "min" (Q.make 1 3) (Q.min (Q.make 1 3) (Q.make 1 2));
+  Alcotest.check q "max" (Q.make 1 2) (Q.max (Q.make 1 3) (Q.make 1 2))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-12)) "3/4" 0.75 (Q.to_float (Q.make 3 4));
+  Alcotest.(check (float 1e-12)) "1/3" (1.0 /. 3.0) (Q.to_float (Q.make 1 3))
+
+let test_of_float_dyadic () =
+  Alcotest.check q "0.25 is 1/4" (Q.make 1 4) (Q.of_float_dyadic 0.25);
+  Alcotest.check q "0.5 is 1/2" (Q.make 1 2) (Q.of_float_dyadic 0.5);
+  Alcotest.check q "-0.75 is -3/4" (Q.make (-3) 4) (Q.of_float_dyadic (-0.75));
+  Alcotest.check q "3.0 is 3" (Q.of_int 3) (Q.of_float_dyadic 3.0);
+  Alcotest.check q "2^-40 survives exactly"
+    (Q.make 1 (1 lsl 40))
+    (Q.of_float_dyadic (Float.ldexp 1.0 (-40)));
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Q.of_float_dyadic: not finite") (fun () ->
+      ignore (Q.of_float_dyadic Float.nan));
+  Alcotest.check_raises "infinity rejected"
+    (Invalid_argument "Q.of_float_dyadic: not finite") (fun () ->
+      ignore (Q.of_float_dyadic Float.infinity))
+
+let test_overflow () =
+  let big = Q.make max_int 1 in
+  Alcotest.check_raises "max_int * max_int overflows" Q.Overflow (fun () ->
+      ignore (Q.mul big big));
+  Alcotest.check_raises "max_int + max_int overflows" Q.Overflow (fun () ->
+      ignore (Q.add big big));
+  (* Cross-reduction keeps representable products representable. *)
+  Alcotest.check q "(max_int/2) * (2/max_int) = 1" Q.one
+    (Q.mul (Q.make max_int 2) (Q.make 2 max_int))
+
+let test_pp () =
+  Alcotest.(check string) "integer prints bare" "3" (Q.to_string (Q.of_int 3));
+  Alcotest.(check string)
+    "fraction prints n/d" "3/7"
+    (Q.to_string (Q.make 3 7));
+  Alcotest.(check string) "negative" "-1/2" (Q.to_string (Q.make 1 (-2)))
+
+(* qcheck: field laws over a bounded generator that cannot overflow. *)
+let rational =
+  QCheck.map
+    ~rev:(fun r -> (Q.num r, Q.den r))
+    (fun (n, d) -> Q.make n (1 + abs d))
+    QCheck.(pair (int_range (-1000) 1000) (int_range 0 1000))
+
+let prop name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 arb law)
+
+let qcheck_tests =
+  [ prop "add commutes"
+      (QCheck.pair rational rational)
+      (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a));
+    prop "mul commutes"
+      (QCheck.pair rational rational)
+      (fun (a, b) -> Q.equal (Q.mul a b) (Q.mul b a));
+    prop "add associates"
+      (QCheck.triple rational rational rational)
+      (fun (a, b, c) -> Q.equal (Q.add a (Q.add b c)) (Q.add (Q.add a b) c));
+    prop "mul distributes over add"
+      (QCheck.triple rational rational rational)
+      (fun (a, b, c) ->
+        Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    prop "sub then add restores"
+      (QCheck.pair rational rational)
+      (fun (a, b) -> Q.equal a (Q.add (Q.sub a b) b));
+    prop "double negation" rational (fun a -> Q.equal a (Q.neg (Q.neg a)));
+    prop "compare antisymmetric"
+      (QCheck.pair rational rational)
+      (fun (a, b) -> Q.compare a b = -Q.compare b a);
+    prop "to_float monotone"
+      (QCheck.pair rational rational)
+      (fun (a, b) ->
+        if Q.compare a b < 0 then Q.to_float a <= Q.to_float b else true);
+    prop "of_float_dyadic inverts to_float on dyadics"
+      (QCheck.pair (QCheck.int_range (-4096) 4096) (QCheck.int_range 0 10))
+      (fun (n, e) ->
+        let x = Q.make n (1 lsl e) in
+        Q.equal x (Q.of_float_dyadic (Q.to_float x))) ]
+
+let () =
+  Alcotest.run "qarith"
+    [ ( "unit",
+        [ Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "zero denominator" `Quick test_zero_denominator;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "paper fractions" `Quick test_paper_fractions;
+          Alcotest.test_case "ordering" `Quick test_compare;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+          Alcotest.test_case "of_float_dyadic" `Quick test_of_float_dyadic;
+          Alcotest.test_case "overflow" `Quick test_overflow;
+          Alcotest.test_case "printing" `Quick test_pp ] );
+      ("laws", qcheck_tests) ]

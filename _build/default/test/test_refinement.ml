@@ -1,0 +1,192 @@
+(* Frame refinements: validation, image/reduction operators, vacuous
+   extension and coarsening of evidence, composition, and the Bel/Pls
+   preservation laws. *)
+
+module V = Dst.Value
+module Vs = Dst.Vset
+module D = Dst.Domain
+module M = Dst.Mass.F
+module R = Dst.Refinement
+
+let feq = Alcotest.float 1e-9
+let vset = Alcotest.testable Vs.pp Vs.equal
+
+let coarse = D.of_strings "cuisine" [ "chinese"; "indian"; "western" ]
+
+let fine =
+  D.of_strings "speciality" [ "hu"; "si"; "ca"; "mu"; "am"; "it" ]
+
+let refining =
+  R.of_assoc ~coarse ~fine
+    [ ("chinese", [ "hu"; "si"; "ca" ]);
+      ("indian", [ "mu" ]);
+      ("western", [ "am"; "it" ]) ]
+
+let test_validation () =
+  let fails f =
+    Alcotest.(check bool)
+      "raises Refinement_error" true
+      (match f () with _ -> false | exception R.Refinement_error _ -> true)
+  in
+  (* empty image *)
+  fails (fun () ->
+      R.of_assoc ~coarse ~fine
+        [ ("chinese", []); ("indian", [ "mu" ]);
+          ("western", [ "hu"; "si"; "ca"; "am"; "it" ]) ]);
+  (* overlapping images *)
+  fails (fun () ->
+      R.of_assoc ~coarse ~fine
+        [ ("chinese", [ "hu"; "si" ]); ("indian", [ "si"; "mu" ]);
+          ("western", [ "ca"; "am"; "it" ]) ]);
+  (* non-covering images *)
+  fails (fun () ->
+      R.of_assoc ~coarse ~fine
+        [ ("chinese", [ "hu"; "si"; "ca" ]); ("indian", [ "mu" ]);
+          ("western", [ "am" ]) ]);
+  (* image escapes the fine frame *)
+  fails (fun () ->
+      R.of_assoc ~coarse ~fine
+        [ ("chinese", [ "hu"; "si"; "ca"; "sushi" ]); ("indian", [ "mu" ]);
+          ("western", [ "am"; "it" ]) ]);
+  (* missing coarse value *)
+  fails (fun () ->
+      R.of_assoc ~coarse ~fine [ ("chinese", [ "hu"; "si"; "ca" ]) ])
+
+let test_image_and_reductions () =
+  Alcotest.check vset "image of {chinese}"
+    (Vs.of_strings [ "ca"; "hu"; "si" ])
+    (R.image refining (Vs.of_strings [ "chinese" ]));
+  Alcotest.check vset "image of {chinese, indian}"
+    (Vs.of_strings [ "ca"; "hu"; "si"; "mu" ])
+    (R.image refining (Vs.of_strings [ "chinese"; "indian" ]));
+  Alcotest.check vset "outer reduction of {hu}"
+    (Vs.of_strings [ "chinese" ])
+    (R.outer_reduction refining (Vs.of_strings [ "hu" ]));
+  Alcotest.check vset "outer reduction of {hu, am}"
+    (Vs.of_strings [ "chinese"; "western" ])
+    (R.outer_reduction refining (Vs.of_strings [ "hu"; "am" ]));
+  Alcotest.check vset "inner reduction needs full coverage"
+    (Vs.of_strings [ "indian" ])
+    (R.inner_reduction refining (Vs.of_strings [ "mu"; "hu" ]));
+  Alcotest.check vset "inner reduction of a full image"
+    (Vs.of_strings [ "chinese"; "indian" ])
+    (R.inner_reduction refining (Vs.of_strings [ "hu"; "si"; "ca"; "mu" ]))
+
+let test_refine_preserves_belief () =
+  let m =
+    M.make coarse
+      [ (Vs.of_strings [ "chinese" ], 0.5);
+        (Vs.of_strings [ "chinese"; "indian" ], 0.3);
+        (D.values coarse, 0.2) ]
+  in
+  let fine_m = R.refine refining m in
+  Alcotest.check feq "total mass preserved" 1.0
+    (List.fold_left (fun acc (_, x) -> acc +. x) 0.0 (M.focals fine_m));
+  (* Bel on images equals Bel on originals. *)
+  List.iter
+    (fun set ->
+      let set = Vs.of_strings set in
+      Alcotest.check feq
+        (Format.asprintf "Bel preserved on %a" Vs.pp set)
+        (M.bel m set)
+        (M.bel fine_m (R.image refining set)))
+    [ [ "chinese" ]; [ "indian" ]; [ "chinese"; "indian" ];
+      [ "chinese"; "western" ] ];
+  (* Ω maps to Ω: vacuous stays vacuous. *)
+  Alcotest.(check bool) "vacuous refines to vacuous" true
+    (M.is_vacuous (R.refine refining (M.vacuous coarse)))
+
+let test_coarsen () =
+  let fine_m =
+    M.make fine
+      [ (Vs.of_strings [ "hu"; "si" ], 0.6);
+        (Vs.of_strings [ "mu"; "am" ], 0.4) ]
+  in
+  let coarse_m = R.coarsen refining fine_m in
+  Alcotest.check feq "{hu,si} coarsens to {chinese}" 0.6
+    (M.mass coarse_m (Vs.of_strings [ "chinese" ]));
+  Alcotest.check feq "{mu,am} coarsens to {indian,western}" 0.4
+    (M.mass coarse_m (Vs.of_strings [ "indian"; "western" ]));
+  (* Coarsening can only widen plausibility. *)
+  List.iter
+    (fun set ->
+      let cset = Vs.of_strings set in
+      Alcotest.(check bool)
+        (Format.asprintf "Pls does not shrink on %a" Vs.pp cset)
+        true
+        (M.pls coarse_m cset
+        >= M.pls fine_m (R.image refining cset) -. 1e-9))
+    [ [ "chinese" ]; [ "indian" ]; [ "western" ] ]
+
+let test_refine_coarsen_roundtrip () =
+  (* Coarse evidence pushed down and pulled back is unchanged: every
+     refined focal is a union of images. *)
+  let m =
+    M.make coarse
+      [ (Vs.of_strings [ "chinese" ], 0.7);
+        (Vs.of_strings [ "indian"; "western" ], 0.3) ]
+  in
+  Alcotest.(check bool) "roundtrip identity" true
+    (M.equal m (R.coarsen refining (R.refine refining m)))
+
+let test_cross_granularity_combination () =
+  (* The integration use case: one source reports at coarse granularity,
+     the other at fine; refine the coarse one and combine. *)
+  let coarse_report = M.simple_support coarse (Vs.of_strings [ "chinese" ]) 0.8 in
+  let fine_report =
+    M.make fine [ (Vs.of_strings [ "hu" ], 0.5); (D.values fine, 0.5) ]
+  in
+  let combined = M.combine (R.refine refining coarse_report) fine_report in
+  Alcotest.(check bool) "hu is the best-supported singleton" true
+    (V.equal (V.string "hu") (M.max_bel combined));
+  Alcotest.check feq "no conflict between nested reports" 0.0
+    (M.conflict (R.refine refining coarse_report) fine_report)
+
+let test_compose () =
+  let top = D.of_strings "origin" [ "asian"; "other" ] in
+  let mid = refining in
+  let top_to_coarse =
+    R.of_assoc ~coarse:top ~fine:coarse
+      [ ("asian", [ "chinese"; "indian" ]); ("other", [ "western" ]) ]
+  in
+  let composite = R.compose mid top_to_coarse in
+  Alcotest.check vset "asian covers all asian specialities"
+    (Vs.of_strings [ "ca"; "hu"; "si"; "mu" ])
+    (R.image composite (Vs.of_strings [ "asian" ]));
+  let m = M.certain top (V.string "asian") in
+  Alcotest.(check bool) "refine through the composite" true
+    (M.equal
+       (R.refine composite m)
+       (R.refine mid (R.refine top_to_coarse m)));
+  let fails f =
+    Alcotest.(check bool)
+      "raises" true
+      (match f () with _ -> false | exception R.Refinement_error _ -> true)
+  in
+  fails (fun () -> R.compose top_to_coarse mid)
+
+let test_frame_checks () =
+  let fails f =
+    Alcotest.(check bool)
+      "raises" true
+      (match f () with _ -> false | exception R.Refinement_error _ -> true)
+  in
+  fails (fun () -> R.refine refining (M.vacuous fine));
+  fails (fun () -> R.coarsen refining (M.vacuous coarse))
+
+let () =
+  Alcotest.run "refinement"
+    [ ( "structure",
+        [ Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "image and reductions" `Quick
+            test_image_and_reductions;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "frame checks" `Quick test_frame_checks ] );
+      ( "evidence",
+        [ Alcotest.test_case "refine preserves belief" `Quick
+            test_refine_preserves_belief;
+          Alcotest.test_case "coarsen" `Quick test_coarsen;
+          Alcotest.test_case "refine-coarsen roundtrip" `Quick
+            test_refine_coarsen_roundtrip;
+          Alcotest.test_case "cross-granularity combination" `Quick
+            test_cross_granularity_combination ] ) ]

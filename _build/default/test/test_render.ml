@@ -1,0 +1,159 @@
+(* Rendering and threshold edges: ASCII table shape, digit control,
+   threshold tolerance semantics, and miscellaneous printer gaps not
+   covered by the golden CLI sessions. *)
+
+module V = Dst.Value
+module S = Dst.Support
+module T = Erm.Threshold
+
+let colors = Dst.Domain.of_strings "color" [ "red"; "green"; "blue" ]
+
+let schema =
+  Erm.Schema.make ~name:"tiny"
+    ~key:[ Erm.Attr.definite "id" "string" ]
+    ~nonkey:[ Erm.Attr.evidential "color" colors ]
+
+let tup ?(tm = S.certain) k ev =
+  Erm.Etuple.make schema
+    ~key:[ V.string k ]
+    ~cells:[ Erm.Etuple.Evidence (Dst.Evidence.of_string colors ev) ]
+    ~tm
+
+let tiny =
+  Erm.Relation.of_tuples schema
+    [ tup "a" "[red^1]"; tup "bbbbbbbb" "[green^0.5; ~^0.5]" ]
+
+let lines s = String.split_on_char '\n' (String.trim s)
+
+let contains text sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length text && (String.sub text i n = sub || go (i + 1))
+  in
+  go 0
+
+(* --- ASCII tables ---------------------------------------------------- *)
+
+let test_table_shape () =
+  let text = Erm.Render.to_string ~title:"T" tiny in
+  let ls = lines text in
+  (* title, rule, header, rule, 2 rows, rule *)
+  Alcotest.(check int) "seven lines" 7 (List.length ls);
+  Alcotest.(check string) "title line" "T:" (List.hd ls);
+  (* All bordered lines have equal width. *)
+  let widths =
+    List.filter_map
+      (fun l ->
+        if String.length l > 0 && (l.[0] = '+' || l.[0] = '|') then
+          Some (String.length l)
+        else None)
+      ls
+  in
+  Alcotest.(check int) "uniform width" 1
+    (List.length (List.sort_uniq compare widths))
+
+let test_table_default_title () =
+  Alcotest.(check bool) "falls back to the schema name" true
+    (contains (Erm.Render.to_string tiny) "tiny:")
+
+let test_empty_relation_renders () =
+  let text = Erm.Render.to_string (Erm.Relation.empty schema) in
+  Alcotest.(check bool) "header still present" true (contains text "color");
+  let csv = Erm.Render.to_csv (Erm.Relation.empty schema) in
+  Alcotest.(check int) "csv has just the header" 1
+    (List.length (lines csv))
+
+let test_digit_control () =
+  let third = Erm.Relation.of_tuples schema [ tup "x" "[red^1/3; ~^2/3]" ] in
+  let rounded = Erm.Render.to_csv third in
+  Alcotest.(check bool) "default 3 digits" true (contains rounded "0.333");
+  Alcotest.(check bool) "not more than 3" false (contains rounded "0.33333");
+  let precise = Erm.Render.to_csv ~digits:12 third in
+  Alcotest.(check bool) "12 digits on request" true
+    (contains precise "0.333333333333")
+
+let test_evidence_support_strings () =
+  Alcotest.(check string) "support rendering" "(0.5, 0.75)"
+    (Erm.Render.support_to_string (S.make ~sn:0.5 ~sp:0.75));
+  (* Focal elements print in Vset order: Omega (the 3-value set) sorts
+     before the singleton here. *)
+  Alcotest.(check string) "evidence rendering"
+    "[~^0.5; green^0.5]"
+    (Erm.Render.evidence_to_string
+       (Dst.Evidence.of_string colors "[green^0.5; ~^0.5]"));
+  Alcotest.(check string) "definite cell renders bare" "42"
+    (Erm.Render.cell_to_string (Erm.Etuple.Definite (V.int 42)))
+
+(* --- Threshold semantics --------------------------------------------- *)
+
+let s05 = S.make ~sn:0.5 ~sp:0.8
+
+let test_threshold_ops () =
+  Alcotest.(check bool) "always" true (T.satisfies T.always s05);
+  Alcotest.(check bool) "gt strict" false (T.satisfies (T.sn_gt 0.5) s05);
+  Alcotest.(check bool) "ge inclusive" true (T.satisfies (T.sn_ge 0.5) s05);
+  Alcotest.(check bool) "sp bound" true (T.satisfies (T.sp_ge 0.8) s05);
+  Alcotest.(check bool) "conjunction" true
+    (T.satisfies T.(sn_ge 0.5 &&& sp_ge 0.8) s05);
+  Alcotest.(check bool) "conjunction fails on one side" false
+    (T.satisfies T.(sn_ge 0.5 &&& sp_ge 0.9) s05);
+  Alcotest.(check bool) "lt" true (T.satisfies (T.Cmp (T.Sn, T.Lt, 0.6)) s05);
+  Alcotest.(check bool) "eq" true (T.satisfies (T.Cmp (T.Sp, T.Eq, 0.8)) s05)
+
+let test_threshold_tolerance () =
+  (* Float products like 0.1 * 3 = 0.30000000000000004 must satisfy
+     sn >= 0.3: the comparisons are tolerance-aware. *)
+  let wobbly = S.make ~sn:(0.1 *. 3.0) ~sp:1.0 in
+  Alcotest.(check bool) "ge absorbs float drift" true
+    (T.satisfies (T.sn_ge 0.3) wobbly);
+  Alcotest.(check bool) "eq absorbs float drift" true
+    (T.satisfies (T.Cmp (T.Sn, T.Eq, 0.3)) wobbly);
+  let almost_one = S.make ~sn:(0.99999999999 +. 1e-11) ~sp:1.0 in
+  Alcotest.(check bool) "certain_only accepts computed 1.0" true
+    (T.satisfies T.certain_only almost_one)
+
+let test_threshold_pp () =
+  Alcotest.(check string) "atom" "sn > 0.5"
+    (Format.asprintf "%a" T.pp (T.sn_gt 0.5));
+  Alcotest.(check string) "conjunction" "sn > 0.1 and sp >= 0.3"
+    (Format.asprintf "%a" T.pp T.(sn_gt 0.1 &&& sp_ge 0.3));
+  Alcotest.(check string) "always" "always" (Format.asprintf "%a" T.pp T.always)
+
+(* --- misc printers ---------------------------------------------------- *)
+
+let test_predicate_pp () =
+  let open Erm.Predicate in
+  Alcotest.(check string) "is" "color is {red}"
+    (Format.asprintf "%a" pp (is_values "color" [ "red" ]));
+  Alcotest.(check string) "theta" "color = red"
+    (Format.asprintf "%a" pp
+       (theta Eq (Field "color") (Const (Erm.Etuple.Definite (V.string "red")))));
+  Alcotest.(check string) "compound"
+    "(color is {red} and (not color is {green}))"
+    (Format.asprintf "%a" pp
+       (is_values "color" [ "red" ] &&& not_ (is_values "color" [ "green" ])));
+  Alcotest.(check (list string)) "attrs_used deduplicates" [ "color" ]
+    (attrs_used (is_values "color" [ "red" ] &&& is_values "color" [ "blue" ]))
+
+let test_markdown_empty () =
+  Alcotest.(check string) "empty relation renders header-only table"
+    "| id | color | (sn,sp) |\n| --- | --- | --- |\n"
+    (Erm.Render.to_markdown (Erm.Relation.empty schema))
+
+let () =
+  Alcotest.run "render"
+    [ ( "tables",
+        [ Alcotest.test_case "shape" `Quick test_table_shape;
+          Alcotest.test_case "default title" `Quick test_table_default_title;
+          Alcotest.test_case "empty relation" `Quick
+            test_empty_relation_renders;
+          Alcotest.test_case "digit control" `Quick test_digit_control;
+          Alcotest.test_case "cell strings" `Quick
+            test_evidence_support_strings;
+          Alcotest.test_case "markdown empty" `Quick test_markdown_empty ] );
+      ( "threshold",
+        [ Alcotest.test_case "operators" `Quick test_threshold_ops;
+          Alcotest.test_case "tolerance" `Quick test_threshold_tolerance;
+          Alcotest.test_case "printing" `Quick test_threshold_pp ] );
+      ( "printers",
+        [ Alcotest.test_case "predicates" `Quick test_predicate_pp ] ) ]

@@ -1,0 +1,158 @@
+(* Support pairs (sn, sp): construction, the F_TM product, the Ψ-frame
+   Dempster combination used by extended union, the extension connectives,
+   and the correspondence with boolean-frame mass functions. *)
+
+module S = Dst.Support
+module M = Dst.Mass.F
+
+let feq = Alcotest.float 1e-9
+let sup = Alcotest.testable S.pp S.equal
+
+let s sn sp = S.make ~sn ~sp
+
+let test_make_validation () =
+  let bad sn sp =
+    Alcotest.(check bool)
+      (Printf.sprintf "(%g,%g) rejected" sn sp)
+      true
+      (match S.make ~sn ~sp with
+      | _ -> false
+      | exception S.Invalid_support _ -> true)
+  in
+  bad (-0.1) 0.5;
+  bad 0.5 1.1;
+  bad 0.8 0.4;
+  (* Values within the float tolerance are clamped, not rejected. *)
+  let clamped = S.make ~sn:(1.0 +. 1e-12) ~sp:(1.0 +. 1e-12) in
+  Alcotest.check feq "clamped sn" 1.0 (S.sn clamped)
+
+let test_constants () =
+  Alcotest.check sup "of_bool true" S.certain (S.of_bool true);
+  Alcotest.check sup "of_bool false" S.impossible (S.of_bool false);
+  Alcotest.check feq "unknown ignorance" 1.0 (S.ignorance S.unknown);
+  Alcotest.(check bool) "certain is positive" true (S.positive S.certain);
+  Alcotest.(check bool) "impossible is not" false (S.positive S.impossible);
+  Alcotest.(check bool) "unknown has sn = 0" false (S.positive S.unknown);
+  Alcotest.(check bool) "is_certain" true (S.is_certain S.certain)
+
+let test_f_tm () =
+  (* §3.1.2: independent events multiply componentwise. *)
+  Alcotest.check sup "product" (s 0.32 0.32) (S.f_tm (s 0.5 0.5) (s 0.64 0.64));
+  Alcotest.check sup "certain is the unit" (s 0.3 0.7)
+    (S.f_tm S.certain (s 0.3 0.7));
+  Alcotest.check sup "impossible annihilates" S.impossible
+    (S.f_tm S.impossible (s 0.9 1.0));
+  Alcotest.check sup "conjunction is the same function"
+    (S.f_tm (s 0.5 0.8) (s 0.25 0.5))
+    (S.conjunction (s 0.5 0.8) (s 0.25 0.5))
+
+let test_combine_table4_mehl () =
+  (* (0.5, 0.5) ⊕ (0.8, 1) = (5/6, 5/6): the Table 4 mehl membership. *)
+  let c = S.combine (s 0.5 0.5) (s 0.8 1.0) in
+  Alcotest.check feq "sn" (5.0 /. 6.0) (S.sn c);
+  Alcotest.check feq "sp" (5.0 /. 6.0) (S.sp c)
+
+let test_combine_identities () =
+  let x = s 0.3 0.8 in
+  Alcotest.check sup "unknown is the unit" x (S.combine S.unknown x);
+  Alcotest.check sup "commutes" (S.combine x (s 0.5 0.9))
+    (S.combine (s 0.5 0.9) x);
+  Alcotest.check sup "certain absorbs" S.certain (S.combine S.certain x);
+  Alcotest.check_raises "certain vs impossible is total conflict"
+    M.Total_conflict (fun () -> ignore (S.combine S.certain S.impossible))
+
+let test_combine_matches_mass_frame () =
+  (* The closed form must agree with literal Dempster combination on the
+     boolean frame, across a grid of support pairs. *)
+  let grid = [ s 0.0 1.0; s 0.2 0.6; s 0.5 0.5; s 0.3 1.0; s 0.9 0.95 ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let direct = S.combine a b in
+          let via_mass =
+            S.of_mass (M.combine (S.to_mass a) (S.to_mass b))
+          in
+          Alcotest.check sup
+            (Format.asprintf "closed form = mass combination for %a ⊕ %a"
+               S.pp a S.pp b)
+            via_mass direct)
+        grid)
+    grid
+
+let test_conflict () =
+  Alcotest.check feq "kappa of mehl pair" 0.4 (S.conflict (s 0.5 0.5) (s 0.8 1.0));
+  Alcotest.check feq "no conflict with unknown" 0.0
+    (S.conflict S.unknown (s 0.7 0.9));
+  Alcotest.check feq "total conflict" 1.0 (S.conflict S.certain S.impossible)
+
+let test_negation () =
+  Alcotest.check sup "negation swaps and complements" (s 0.2 0.7)
+    (S.negation (s 0.3 0.8));
+  Alcotest.check sup "involutive" (s 0.3 0.8) (S.negation (S.negation (s 0.3 0.8)));
+  Alcotest.check sup "negation of certain" S.impossible (S.negation S.certain);
+  Alcotest.check sup "negation of unknown" S.unknown (S.negation S.unknown)
+
+let test_disjunction () =
+  Alcotest.check sup "independent or" (s 0.64 0.94)
+    (S.disjunction (s 0.4 0.7) (s 0.4 0.8));
+  Alcotest.check sup "false is the unit" (s 0.4 0.7)
+    (S.disjunction S.impossible (s 0.4 0.7));
+  Alcotest.check sup "true absorbs" S.certain
+    (S.disjunction S.certain (s 0.4 0.7))
+
+let test_mass_roundtrip () =
+  let cases = [ S.certain; S.impossible; S.unknown; s 0.25 0.75; s 0.5 0.5 ] in
+  List.iter
+    (fun x ->
+      Alcotest.check sup
+        (Format.asprintf "roundtrip %a" S.pp x)
+        x
+        (S.of_mass (S.to_mass x)))
+    cases;
+  let wrong_frame = M.vacuous (Dst.Domain.of_strings "d" [ "a"; "b" ]) in
+  Alcotest.(check bool)
+    "of_mass rejects non-boolean frames" true
+    (match S.of_mass wrong_frame with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_ordering () =
+  Alcotest.(check bool) "sn dominates" true (S.compare (s 0.2 1.0) (s 0.3 0.4) < 0);
+  Alcotest.(check bool) "sp breaks ties" true (S.compare (s 0.3 0.5) (s 0.3 0.9) < 0);
+  Alcotest.(check int) "equal pairs" 0 (S.compare (s 0.3 0.5) (s 0.3 0.5))
+
+let test_of_string () =
+  Alcotest.check sup "plain floats" (s 0.5 0.75) (S.of_string "(0.5, 0.75)");
+  Alcotest.check sup "fractions" (s (5.0 /. 6.0) (5.0 /. 6.0))
+    (S.of_string "(5/6, 5/6)");
+  Alcotest.check sup "integers" S.certain (S.of_string "(1, 1)");
+  List.iter
+    (fun input ->
+      Alcotest.(check bool)
+        ("rejects " ^ input)
+        true
+        (match S.of_string input with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ "0.5, 0.75"; "(0.5)"; "(a, b)"; "(0.5, 0.75, 1)"; "(1/0, 1)" ]
+
+let () =
+  Alcotest.run "support"
+    [ ( "basics",
+        [ Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "of_string" `Quick test_of_string ] );
+      ( "algebra",
+        [ Alcotest.test_case "F_TM product" `Quick test_f_tm;
+          Alcotest.test_case "union combination (Table 4 mehl)" `Quick
+            test_combine_table4_mehl;
+          Alcotest.test_case "combination identities" `Quick
+            test_combine_identities;
+          Alcotest.test_case "closed form = boolean-frame Dempster" `Quick
+            test_combine_matches_mass_frame;
+          Alcotest.test_case "conflict" `Quick test_conflict;
+          Alcotest.test_case "negation" `Quick test_negation;
+          Alcotest.test_case "disjunction" `Quick test_disjunction;
+          Alcotest.test_case "mass roundtrip" `Quick test_mass_roundtrip ] ) ]

@@ -1,0 +1,184 @@
+(* Workload generation: PRNG determinism and bounds, and the structural
+   invariants of the generated evidence, schemas and source pairs that
+   the benchmarks rely on. *)
+
+module R = Workload.Rng
+module G = Workload.Gen
+module M = Dst.Mass.F
+
+let test_rng_deterministic () =
+  let a = R.create 7 and b = R.create 7 in
+  let draws rng = List.init 20 (fun _ -> R.int rng 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (draws a) (draws b);
+  let c = R.create 8 in
+  Alcotest.(check bool) "different seed differs" true (draws (R.create 7) <> draws c)
+
+let test_rng_bounds () =
+  let rng = R.create 1 in
+  for _ = 1 to 1000 do
+    let n = R.int rng 17 in
+    if n < 0 || n >= 17 then Alcotest.failf "int out of bounds: %d" n;
+    let f = R.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %g" f
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (R.int rng 0))
+
+let test_rng_split_independent () =
+  let rng = R.create 42 in
+  let child = R.split rng in
+  (* Drawing from the child must not change the parent's stream relative
+     to a parent that split without using the child. *)
+  let rng2 = R.create 42 in
+  let _child2 = R.split rng2 in
+  ignore (R.int child 100);
+  Alcotest.(check int) "parent unaffected by child draws" (R.int rng2 1000)
+    (R.int rng 1000)
+
+let test_rng_pick_sample_shuffle () =
+  let rng = R.create 3 in
+  let l = [ 1; 2; 3; 4; 5; 6 ] in
+  for _ = 1 to 100 do
+    let p = R.pick rng l in
+    if not (List.mem p l) then Alcotest.fail "pick outside list";
+    let s = R.sample rng 3 l in
+    Alcotest.(check int) "sample size" 3 (List.length s);
+    Alcotest.(check int) "sample distinct" 3
+      (List.length (List.sort_uniq compare s));
+    List.iter (fun x -> if not (List.mem x l) then Alcotest.fail "foreign") s
+  done;
+  let shuffled = R.shuffle rng l in
+  Alcotest.(check (list int)) "shuffle is a permutation" l
+    (List.sort compare shuffled);
+  Alcotest.check_raises "sample too large"
+    (Invalid_argument "Rng.sample: k exceeds list length") (fun () ->
+      ignore (R.sample rng 10 l))
+
+let test_rng_zipf () =
+  let rng = R.create 5 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 5000 do
+    let k = R.zipf rng ~s:1.2 ~n:10 in
+    if k < 1 || k > 10 then Alcotest.failf "zipf out of range: %d" k;
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 1 dominates rank 10" true
+    (counts.(1) > counts.(10) * 3)
+
+let test_gen_domain () =
+  let d = G.domain ~size:5 "d" in
+  Alcotest.(check int) "size" 5 (Dst.Domain.size d)
+
+let test_gen_evidence_valid () =
+  let rng = R.create 11 in
+  let d = G.domain ~size:8 "d" in
+  for _ = 1 to 200 do
+    let e = G.evidence rng ~focals:4 ~max_focal_size:3 d in
+    let total =
+      List.fold_left (fun acc (_, x) -> acc +. x) 0.0 (M.focals e)
+    in
+    if Float.abs (total -. 1.0) > 1e-9 then Alcotest.fail "mass not 1";
+    List.iter
+      (fun (set, x) ->
+        if Dst.Vset.is_empty set then Alcotest.fail "empty focal";
+        if x <= 0.0 then Alcotest.fail "non-positive mass")
+      (M.focals e)
+  done
+
+let test_gen_evidence_omega_floor () =
+  let rng = R.create 13 in
+  let d = G.domain ~size:8 "d" in
+  (* The default floor guarantees κ < 1 for any generated pair. *)
+  for _ = 1 to 100 do
+    let a = G.evidence rng d and b = G.evidence rng d in
+    if M.conflict a b >= 1.0 -. 1e-9 then Alcotest.fail "total conflict"
+  done
+
+let test_gen_conflicting_pair () =
+  let rng = R.create 17 in
+  let d = G.domain ~size:8 "d" in
+  let _, m2 = G.conflicting_pair rng ~conflict:0.6 d in
+  ignore m2;
+  let m1, m2 = G.conflicting_pair rng ~conflict:0.0 d in
+  Alcotest.(check (float 1e-9)) "zero conflict" 0.0 (M.conflict m1 m2);
+  let m1, m2 = G.conflicting_pair rng ~conflict:1.0 d in
+  Alcotest.(check (float 1e-9)) "total conflict" 1.0 (M.conflict m1 m2)
+
+let test_gen_support_positive () =
+  let rng = R.create 19 in
+  for _ = 1 to 500 do
+    let s = G.support rng in
+    if not (Dst.Support.positive s) then Alcotest.fail "sn = 0 generated";
+    if Dst.Support.sn s > Dst.Support.sp s +. 1e-12 then
+      Alcotest.fail "sn > sp"
+  done
+
+let test_gen_schema_and_relation () =
+  let rng = R.create 23 in
+  let schema = G.schema ~definite:2 ~evidential:3 ~domain_size:6 "t" in
+  Alcotest.(check int) "arity = 1 key + 2 + 3" 6 (Erm.Schema.arity schema);
+  let r = G.relation rng ~size:50 schema in
+  Alcotest.(check int) "relation size" 50 (Erm.Relation.cardinal r);
+  Alcotest.(check bool) "CWA holds" true (Erm.Relation.satisfies_cwa r)
+
+let test_gen_evidence_zipf () =
+  let rng = R.create 37 in
+  let d = G.domain ~size:12 "d" in
+  let mean_conflict zipf_skew =
+    let rng = R.create 41 in
+    let total = ref 0.0 in
+    for _ = 1 to 200 do
+      let a = G.evidence rng ~focals:4 ~max_focal_size:3 ~zipf_skew d in
+      let b = G.evidence rng ~focals:4 ~max_focal_size:3 ~zipf_skew d in
+      total := !total +. M.conflict a b
+    done;
+    !total /. 200.0
+  in
+  (* Well-formed under skew. *)
+  for _ = 1 to 100 do
+    let e = G.evidence rng ~focals:4 ~zipf_skew:1.5 d in
+    let total = List.fold_left (fun acc (_, x) -> acc +. x) 0.0 (M.focals e) in
+    if Float.abs (total -. 1.0) > 1e-9 then Alcotest.fail "mass not 1"
+  done;
+  (* Skewed sources agree more: popular values co-occur. *)
+  Alcotest.(check bool) "skew lowers mean conflict" true
+    (mean_conflict 1.5 < mean_conflict 0.0)
+
+let test_gen_source_pair () =
+  let rng = R.create 29 in
+  let schema = G.schema "pair" in
+  let a, b = G.source_pair rng ~size:100 ~overlap:0.3 schema in
+  Alcotest.(check int) "a size" 100 (Erm.Relation.cardinal a);
+  Alcotest.(check int) "b size" 100 (Erm.Relation.cardinal b);
+  Alcotest.(check int) "shared keys" 30
+    (List.length (Erm.Ops.intersect_keys a b));
+  (* The pair must union cleanly: definite cells agree, evidence never
+     totally conflicts. *)
+  let u = Erm.Ops.union a b in
+  Alcotest.(check int) "union covers both" 170 (Erm.Relation.cardinal u)
+
+let () =
+  Alcotest.run "workload"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "pick/sample/shuffle" `Quick
+            test_rng_pick_sample_shuffle;
+          Alcotest.test_case "zipf" `Quick test_rng_zipf ] );
+      ( "gen",
+        [ Alcotest.test_case "domain" `Quick test_gen_domain;
+          Alcotest.test_case "evidence validity" `Quick
+            test_gen_evidence_valid;
+          Alcotest.test_case "omega floor" `Quick
+            test_gen_evidence_omega_floor;
+          Alcotest.test_case "conflicting pairs" `Quick
+            test_gen_conflicting_pair;
+          Alcotest.test_case "support positivity" `Quick
+            test_gen_support_positive;
+          Alcotest.test_case "zipf-skewed evidence" `Quick
+            test_gen_evidence_zipf;
+          Alcotest.test_case "schema and relation" `Quick
+            test_gen_schema_and_relation;
+          Alcotest.test_case "source pair" `Quick test_gen_source_pair ] ) ]
