@@ -345,6 +345,79 @@ let federated_tests =
         Integration.Federated.select_first ~threshold pred a b) ]
 
 (* ------------------------------------------------------------------ *)
+(* Join scaling: indexed vs nested loop, sizes 10^2 .. 10^4            *)
+
+(* Bechamel's quota-driven repetition would take hours on the 10^8-pair
+   nested loop, so this sweep uses a plain wall-clock timer: repeat
+   until 0.2 s has elapsed (one warm-up run discarded), a single run for
+   anything that already takes longer. Results go to stdout and
+   BENCH_join.json. *)
+let join_scaling () =
+  let time f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    let rec go n =
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < 0.2 && n < 1000 then go (n + 1)
+      else dt /. float_of_int n *. 1e9
+    in
+    go 1
+  in
+  let key_eq =
+    Erm.Predicate.theta Erm.Predicate.Eq (Erm.Predicate.Field "k")
+      (Erm.Predicate.Field "r_k")
+  in
+  print_endline "join-scaling (equi-join on the definite key, |out| = n):";
+  let rows =
+    List.map
+      (fun size ->
+        let a =
+          Workload.Gen.relation
+            (Workload.Rng.create (1000 + size))
+            ~size sweep_schema
+        in
+        let b =
+          Erm.Ops.rename_attrs
+            (fun n -> "r_" ^ n)
+            (Workload.Gen.relation
+               (Workload.Rng.create (2000 + size))
+               ~size sweep_schema)
+        in
+        let nested_ns =
+          if size >= 10_000 then begin
+            (* single run: n^2 = 10^8 tuple pairs *)
+            let t0 = Unix.gettimeofday () in
+            ignore (Erm.Ops.join key_eq a b);
+            (Unix.gettimeofday () -. t0) *. 1e9
+          end
+          else time (fun () -> Erm.Ops.join key_eq a b)
+        in
+        let indexed_ns =
+          time (fun () ->
+              Erm.Ops.join_indexed ~left_attr:"k" ~right_attr:"r_k" a b)
+        in
+        let speedup = nested_ns /. indexed_ns in
+        Printf.printf
+          "  n=%-6d nested-loop %14.0f ns  indexed %12.0f ns  speedup %8.1fx\n%!"
+          size nested_ns indexed_ns speedup;
+        (size, nested_ns, indexed_ns, speedup))
+      [ 100; 1_000; 10_000 ]
+  in
+  let oc = open_out "BENCH_join.json" in
+  Printf.fprintf oc "{\n  \"join_scaling\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (size, nested_ns, indexed_ns, speedup) ->
+            Printf.sprintf
+              "    { \"size\": %d, \"nested_ns\": %.0f, \"indexed_ns\": \
+               %.0f, \"speedup\": %.2f }"
+              size nested_ns indexed_ns speedup)
+          rows));
+  close_out oc;
+  print_endline "  wrote BENCH_join.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 
 let run_group (group_name, tests) =
@@ -372,6 +445,7 @@ let run_group (group_name, tests) =
 let () =
   print_endline "verifying artifacts against the paper:";
   verify ();
+  join_scaling ();
   List.iter run_group
     [ ("paper-artifacts", artifact_tests);
       ("combination-scaling", combine_sweep);

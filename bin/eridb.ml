@@ -17,6 +17,8 @@ Commands:
   .let NAME = QUERY     evaluate a query and bind the result
   .plan QUERY           show the optimized query
   .explain QUERY        show the optimized plan tree with row estimates
+  .physical QUERY       show the physical plan (access paths, join algorithms)
+  .analyze QUERY        run the query, show measured per-operator statistics
   .open DIR             open a catalog directory (loads all relations)
   .commit DIR           write every bound relation into a catalog
   .summary NAME         cardinality interval + evidence histograms
@@ -32,6 +34,12 @@ Anything else is evaluated as a query, e.g.:
 |}
 
 let env : (string * Erm.Relation.t) list ref = ref []
+
+(* Persistent execution context: indexes built for probes and the
+   Dempster memo-cache survive across queries. Index staleness is
+   handled inside Physical (physical-equality check per lookup), so
+   rebinding a name is safe without invalidation here. *)
+let ctx = Query.Physical.create_ctx ()
 
 let bind name r = env := (name, r) :: List.remove_assoc name !env
 
@@ -50,7 +58,7 @@ let load_file path =
   | exception Sys_error m -> Printf.printf "error: %s\n" m
 
 let run_query text =
-  match Query.Eval.run !env text with
+  match Query.Physical.run ~ctx !env text with
   | r -> Erm.Render.print ~title:"result" r
   | exception Query.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
   | exception Query.Eval.Eval_error m -> Printf.printf "error: %s\n" m
@@ -99,7 +107,7 @@ let handle_command line =
       | Some i ->
           let name = String.trim (String.sub rest 0 i) in
           let text = String.sub rest (i + 1) (String.length rest - i - 1) in
-          (match Query.Eval.run !env text with
+          (match Query.Physical.run ~ctx !env text with
           | r ->
               bind name
                 (Erm.Relation.map_tuples
@@ -225,6 +233,30 @@ let handle_command line =
       | q ->
           Printf.printf "%s\n"
             (Query.Ast.to_string (Query.Plan.optimize !env q))
+      | exception Query.Parser.Parse_error m ->
+          Printf.printf "parse error: %s\n" m)
+  | ".physical" -> (
+      match Query.Parser.parse rest with
+      | q -> (
+          match Query.Physical.plan_optimized !env q with
+          | p -> Printf.printf "%s\n" (Query.Physical.to_string p)
+          | exception Query.Eval.Eval_error m -> Printf.printf "error: %s\n" m)
+      | exception Query.Parser.Parse_error m ->
+          Printf.printf "parse error: %s\n" m)
+  | ".analyze" -> (
+      match Query.Parser.parse rest with
+      | q -> (
+          match Query.Explain.analyze ~ctx !env q with
+          | r, report ->
+              Printf.printf "%s\n" (Query.Explain.report_to_string report);
+              Erm.Render.print ~title:"result" r
+          | exception Query.Eval.Eval_error m -> Printf.printf "error: %s\n" m
+          | exception Dst.Mass.F.Total_conflict ->
+              Printf.printf
+                "error: total conflict (kappa = 1) while combining evidence\n"
+          | exception Erm.Ops.Incompatible_schemas m ->
+              Printf.printf "error: %s\n" m
+          | exception Erm.Etuple.Tuple_error m -> Printf.printf "error: %s\n" m)
       | exception Query.Parser.Parse_error m ->
           Printf.printf "parse error: %s\n" m)
   | _ -> Printf.printf "unknown command %s (try .help)\n" cmd

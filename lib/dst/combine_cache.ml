@@ -1,0 +1,46 @@
+module Pair = struct
+  type t = Mass.F.t * Mass.F.t
+
+  let compare (a1, b1) (a2, b2) =
+    let c = Mass.F.compare a1 a2 in
+    if c <> 0 then c else Mass.F.compare b1 b2
+end
+
+module Pmap = Map.Make (Pair)
+
+type t = {
+  mutable table : (Mass.F.t * float) option Pmap.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Pmap.empty; hits = 0; misses = 0 }
+let hits c = c.hits
+let misses c = c.misses
+let size c = Pmap.cardinal c.table
+
+let reset c =
+  c.table <- Pmap.empty;
+  c.hits <- 0;
+  c.misses <- 0
+
+(* Dempster's rule is commutative, so (m1, m2) and (m2, m1) share one
+   entry under a canonical ordering of the pair. *)
+let canonical m1 m2 = if Mass.F.compare m1 m2 <= 0 then (m1, m2) else (m2, m1)
+
+let combine_opt c m1 m2 =
+  let key = canonical m1 m2 in
+  match Pmap.find_opt key c.table with
+  | Some result ->
+      c.hits <- c.hits + 1;
+      result
+  | None ->
+      c.misses <- c.misses + 1;
+      let result = Mass.F.combine_opt m1 m2 in
+      c.table <- Pmap.add key result c.table;
+      result
+
+let combine c m1 m2 =
+  match combine_opt c m1 m2 with
+  | Some (m, _) -> m
+  | None -> raise Mass.F.Total_conflict

@@ -1,0 +1,37 @@
+(** Memoized Dempster combination (extension).
+
+    Integration workloads combine the same evidence pairs over and over:
+    the Figure-1 pipeline re-merges identical survey-derived mass
+    functions for every query over the integrated view, and repeated
+    extended unions of the same sources recompute every cell merge. This
+    cache keys on the {e pair} of operand mass functions (canonically
+    ordered — Dempster's rule is commutative) and stores the full
+    [combine_opt] outcome, including total conflict, so a cached replay
+    is indistinguishable from a fresh combination.
+
+    Lookups use {!Mass.S.compare}'s structural order: operands within
+    float tolerance of each other but not bit-equal occupy separate
+    entries — a duplicate entry costs memory, never correctness.
+
+    The cache is mutable and unsynchronized; share one per evaluation
+    context, not across domains. *)
+
+type t
+
+val create : unit -> t
+
+val combine_opt : t -> Mass.F.t -> Mass.F.t -> (Mass.F.t * float) option
+(** Memoized {!Mass.F.combine_opt}: [Some (m, kappa)] or [None] on total
+    conflict. *)
+
+val combine : t -> Mass.F.t -> Mass.F.t -> Mass.F.t
+(** Memoized {!Mass.F.combine}. @raise Mass.F.Total_conflict as the
+    uncached rule does (the verdict itself is cached). *)
+
+val hits : t -> int
+val misses : t -> int
+
+val size : t -> int
+(** Number of distinct operand pairs stored. *)
+
+val reset : t -> unit

@@ -43,6 +43,7 @@ module type S = sig
   val max_bel : t -> Value.t
   val max_pls : t -> Value.t
   val equal : t -> t -> bool
+  val compare : t -> t -> int
   val pp : Format.formatter -> t -> unit
   val to_string : t -> string
 end
@@ -339,6 +340,13 @@ module Make (N : Num.S) : S with type num = N.t = struct
     && Vmap.for_all
          (fun set x -> N.equal x (mass m2 set))
          m1.focals
+
+  (* A total order consistent with structural identity (exact masses, not
+     the tolerance of [equal]) so mass functions can key maps — the
+     combination memo-cache relies on it. *)
+  let compare m1 m2 =
+    let c = Domain.compare m1.frame m2.frame in
+    if c <> 0 then c else Vmap.compare N.compare m1.focals m2.focals
 
   let pp ppf m =
     let omega = Domain.values m.frame in

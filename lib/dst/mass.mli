@@ -178,6 +178,13 @@ module type S = sig
   (** Same frame and same assignment, masses compared with [num]
       equality. *)
 
+  val compare : t -> t -> int
+  (** A structural total order (frame, then focal assignment with exact
+      [num] comparison) suitable for [Map.Make]. Finer than {!equal} for
+      the float instance: two functions within tolerance but not
+      bit-equal compare as different, which only costs a duplicate cache
+      entry, never a wrong result. *)
+
   val pp : Format.formatter -> t -> unit
   (** Paper notation: [[si^0.5; {hu, si}^0.33; ~^0.17]] where [~]
       denotes Ω. *)

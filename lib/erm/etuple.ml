@@ -100,7 +100,7 @@ let equal a b =
   && Array.for_all2 cell_equal a.cells b.cells
   && Dst.Support.equal a.tm b.tm
 
-let combine schema a b =
+let combine_with ~combine_evidence schema a b =
   if not (key_equal a b) then fail "combine: keys differ";
   let merge_cell attr x y =
     match (x, y) with
@@ -109,7 +109,7 @@ let combine schema a b =
         else
           fail "definite attribute %s disagrees: %s vs %s" (Attr.name attr)
             (Dst.Value.to_string v) (Dst.Value.to_string w)
-    | Evidence e, Evidence f -> Evidence (Dst.Mass.F.combine e f)
+    | Evidence e, Evidence f -> Evidence (combine_evidence e f)
     | Definite _, Evidence _ | Evidence _, Definite _ ->
         fail "attribute %s mixes definite and evidential cells"
           (Attr.name attr)
@@ -120,6 +120,9 @@ let combine schema a b =
         merge_cell nonkey.(i) a.cells.(i) b.cells.(i))
   in
   { key = a.key; cells; tm = Dst.Support.combine a.tm b.tm }
+
+let combine schema a b =
+  combine_with ~combine_evidence:Dst.Mass.F.combine schema a b
 
 let project schema t names =
   let cells =

@@ -68,6 +68,18 @@ val combine : Schema.t -> t -> t -> t
     @raise Dst.Mass.F.Total_conflict if any attribute's evidence is in
     total conflict (κ = 1). *)
 
+val combine_with :
+  combine_evidence:(Dst.Evidence.t -> Dst.Evidence.t -> Dst.Evidence.t) ->
+  Schema.t ->
+  t ->
+  t ->
+  t
+(** {!combine} with the per-cell evidence combination supplied by the
+    caller — the hook the memoized union uses to route cell merges
+    through a {!Dst.Combine_cache.t}. The membership frame is always
+    combined directly (boolean-frame Dempster is too cheap to cache).
+    Raises as the supplied function does. *)
+
 val project : Schema.t -> t -> string list -> t
 (** Cells for [Schema.project]'s attribute list, membership retained. *)
 

@@ -34,11 +34,16 @@ let lookup t v =
   match Vmap.find_opt v t.entries with Some keys -> keys | None -> []
 
 let select_eq t r v =
+  (* Like every operator, emit only sn > 0 tuples: a full scan's σ̂(A = v)
+     closure-drops complement tuples, and equivalence with it (Theorem-1
+     boundedness over _unchecked relations included) requires the probe
+     to drop them too. *)
   List.fold_left
     (fun acc key ->
       match Relation.find_opt r key with
-      | Some tuple -> Relation.add acc tuple
-      | None -> acc)
+      | Some tuple when Dst.Support.positive (Etuple.tm tuple) ->
+          Relation.add acc tuple
+      | Some _ | None -> acc)
     (Relation.empty (Relation.schema r))
     (lookup t v)
 

@@ -64,6 +64,16 @@ let union a b =
   let schema = Relation.schema a in
   union_with (fun x y -> Some (Etuple.combine schema x y)) a b
 
+let union_cached ~cache a b =
+  let schema = Relation.schema a in
+  union_with
+    (fun x y ->
+      Some
+        (Etuple.combine_with
+           ~combine_evidence:(Dst.Combine_cache.combine cache)
+           schema x y))
+    a b
+
 let union_report a b =
   let schema = Relation.schema a in
   let conflicts = ref [] in
@@ -142,6 +152,65 @@ let join ?(threshold = Threshold.always) pred a b =
         b acc)
     a (Relation.empty schema)
 
+module Vmap = Map.Make (Dst.Value)
+
+let check_definite schema attr_name =
+  match Attr.kind (Schema.find schema attr_name) with
+  | Attr.Definite _ -> ()
+  | Attr.Evidential _ -> raise (Index.Not_definite attr_name)
+
+let join_indexed ?(threshold = Threshold.always)
+    ?(residual = Predicate.Const_true) ?tally ~left_attr ~right_attr a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  check_definite sa left_attr;
+  check_definite sb right_attr;
+  let schema = Schema.product sa sb in
+  (* Build side: bucket the right operand by its (definite) join value. *)
+  let buckets =
+    Relation.fold
+      (fun tb acc ->
+        let v = Etuple.definite_value sb tb right_attr in
+        Vmap.update v
+          (function None -> Some [ tb ] | Some ts -> Some (tb :: ts))
+          acc)
+      b Vmap.empty
+  in
+  (* Probe side: a definite-equality conjunct holds with crisp support
+     (1,1) inside a bucket and (0,0) outside, so only bucketed pairs can
+     survive closure and their membership reduces to
+     F_TM(tm, F_SS(residual)) — exactly the nested loop's arithmetic on
+     the surviving pairs, pair-for-pair. *)
+  Relation.fold
+    (fun ta acc ->
+      let v = Etuple.definite_value sa ta left_attr in
+      match Vmap.find_opt v buckets with
+      | None ->
+          (match tally with
+          | Some f -> f ~hit:false ~matched:0 ~kept:0
+          | None -> ());
+          acc
+      | Some matches ->
+          let kept = ref 0 in
+          let acc =
+            List.fold_left
+              (fun acc tb ->
+                let support = Predicate.eval_product sa sb ta tb residual in
+                let paired = Etuple.concat ta tb in
+                let tm = Dst.Support.f_tm (Etuple.tm paired) support in
+                if Threshold.satisfies threshold tm && Dst.Support.positive tm
+                then begin
+                  incr kept;
+                  Relation.add acc (Etuple.with_tm tm paired)
+                end
+                else acc)
+              acc matches
+          in
+          (match tally with
+          | Some f -> f ~hit:true ~matched:(List.length matches) ~kept:!kept
+          | None -> ());
+          acc)
+    a (Relation.empty schema)
+
 let rename_attrs f r =
   let schema = Schema.rename_attrs f (Relation.schema r) in
   Relation.map_tuples (fun t -> Some t) schema r
@@ -167,7 +236,14 @@ let pp_conflict ppf c =
 
 let difference a b =
   check_union_compatible a b;
-  Relation.filter (fun t -> not (Relation.mem b (Etuple.key t))) a
+  (* The positivity filter only matters for relations materialized with
+     the _unchecked constructors: it extends Theorem-1 boundedness to
+     difference (complement tuples in [a] never surface). *)
+  Relation.filter
+    (fun t ->
+      Dst.Support.positive (Etuple.tm t)
+      && not (Relation.mem b (Etuple.key t)))
+    a
 
 let intersection a b =
   check_union_compatible a b;

@@ -35,6 +35,13 @@ val union : Relation.t -> Relation.t -> Relation.t
     @raise Etuple.Tuple_error when matched definite attributes disagree
     (the paper's consistent-sources assumption). *)
 
+val union_cached : cache:Dst.Combine_cache.t -> Relation.t -> Relation.t -> Relation.t
+(** {!union} with every per-cell Dempster combination routed through the
+    given memo-cache. Bit-identical to {!union} (the cache replays
+    [combine_opt] outcomes verbatim); repeated merges of the same
+    evidence pairs — the dominant cost of the Figure-1 pipeline — become
+    map lookups. Raises exactly as {!union} does. *)
+
 type conflict = {
   conflict_key : Dst.Value.t list;
   conflict_attr : string option;
@@ -63,6 +70,30 @@ val join :
     without materializing the full product: the predicate and threshold
     are evaluated per tuple pair. *)
 
+val join_indexed :
+  ?threshold:Threshold.t ->
+  ?residual:Predicate.t ->
+  ?tally:(hit:bool -> matched:int -> kept:int -> unit) ->
+  left_attr:string ->
+  right_attr:string ->
+  Relation.t ->
+  Relation.t ->
+  Relation.t
+(** Hash equi-join on a pair of {e definite} attributes:
+    [join_indexed ~left_attr:l ~right_attr:r ~residual:P a b] equals
+    [join (Theta (Eq, Field l, Field r) ∧ P) a b] tuple-for-tuple,
+    including the derived [(sn, sp)] pairs (property-tested in
+    [test/test_plan_equiv.ml]). The right operand is bucketed by its
+    join value — O(|A|·log|B| + matches) instead of O(|A|·|B|) — which
+    is sound because a definite equality contributes crisp support:
+    (1,1) inside a bucket, (0,0) (closure-dropped) outside. [residual]
+    carries any remaining θ/IS conjuncts and is evaluated per surviving
+    pair. [tally] is invoked once per probe (per left tuple) with
+    whether the bucket existed, its size, and how many joined tuples
+    passed the threshold — the planner's statistics hook.
+    @raise Index.Not_definite if either join attribute is evidential.
+    @raise Schema.Schema_error on attribute-name collisions. *)
+
 val rename_attrs : (string -> string) -> Relation.t -> Relation.t
 (** Attribute renaming (utility; the paper leaves product collisions to
     the reader). *)
@@ -83,7 +114,9 @@ val difference : Relation.t -> Relation.t -> Relation.t
 (** [difference r s]: tuples of [r] whose key does not appear in [s],
     unchanged. Membership evidence from [s] is not subtracted — under
     CWA_ER [s] carries no negative evidence about its absent keys, so
-    removal by key is the only sound reading.
+    removal by key is the only sound reading. Like every other operator
+    it emits only [sn > 0] tuples, so closure and boundedness extend to
+    it even over [_unchecked]-materialized inputs.
     @raise Incompatible_schemas unless union-compatible. *)
 
 val intersection : Relation.t -> Relation.t -> Relation.t

@@ -106,3 +106,24 @@ let rec pp_indented indent ppf n =
 
 let pp ppf n = pp_indented "" ppf n
 let to_string n = Format.asprintf "%a" pp n
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE: run the physical plan, report measured stats.      *)
+
+let analyze ?ctx env q =
+  let p = Physical.plan_optimized env q in
+  Physical.execute_measured ?ctx env p
+
+let rec pp_report_indented indent ppf (r : Physical.report) =
+  Format.fprintf ppf "%s%s%s %s" indent r.Physical.r_op
+    (if r.Physical.r_detail = "" then ""
+     else " [" ^ r.Physical.r_detail ^ "]")
+    (Stats.to_string r.Physical.r_stats);
+  List.iter
+    (fun child ->
+      Format.pp_print_newline ppf ();
+      pp_report_indented (indent ^ "  ") ppf child)
+    r.Physical.r_children
+
+let pp_report ppf r = pp_report_indented "" ppf r
+let report_to_string r = Format.asprintf "%a" pp_report r

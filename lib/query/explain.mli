@@ -33,3 +33,25 @@ val pp : Format.formatter -> node -> unit
     v} *)
 
 val to_string : node -> string
+
+(** {1 EXPLAIN ANALYZE}
+
+    Unlike {!explain}, [analyze] {e does} evaluate: it plans the query
+    with {!Physical.plan_optimized}, executes it, and returns the result
+    together with the measured per-operator tree — actual cardinalities,
+    closure/threshold pruning, index and memo-cache traffic, and
+    per-operator wall time (see {!Stats} for field semantics). *)
+
+val analyze :
+  ?ctx:Physical.ctx -> Eval.env -> Ast.query -> Erm.Relation.t * Physical.report
+(** Raises as {!Eval.eval} does. *)
+
+val pp_report : Format.formatter -> Physical.report -> unit
+(** An indented tree mirroring {!pp}, one measured operator per line:
+    {v
+    hash-join [rname = r_rname] rows=6/4 pruned=2 idx=3/6 t=0.2ms
+      index-scan [ra.city = sf] rows=3/3 idx=1/1 t=40.0us
+      seq-scan [rb] rows=5/5 t=12.0us
+    v} *)
+
+val report_to_string : Physical.report -> string

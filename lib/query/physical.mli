@@ -1,0 +1,125 @@
+(** Physical query plans: the executable counterpart of {!Ast.query}.
+
+    {!Plan} rewrites the logical tree algebraically; this module picks
+    {e access paths} and {e join algorithms} for the rewritten tree and
+    executes it with per-operator statistics ({!Stats}):
+
+    - a [SELECT] directly over a stored relation whose predicate contains
+      a definite-attribute equality conjunct ([a IS {v}] or [a = v])
+      becomes an {e index probe} ({!Erm.Index}) followed by a residual
+      selection — sound because a definite equality contributes crisp
+      [(1,1)]/[(0,0)] support, so restricting the scan to the matching
+      bucket is arithmetic-identical to the full scan;
+    - a [JOIN] whose [ON] contains an equality between definite
+      attributes of the two operands becomes a {e hash join}
+      ({!Erm.Ops.join_indexed}) with the remaining conjuncts as a
+      residual; θ-predicates over evidence sets keep the nested loop;
+    - extended unions route their Dempster combinations through a
+      {e memo-cache} ({!Dst.Combine_cache}) shared across the context.
+
+    Both fast paths are property-tested tuple-for-tuple — including the
+    derived [(sn, sp)] memberships — against the naive {!Eval} pipeline
+    in [test/test_plan_equiv.ml]. *)
+
+type access =
+  | Seq_scan
+  | Index_eq of { attr : string; value : Dst.Value.t }
+      (** Probe an equality index on a definite attribute, then apply the
+          residual predicate to the bucket. *)
+
+type t =
+  | Scan of {
+      rel : string;
+      access : access;
+      residual : Ast.pred;
+      threshold : Erm.Threshold.t;
+      cols : string list option;
+    }
+  | Filter of {
+      input : t;
+      where : Ast.pred;
+      threshold : Erm.Threshold.t;
+      cols : string list option;
+    }  (** Selection over a derived input (no index available). *)
+  | Hash_join of {
+      left : t;
+      right : t;
+      left_attr : string;
+      right_attr : string;
+      residual : Ast.pred;
+      threshold : Erm.Threshold.t;
+    }
+  | Loop_join of {
+      left : t;
+      right : t;
+      on : Ast.pred;
+      threshold : Erm.Threshold.t;
+    }
+  | Product of t * t
+  | Union of t * t
+  | Intersect of t * t
+  | Except of t * t
+  | Rank of {
+      input : t;
+      by : Erm.Threshold.field;
+      ascending : bool;
+      limit : int option;
+    }
+  | Prefix of { input : t; prefix : string }
+
+val plan : Eval.env -> Ast.query -> t
+(** Pick access paths and join algorithms for the query as written (no
+    algebraic rewriting). Probe/hash eligibility needs the relevant
+    attribute to be {e definite} in the operand's schema.
+    @raise Eval.Eval_error on unknown relations or invalid queries. *)
+
+val plan_optimized : Eval.env -> Ast.query -> t
+(** [plan env (Plan.optimize env q)] — the planner as run by the REPL. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented physical-plan tree, e.g.
+    {v
+    hash-join [rname = r_rname]
+      index-scan [ra.city = sf]
+      seq-scan [rb]
+    v} *)
+
+val to_string : t -> string
+
+(** {1 Execution} *)
+
+type ctx
+(** Execution context: an index cache keyed by [(relation name,
+    attribute)] and the shared Dempster memo-cache. Reusing a context
+    across queries (as the REPL does) reuses indexes and memoized
+    combinations. An index is reused only while the environment still
+    binds the {e physically identical} relation value, so
+    {!Erm.Relation.replace}-style updates can never be served stale
+    results (exercised in [test/test_index.ml]). *)
+
+val create_ctx : unit -> ctx
+
+val cache : ctx -> Dst.Combine_cache.t
+(** The context's Dempster memo-cache (for lifetime statistics). *)
+
+type report = {
+  r_op : string;  (** Operator name as printed by {!pp}. *)
+  r_detail : string;
+  r_stats : Stats.t;
+  r_children : report list;
+}
+(** Measured execution tree — one node per physical operator. *)
+
+val execute_measured : ?ctx:ctx -> Eval.env -> t -> Erm.Relation.t * report
+(** Run the plan, collecting per-operator statistics. Wall times exclude
+    children; input cardinalities are measured, not estimated. Raises as
+    {!Eval.eval} does ({!Eval.Eval_error}, evidence conflicts). *)
+
+val execute : ?ctx:ctx -> Eval.env -> t -> Erm.Relation.t
+
+val eval_fast : ?ctx:ctx -> Eval.env -> Ast.query -> Erm.Relation.t
+(** [execute ctx env (plan_optimized env q)]. Relation-equal to
+    {!Eval.eval} on every valid query (property-tested). *)
+
+val run : ?ctx:ctx -> Eval.env -> string -> Erm.Relation.t
+(** Parse, plan, execute. The physical counterpart of {!Eval.run}. *)

@@ -21,6 +21,14 @@
       selection (and of a join's [ON]) that reference only one operand's
       attributes move to that operand as a threshold-free selection. *)
 
+val conjuncts : Ast.pred -> Ast.pred list
+(** Top-level conjuncts of a predicate ([True] contributes none). *)
+
+val conjoin : Ast.pred list -> Ast.pred
+(** Left-nested conjunction; [conjoin [] = True]. Support of a
+    conjunction is a float product, so re-association changes results
+    only within float tolerance. *)
+
 val infer_schema : Eval.env -> Ast.query -> Erm.Schema.t
 (** The output schema of a query without evaluating it.
     @raise Eval.Eval_error on unknown relations or invalid column

@@ -1,0 +1,35 @@
+type t = {
+  mutable rows_in : int;
+  mutable rows_out : int;
+  mutable pruned : int;
+  mutable index_hits : int;
+  mutable index_misses : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable wall_ns : float;
+}
+
+let create () =
+  { rows_in = 0;
+    rows_out = 0;
+    pruned = 0;
+    index_hits = 0;
+    index_misses = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    wall_ns = 0.0 }
+
+let pp ppf s =
+  Format.fprintf ppf "rows=%d/%d" s.rows_in s.rows_out;
+  if s.pruned > 0 then Format.fprintf ppf " pruned=%d" s.pruned;
+  if s.index_hits > 0 || s.index_misses > 0 then
+    Format.fprintf ppf " idx=%d/%d" s.index_hits
+      (s.index_hits + s.index_misses);
+  if s.cache_hits > 0 || s.cache_misses > 0 then
+    Format.fprintf ppf " memo=%d/%d" s.cache_hits
+      (s.cache_hits + s.cache_misses);
+  Format.fprintf ppf " t=%s"
+    (if s.wall_ns >= 1e6 then Printf.sprintf "%.1fms" (s.wall_ns /. 1e6)
+     else Printf.sprintf "%.1fus" (s.wall_ns /. 1e3))
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,180 @@
+(* Unit tests for secondary indexes and the machinery the physical
+   planner builds on them: duplicate indexed values, empty relations,
+   Not_definite on evidential attributes, snapshot staleness after
+   Relation.replace (both at the Index level and through the Physical
+   execution context), and the Dempster memo-cache. *)
+
+module M = Dst.Mass.F
+module V = Dst.Value
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- fixture -------------------------------------------------------- *)
+
+let rating_dom = Dst.Domain.of_strings "rating" [ "avg"; "ex"; "gd" ]
+
+let schema =
+  Erm.Schema.make ~name:"r"
+    ~key:[ Erm.Attr.definite "k" "string" ]
+    ~nonkey:
+      [ Erm.Attr.definite "city" "string";
+        Erm.Attr.evidential "rating" rating_dom ]
+
+let tup k city rating_atom ~sn ~sp =
+  Erm.Etuple.make schema
+    ~key:[ V.string k ]
+    ~cells:
+      [ Erm.Etuple.Definite (V.string city);
+        Erm.Etuple.Evidence
+          (M.certain_set rating_dom (Dst.Vset.singleton (V.string rating_atom)))
+      ]
+    ~tm:(Dst.Support.make ~sn ~sp)
+
+let r =
+  Erm.Relation.of_tuples schema
+    [ tup "ashiana" "sf" "ex" ~sn:1.0 ~sp:1.0;
+      tup "country" "sf" "gd" ~sn:0.8 ~sp:1.0;
+      tup "garden" "la" "ex" ~sn:1.0 ~sp:1.0;
+      tup "mehl" "ny" "avg" ~sn:0.5 ~sp:0.5 ]
+
+(* --- index ---------------------------------------------------------- *)
+
+let index_tests =
+  [ Alcotest.test_case "duplicate indexed values bucket together" `Quick
+      (fun () ->
+        let idx = Erm.Index.build r "city" in
+        check_int "distinct cities" 3 (Erm.Index.distinct_values idx);
+        let keys = Erm.Index.lookup idx (V.string "sf") in
+        check_int "sf bucket" 2 (List.length keys);
+        (* key order, like Relation.tuples *)
+        check "bucket in key order" true
+          (keys = [ [ V.string "ashiana" ] ; [ V.string "country" ] ]));
+    Alcotest.test_case "lookup miss is empty, not an error" `Quick (fun () ->
+        let idx = Erm.Index.build r "city" in
+        check_int "no tokyo" 0 (List.length (Erm.Index.lookup idx (V.string "tokyo")));
+        check "select_eq miss" true
+          (Erm.Relation.is_empty (Erm.Index.select_eq idx r (V.string "tokyo"))));
+    Alcotest.test_case "select_eq = select on equality" `Quick (fun () ->
+        let idx = Erm.Index.build r "city" in
+        let naive =
+          Erm.Ops.select
+            (Erm.Predicate.theta Erm.Predicate.Eq
+               (Erm.Predicate.Field "city")
+               (Erm.Predicate.Const (Erm.Etuple.Definite (V.string "sf"))))
+            r
+        in
+        check "same relation" true
+          (Erm.Relation.equal naive (Erm.Index.select_eq idx r (V.string "sf"))));
+    Alcotest.test_case "empty relation indexes fine" `Quick (fun () ->
+        let empty = Erm.Relation.empty schema in
+        let idx = Erm.Index.build empty "city" in
+        check_int "no values" 0 (Erm.Index.distinct_values idx);
+        check "empty probe" true
+          (Erm.Relation.is_empty
+             (Erm.Index.select_eq idx empty (V.string "sf"))));
+    Alcotest.test_case "key attributes are indexable" `Quick (fun () ->
+        let idx = Erm.Index.build r "k" in
+        check_int "one bucket per tuple" 4 (Erm.Index.distinct_values idx);
+        check_int "singleton bucket" 1
+          (List.length (Erm.Index.lookup idx (V.string "mehl"))));
+    Alcotest.test_case "Not_definite on evidential attributes" `Quick
+      (fun () ->
+        Alcotest.check_raises "build" (Erm.Index.Not_definite "rating")
+          (fun () -> ignore (Erm.Index.build r "rating")));
+    Alcotest.test_case "join_indexed refuses evidential join attrs" `Quick
+      (fun () ->
+        let b = Erm.Ops.rename_attrs (fun n -> "r_" ^ n) r in
+        Alcotest.check_raises "join" (Erm.Index.Not_definite "rating")
+          (fun () ->
+            ignore
+              (Erm.Ops.join_indexed ~left_attr:"rating" ~right_attr:"r_rating"
+                 r b)));
+    Alcotest.test_case "index is a snapshot: stale after replace" `Quick
+      (fun () ->
+        let idx = Erm.Index.build r "city" in
+        let r' = Erm.Relation.replace r (tup "ashiana" "la" "ex" ~sn:1.0 ~sp:1.0) in
+        (* the old snapshot still files ashiana under sf … *)
+        check_int "stale bucket" 2
+          (List.length (Erm.Index.lookup idx (V.string "sf")));
+        (* … a rebuild sees the move. *)
+        let idx' = Erm.Index.build r' "city" in
+        check_int "fresh sf" 1 (List.length (Erm.Index.lookup idx' (V.string "sf")));
+        check_int "fresh la" 2 (List.length (Erm.Index.lookup idx' (V.string "la")))) ]
+
+(* --- physical execution context ------------------------------------- *)
+
+let probe_query =
+  Query.Ast.Select
+    { cols = Some [ "k" ];
+      from = Query.Ast.Rel "r";
+      where =
+        Query.Ast.Cmp
+          (Erm.Predicate.Eq, Query.Ast.Attr "city",
+           Query.Ast.Scalar (V.string "sf"));
+      threshold = Erm.Threshold.always }
+
+let ctx_tests =
+  [ Alcotest.test_case "probe plan is chosen" `Quick (fun () ->
+        match Query.Physical.plan [ ("r", r) ] probe_query with
+        | Query.Physical.Scan
+            { access = Query.Physical.Index_eq { attr = "city"; _ }; _ } ->
+            ()
+        | p -> Alcotest.failf "expected index scan, got %s" (Query.Physical.to_string p));
+    Alcotest.test_case "ctx never serves a stale index after replace" `Quick
+      (fun () ->
+        let ctx = Query.Physical.create_ctx () in
+        let run env =
+          Erm.Relation.cardinal (Query.Physical.eval_fast ~ctx env probe_query)
+        in
+        check_int "before" 2 (run [ ("r", r) ]);
+        (* same name, updated relation: the cached index must not answer *)
+        let r' =
+          Erm.Relation.replace r (tup "ashiana" "la" "ex" ~sn:1.0 ~sp:1.0)
+        in
+        check_int "after replace" 1 (run [ ("r", r') ]);
+        (* and the original binding still answers as before *)
+        check_int "back to original" 2 (run [ ("r", r) ])) ]
+
+(* --- dempster memo-cache -------------------------------------------- *)
+
+let ev atoms =
+  M.make rating_dom
+    (List.map
+       (fun (a, w) -> (Dst.Vset.singleton (V.string a), w))
+       atoms)
+
+let cache_tests =
+  [ Alcotest.test_case "cached combine equals plain combine" `Quick
+      (fun () ->
+        let c = Dst.Combine_cache.create () in
+        let a = ev [ ("ex", 0.6); ("gd", 0.4) ]
+        and b = ev [ ("ex", 0.7); ("avg", 0.3) ] in
+        check "equal" true
+          (M.equal (M.combine a b) (Dst.Combine_cache.combine c a b));
+        check_int "one miss" 1 (Dst.Combine_cache.misses c);
+        ignore (Dst.Combine_cache.combine c a b);
+        check_int "then a hit" 1 (Dst.Combine_cache.hits c));
+    Alcotest.test_case "cache key is order-canonical" `Quick (fun () ->
+        let c = Dst.Combine_cache.create () in
+        let a = ev [ ("ex", 0.6); ("gd", 0.4) ]
+        and b = ev [ ("ex", 0.7); ("avg", 0.3) ] in
+        ignore (Dst.Combine_cache.combine c a b);
+        (* commutativity: the swapped pair is the same entry *)
+        ignore (Dst.Combine_cache.combine c b a);
+        check_int "hit on swap" 1 (Dst.Combine_cache.hits c);
+        check_int "single entry" 1 (Dst.Combine_cache.size c));
+    Alcotest.test_case "total conflict is cached too" `Quick (fun () ->
+        let c = Dst.Combine_cache.create () in
+        let a = ev [ ("ex", 1.0) ] and b = ev [ ("avg", 1.0) ] in
+        let boom () =
+          Alcotest.check_raises "kappa = 1" M.Total_conflict (fun () ->
+              ignore (Dst.Combine_cache.combine c a b))
+        in
+        boom ();
+        boom ();
+        check_int "second raise from cache" 1 (Dst.Combine_cache.hits c)) ]
+
+let () =
+  Alcotest.run "index"
+    [ ("index", index_tests); ("ctx", ctx_tests); ("cache", cache_tests) ]

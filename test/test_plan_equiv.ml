@@ -1,0 +1,316 @@
+(* Property tests for the physical planner (qcheck): the fast paths —
+   index probes, hash equi-joins, memoized unions — must be
+   indistinguishable from the naive pipeline, tuple-for-tuple and
+   support-for-support.
+
+   Two layers:
+   - Ops-level: [Erm.Ops.join_indexed] against the nested-loop join it
+     replaces, and an [Erm.Index] probe + residual selection against the
+     full selection (the two rewrites the planner is allowed to make);
+   - planner-level: [Query.Physical.execute]/[eval_fast] against
+     [Query.Eval.eval] on randomly generated queries, plus Theorem 1
+     (closure and boundedness) on every planner output.
+
+   One execution context is shared across all generated cases, so the
+   index cache sees a stream of distinct relations under the same names —
+   any staleness bug (serving an index built for an earlier case) breaks
+   the equivalence property immediately. *)
+
+module R = Workload.Rng
+module G = Workload.Gen
+module S = Dst.Support
+
+let prop ?(count = 500) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let seed_arb = QCheck.int_range 0 1_000_000
+let rel_equal = Erm.Relation.equal
+
+(* --- generators ----------------------------------------------------- *)
+
+(* k (key, string), a0 (definite string), e0/e1 (evidential over 8-value
+   frames) — every planner access path has an eligible attribute. *)
+let schema = G.schema "q"
+
+let make_env seed =
+  let rng = R.create seed in
+  let ra, rb = G.source_pair rng ~size:10 ~overlap:0.5 schema in
+  [ ("ra", ra); ("rb", rb) ]
+
+(* The a0 value of a random stored tuple — so definite-equality probes
+   actually hit (Gen's a0 cells are drawn from a 1000-value space, a
+   fresh random value would nearly always miss). *)
+let some_a0 rng r =
+  let ts = Erm.Relation.tuples r in
+  let t = List.nth ts (R.int rng (List.length ts)) in
+  match Erm.Etuple.cells t with
+  | Erm.Etuple.Definite v :: _ -> v
+  | _ -> Dst.Value.string "a0-0"
+
+let gen_vset rng =
+  List.init
+    (1 + R.int rng 3)
+    (fun _ -> Dst.Value.string (Printf.sprintf "v%d" (R.int rng 8)))
+
+let gen_cmp rng =
+  match R.int rng 4 with
+  | 0 -> Erm.Predicate.Eq
+  | 1 -> Erm.Predicate.Ne
+  | 2 -> Erm.Predicate.Le
+  | _ -> Erm.Predicate.Gt
+
+(* Predicates over the base schema, biased toward conjunctions holding a
+   probe-eligible definite equality next to evidential residuals. *)
+let gen_pred rng env =
+  let ra = List.assoc "ra" env in
+  let atom () =
+    match R.int rng 6 with
+    | 0 -> Query.Ast.Is ("a0", [ some_a0 rng ra ])
+    | 1 ->
+        Query.Ast.Cmp
+          ( Erm.Predicate.Eq,
+            Query.Ast.Attr "k",
+            Query.Ast.Scalar
+              (Dst.Value.string (Printf.sprintf "key%d" (R.int rng 15))) )
+    | 2 -> Query.Ast.Is ("e0", gen_vset rng)
+    | 3 -> Query.Ast.Is ("e1", gen_vset rng)
+    | 4 ->
+        Query.Ast.Cmp
+          (gen_cmp rng, Query.Ast.Attr "e0", Query.Ast.Set_lit (gen_vset rng))
+    | _ ->
+        Query.Ast.Cmp
+          (Erm.Predicate.Eq, Query.Ast.Attr "a0",
+           Query.Ast.Scalar (some_a0 rng ra))
+  in
+  match R.int rng 5 with
+  | 0 -> atom ()
+  | 1 | 2 -> Query.Ast.And (atom (), atom ())
+  | 3 -> Query.Ast.And (atom (), Query.Ast.And (atom (), atom ()))
+  | _ -> (
+      match R.int rng 3 with
+      | 0 -> Query.Ast.Or (atom (), atom ())
+      | 1 -> Query.Ast.Not (atom ())
+      | _ -> Query.Ast.True)
+
+let gen_threshold rng =
+  match R.int rng 4 with
+  | 0 -> Erm.Threshold.always
+  | 1 -> Erm.Threshold.sn_gt (R.float rng 0.8)
+  | 2 -> Erm.Threshold.sp_ge (R.float rng 0.8)
+  | _ -> Erm.Threshold.(sn_gt 0.1 &&& sp_ge 0.3)
+
+let gen_query rng env =
+  let base () = Query.Ast.Rel (if R.bool rng then "ra" else "rb") in
+  let cols () =
+    match R.int rng 3 with
+    | 0 -> None
+    | 1 -> Some [ "k"; "e0" ]
+    | _ -> Some [ "k"; "a0"; "e1" ]
+  in
+  let select from =
+    Query.Ast.Select
+      { cols = cols (); from; where = gen_pred rng env;
+        threshold = gen_threshold rng }
+  in
+  let setop a b =
+    match R.int rng 3 with
+    | 0 -> Query.Ast.Union (a, b)
+    | 1 -> Query.Ast.Intersect (a, b)
+    | _ -> Query.Ast.Except (a, b)
+  in
+  let join () =
+    let right = Query.Ast.Prefixed { from = base (); prefix = "r_" } in
+    let eq =
+      match R.int rng 3 with
+      | 0 ->
+          (* definite key equality — hash-join eligible *)
+          Query.Ast.Cmp
+            (Erm.Predicate.Eq, Query.Ast.Attr "k", Query.Ast.Attr "r_k")
+      | 1 ->
+          Query.Ast.Cmp
+            (Erm.Predicate.Eq, Query.Ast.Attr "a0", Query.Ast.Attr "r_a0")
+      | _ ->
+          (* evidential equality — must stay a nested loop *)
+          Query.Ast.Cmp
+            (Erm.Predicate.Eq, Query.Ast.Attr "e0", Query.Ast.Attr "r_e0")
+    in
+    let on =
+      if R.bool rng then eq else Query.Ast.And (eq, gen_pred rng env)
+    in
+    Query.Ast.Join
+      { left = base (); right; on; threshold = gen_threshold rng }
+  in
+  match R.int rng 8 with
+  | 0 -> base ()
+  | 1 | 2 -> select (base ())
+  | 3 -> select (setop (base ()) (base ()))
+  | 4 -> setop (base ()) (base ())
+  | 5 -> join ()
+  | 6 ->
+      Query.Ast.Product
+        (base (), Query.Ast.Prefixed { from = base (); prefix = "p_" })
+  | _ ->
+      (* ranked only over set operations of stored relations: those are
+         bit-identical between the two pipelines, so LIMIT can never cut
+         at a value that differs in the last ulp between them. *)
+      Query.Ast.Ranked
+        { from = setop (base ()) (base ());
+          by = (if R.bool rng then Erm.Threshold.Sn else Erm.Threshold.Sp);
+          ascending = R.bool rng;
+          limit = Some (1 + R.int rng 8) }
+
+(* --- Ops-level: the two rewrites, in isolation ----------------------- *)
+
+let eq_pred attr value =
+  Erm.Predicate.theta Erm.Predicate.Eq (Erm.Predicate.Field attr)
+    (Erm.Predicate.Const (Erm.Etuple.Definite value))
+
+let gen_residual rng =
+  match R.int rng 3 with
+  | 0 -> Erm.Predicate.Const_true
+  | 1 -> Erm.Predicate.is_ "e0" (Dst.Vset.of_list (gen_vset rng))
+  | _ ->
+      Erm.Predicate.(
+        is_ "e0" (Dst.Vset.of_list (gen_vset rng))
+        &&& is_ "e1" (Dst.Vset.of_list (gen_vset rng)))
+
+let ops_props =
+  [ prop "join_indexed = nested-loop join on And(eq, residual)" seed_arb
+      (fun s ->
+        let rng = R.create s in
+        let a = G.relation rng ~size:8 schema in
+        let b =
+          Erm.Ops.rename_attrs (fun n -> "r_" ^ n)
+            (G.relation rng ~size:8 schema)
+        in
+        let attr = if R.bool rng then "k" else "a0" in
+        let residual = gen_residual rng in
+        let threshold = gen_threshold rng in
+        let naive =
+          Erm.Ops.join ~threshold
+            Erm.Predicate.(
+              Theta (Eq, Field attr, Field ("r_" ^ attr)) &&& residual)
+            a b
+        in
+        let fast =
+          Erm.Ops.join_indexed ~threshold ~residual ~left_attr:attr
+            ~right_attr:("r_" ^ attr) a b
+        in
+        rel_equal naive fast);
+    prop "join_indexed joins shared keys exactly" seed_arb (fun s ->
+        let rng = R.create s in
+        let a, b0 = G.source_pair rng ~size:10 ~overlap:0.6 schema in
+        let b = Erm.Ops.rename_attrs (fun n -> "r_" ^ n) b0 in
+        rel_equal
+          (Erm.Ops.join
+             (Erm.Predicate.theta Erm.Predicate.Eq (Erm.Predicate.Field "k")
+                (Erm.Predicate.Field "r_k"))
+             a b)
+          (Erm.Ops.join_indexed ~left_attr:"k" ~right_attr:"r_k" a b));
+    prop "index probe + residual select = full select" seed_arb (fun s ->
+        let rng = R.create s in
+        let r = G.relation rng ~size:12 schema in
+        let attr = if R.bool rng then "k" else "a0" in
+        let value =
+          if R.bool rng then
+            (* stored value: probe hits *)
+            let t =
+              List.nth (Erm.Relation.tuples r)
+                (R.int rng (Erm.Relation.cardinal r))
+            in
+            if attr = "k" then List.hd (Erm.Etuple.key t)
+            else
+              (match Erm.Etuple.cells t with
+              | Erm.Etuple.Definite v :: _ -> v
+              | _ -> Dst.Value.string "a0-0")
+          else Dst.Value.string "absent" (* probe misses *)
+        in
+        let residual = gen_residual rng in
+        let threshold = gen_threshold rng in
+        let naive =
+          Erm.Ops.select ~threshold
+            Erm.Predicate.(eq_pred attr value &&& residual)
+            r
+        in
+        let idx = Erm.Index.build r attr in
+        let fast =
+          Erm.Ops.select ~threshold residual
+            (Erm.Index.select_eq idx r value)
+        in
+        rel_equal naive fast) ]
+
+(* --- planner-level: physical execution = naive evaluation ------------ *)
+
+(* Shared across every generated case (see the header comment). *)
+let ctx = Query.Physical.create_ctx ()
+
+let planner_props =
+  [ prop "execute (plan q) = eval q" seed_arb (fun s ->
+        let env = make_env s in
+        let q = gen_query (R.create (s + 7919)) env in
+        rel_equal
+          (Query.Eval.eval env q)
+          (Query.Physical.execute ~ctx env (Query.Physical.plan env q)));
+    prop "eval_fast (optimized physical) = eval q" seed_arb (fun s ->
+        let env = make_env s in
+        let q = gen_query (R.create (s + 104729)) env in
+        rel_equal (Query.Eval.eval env q)
+          (Query.Physical.eval_fast ~ctx env q)) ]
+
+(* --- Theorem 1 over planner outputs ---------------------------------- *)
+
+let cwa = Erm.Relation.satisfies_cwa
+
+(* Ghost tuples: fresh keys, sn = 0 — the complement CWA_ER leaves
+   unstored. Boundedness says no operator output may change when they
+   are materialized. Ghost keys carry the relation's name so the two
+   sources never ghost the same key — a key-matched pair of ghosts would
+   test union's merge of invalid inputs, not boundedness. *)
+let with_complement tag seed r =
+  let rng = R.create (seed + 15485863) in
+  let complements =
+    List.init 5 (fun i ->
+        let t =
+          List.nth (Erm.Relation.tuples r)
+            (R.int rng (Erm.Relation.cardinal r))
+        in
+        Erm.Etuple.make schema
+          ~key:[ Dst.Value.string (Printf.sprintf "ghost-%s%d" tag i) ]
+          ~cells:(Erm.Etuple.cells t)
+          ~tm:(S.make ~sn:0.0 ~sp:(R.float rng 1.0)))
+  in
+  List.fold_left Erm.Relation.add_unchecked r complements
+
+let theorem1_props =
+  [ prop "closure: every physical result satisfies CWA_ER" seed_arb
+      (fun s ->
+        let env = make_env s in
+        let q = gen_query (R.create (s + 1299709)) env in
+        cwa (Query.Physical.eval_fast ~ctx env q));
+    prop "boundedness: ghost tuples never change a physical result"
+      seed_arb
+      (fun s ->
+        let env = make_env s in
+        let q =
+          match gen_query (R.create (s + 32452843)) env with
+          (* a bare scan returns the stored relation, ghosts included —
+             boundedness is a property of the operators, so give the
+             scan one (threshold-free, predicate-free) selection. *)
+          | Query.Ast.Rel _ as leaf ->
+              Query.Ast.Select
+                { cols = None; from = leaf; where = Query.Ast.True;
+                  threshold = Erm.Threshold.always }
+          | q -> q
+        in
+        let env' =
+          List.map (fun (n, r) -> (n, with_complement n s r)) env
+        in
+        rel_equal
+          (Query.Physical.eval_fast ~ctx env q)
+          (Query.Physical.eval_fast ~ctx env' q)) ]
+
+let () =
+  Alcotest.run "plan_equiv"
+    [ ("ops", ops_props);
+      ("planner", planner_props);
+      ("theorem1", theorem1_props) ]

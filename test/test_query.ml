@@ -392,6 +392,77 @@ let fuzz_tests =
               (Query.Eval.eval env q'))
           texts) ]
 
+(* --- physical planner ------------------------------------------------ *)
+
+let test_physical_picks_hash_join () =
+  let rb2 = Erm.Ops.rename_attrs (fun n -> "r_" ^ n) Paperdata.r_b in
+  let env = ("rb2", rb2) :: env in
+  let q = Query.Parser.parse "ra JOIN rb2 ON rname = r_rname" in
+  (match Query.Physical.plan env q with
+  | Query.Physical.Hash_join { left_attr = "rname"; right_attr = "r_rname"; _ }
+    ->
+      ()
+  | p ->
+      Alcotest.failf "expected hash join, got %s" (Query.Physical.to_string p));
+  (* … and an evidential equality must stay a nested loop. *)
+  let q' = Query.Parser.parse "ra JOIN rb2 ON rating = r_rating" in
+  match Query.Physical.plan env q' with
+  | Query.Physical.Loop_join _ -> ()
+  | p ->
+      Alcotest.failf "expected loop join, got %s" (Query.Physical.to_string p)
+
+let test_physical_picks_index_probe () =
+  let q =
+    Query.Parser.parse
+      "SELECT rname, rating FROM ra WHERE street = \"univ.ave.\" AND rating \
+       IS {ex}"
+  in
+  match Query.Physical.plan env q with
+  | Query.Physical.Scan
+      { access = Query.Physical.Index_eq { attr = "street"; _ };
+        residual = Ast.Is ("rating", _); _ } ->
+      ()
+  | p ->
+      Alcotest.failf "expected street probe, got %s"
+        (Query.Physical.to_string p)
+
+let test_physical_matches_eval_on_paper_queries () =
+  let rb2 = Erm.Ops.rename_attrs (fun n -> "r_" ^ n) Paperdata.r_b in
+  let env = ("rb2", rb2) :: env in
+  let ctx = Query.Physical.create_ctx () in
+  List.iter
+    (fun input ->
+      let q = Query.Parser.parse input in
+      rel_eq ("physical = naive on " ^ input) (Query.Eval.eval env q)
+        (Query.Physical.eval_fast ~ctx env q))
+    [ "SELECT rname, rating FROM ra WHERE street = \"univ.ave.\"";
+      "SELECT * FROM ra WHERE rname IS {mehl} AND rating IS {ex} WITH SN > 0.1";
+      "ra JOIN rb2 ON rname = r_rname";
+      "ra JOIN rb2 ON rname = r_rname AND rating IS {ex}";
+      "SELECT * FROM (ra UNION rb) WHERE rating IS {ex}";
+      "ra JOIN (ra PREFIX r_) ON rname = r_rname";
+      "SELECT rname FROM (ra INTERSECT rb) WHERE speciality IS {mu} WITH SP \
+       >= 0.5" ]
+
+let test_analyze_reports_stats () =
+  let ctx = Query.Physical.create_ctx () in
+  let q = Query.Parser.parse "ra UNION rb" in
+  let r1, rep = Query.Explain.analyze ~ctx env q in
+  Alcotest.(check string) "root op" "union" rep.Query.Physical.r_op;
+  Alcotest.(check int) "rows_out measured"
+    (Erm.Relation.cardinal r1)
+    rep.Query.Physical.r_stats.Query.Stats.rows_out;
+  Alcotest.(check int) "two children" 2
+    (List.length rep.Query.Physical.r_children);
+  let misses = rep.Query.Physical.r_stats.Query.Stats.cache_misses in
+  Alcotest.(check bool) "first run misses the memo-cache" true (misses > 0);
+  (* Same union again through the same ctx: all combinations replay. *)
+  let _, rep2 = Query.Explain.analyze ~ctx env q in
+  Alcotest.(check int) "second run fully memoized" misses
+    rep2.Query.Physical.r_stats.Query.Stats.cache_hits;
+  Alcotest.(check int) "no new misses" 0
+    rep2.Query.Physical.r_stats.Query.Stats.cache_misses
+
 let () =
   Alcotest.run "query"
     [ ( "lexer",
@@ -427,4 +498,13 @@ let () =
             test_optimize_no_pushdown_through_union;
           Alcotest.test_case "rewrites preserve results" `Quick
             test_optimize_preserves_results ] );
+      ( "physical",
+        [ Alcotest.test_case "hash join for definite equi-keys" `Quick
+            test_physical_picks_hash_join;
+          Alcotest.test_case "index probe for definite equality" `Quick
+            test_physical_picks_index_probe;
+          Alcotest.test_case "physical = naive on paper queries" `Quick
+            test_physical_matches_eval_on_paper_queries;
+          Alcotest.test_case "analyze reports measured stats" `Quick
+            test_analyze_reports_stats ] );
       ("fuzz", fuzz_tests) ]
