@@ -345,6 +345,126 @@ let federated_tests =
         Integration.Federated.select_first ~threshold pred a b) ]
 
 (* ------------------------------------------------------------------ *)
+(* Fault-tolerant federation: latency and result quality vs fault rate *)
+
+(* federated:faulty — the degradation runtime over four 500-tuple
+   sources at increasing failure/corruption rates. Latency is wall
+   clock (the clock inside the runtime is virtual, so injected latency
+   and backoff cost nothing real); quality is the largest |Δsn| of any
+   key shared with the fault-free reference plus the count of entities
+   lost to failed or truncated sources. Deterministic: fixed seeds.
+   Results go to stdout and BENCH_federation.json. *)
+let federation_fault_sweep () =
+  let time f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    let rec go n =
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < 0.2 && n < 1000 then go (n + 1) else dt /. float_of_int n *. 1e9
+    in
+    go 1
+  in
+  let fed_rng = Workload.Rng.create 4242 in
+  let fed_schema = Workload.Gen.schema "faulty" in
+  let a, b = Workload.Gen.source_pair fed_rng ~size:500 ~overlap:0.6 fed_schema in
+  let c = Workload.Gen.reobserve fed_rng a in
+  let d = Workload.Gen.reobserve fed_rng b in
+  let rels = [ ("fa", a); ("fb", b); ("fc", c); ("fd", d) ] in
+  let reference =
+    Integration.Multi.integrate
+      (List.map
+         (fun (n, r) ->
+           { Integration.Multi.source_name = n; source_relation = r })
+         rels)
+  in
+  let config =
+    { Federation.Degrade.default with
+      policy =
+        { Federation.Retry.default with retries = 3; deadline_ms = Some 500.0 };
+      min_sources = 1 }
+  in
+  let run_once fail_rate seed =
+    let clock = Federation.Clock.simulated () in
+    let spec =
+      { Federation.Fault.none with
+        fail_rate;
+        corrupt_rate = fail_rate /. 2.0;
+        drop_rate = 0.3;
+        latency_ms = 5.0 }
+    in
+    let sources =
+      List.map
+        (fun (n, r) ->
+          Federation.Fault.wrap ~seed ~clock spec
+            (Federation.Source.of_relation ~name:n r))
+        rels
+    in
+    Federation.Degrade.integrate ~config ~seed ~clock sources
+  in
+  print_endline
+    "federated:faulty (4 sources x 500 tuples, quality vs fault-free \
+     reference):";
+  let rows =
+    List.map
+      (fun fail_rate ->
+        let ns = time (fun () -> run_once fail_rate 1) in
+        (* Quality over 20 seeded chaos runs: worst sn deviation on
+           surviving keys, mean entity loss. *)
+        let seeds = List.init 20 (fun i -> i + 1) in
+        let gaps, losses =
+          List.fold_left
+            (fun (gaps, losses) seed ->
+              match run_once fail_rate seed with
+              | Error _ -> (gaps, losses +. 1.0)
+              | Ok report ->
+                  let integrated =
+                    report.Federation.Degrade.multi.integrated
+                  in
+                  let gap =
+                    Erm.Relation.fold
+                      (fun t acc ->
+                        match
+                          Erm.Relation.find_opt integrated (Erm.Etuple.key t)
+                        with
+                        | None -> acc
+                        | Some t' ->
+                            Float.max acc
+                              (Float.abs
+                                 (Dst.Support.sn (Erm.Etuple.tm t)
+                                 -. Dst.Support.sn (Erm.Etuple.tm t'))))
+                      reference.Integration.Multi.integrated 0.0
+                  in
+                  let lost =
+                    Erm.Relation.cardinal reference.Integration.Multi.integrated
+                    - Erm.Relation.cardinal integrated
+                  in
+                  (Float.max gaps gap, losses +. float_of_int (max 0 lost)))
+            (0.0, 0.0) seeds
+        in
+        let mean_lost = losses /. float_of_int (List.length seeds) in
+        Printf.printf
+          "  fail=%.1f  %10.0f ns/run  max sn gap %.4f  mean entities lost \
+           %.1f\n\
+           %!"
+          fail_rate ns gaps mean_lost;
+        (fail_rate, ns, gaps, mean_lost))
+      [ 0.0; 0.2; 0.5; 0.8 ]
+  in
+  let oc = open_out "BENCH_federation.json" in
+  Printf.fprintf oc "{\n  \"federation_fault_sweep\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (fail_rate, ns, gap, lost) ->
+            Printf.sprintf
+              "    { \"fail_rate\": %.2f, \"ns_per_run\": %.0f, \
+               \"max_sn_gap\": %.4f, \"mean_entities_lost\": %.1f }"
+              fail_rate ns gap lost)
+          rows));
+  close_out oc;
+  print_endline "  wrote BENCH_federation.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Join scaling: indexed vs nested loop, sizes 10^2 .. 10^4            *)
 
 (* Bechamel's quota-driven repetition would take hours on the 10^8-pair
@@ -445,6 +565,7 @@ let run_group (group_name, tests) =
 let () =
   print_endline "verifying artifacts against the paper:";
   verify ();
+  federation_fault_sweep ();
   join_scaling ();
   List.iter run_group
     [ ("paper-artifacts", artifact_tests);

@@ -4,72 +4,167 @@
        "SELECT rname FROM integrated WHERE rating IS {ex} WITH SN > 0.5"
 
    Loads .erd files, folds the named (union-compatible) relations with
-   Dempster's rule via Integration.Multi, reports conflicts and source
-   reliabilities, and optionally queries or saves the result. *)
+   Dempster's rule via the fault-tolerant federation runtime
+   (Federation.Degrade over Integration.Multi), reports per-source
+   outcomes, conflicts and reliabilities, and optionally queries or
+   saves the result. --fault-plan/--seed inject deterministic chaos for
+   reproducible degradation runs.
+
+   Exit codes: 0 success, 1 source/load/query failure, 2 quorum not
+   met, 124 command-line usage error (Cmdliner). *)
 
 open Cmdliner
 
-let load_all files =
-  List.concat_map
-    (fun path ->
-      List.map
-        (fun r -> (Erm.Schema.name (Erm.Relation.schema r), r))
-        (Erm.Io.load path))
-    files
+let exit_source_failure = 1
+let exit_quorum = 2
+
+(* Load every file, each through the typed channel. In quarantine mode
+   ([--skip-malformed]) a file that fails to read or parse is reported
+   and skipped instead of aborting the federation. Erm.Io.load already
+   prefixes its messages with the path; strip it where we re-attach the
+   path ourselves. *)
+let strip_path_prefix path m =
+  let p = path ^ ": " in
+  let n = String.length p in
+  if String.length m >= n && String.sub m 0 n = p then
+    String.sub m n (String.length m - n)
+  else m
+
+let load_all ~skip_malformed files =
+  let loaded, skipped =
+    List.fold_left
+      (fun (loaded, skipped) path ->
+        match Erm.Io.load path with
+        | rels ->
+            let named =
+              List.map
+                (fun r -> (Erm.Schema.name (Erm.Relation.schema r), r))
+                rels
+            in
+            (loaded @ named, skipped)
+        | exception Sys_error m ->
+            (loaded, skipped @ [ (path, strip_path_prefix path m) ])
+        | exception Erm.Io.Io_error { line; message } ->
+            ( loaded,
+              skipped
+              @ [ ( path,
+                    Printf.sprintf "line %d: %s" line
+                      (strip_path_prefix path message) ) ] ))
+      ([], []) files
+  in
+  match (skipped, skip_malformed) with
+  | [], _ -> Ok (loaded, [])
+  | (path, reason) :: _, false -> Error (path ^ ": " ^ reason)
+  | _, true -> Ok (loaded, skipped)
 
 let pick_sources env = function
-  | [] -> List.map (fun (n, r) -> (n, r)) env
+  | [] -> Ok env
   | names ->
-      List.map
-        (fun n ->
-          match List.assoc_opt n env with
-          | Some r -> (n, r)
-          | None -> failwith (Printf.sprintf "no relation named %s" n))
-        names
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+            match List.assoc_opt n env with
+            | Some r -> go ((n, r) :: acc) rest
+            | None -> Error (Printf.sprintf "no relation named %s" n))
+      in
+      go [] names
 
-let run files relations discount name query csv out report_only =
-  try
-    let env = load_all files in
-    if env = [] then failwith "no relations loaded; pass at least one .erd";
+let print_skipped skipped =
+  List.iter
+    (fun (path, reason) ->
+      Format.printf "skipped %s: %s@." path reason)
+    skipped
+
+let run files relations discount name query csv out report_only fault_plan
+    seed retries timeout_ms budget_ms min_sources skip_malformed =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  let fail code m = Error (code, m) in
+  let result =
+    let* env, skipped =
+      Result.map_error
+        (fun m -> (exit_source_failure, m))
+        (load_all ~skip_malformed files)
+    in
+    print_skipped skipped;
+    let* () =
+      if env = [] then
+        fail exit_source_failure "no relations loaded; pass at least one .erd"
+      else Ok ()
+    in
+    let* picked =
+      Result.map_error
+        (fun m -> (exit_source_failure, m))
+        (pick_sources env relations)
+    in
+    let clock = Federation.Clock.simulated () in
     let sources =
       List.map
         (fun (n, r) ->
-          { Integration.Multi.source_name = n; source_relation = r })
-        (pick_sources env relations)
+          let s = Federation.Source.of_relation ~name:n r in
+          match fault_plan with
+          | None -> s
+          | Some plan ->
+              Federation.Fault.wrap ~seed ~clock
+                (Federation.Fault.spec_for plan n)
+                s)
+        picked
     in
-    let report = Integration.Multi.integrate ~discount sources in
-    Format.printf "%a@." Integration.Multi.pp report;
-    if not report_only then begin
-      let integrated =
-        Erm.Relation.map_tuples
-          (fun t -> Some t)
-          (Erm.Schema.rename_relation name
-             (Erm.Relation.schema report.integrated))
-          report.integrated
-      in
-      let render r =
-        if csv then print_string (Erm.Render.to_csv r)
-        else Erm.Render.print r
-      in
-      (match query with
-      | Some text ->
-          render (Query.Eval.run ((name, integrated) :: env) text)
-      | None -> render integrated);
-      match out with
-      | Some path ->
-          Erm.Io.save path [ integrated ];
-          Printf.printf "wrote %s\n" path
-      | None -> ()
-    end;
-    if report.conflicts = [] then Ok () else Ok ()
-  with
-  | Failure m | Sys_error m -> Error m
-  | Erm.Io.Io_error { line; message } ->
-      Error (Printf.sprintf "line %d: %s" line message)
-  | Erm.Ops.Incompatible_schemas m -> Error m
-  | Query.Parser.Parse_error m -> Error ("parse error: " ^ m)
-  | Query.Eval.Eval_error m -> Error m
-  | Integration.Multi.No_sources -> Error "no sources selected"
+    let config =
+      { Federation.Degrade.default with
+        policy =
+          { Federation.Retry.default with
+            retries;
+            deadline_ms = timeout_ms };
+        min_sources;
+        budget_ms;
+        conflict_discount = discount }
+    in
+    match Federation.Degrade.integrate ~config ~seed ~clock sources with
+    | Error (Federation.Degrade.Quorum_not_met { outcomes; _ } as f) ->
+        Format.printf "%a@." Federation.Degrade.pp_outcomes outcomes;
+        fail exit_quorum
+          (Format.asprintf "%a" Federation.Degrade.pp_failure f)
+    | Error (Federation.Degrade.No_sources as f) ->
+        fail exit_source_failure
+          (Format.asprintf "%a" Federation.Degrade.pp_failure f)
+    | Ok report ->
+        Format.printf "%a@." Federation.Degrade.pp_outcomes
+          report.Federation.Degrade.outcomes;
+        Format.printf "%a@." Integration.Multi.pp
+          report.Federation.Degrade.multi;
+        if report_only then Ok ()
+        else begin
+          let merged = report.Federation.Degrade.multi.integrated in
+          let integrated =
+            Erm.Relation.map_tuples
+              (fun t -> Some t)
+              (Erm.Schema.rename_relation name (Erm.Relation.schema merged))
+              merged
+          in
+          let render r =
+            if csv then print_string (Erm.Render.to_csv r)
+            else Erm.Render.print r
+          in
+          try
+            (match query with
+            | Some text ->
+                render (Query.Eval.run ((name, integrated) :: env) text)
+            | None -> render integrated);
+            (match out with
+            | Some path ->
+                Erm.Io.save path [ integrated ];
+                Printf.printf "wrote %s\n" path
+            | None -> ());
+            Ok ()
+          with
+          | Sys_error m -> fail exit_source_failure m
+          | Query.Parser.Parse_error m ->
+              fail exit_source_failure ("parse error: " ^ m)
+          | Query.Eval.Eval_error m -> fail exit_source_failure m
+          | Erm.Ops.Incompatible_schemas m -> fail exit_source_failure m
+        end
+  in
+  result
 
 let files_arg =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.erd")
@@ -121,12 +216,84 @@ let report_arg =
   Arg.(
     value & flag
     & info [ "report-only" ]
-        ~doc:"Print only the integration report (conflicts, reliabilities).")
+        ~doc:
+          "Print only the integration report (outcomes, conflicts, \
+           reliabilities).")
+
+let fault_plan_conv =
+  let parse s =
+    match Federation.Fault.plan_of_string s with
+    | Ok plan -> Ok plan
+    | Error m -> Error (`Msg ("bad fault plan: " ^ m))
+  in
+  let print ppf _ = Format.pp_print_string ppf "<fault-plan>" in
+  Arg.conv (parse, print)
+
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some fault_plan_conv) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Inject deterministic faults for chaos runs: \
+           $(i,name:key=value,…;…) where name is a relation name or \
+           $(b,*) and keys are fail, timeout, corrupt, drop \
+           (probabilities), latency, hang (milliseconds). Example: \
+           $(b,ra:fail=0.5,latency=20;*:timeout=0.1). Reproducible given \
+           $(b,--seed).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Seed for fault injection and retry jitter.")
+
+let retries_arg =
+  Arg.(
+    value & opt int Federation.Retry.default.Federation.Retry.retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra fetch attempts per source after the first (exponential \
+           backoff with jitter between attempts).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-source fetch deadline. Deliveries past it are treated as \
+           stale and discounted.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-ms" ] ~docv:"MS"
+        ~doc:"Total integration budget across all source fetches.")
+
+let min_sources_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "min-sources" ] ~docv:"N"
+        ~doc:
+          "Quorum: integrate only if at least $(docv) sources deliver \
+           (default 0 = all selected sources must deliver).")
+
+let skip_malformed_arg =
+  Arg.(
+    value & flag
+    & info [ "skip-malformed" ]
+        ~doc:
+          "Quarantine files that fail to read or parse: report and skip \
+           them instead of aborting the federation.")
 
 let term =
   Term.(
     const run $ files_arg $ relations_arg $ discount_arg $ name_arg
-    $ query_arg $ csv_arg $ out_arg $ report_arg)
+    $ query_arg $ csv_arg $ out_arg $ report_arg $ fault_plan_arg $ seed_arg
+    $ retries_arg $ timeout_arg $ budget_arg $ min_sources_arg
+    $ skip_malformed_arg)
 
 let cmd =
   let doc = "integrate evidential (.erd) relations with Dempster's rule" in
@@ -138,21 +305,38 @@ let cmd =
          merged attribute-by-attribute with Dempster's rule of \
          combination; tuple membership pairs combine on the boolean \
          frame; total conflicts are reported to the integrator rather \
-         than resolved silently.";
+         than resolved silently. Sources are fetched through a \
+         fault-tolerant runtime: transient failures are retried with \
+         exponential backoff, flaky or stale sources are α-discounted \
+         (Shafer) rather than dropped or trusted, and the run fails with \
+         a per-source outcome report if the quorum is not met.";
       `S Manpage.s_examples;
       `P "Integrate the sample data and query it:";
       `Pre
         "  federate data/restaurants.erd -r ra,rb \\\\\n\
         \    -q \"SELECT rname FROM integrated WHERE rating IS {ex} WITH SN \
-         > 0.5\"" ]
+         > 0.5\"";
+      `P "A reproducible chaos run:";
+      `Pre
+        "  federate data/restaurants.erd -r ra,rb --seed 7 \\\\\n\
+        \    --fault-plan \"ra:fail=0.6,latency=20;rb:corrupt=0.3\" \\\\\n\
+        \    --retries 3 --min-sources 1 --report-only" ]
   in
-  Cmd.v (Cmd.info "federate" ~version:"1.0" ~doc ~man)
+  let exits =
+    Cmd.Exit.info exit_source_failure
+      ~doc:"a source failed to load, parse or integrate, or the query failed."
+    :: Cmd.Exit.info exit_quorum
+         ~doc:"quorum not met: too few sources delivered."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "federate" ~version:"1.0" ~doc ~man ~exits)
     (Term.map
        (function
          | Ok () -> 0
-         | Error m ->
+         | Error (code, m) ->
              Printf.eprintf "federate: %s\n" m;
-             1)
+             code)
        term)
 
 let () = exit (Cmd.eval' cmd)

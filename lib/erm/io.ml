@@ -6,6 +6,11 @@ let fail line fmt =
 let split_words s =
   String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
 
+let string_mentions haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n > 0 && go 0
+
 (* "name : string" or "name : evidence {a, b, c}" *)
 let parse_attr_decl line body =
   match String.index_opt body ':' with
@@ -238,12 +243,22 @@ let to_string r =
     r;
   Buffer.contents buf
 
+(* Both failure channels carry the file path: open_in's Sys_error
+   already does, parse errors get it prefixed — a federation of dozens
+   of .erd files is undebuggable from "line 3: bad membership pair"
+   alone. *)
 let load path =
-  let ic = open_in path in
+  let ic =
+    try open_in path
+    with Sys_error m ->
+      raise (Sys_error (if string_mentions m path then m else path ^ ": " ^ m))
+  in
   let n = in_channel_length ic in
   let content = really_input_string ic n in
   close_in ic;
-  relations_of_string content
+  try relations_of_string content
+  with Io_error { line; message } ->
+    raise (Io_error { line; message = path ^ ": " ^ message })
 
 let save path rels =
   let oc = open_out path in

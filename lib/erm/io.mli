@@ -29,7 +29,10 @@ val to_string : Relation.t -> string
     formatting). *)
 
 val load : string -> Relation.t list
-(** Reads a [.erd] file. @raise Sys_error on IO failures. *)
+(** Reads a [.erd] file. Both failure channels name the file:
+    @raise Sys_error on IO failures (message includes the path);
+    @raise Io_error on parse failures, with the message prefixed by the
+    path. *)
 
 val save : string -> Relation.t list -> unit
 

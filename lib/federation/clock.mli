@@ -1,0 +1,20 @@
+(** Virtual time for the federation runtime.
+
+    Retry backoff, per-source deadlines and the total integration budget
+    are all expressed against a clock; making the clock a value keeps
+    every chaos run deterministic and instant — a simulated [sleep_ms]
+    advances a counter instead of stalling the process. Tests, benches
+    and the [federate] CLI all use {!simulated}; a wall clock is just
+    another record should a caller need one. *)
+
+type t = {
+  now_ms : unit -> float;  (** Monotonic milliseconds. *)
+  sleep_ms : float -> unit;
+      (** Blocks (or pretends to) for that many milliseconds; negative
+          durations are ignored. *)
+}
+
+val simulated : ?start_ms:float -> unit -> t
+(** A fresh virtual clock starting at [start_ms] (default 0). Sleeping
+    advances it; nothing else does, so elapsed time measures exactly the
+    latency the fault layer and backoff injected. *)

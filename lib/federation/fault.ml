@@ -1,0 +1,162 @@
+module R = Workload.Rng
+
+type spec = {
+  fail_rate : float;
+  timeout_rate : float;
+  corrupt_rate : float;
+  drop_rate : float;
+  latency_ms : float;
+  hang_ms : float;
+}
+
+let none =
+  { fail_rate = 0.0;
+    timeout_rate = 0.0;
+    corrupt_rate = 0.0;
+    drop_rate = 0.0;
+    latency_ms = 0.0;
+    hang_ms = 0.0 }
+
+type plan = (string option * spec) list
+
+let empty_plan = []
+
+let spec_for plan name =
+  match List.assoc_opt (Some name) plan with
+  | Some s -> s
+  | None -> ( match List.assoc_opt None plan with Some s -> s | None -> none)
+
+let set_field spec key value =
+  let rate what v =
+    if v < 0.0 || v > 1.0 then
+      Error (Printf.sprintf "%s must be in [0,1], got %g" what v)
+    else Ok v
+  in
+  let millis what v =
+    if v < 0.0 then Error (Printf.sprintf "%s must be >= 0, got %g" what v)
+    else Ok v
+  in
+  match key with
+  | "fail" -> Result.map (fun v -> { spec with fail_rate = v }) (rate key value)
+  | "timeout" ->
+      Result.map (fun v -> { spec with timeout_rate = v }) (rate key value)
+  | "corrupt" ->
+      Result.map (fun v -> { spec with corrupt_rate = v }) (rate key value)
+  | "drop" -> Result.map (fun v -> { spec with drop_rate = v }) (rate key value)
+  | "latency" ->
+      Result.map (fun v -> { spec with latency_ms = v }) (millis key value)
+  | "hang" -> Result.map (fun v -> { spec with hang_ms = v }) (millis key value)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown fault setting %s (expected fail, timeout, corrupt, drop, \
+            latency or hang)"
+           key)
+
+let spec_of_settings text =
+  let settings =
+    String.split_on_char ',' text
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  List.fold_left
+    (fun acc setting ->
+      Result.bind acc (fun spec ->
+          match String.index_opt setting '=' with
+          | None ->
+              Error
+                (Printf.sprintf "expected key=value in fault plan, got %s"
+                   setting)
+          | Some i ->
+              let key = String.trim (String.sub setting 0 i) in
+              let raw =
+                String.trim
+                  (String.sub setting (i + 1)
+                     (String.length setting - i - 1))
+              in
+              (match float_of_string_opt raw with
+              | None ->
+                  Error
+                    (Printf.sprintf "%s needs a numeric value, got %s" key raw)
+              | Some v -> set_field spec key v)))
+    (Ok none) settings
+
+let plan_of_string text =
+  let entries =
+    String.split_on_char ';' text
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if entries = [] then Error "empty fault plan"
+  else
+    List.fold_left
+      (fun acc entry ->
+        Result.bind acc (fun plan ->
+            match String.index_opt entry ':' with
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "expected name:settings in fault plan, got %s" entry)
+            | Some i ->
+                let name = String.trim (String.sub entry 0 i) in
+                let rest =
+                  String.sub entry (i + 1) (String.length entry - i - 1)
+                in
+                if name = "" then Error "fault plan entry needs a source name"
+                else
+                  let key = if name = "*" then None else Some name in
+                  if List.mem_assoc key plan then
+                    Error
+                      (Printf.sprintf "duplicate fault plan entry for %s" name)
+                  else
+                    Result.map
+                      (fun spec -> plan @ [ (key, spec) ])
+                      (spec_of_settings rest)))
+      (Ok []) entries
+
+(* Corruption damages content, never well-formedness: tuples vanish
+   (partial delivery) and evidence cells are replaced with random — but
+   valid, Ω-floored — evidence over the same domain. Definite cells and
+   membership pairs are untouched, so the result still satisfies CWA_ER
+   and stays union-compatible; the damage shows up as conflict against
+   peer sources. *)
+let corrupt rng ~drop_rate r =
+  let schema = Erm.Relation.schema r in
+  Erm.Relation.map_tuples
+    (fun t ->
+      if R.float rng 1.0 < drop_rate then None
+      else
+        let cells =
+          List.map2
+            (fun attr cell ->
+              match (Erm.Attr.kind attr, cell) with
+              | Erm.Attr.Evidential domain, Erm.Etuple.Evidence _
+                when R.float rng 1.0 < 0.5 ->
+                  Erm.Etuple.Evidence (Workload.Gen.evidence rng domain)
+              | _ -> cell)
+            (Erm.Schema.nonkey schema) (Erm.Etuple.cells t)
+        in
+        Some
+          (Erm.Etuple.make schema ~key:(Erm.Etuple.key t) ~cells
+             ~tm:(Erm.Etuple.tm t)))
+    schema r
+
+let wrap ~seed ~clock spec source =
+  let rng = R.create (seed lxor Hashtbl.hash source.Source.name) in
+  let fetch () =
+    clock.Clock.sleep_ms spec.latency_ms;
+    let u = R.float rng 1.0 in
+    if u < spec.fail_rate then Error (Source.Unavailable "injected fault")
+    else if u < spec.fail_rate +. spec.timeout_rate then begin
+      clock.Clock.sleep_ms spec.hang_ms;
+      Error (Source.Timeout { after_ms = spec.hang_ms })
+    end
+    else
+      match source.Source.fetch () with
+      | Error _ as e -> e
+      | Ok r ->
+          if R.float rng 1.0 < spec.corrupt_rate then
+            Ok (corrupt rng ~drop_rate:spec.drop_rate r)
+          else Ok r
+  in
+  { Source.name = source.Source.name; fetch }

@@ -1,0 +1,53 @@
+(** Deterministic fault injection — the test harness for the runtime.
+
+    {!wrap} turns any {!Source.t} into a misbehaving one: each fetch
+    first pays a simulated latency, then may fail ({!Source.Unavailable}),
+    hang until a timeout fires ({!Source.Timeout}), or deliver a
+    {e corrupted} payload — a random fraction of tuples dropped (partial
+    delivery) and random evidence substituted into surviving cells.
+    Corruption never touches definite cells or membership pairs, so a
+    corrupted relation is still CWA-admissible; what it damages is
+    {e agreement with its peers}, which is exactly the signal
+    conflict-based discounting ({!Integration.Multi.integrate}
+    [~discount]) responds to.
+
+    All draws come from a {!Workload.Rng} seeded by [seed ⊕ hash name],
+    so a chaos run is a pure function of [(seed, fault plan, sources)]:
+    rerunning it reproduces every failure, every latency and every
+    corrupted cell. *)
+
+type spec = {
+  fail_rate : float;  (** P(attempt returns [Unavailable]), in [0,1]. *)
+  timeout_rate : float;  (** P(attempt hangs then returns [Timeout]). *)
+  corrupt_rate : float;  (** P(a successful delivery is corrupted). *)
+  drop_rate : float;
+      (** Within a corrupted delivery, P(each tuple is lost). *)
+  latency_ms : float;  (** Simulated latency paid by every attempt. *)
+  hang_ms : float;  (** Simulated stall before an injected timeout. *)
+}
+
+val none : spec
+(** All rates 0, no latency: wrapping with [none] is behaviourally the
+    identity (it draws from the RNG but never alters an outcome). *)
+
+type plan = (string option * spec) list
+(** Per-source specs; [None] is the default entry matching any source
+    ([*] in the concrete syntax). *)
+
+val spec_for : plan -> string -> spec
+(** The spec for a source name: exact entry, else the [*] entry, else
+    {!none}. *)
+
+val plan_of_string : string -> (plan, string) result
+(** Parse [name:k=v,k=v;name:…] where [name] is a source name or [*] and
+    keys are [fail], [timeout], [corrupt], [drop] (probabilities in
+    [0,1]), [latency], [hang] (milliseconds ≥ 0). Example:
+    [ra:fail=0.5,latency=20;*:timeout=0.1]. *)
+
+val empty_plan : plan
+(** No entries: every source gets {!none}. *)
+
+val wrap : seed:int -> clock:Clock.t -> spec -> Source.t -> Source.t
+(** Wrap one source. The wrapper owns its own RNG derived from [seed]
+    and the source name, so wrapping order and sibling activity cannot
+    perturb a source's fault stream. *)

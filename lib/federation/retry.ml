@@ -1,0 +1,80 @@
+module R = Workload.Rng
+
+type policy = {
+  retries : int;
+  base_delay_ms : float;
+  multiplier : float;
+  max_delay_ms : float;
+  jitter : float;
+  deadline_ms : float option;
+}
+
+let default =
+  { retries = 2;
+    base_delay_ms = 50.0;
+    multiplier = 2.0;
+    max_delay_ms = 2000.0;
+    jitter = 0.1;
+    deadline_ms = None }
+
+type failure = { error : Source.error; at_ms : float; backoff_ms : float }
+type trace = { attempts : int; total_ms : float; failures : failure list }
+
+let validate p =
+  if p.retries < 0 then invalid_arg "Retry.fetch: retries must be >= 0";
+  if p.base_delay_ms < 0.0 then
+    invalid_arg "Retry.fetch: base_delay_ms must be >= 0";
+  if p.multiplier < 1.0 then
+    invalid_arg "Retry.fetch: multiplier must be >= 1";
+  if p.jitter < 0.0 || p.jitter > 1.0 then
+    invalid_arg "Retry.fetch: jitter must be in [0,1]";
+  match p.deadline_ms with
+  | Some d when d <= 0.0 -> invalid_arg "Retry.fetch: deadline must be > 0"
+  | _ -> ()
+
+let backoff_delay ~rng policy failures_so_far =
+  let raw =
+    policy.base_delay_ms
+    *. (policy.multiplier ** float_of_int (failures_so_far - 1))
+  in
+  let capped = Float.min policy.max_delay_ms raw in
+  let scale = 1.0 +. (policy.jitter *. ((2.0 *. R.float rng 1.0) -. 1.0)) in
+  Float.max 0.0 (capped *. scale)
+
+let fetch ~rng ~clock policy source =
+  validate policy;
+  let start = clock.Clock.now_ms () in
+  let elapsed () = clock.Clock.now_ms () -. start in
+  let past_deadline () =
+    match policy.deadline_ms with
+    | Some d -> elapsed () >= d
+    | None -> false
+  in
+  let trace attempts failures =
+    { attempts; total_ms = elapsed (); failures = List.rev failures }
+  in
+  let rec go attempt failures =
+    if past_deadline () then
+      Error
+        ( Source.Timeout { after_ms = elapsed () },
+          trace (attempt - 1) failures )
+    else
+      match source.Source.fetch () with
+      | Ok r -> Ok (r, trace attempt failures)
+      | Error e ->
+          let can_retry =
+            attempt <= policy.retries
+            && Source.retryable e
+            && not (past_deadline ())
+          in
+          if not can_retry then
+            Error
+              (e, trace attempt ({ error = e; at_ms = elapsed (); backoff_ms = 0.0 } :: failures))
+          else begin
+            let backoff = backoff_delay ~rng policy attempt in
+            let f = { error = e; at_ms = elapsed (); backoff_ms = backoff } in
+            clock.Clock.sleep_ms backoff;
+            go (attempt + 1) (f :: failures)
+          end
+  in
+  go 1 []

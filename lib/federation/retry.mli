@@ -1,0 +1,49 @@
+(** Bounded retries with exponential backoff, jitter and deadlines.
+
+    Transient failures ({!Source.retryable}) are retried up to
+    [retries] extra attempts, sleeping
+    [min max_delay (base · multiplier^(attempt-1))] between attempts
+    with a symmetric jitter fraction drawn from the caller's RNG
+    (seeded ⇒ deterministic). A per-source [deadline_ms] bounds the
+    whole fetch: once the clock passes it, no further attempts run and
+    the failure is reported as a {!Source.Timeout}. Permanent errors
+    fail fast on the first attempt. *)
+
+type policy = {
+  retries : int;  (** Extra attempts after the first; ≥ 0. *)
+  base_delay_ms : float;  (** First backoff. *)
+  multiplier : float;  (** Backoff growth per failure (≥ 1). *)
+  max_delay_ms : float;  (** Backoff cap. *)
+  jitter : float;
+      (** Each backoff is scaled by a uniform draw from
+          [1 ± jitter]; in [0,1]. *)
+  deadline_ms : float option;  (** Per-source fetch deadline. *)
+}
+
+val default : policy
+(** 2 retries, 50 ms base, ×2 growth capped at 2 s, 0.1 jitter, no
+    deadline. *)
+
+type failure = {
+  error : Source.error;
+  at_ms : float;  (** Elapsed when the attempt failed. *)
+  backoff_ms : float;  (** Sleep scheduled after it (0 if final). *)
+}
+
+type trace = {
+  attempts : int;  (** Attempts actually made (≥ 1 unless pre-empted). *)
+  total_ms : float;  (** Elapsed over the whole fetch, backoffs included. *)
+  failures : failure list;  (** In attempt order. *)
+}
+
+val fetch :
+  rng:Workload.Rng.t ->
+  clock:Clock.t ->
+  policy ->
+  Source.t ->
+  (Erm.Relation.t * trace, Source.error * trace) result
+(** Run the source's fetch under the policy. [Ok] carries the delivered
+    relation and the trace (a trace with [attempts > 1] means the source
+    recovered after failures — the degradation layer discounts it);
+    [Error] carries the last error and the trace.
+    @raise Invalid_argument on a malformed policy. *)

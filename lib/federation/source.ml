@@ -1,0 +1,87 @@
+type error =
+  | Unavailable of string
+  | Timeout of { after_ms : float }
+  | Malformed of { path : string; line : int; message : string }
+  | Schema_mismatch of string
+  | Missing_relation of { path : string; name : string }
+  | Budget_exhausted of { budget_ms : float }
+
+type t = { name : string; fetch : unit -> (Erm.Relation.t, error) result }
+
+let make name fetch = { name; fetch }
+
+let of_relation ?name r =
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Erm.Schema.name (Erm.Relation.schema r)
+  in
+  { name; fetch = (fun () -> Ok r) }
+
+let of_erd_file ?relation path =
+  let name =
+    match relation with
+    | Some n -> n
+    | None -> Filename.remove_extension (Filename.basename path)
+  in
+  let read () =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    content
+  in
+  (* Parses the content directly (rather than via Erm.Io.load) so the
+     Malformed fields stay structured: path and line live in the
+     variant, not re-prefixed into the message. *)
+  let fetch () =
+    match Erm.Io.relations_of_string (read ()) with
+    | exception Sys_error m -> Error (Unavailable m)
+    | exception Erm.Io.Io_error { line; message } ->
+        Error (Malformed { path; line; message })
+    | rels -> (
+        match relation with
+        | Some n -> (
+            match
+              List.find_opt
+                (fun r -> String.equal (Erm.Schema.name (Erm.Relation.schema r)) n)
+                rels
+            with
+            | Some r -> Ok r
+            | None -> Error (Missing_relation { path; name = n }))
+        | None -> (
+            match rels with
+            | [ r ] -> Ok r
+            | [] -> Error (Missing_relation { path; name })
+            | _ :: _ :: _ ->
+                Error
+                  (Malformed
+                     { path;
+                       line = 0;
+                       message =
+                         "file holds several relations; name one \
+                          explicitly" })))
+  in
+  { name; fetch }
+
+let retryable = function
+  | Unavailable _ | Timeout _ -> true
+  | Malformed _ | Schema_mismatch _ | Missing_relation _
+  | Budget_exhausted _ ->
+      false
+
+let pp_error ppf = function
+  | Unavailable m -> Format.fprintf ppf "unavailable (%s)" m
+  | Timeout { after_ms } ->
+      Format.fprintf ppf "timed out after %.0f ms" after_ms
+  | Malformed { path; line; message } ->
+      if line > 0 then
+        Format.fprintf ppf "malformed %s (line %d: %s)" path line message
+      else Format.fprintf ppf "malformed %s (%s)" path message
+  | Schema_mismatch m -> Format.fprintf ppf "schema mismatch (%s)" m
+  | Missing_relation { path; name } ->
+      Format.fprintf ppf "no relation named %s in %s" name path
+  | Budget_exhausted { budget_ms } ->
+      Format.fprintf ppf "integration budget (%.0f ms) exhausted" budget_ms
+
+let error_to_string e = Format.asprintf "%a" pp_error e

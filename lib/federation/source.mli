@@ -1,0 +1,53 @@
+(** A federated source: an effectful fetch with a typed error channel.
+
+    The integration layer so far assumed every source is an in-memory
+    relation that answers instantly and correctly; anything else escaped
+    as [failwith]/[Sys_error]/[Io_error] soup. A {!t} abstracts a source
+    as [unit -> (relation, error) result] so the retry and degradation
+    layers can reason about {e which kind} of failure occurred:
+    transient ones ({!Unavailable}, {!Timeout}) are worth retrying,
+    permanent ones ({!Malformed}, {!Schema_mismatch},
+    {!Missing_relation}) are not, and {!Budget_exhausted} means the
+    integration as a whole ran out of time before this source was even
+    tried. *)
+
+type error =
+  | Unavailable of string  (** Transient: the source did not answer. *)
+  | Timeout of { after_ms : float }
+      (** Transient: no answer within the deadline. *)
+  | Malformed of { path : string; line : int; message : string }
+      (** Permanent: the payload does not parse ([Erm.Io.Io_error] with
+          the file path attached). *)
+  | Schema_mismatch of string
+      (** Permanent: parsed, but not union-compatible with its peers. *)
+  | Missing_relation of { path : string; name : string }
+      (** Permanent: the file loads but holds no relation of that
+          name. *)
+  | Budget_exhausted of { budget_ms : float }
+      (** The total integration budget was spent before this fetch. *)
+
+type t = {
+  name : string;
+  fetch : unit -> (Erm.Relation.t, error) result;
+      (** Each call is one delivery attempt; adapters may be wrapped
+          ({!Fault.wrap}) so repeated calls can behave differently. *)
+}
+
+val make : string -> (unit -> (Erm.Relation.t, error) result) -> t
+
+val of_relation : ?name:string -> Erm.Relation.t -> t
+(** An always-available in-memory source (default name: the relation's
+    schema name). *)
+
+val of_erd_file : ?relation:string -> string -> t
+(** Fetching loads the [.erd] file on every attempt. [?relation] picks a
+    block by name (default: the file must hold exactly one). IO failures
+    map to {!Unavailable}, parse failures to {!Malformed}, a missing or
+    ambiguous block to {!Missing_relation}. *)
+
+val retryable : error -> bool
+(** [true] for {!Unavailable} and {!Timeout} only — retrying a parse
+    error or a blown budget cannot help. *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string

@@ -39,7 +39,15 @@ let reliability_from_matrix matrix name =
       in
       Float.max 0.0 (Float.min 1.0 (1.0 -. mean))
 
-let integrate ?(discount = false) sources =
+let integrate ?(discount = false) ?(alpha_floor = 0.0) ?(prior = []) sources =
+  if alpha_floor < 0.0 || alpha_floor > 1.0 then
+    invalid_arg "Multi.integrate: alpha_floor outside [0,1]";
+  List.iter
+    (fun (name, a) ->
+      if a < 0.0 || a > 1.0 then
+        invalid_arg
+          (Printf.sprintf "Multi.integrate: prior for %s outside [0,1]" name))
+    prior;
   match sources with
   | [] -> raise No_sources
   | first :: rest ->
@@ -47,9 +55,17 @@ let integrate ?(discount = false) sources =
       let reliabilities =
         List.map
           (fun s ->
-            ( s.source_name,
+            let conflict_alpha =
               if discount then reliability_from_matrix matrix s.source_name
-              else 1.0 ))
+              else 1.0
+            in
+            let prior_alpha =
+              match List.assoc_opt s.source_name prior with
+              | Some a -> a
+              | None -> 1.0
+            in
+            ( s.source_name,
+              Float.max alpha_floor (prior_alpha *. conflict_alpha) ))
           sources
       in
       let prepared s =

@@ -24,12 +24,27 @@ type report = {
 
 exception No_sources
 
-val integrate : ?discount:bool -> source list -> report
+val integrate :
+  ?discount:bool ->
+  ?alpha_floor:float ->
+  ?prior:(string * float) list ->
+  source list ->
+  report
 (** Fold all sources into one relation (left to right; the result is
     order-independent up to float rounding because ⊕ is associative).
     With [~discount:true] (default false), each source is first
     α-discounted by [1 − (mean κ against the other sources)].
+
+    [?prior] (default all 1) supplies an external per-source discount —
+    the federation runtime passes the reliability it inferred from
+    delivery behaviour (retries, staleness) — which multiplies into the
+    conflict-based rate. [?alpha_floor] (default 0) clamps every final α
+    from below; any floor > 0 preserves Theorem-1 closure even for
+    totally conflicting sources, where the conflict-based rate alone
+    would reach α = 0 and discount every tuple to [sn = 0]. The
+    defaults leave historical behaviour bit-for-bit unchanged.
     @raise No_sources on the empty list.
+    @raise Invalid_argument if a prior or the floor is outside [0,1].
     @raise Erm.Ops.Incompatible_schemas if any source's schema differs. *)
 
 val pp : Format.formatter -> report -> unit

@@ -1,0 +1,573 @@
+(* The fault-tolerant federation runtime: typed source errors,
+   deterministic fault injection, retry/backoff/deadline mechanics, and
+   the evidential degradation guarantees — the qcheck fault matrix
+   proves that for any seeded fault plan the degraded result satisfies
+   Theorem-1 closure, that runs are deterministic given the seed, and
+   that a zero-fault run is tuple-for-tuple Multi.integrate. *)
+
+module R = Workload.Rng
+module G = Workload.Gen
+module S = Dst.Support
+module F = Federation
+
+let prop ?(count = 100) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let seed_arb = QCheck.int_range 0 1_000_000
+
+(* --- fixtures --------------------------------------------------------- *)
+
+let fed_schema = G.schema "fed"
+
+(* Three union-compatible sources observing overlapping entities. *)
+let mk_relations seed =
+  let rng = R.create seed in
+  let a, b = G.source_pair rng ~size:25 ~overlap:0.6 fed_schema in
+  let c = G.reobserve rng a in
+  [ ("sa", a); ("sb", b); ("sc", c) ]
+
+let plain_sources rels =
+  List.map (fun (n, r) -> F.Source.of_relation ~name:n r) rels
+
+let chaos_spec rng =
+  { F.Fault.fail_rate = R.float rng 0.5;
+    timeout_rate = R.float rng 0.3;
+    corrupt_rate = R.float rng 0.6;
+    drop_rate = R.float rng 0.5;
+    latency_ms = R.float rng 30.0;
+    hang_ms = R.float rng 100.0 }
+
+let chaos_config seed =
+  { F.Degrade.default with
+    policy =
+      { F.Retry.default with
+        retries = 3;
+        base_delay_ms = 10.0;
+        deadline_ms = Some 250.0 };
+    min_sources = 1;
+    budget_ms = Some 2000.0;
+    conflict_discount = seed mod 2 = 0 }
+
+let chaos_run seed =
+  let clock = F.Clock.simulated () in
+  let rng = R.create (seed + 31) in
+  let sources =
+    List.map
+      (fun (n, r) ->
+        F.Fault.wrap ~seed ~clock (chaos_spec rng)
+          (F.Source.of_relation ~name:n r))
+      (mk_relations seed)
+  in
+  F.Degrade.integrate ~config:(chaos_config seed) ~seed ~clock sources
+
+(* --- source adapters -------------------------------------------------- *)
+
+let write_tmp content =
+  let path = Filename.temp_file "federation" ".erd" in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  path
+
+let test_source_of_relation () =
+  let rels = mk_relations 1 in
+  let s = F.Source.of_relation ~name:"x" (List.assoc "sa" rels) in
+  Alcotest.(check string) "name" "x" s.F.Source.name;
+  match s.F.Source.fetch () with
+  | Ok r ->
+      Alcotest.(check bool) "same relation" true
+        (Erm.Relation.equal r (List.assoc "sa" rels))
+  | Error _ -> Alcotest.fail "in-memory source failed"
+
+let test_source_missing_file () =
+  let s = F.Source.of_erd_file "/nonexistent/x.erd" in
+  match s.F.Source.fetch () with
+  | Error (F.Source.Unavailable _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Unavailable"
+
+let test_source_malformed_file () =
+  let path = write_tmp "relation broken\nkey k : string\ntuple\n" in
+  let s = F.Source.of_erd_file path in
+  (match s.F.Source.fetch () with
+  | Error (F.Source.Malformed { path = p; line; _ }) ->
+      Alcotest.(check string) "path carried" path p;
+      Alcotest.(check bool) "line number carried" true (line > 0)
+  | Ok _ | Error _ -> Alcotest.fail "expected Malformed");
+  Sys.remove path
+
+let test_source_missing_relation () =
+  let path =
+    write_tmp
+      "relation only\nkey k : string\nattr c : evidence {a, b}\ntuple x | \
+       [a^1] | (1, 1)\n"
+  in
+  let s = F.Source.of_erd_file ~relation:"other" path in
+  (match s.F.Source.fetch () with
+  | Error (F.Source.Missing_relation { name; _ }) ->
+      Alcotest.(check string) "asked-for name" "other" name
+  | Ok _ | Error _ -> Alcotest.fail "expected Missing_relation");
+  let ok = F.Source.of_erd_file ~relation:"only" path in
+  (match ok.F.Source.fetch () with
+  | Ok r -> Alcotest.(check int) "one tuple" 1 (Erm.Relation.cardinal r)
+  | Error _ -> Alcotest.fail "named relation should load");
+  Sys.remove path
+
+let test_retryable_classification () =
+  Alcotest.(check bool) "unavailable retries" true
+    (F.Source.retryable (F.Source.Unavailable "x"));
+  Alcotest.(check bool) "timeout retries" true
+    (F.Source.retryable (F.Source.Timeout { after_ms = 1.0 }));
+  Alcotest.(check bool) "malformed is permanent" false
+    (F.Source.retryable
+       (F.Source.Malformed { path = "p"; line = 1; message = "m" }));
+  Alcotest.(check bool) "schema mismatch is permanent" false
+    (F.Source.retryable (F.Source.Schema_mismatch "m"));
+  Alcotest.(check bool) "blown budget is permanent" false
+    (F.Source.retryable (F.Source.Budget_exhausted { budget_ms = 1.0 }))
+
+(* --- fault plans ------------------------------------------------------ *)
+
+let test_plan_parse () =
+  match F.Fault.plan_of_string "ra:fail=0.5,latency=20;*:timeout=0.1" with
+  | Error m -> Alcotest.fail m
+  | Ok plan ->
+      let ra = F.Fault.spec_for plan "ra" in
+      Alcotest.(check (float 0.0)) "ra fail" 0.5 ra.F.Fault.fail_rate;
+      Alcotest.(check (float 0.0)) "ra latency" 20.0 ra.F.Fault.latency_ms;
+      Alcotest.(check (float 0.0)) "ra timeout comes from its own entry"
+        0.0 ra.F.Fault.timeout_rate;
+      let other = F.Fault.spec_for plan "rb" in
+      Alcotest.(check (float 0.0)) "wildcard timeout" 0.1
+        other.F.Fault.timeout_rate;
+      Alcotest.(check (float 0.0)) "wildcard fail" 0.0 other.F.Fault.fail_rate
+
+let test_plan_parse_errors () =
+  let bad text =
+    match F.Fault.plan_of_string text with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" text)
+    | Error _ -> ()
+  in
+  bad "";
+  bad "ra";
+  bad "ra:bogus=1";
+  bad "ra:fail=oops";
+  bad "ra:fail=1.5";
+  bad "ra:latency=-3";
+  bad "ra:fail=0.1;ra:fail=0.2";
+  bad ":fail=0.1"
+
+let test_fault_determinism () =
+  let rels = mk_relations 5 in
+  let fetch_once seed =
+    let clock = F.Clock.simulated () in
+    let spec =
+      { F.Fault.none with
+        corrupt_rate = 1.0;
+        drop_rate = 0.3;
+        latency_ms = 7.0 }
+    in
+    let s =
+      F.Fault.wrap ~seed ~clock spec
+        (F.Source.of_relation ~name:"sa" (List.assoc "sa" rels))
+    in
+    let result = s.F.Source.fetch () in
+    (result, clock.F.Clock.now_ms ())
+  in
+  match (fetch_once 11, fetch_once 11, fetch_once 12) with
+  | (Ok r1, t1), (Ok r2, t2), (Ok r3, _) ->
+      Alcotest.(check bool) "same seed, same corruption" true
+        (Erm.Relation.equal r1 r2);
+      Alcotest.(check (float 0.0)) "latency advanced the virtual clock" 7.0 t1;
+      Alcotest.(check (float 0.0)) "deterministic latency" t1 t2;
+      Alcotest.(check bool) "different seed, different corruption" false
+        (Erm.Relation.equal r1 r3);
+      Alcotest.(check bool) "corruption preserves CWA" true
+        (Erm.Relation.satisfies_cwa r1)
+  | _ -> Alcotest.fail "corrupt deliveries should still be Ok"
+
+let test_fault_none_is_transparent () =
+  let rels = mk_relations 9 in
+  let clock = F.Clock.simulated () in
+  let s =
+    F.Fault.wrap ~seed:3 ~clock F.Fault.none
+      (F.Source.of_relation ~name:"sa" (List.assoc "sa" rels))
+  in
+  match s.F.Source.fetch () with
+  | Ok r ->
+      Alcotest.(check bool) "payload untouched" true
+        (Erm.Relation.equal r (List.assoc "sa" rels));
+      Alcotest.(check (float 0.0)) "no latency" 0.0 (clock.F.Clock.now_ms ())
+  | Error _ -> Alcotest.fail "none spec must not fail"
+
+(* --- retry ------------------------------------------------------------ *)
+
+let flaky_source ~failures_before_ok rels =
+  let calls = ref 0 in
+  F.Source.make "flaky" (fun () ->
+      incr calls;
+      if !calls <= failures_before_ok then
+        Error (F.Source.Unavailable "down")
+      else Ok (List.assoc "sa" rels))
+
+let no_jitter =
+  { F.Retry.default with
+    retries = 3;
+    base_delay_ms = 10.0;
+    multiplier = 2.0;
+    max_delay_ms = 25.0;
+    jitter = 0.0 }
+
+let test_retry_recovers () =
+  let rels = mk_relations 21 in
+  let clock = F.Clock.simulated () in
+  match
+    F.Retry.fetch ~rng:(R.create 1) ~clock no_jitter
+      (flaky_source ~failures_before_ok:2 rels)
+  with
+  | Ok (_, trace) ->
+      Alcotest.(check int) "three attempts" 3 trace.F.Retry.attempts;
+      Alcotest.(check int) "two recorded failures" 2
+        (List.length trace.F.Retry.failures);
+      let backoffs =
+        List.map (fun f -> f.F.Retry.backoff_ms) trace.F.Retry.failures
+      in
+      (* Exponential, capped: 10, then 20 (25 would cap the third). *)
+      Alcotest.(check (list (float 0.0))) "backoff schedule" [ 10.0; 20.0 ]
+        backoffs;
+      Alcotest.(check (float 0.0)) "clock advanced by the backoffs" 30.0
+        trace.F.Retry.total_ms
+  | Error _ -> Alcotest.fail "should recover within the retry budget"
+
+let test_retry_exhausts () =
+  let rels = mk_relations 22 in
+  let clock = F.Clock.simulated () in
+  match
+    F.Retry.fetch ~rng:(R.create 1) ~clock no_jitter
+      (flaky_source ~failures_before_ok:10 rels)
+  with
+  | Ok _ -> Alcotest.fail "cannot succeed"
+  | Error (F.Source.Unavailable _, trace) ->
+      Alcotest.(check int) "1 + retries attempts" 4 trace.F.Retry.attempts;
+      (* 10 + 20 + 25(capped); the final failure schedules no backoff. *)
+      Alcotest.(check (float 0.0)) "capped backoff total" 55.0
+        trace.F.Retry.total_ms
+  | Error _ -> Alcotest.fail "last error should surface"
+
+let test_retry_permanent_fails_fast () =
+  let calls = ref 0 in
+  let s =
+    F.Source.make "broken" (fun () ->
+        incr calls;
+        Error (F.Source.Malformed { path = "p"; line = 3; message = "bad" }))
+  in
+  let clock = F.Clock.simulated () in
+  (match F.Retry.fetch ~rng:(R.create 1) ~clock no_jitter s with
+  | Error (F.Source.Malformed _, trace) ->
+      Alcotest.(check int) "single attempt" 1 trace.F.Retry.attempts
+  | _ -> Alcotest.fail "expected the malformed error");
+  Alcotest.(check int) "no useless retries" 1 !calls
+
+let test_retry_deadline () =
+  let rels = mk_relations 23 in
+  let clock = F.Clock.simulated () in
+  let policy = { no_jitter with F.Retry.deadline_ms = Some 15.0 } in
+  match
+    F.Retry.fetch ~rng:(R.create 1) ~clock policy
+      (flaky_source ~failures_before_ok:10 rels)
+  with
+  | Error (F.Source.Timeout { after_ms }, trace) ->
+      (* Attempt 1 fails at t=0, backs off 10 ms; attempt 2 fails at
+         t=10, backs off 20 ms; t=30 ≥ 15 stops attempt 3. *)
+      Alcotest.(check int) "attempts until the deadline" 2
+        trace.F.Retry.attempts;
+      Alcotest.(check bool) "deadline respected" true (after_ms >= 15.0)
+  | _ -> Alcotest.fail "expected a deadline timeout"
+
+(* --- degrade ---------------------------------------------------------- *)
+
+let test_degrade_zero_fault_identity () =
+  let rels = mk_relations 41 in
+  let clock = F.Clock.simulated () in
+  match
+    F.Degrade.integrate ~clock (plain_sources rels)
+  with
+  | Error _ -> Alcotest.fail "healthy sources cannot fail"
+  | Ok report ->
+      let reference =
+        Integration.Multi.integrate
+          (List.map
+             (fun (n, r) ->
+               { Integration.Multi.source_name = n; source_relation = r })
+             rels)
+      in
+      Alcotest.(check bool) "tuple-for-tuple identical" true
+        (Erm.Relation.equal report.F.Degrade.multi.integrated
+           reference.Integration.Multi.integrated);
+      Alcotest.(check bool) "same reliabilities" true
+        (report.F.Degrade.multi.reliabilities
+        = reference.Integration.Multi.reliabilities);
+      List.iter
+        (fun o ->
+          Alcotest.(check bool) "all pristine" true
+            (o.F.Degrade.status = F.Degrade.Delivered);
+          Alcotest.(check (float 0.0)) "no discount" 1.0 o.F.Degrade.alpha)
+        report.F.Degrade.outcomes
+
+let test_degrade_quorum () =
+  let rels = mk_relations 42 in
+  let clock = F.Clock.simulated () in
+  let down =
+    F.Source.make "down" (fun () -> Error (F.Source.Unavailable "gone"))
+  in
+  let sources = plain_sources rels @ [ down ] in
+  (match
+     F.Degrade.integrate
+       ~config:{ F.Degrade.default with min_sources = 0 }
+       ~clock sources
+   with
+  | Error (F.Degrade.Quorum_not_met { delivered; required; outcomes }) ->
+      Alcotest.(check int) "three delivered" 3 delivered;
+      Alcotest.(check int) "all four required" 4 required;
+      Alcotest.(check int) "outcome per requested source" 4
+        (List.length outcomes);
+      Alcotest.(check bool) "failure outcome reported" true
+        (List.exists
+           (fun o ->
+             match o.F.Degrade.status with
+             | F.Degrade.Failed (F.Source.Unavailable _) -> true
+             | _ -> false)
+           outcomes)
+  | _ -> Alcotest.fail "strict quorum must fail");
+  match
+    F.Degrade.integrate
+      ~config:{ F.Degrade.default with min_sources = 3 }
+      ~clock sources
+  with
+  | Ok report ->
+      Alcotest.(check int) "integrated the survivors" 3
+        (List.length report.F.Degrade.multi.reliabilities)
+  | Error _ -> Alcotest.fail "relaxed quorum must succeed"
+
+let test_degrade_discounts_recovered () =
+  let rels = mk_relations 43 in
+  let clock = F.Clock.simulated () in
+  let sources =
+    [ F.Source.of_relation ~name:"steady" (List.assoc "sa" rels);
+      (let calls = ref 0 in
+       F.Source.make "flaky" (fun () ->
+           incr calls;
+           if !calls <= 2 then Error (F.Source.Unavailable "down")
+           else Ok (List.assoc "sc" rels))) ]
+  in
+  match F.Degrade.integrate ~clock sources with
+  | Error _ -> Alcotest.fail "flaky source recovers"
+  | Ok report ->
+      let by name =
+        List.find (fun o -> o.F.Degrade.source = name)
+          report.F.Degrade.outcomes
+      in
+      Alcotest.(check bool) "steady untouched" true
+        ((by "steady").F.Degrade.alpha = 1.0);
+      let flaky = by "flaky" in
+      Alcotest.(check bool) "recovered status" true
+        (flaky.F.Degrade.status = F.Degrade.Recovered 2);
+      Alcotest.(check (float 1e-9)) "alpha decays per failure" (0.8 *. 0.8)
+        flaky.F.Degrade.alpha;
+      Alcotest.(check (float 1e-9)) "merge used the discounted alpha"
+        flaky.F.Degrade.alpha
+        (List.assoc "flaky" report.F.Degrade.multi.reliabilities);
+      Alcotest.(check bool) "closure survives discounting" true
+        (Erm.Relation.satisfies_cwa report.F.Degrade.multi.integrated)
+
+let test_degrade_stale_delivery () =
+  let rels = mk_relations 44 in
+  let clock = F.Clock.simulated () in
+  let slow =
+    F.Fault.wrap ~seed:0 ~clock
+      { F.Fault.none with latency_ms = 20.0 }
+      (F.Source.of_relation ~name:"slow" (List.assoc "sa" rels))
+  in
+  let config =
+    { F.Degrade.default with
+      policy = { F.Retry.default with deadline_ms = Some 10.0 } }
+  in
+  match F.Degrade.integrate ~config ~clock [ slow ] with
+  | Error _ -> Alcotest.fail "stale delivery still delivers"
+  | Ok report -> (
+      match report.F.Degrade.outcomes with
+      | [ o ] ->
+          Alcotest.(check bool) "stale status" true
+            (o.F.Degrade.status = F.Degrade.Stale);
+          Alcotest.(check (float 1e-9)) "stale discount applied" 0.8
+            o.F.Degrade.alpha
+      | _ -> Alcotest.fail "one outcome")
+
+let test_degrade_budget () =
+  let rels = mk_relations 45 in
+  let clock = F.Clock.simulated () in
+  let slow name r =
+    F.Fault.wrap ~seed:0 ~clock
+      { F.Fault.none with latency_ms = 50.0 }
+      (F.Source.of_relation ~name r)
+  in
+  let sources =
+    [ slow "s1" (List.assoc "sa" rels);
+      slow "s2" (List.assoc "sb" rels);
+      slow "s3" (List.assoc "sc" rels) ]
+  in
+  let config = { F.Degrade.default with budget_ms = Some 80.0 } in
+  match F.Degrade.integrate ~config ~clock sources with
+  | Error _ -> Alcotest.fail "two sources fit the budget"
+  | Ok report -> (
+      match List.rev report.F.Degrade.outcomes with
+      | last :: _ -> (
+          match last.F.Degrade.status with
+          | F.Degrade.Failed (F.Source.Budget_exhausted _) -> ()
+          | _ -> Alcotest.fail "third source should be cut by the budget")
+      | [] -> Alcotest.fail "outcomes missing")
+
+let test_degrade_schema_mismatch_is_typed () =
+  let rels = mk_relations 46 in
+  let other_schema = G.schema ~definite:2 ~evidential:1 "other" in
+  let odd =
+    F.Source.of_relation ~name:"odd"
+      (G.relation (R.create 7) ~size:5 other_schema)
+  in
+  let clock = F.Clock.simulated () in
+  match
+    F.Degrade.integrate ~clock (plain_sources rels @ [ odd ])
+  with
+  | Error _ -> Alcotest.fail "mismatch must degrade, not abort"
+  | Ok report ->
+      Alcotest.(check bool) "mismatch reported through the typed channel"
+        true
+        (List.exists
+           (fun o ->
+             match o.F.Degrade.status with
+             | F.Degrade.Failed (F.Source.Schema_mismatch _) -> true
+             | _ -> false)
+           report.F.Degrade.outcomes);
+      Alcotest.(check int) "survivors merged" 3
+        (List.length report.F.Degrade.multi.reliabilities)
+
+let test_degrade_no_sources () =
+  let clock = F.Clock.simulated () in
+  match F.Degrade.integrate ~clock [] with
+  | Error F.Degrade.No_sources -> ()
+  | _ -> Alcotest.fail "empty federation"
+
+(* --- the qcheck fault matrix ------------------------------------------ *)
+
+let closure_prop =
+  prop "degraded results satisfy Theorem-1 closure" seed_arb (fun seed ->
+      match chaos_run seed with
+      | Ok report ->
+          Erm.Relation.satisfies_cwa report.F.Degrade.multi.integrated
+      | Error (F.Degrade.Quorum_not_met _) | Error F.Degrade.No_sources ->
+          true)
+
+let determinism_prop =
+  prop "chaos runs are deterministic given the seed" seed_arb (fun seed ->
+      match (chaos_run seed, chaos_run seed) with
+      | Ok a, Ok b ->
+          Erm.Relation.equal a.F.Degrade.multi.integrated
+            b.F.Degrade.multi.integrated
+          && a.F.Degrade.outcomes = b.F.Degrade.outcomes
+          && a.F.Degrade.elapsed_ms = b.F.Degrade.elapsed_ms
+      | ( Error (F.Degrade.Quorum_not_met { delivered = da; required = ra; outcomes = oa }),
+          Error (F.Degrade.Quorum_not_met { delivered = db; required = rb; outcomes = ob }) ) ->
+          da = db && ra = rb && oa = ob
+      | Error F.Degrade.No_sources, Error F.Degrade.No_sources -> true
+      | _ -> false)
+
+let zero_fault_prop =
+  prop "a zero-fault plan is exactly Multi.integrate" seed_arb (fun seed ->
+      let rels = mk_relations seed in
+      let clock = F.Clock.simulated () in
+      let sources =
+        (* Wrapped with the empty plan: the chaos layer must be
+           transparent when every rate is zero. *)
+        List.map
+          (fun (n, r) ->
+            F.Fault.wrap ~seed ~clock
+              (F.Fault.spec_for F.Fault.empty_plan n)
+              (F.Source.of_relation ~name:n r))
+          rels
+      in
+      match F.Degrade.integrate ~seed ~clock sources with
+      | Error _ -> false
+      | Ok report ->
+          let reference =
+            Integration.Multi.integrate
+              (List.map
+                 (fun (n, r) ->
+                   { Integration.Multi.source_name = n; source_relation = r })
+                 rels)
+          in
+          Erm.Relation.equal report.F.Degrade.multi.integrated
+            reference.Integration.Multi.integrated
+          && report.F.Degrade.multi.reliabilities
+             = reference.Integration.Multi.reliabilities
+          && report.F.Degrade.multi.conflict_matrix
+             = reference.Integration.Multi.conflict_matrix)
+
+let alpha_floor_prop =
+  prop "every applied discount respects the floor" seed_arb (fun seed ->
+      match chaos_run seed with
+      | Ok report ->
+          List.for_all
+            (fun o ->
+              match o.F.Degrade.status with
+              | F.Degrade.Failed _ -> true
+              | _ ->
+                  o.F.Degrade.alpha >= F.Degrade.default.F.Degrade.alpha_floor
+                  && o.F.Degrade.alpha <= 1.0)
+            report.F.Degrade.outcomes
+      | Error _ -> true)
+
+let () =
+  Alcotest.run "federation"
+    [ ( "source",
+        [ Alcotest.test_case "in-memory adapter" `Quick
+            test_source_of_relation;
+          Alcotest.test_case "missing file is Unavailable" `Quick
+            test_source_missing_file;
+          Alcotest.test_case "parse failure is Malformed" `Quick
+            test_source_malformed_file;
+          Alcotest.test_case "missing relation name" `Quick
+            test_source_missing_relation;
+          Alcotest.test_case "retryable classification" `Quick
+            test_retryable_classification ] );
+      ( "fault",
+        [ Alcotest.test_case "plan parsing" `Quick test_plan_parse;
+          Alcotest.test_case "plan parse errors" `Quick
+            test_plan_parse_errors;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_fault_determinism;
+          Alcotest.test_case "none spec is transparent" `Quick
+            test_fault_none_is_transparent ] );
+      ( "retry",
+        [ Alcotest.test_case "recovers after transient failures" `Quick
+            test_retry_recovers;
+          Alcotest.test_case "exhausts the attempt budget" `Quick
+            test_retry_exhausts;
+          Alcotest.test_case "permanent errors fail fast" `Quick
+            test_retry_permanent_fails_fast;
+          Alcotest.test_case "deadline stops retrying" `Quick
+            test_retry_deadline ] );
+      ( "degrade",
+        [ Alcotest.test_case "zero faults = Multi.integrate" `Quick
+            test_degrade_zero_fault_identity;
+          Alcotest.test_case "quorum enforcement" `Quick test_degrade_quorum;
+          Alcotest.test_case "recovered sources are discounted" `Quick
+            test_degrade_discounts_recovered;
+          Alcotest.test_case "stale deliveries are discounted" `Quick
+            test_degrade_stale_delivery;
+          Alcotest.test_case "total budget cuts the tail" `Quick
+            test_degrade_budget;
+          Alcotest.test_case "schema mismatch via the typed channel" `Quick
+            test_degrade_schema_mismatch_is_typed;
+          Alcotest.test_case "no sources" `Quick test_degrade_no_sources ] );
+      ( "fault-matrix",
+        [ closure_prop; determinism_prop; zero_fault_prop; alpha_floor_prop ]
+      ) ]

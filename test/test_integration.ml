@@ -465,6 +465,127 @@ let test_multi_no_sources () =
   Alcotest.check_raises "empty list" Integration.Multi.No_sources (fun () ->
       ignore (Integration.Multi.integrate []))
 
+(* --- Multi / Reliability edge cases ---------------------------------- *)
+
+let edge_schema =
+  Erm.Schema.make ~name:"edge"
+    ~key:[ Erm.Attr.definite "k" "string" ]
+    ~nonkey:[ Erm.Attr.evidential "c" stars ]
+
+let edge_tup ?(tm = S.certain) k ev =
+  Erm.Etuple.make edge_schema
+    ~key:[ V.string k ]
+    ~cells:[ Erm.Etuple.Evidence (Dst.Evidence.of_string stars ev) ]
+    ~tm
+
+let edge_src n tuples =
+  { Integration.Multi.source_name = n;
+    source_relation = Erm.Relation.of_tuples edge_schema tuples }
+
+let test_multi_single_source () =
+  let r = Erm.Relation.of_tuples edge_schema [ edge_tup "x" "[low^1]" ] in
+  let report =
+    Integration.Multi.integrate ~discount:true
+      [ { Integration.Multi.source_name = "solo"; source_relation = r } ]
+  in
+  Alcotest.(check bool) "integrated is the source itself" true
+    (Erm.Relation.equal report.integrated r);
+  Alcotest.(check int) "no pairs, no matrix" 0
+    (List.length report.conflict_matrix);
+  Alcotest.check feq "no peers means full trust" 1.0
+    (List.assoc "solo" report.reliabilities)
+
+let test_multi_empty_relations () =
+  let report =
+    Integration.Multi.integrate ~discount:true
+      [ edge_src "ea" []; edge_src "eb" [] ]
+  in
+  Alcotest.(check int) "empty in, empty out" 0
+    (Erm.Relation.cardinal report.integrated);
+  Alcotest.(check int) "no conflicts" 0 (List.length report.conflicts);
+  (* No key-matched pairs to compare: assess has no ground to distrust. *)
+  List.iter
+    (fun (_, a) -> Alcotest.check feq "reliability stays 1" 1.0 a)
+    report.reliabilities;
+  let a = Integration.Reliability.assess (Erm.Relation.empty edge_schema)
+      (Erm.Relation.empty edge_schema) in
+  Alcotest.(check int) "nothing compared" 0 a.Integration.Reliability.pairs_compared;
+  Alcotest.check feq "vacuous assessment is trusted" 1.0
+    (Integration.Reliability.reliability_of_assessment a)
+
+let test_multi_all_conflicting () =
+  (* Certain, disjoint evidence on every shared key: mean κ = 1, so each
+     source estimates reliability 0 and α-discounting erases both — the
+     sn = 0 tuples are dropped by closure, not stored. *)
+  let low = edge_src "low" [ edge_tup "x" "[low^1]" ] in
+  let high = edge_src "high" [ edge_tup "x" "[high^1]" ] in
+  let a =
+    Integration.Reliability.assess low.Integration.Multi.source_relation
+      high.Integration.Multi.source_relation
+  in
+  Alcotest.check feq "mean kappa is 1" 1.0 a.Integration.Reliability.mean_conflict;
+  Alcotest.check feq "reliability collapses to 0" 0.0
+    (Integration.Reliability.reliability_of_assessment a);
+  let report = Integration.Multi.integrate ~discount:true [ low; high ] in
+  List.iter
+    (fun (_, alpha) -> Alcotest.check feq "alpha 0" 0.0 alpha)
+    report.reliabilities;
+  Alcotest.(check int) "total distrust erases the federation" 0
+    (Erm.Relation.cardinal report.integrated);
+  Alcotest.(check bool) "closure still holds (vacuously)" true
+    (Erm.Relation.satisfies_cwa report.integrated);
+  (* An alpha floor keeps the tuple, maximally hedged but present. *)
+  let floored =
+    Integration.Multi.integrate ~discount:true ~alpha_floor:0.05 [ low; high ]
+  in
+  Alcotest.(check int) "floored run keeps the entity" 1
+    (Erm.Relation.cardinal floored.integrated);
+  Alcotest.(check bool) "and satisfies closure non-vacuously" true
+    (Erm.Relation.satisfies_cwa floored.integrated)
+
+let test_discount_boundaries () =
+  let r =
+    Erm.Relation.of_tuples edge_schema
+      [ edge_tup ~tm:(S.make ~sn:0.4 ~sp:0.9) "x" "[low^0.7; ~^0.3]" ]
+  in
+  Alcotest.(check bool) "alpha 1 is the identity" true
+    (Erm.Relation.equal (Integration.Reliability.discount_relation 1.0 r) r);
+  let vacuous = Integration.Reliability.discount_relation 0.0 r in
+  Alcotest.(check int) "alpha 0 discounts membership to sn 0, closure drops all"
+    0
+    (Erm.Relation.cardinal vacuous);
+  let half = Integration.Reliability.discount_relation 0.5 r in
+  let t = Erm.Relation.find half [ V.string "x" ] in
+  Alcotest.check feq "sn scales by alpha" 0.2 (S.sn (Erm.Etuple.tm t));
+  Alcotest.check feq "sp moves toward full plausibility" 0.95
+    (S.sp (Erm.Etuple.tm t));
+  let invalid a () = ignore (Integration.Reliability.discount_relation a r) in
+  Alcotest.check_raises "negative alpha rejected"
+    (Invalid_argument "Reliability.discount_relation: alpha outside [0,1]")
+    (invalid (-0.1));
+  Alcotest.check_raises "alpha above 1 rejected"
+    (Invalid_argument "Reliability.discount_relation: alpha outside [0,1]")
+    (invalid 1.1)
+
+let test_multi_prior_validation () =
+  let low = edge_src "low" [ edge_tup "x" "[low^1]" ] in
+  let high = edge_src "high" [ edge_tup "x" "[high^0.5; ~^0.5]" ] in
+  let report =
+    Integration.Multi.integrate ~prior:[ ("low", 0.5) ] [ low; high ]
+  in
+  Alcotest.check feq "prior flows into the reported reliability" 0.5
+    (List.assoc "low" report.reliabilities);
+  Alcotest.check feq "unlisted sources default to 1" 1.0
+    (List.assoc "high" report.reliabilities);
+  Alcotest.check_raises "prior outside [0,1]"
+    (Invalid_argument "Multi.integrate: prior for low outside [0,1]")
+    (fun () ->
+      ignore (Integration.Multi.integrate ~prior:[ ("low", 1.5) ] [ low; high ]));
+  Alcotest.check_raises "floor outside [0,1]"
+    (Invalid_argument "Multi.integrate: alpha_floor outside [0,1]")
+    (fun () ->
+      ignore (Integration.Multi.integrate ~alpha_floor:(-1.0) [ low; high ]))
+
 let () =
   Alcotest.run "integration"
     [ ( "survey",
@@ -506,4 +627,14 @@ let () =
             test_multi_three_sources_order_independent;
           Alcotest.test_case "discounting keeps conflicting tuples" `Quick
             test_multi_discounted_keeps_conflicting_tuple;
-          Alcotest.test_case "no sources" `Quick test_multi_no_sources ] ) ]
+          Alcotest.test_case "no sources" `Quick test_multi_no_sources ] );
+      ( "multi-edges",
+        [ Alcotest.test_case "single source" `Quick test_multi_single_source;
+          Alcotest.test_case "empty relations" `Quick
+            test_multi_empty_relations;
+          Alcotest.test_case "all-conflicting sources" `Quick
+            test_multi_all_conflicting;
+          Alcotest.test_case "discount boundaries" `Quick
+            test_discount_boundaries;
+          Alcotest.test_case "prior and floor validation" `Quick
+            test_multi_prior_validation ] ) ]
