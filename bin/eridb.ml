@@ -15,6 +15,9 @@ Commands:
   .load FILE            load relations from an .erd file
   .save NAME FILE       write a relation to an .erd file
   .let NAME = QUERY     evaluate a query and bind the result
+  .check QUERY          static analysis: report diagnostics without running
+  .strict on|off        refuse to execute queries with error diagnostics
+                        (initial state from ERIDB_STRICT=1)
   .plan QUERY           show the optimized query
   .explain QUERY        show the optimized plan tree with row estimates
   .physical QUERY       show the physical plan (access paths, join algorithms)
@@ -43,6 +46,16 @@ let ctx = Query.Physical.create_ctx ()
 
 let bind name r = env := (name, r) :: List.remove_assoc name !env
 
+(* Strict mode gates execution on the static checker: plans with
+   error-level diagnostics are refused rather than run. *)
+let strict =
+  ref
+    (match Sys.getenv_opt "ERIDB_STRICT" with
+    | Some ("1" | "true" | "on") -> true
+    | Some _ | None -> false)
+
+let guard env q = if !strict then Analysis.Check.errors env q else []
+
 let load_file path =
   match Erm.Io.load path with
   | relations ->
@@ -53,14 +66,18 @@ let load_file path =
           Printf.printf "loaded %s (%d tuples)\n" name
             (Erm.Relation.cardinal r))
         relations
-  | exception Erm.Io.Io_error { line; message } ->
-      Printf.printf "error: %s:%d: %s\n" path line message
+  | exception Erm.Io.Io_error { line; col; message } ->
+      if col > 0 then Printf.printf "error: %s:%d:%d: %s\n" path line col message
+      else Printf.printf "error: %s:%d: %s\n" path line message
   | exception Sys_error m -> Printf.printf "error: %s\n" m
 
 let run_query text =
-  match Query.Physical.run ~ctx !env text with
+  match Query.Physical.run ~ctx ~guard !env text with
   | r -> Erm.Render.print ~title:"result" r
   | exception Query.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
+  | exception Query.Physical.Rejected findings ->
+      Printf.printf "rejected by the static checker (.strict off to override):\n";
+      List.iter (fun f -> Printf.printf "  %s\n" f) findings
   | exception Query.Eval.Eval_error m -> Printf.printf "error: %s\n" m
   | exception Dst.Mass.F.Total_conflict ->
       Printf.printf
@@ -211,7 +228,7 @@ let handle_command line =
             (Store.Catalog.env catalog)
       | exception Store.Catalog.Catalog_error m ->
           Printf.printf "error: %s\n" m
-      | exception Erm.Io.Io_error { line; message } ->
+      | exception Erm.Io.Io_error { line; message; _ } ->
           Printf.printf "error: line %d: %s\n" line message)
   | ".commit" -> (
       let catalog =
@@ -228,6 +245,21 @@ let handle_command line =
       | exception Store.Catalog.Catalog_error m ->
           Printf.printf "error: %s\n" m
       | exception Sys_error m -> Printf.printf "error: %s\n" m)
+  | ".check" -> (
+      match Analysis.Check.check_string !env rest with
+      | [] -> print_string "no findings\n"
+      | diags -> Analysis.Report.print diags)
+  | ".strict" -> (
+      match rest with
+      | "on" ->
+          strict := true;
+          print_string "strict mode on\n"
+      | "off" ->
+          strict := false;
+          print_string "strict mode off\n"
+      | "" ->
+          Printf.printf "strict mode is %s\n" (if !strict then "on" else "off")
+      | _ -> print_string "usage: .strict on|off\n")
   | ".plan" -> (
       match Query.Parser.parse rest with
       | q ->

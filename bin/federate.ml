@@ -44,7 +44,7 @@ let load_all ~skip_malformed files =
             (loaded @ named, skipped)
         | exception Sys_error m ->
             (loaded, skipped @ [ (path, strip_path_prefix path m) ])
-        | exception Erm.Io.Io_error { line; message } ->
+        | exception Erm.Io.Io_error { line; message; _ } ->
             ( loaded,
               skipped
               @ [ ( path,
@@ -75,11 +75,25 @@ let print_skipped skipped =
       Format.printf "skipped %s: %s@." path reason)
     skipped
 
+(* --validate: lint every source file before integrating; error-level
+   findings abort the run with the source-failure exit code. *)
+let validate_files files =
+  let diags = List.concat_map Analysis.Erd_lint.lint_file files in
+  Analysis.Report.print diags;
+  if List.exists Analysis.Diagnostic.is_error diags then
+    Error "static validation failed (see diagnostics above)"
+  else Ok ()
+
 let run files relations discount name query csv out report_only fault_plan
-    seed retries timeout_ms budget_ms min_sources skip_malformed =
+    seed retries timeout_ms budget_ms min_sources skip_malformed validate =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
   let fail code m = Error (code, m) in
   let result =
+    let* () =
+      if validate then
+        Result.map_error (fun m -> (exit_source_failure, m)) (validate_files files)
+      else Ok ()
+    in
     let* env, skipped =
       Result.map_error
         (fun m -> (exit_source_failure, m))
@@ -288,12 +302,20 @@ let skip_malformed_arg =
           "Quarantine files that fail to read or parse: report and skip \
            them instead of aborting the federation.")
 
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ]
+        ~doc:
+          "Run the static $(b,.erd) linter over every source file before \
+           integrating; error-level findings abort the run.")
+
 let term =
   Term.(
     const run $ files_arg $ relations_arg $ discount_arg $ name_arg
     $ query_arg $ csv_arg $ out_arg $ report_arg $ fault_plan_arg $ seed_arg
     $ retries_arg $ timeout_arg $ budget_arg $ min_sources_arg
-    $ skip_malformed_arg)
+    $ skip_malformed_arg $ validate_arg)
 
 let cmd =
   let doc = "integrate evidential (.erd) relations with Dempster's rule" in

@@ -1,0 +1,468 @@
+type result = {
+  schema : Erm.Schema.t option;
+  tm : Interval.t;
+  empty : bool;
+  diagnostics : Diagnostic.t list;
+}
+
+(* Diagnostics accumulate in a mutable bag so the traversal can stay a
+   plain fold over the AST; [push] records, [count] lets callers detect
+   whether a sub-analysis already reported an error (to avoid stacking a
+   summary diagnostic on top of a precise one). *)
+type bag = { mutable diags : Diagnostic.t list; file : string option }
+
+let push bag d = bag.diags <- d :: bag.diags
+
+let errors_in bag = List.length (List.filter Diagnostic.is_error bag.diags)
+
+let err bag ~code fmt =
+  Format.kasprintf
+    (fun m -> push bag (Diagnostic.error ?file:bag.file ~code "%s" m))
+    fmt
+
+let warn bag ~code fmt =
+  Format.kasprintf
+    (fun m -> push bag (Diagnostic.warning ?file:bag.file ~code "%s" m))
+    fmt
+
+let note bag ~code fmt =
+  Format.kasprintf
+    (fun m -> push bag (Diagnostic.info ?file:bag.file ~code "%s" m))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Operand typing                                                      *)
+
+type otype =
+  | T_definite of string  (* a definite attribute of this value kind *)
+  | T_evidential of Dst.Domain.t
+  | T_values of Dst.Value.t list  (* scalar or set literal *)
+  | T_unknown  (* unresolvable; a diagnostic was already pushed *)
+
+let kinds_of = function
+  | T_definite k -> [ k ]
+  | T_evidential d ->
+      List.sort_uniq String.compare
+        (List.map Dst.Value.kind_name (Dst.Vset.to_list (Dst.Domain.values d)))
+  | T_values vs ->
+      List.sort_uniq String.compare (List.map Dst.Value.kind_name vs)
+  | T_unknown -> []
+
+(* The finite set of values an operand can denote, when one exists.
+   Definite attributes are unbounded; literals and evidential domains
+   are finite. *)
+let value_set = function
+  | T_definite _ | T_unknown -> None
+  | T_evidential d -> Some (Dst.Domain.values d)
+  | T_values vs -> Some (Dst.Vset.of_list vs)
+
+let pp_values ppf vs =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Dst.Value.pp)
+    vs
+
+let operand_type bag schema ~peer op =
+  let resolve_attr a =
+    match Erm.Schema.find_opt schema a with
+    | None ->
+        err bag ~code:"Q002" "unknown attribute %s" a;
+        T_unknown
+    | Some attr -> (
+        match Erm.Attr.kind attr with
+        | Erm.Attr.Definite k -> T_definite k
+        | Erm.Attr.Evidential d -> T_evidential d)
+  in
+  match op with
+  | Query.Ast.Attr a -> resolve_attr a
+  | Query.Ast.Scalar v -> T_values [ v ]
+  | Query.Ast.Set_lit vs -> T_values vs
+  | Query.Ast.Evidence_lit raw -> (
+      (* An evidence literal binds against its peer attribute's frame;
+         Eval fails when the peer is not an evidential attribute, and
+         the Dst parser fails on malformed literals or values outside
+         the frame. All three become static findings. *)
+      let peer_attr =
+        match peer with
+        | Query.Ast.Attr a -> Erm.Schema.find_opt schema a
+        | _ -> None
+      in
+      match peer_attr with
+      | None ->
+          err bag ~code:"Q015"
+            "evidence literal %s needs an attribute on the other side" raw;
+          T_unknown
+      | Some attr -> (
+          match Erm.Attr.domain attr with
+          | None ->
+              err bag ~code:"Q015"
+                "evidence literal %s compared against definite attribute %s"
+                raw (Erm.Attr.name attr);
+              T_unknown
+          | Some dom -> (
+              match Dst.Evidence.of_string dom raw with
+              | _ -> T_evidential dom
+              | exception Dst.Evidence.Parse_error (_, m) ->
+                  err bag ~code:"Q015" "bad evidence literal %s: %s" raw m;
+                  T_unknown
+              | exception Dst.Mass.F.Invalid_mass m ->
+                  err bag ~code:"Q015" "bad evidence literal %s: %s" raw m;
+                  T_unknown)))
+
+(* ------------------------------------------------------------------ *)
+(* Predicate analysis                                                  *)
+
+let ordered = function
+  | Erm.Predicate.Lt | Erm.Predicate.Le | Erm.Predicate.Gt | Erm.Predicate.Ge
+    ->
+      true
+  | Erm.Predicate.Eq | Erm.Predicate.Ne -> false
+
+let pp_operand = Query.Ast.pp_operand
+
+let cmp_interval bag cmp x y tx ty =
+  let kx = kinds_of tx and ky = kinds_of ty in
+  let common = List.filter (fun k -> List.mem k ky) kx in
+  let describe () =
+    Format.asprintf "%a %s %a" pp_operand x
+      (Erm.Predicate.cmp_to_string cmp)
+      pp_operand y
+  in
+  if tx = T_unknown || ty = T_unknown then Interval.top
+  else if common = [] then
+    if ordered cmp then begin
+      (* compare_ordered raises Type_mismatch at runtime. *)
+      err bag ~code:"Q003"
+        "type mismatch in θ-predicate %s: no common value kind between %s \
+         and %s"
+        (describe ())
+        (String.concat "/" kx) (String.concat "/" ky);
+      Interval.top
+    end
+    else if cmp = Erm.Predicate.Eq then begin
+      warn bag ~code:"Q004"
+        "θ-predicate %s is statically false: operands have no common value \
+         kind"
+        (describe ());
+      Interval.impossible
+    end
+    else (* Ne across kinds is statically true *) Interval.certain
+  else
+    match (value_set tx, value_set ty) with
+    | Some sx, Some sy when cmp = Erm.Predicate.Eq && Dst.Vset.disjoint sx sy
+      ->
+        warn bag ~code:"Q004"
+          "θ-predicate %s is statically false: the operand domains %a and \
+           %a are disjoint — equality can never yield definitely-true mass"
+          (describe ())
+          pp_values (Dst.Vset.to_list sx) pp_values (Dst.Vset.to_list sy);
+        Interval.impossible
+    | Some sx, Some sy when cmp = Erm.Predicate.Ne && Dst.Vset.disjoint sx sy
+      ->
+        Interval.certain
+    | _ -> Interval.top
+
+let is_interval bag schema a vs =
+  match Erm.Schema.find_opt schema a with
+  | None ->
+      err bag ~code:"Q002" "unknown attribute %s" a;
+      Interval.top
+  | Some attr -> (
+      match Erm.Attr.kind attr with
+      | Erm.Attr.Evidential dom ->
+          let omega = Dst.Domain.values dom in
+          let set = Dst.Vset.of_list vs in
+          let live = Dst.Vset.inter set omega in
+          let dead = Dst.Vset.diff set omega in
+          if Dst.Vset.is_empty live then begin
+            err bag ~code:"Q005"
+              "%s IS %a is statically empty under CWA_ER: the constant set \
+               is disjoint from the domain %a of %s"
+              a pp_values vs pp_values (Dst.Vset.to_list omega) a;
+            Interval.impossible
+          end
+          else begin
+            if not (Dst.Vset.is_empty dead) then
+              warn bag ~code:"Q004"
+                "%s IS %a: value(s) %a are outside the domain of %s and can \
+                 never match"
+                a pp_values vs pp_values (Dst.Vset.to_list dead) a;
+            if Dst.Vset.subset omega set then begin
+              warn bag ~code:"Q006"
+                "%s IS %a is vacuous: the constant set covers the whole \
+                 domain of %s, so the predicate always holds with certainty"
+                a pp_values vs a;
+              Interval.certain
+            end
+            else Interval.top
+          end
+      | Erm.Attr.Definite kind ->
+          let live, dead =
+            List.partition (fun v -> Dst.Value.kind_name v = kind) vs
+          in
+          if live = [] then begin
+            err bag ~code:"Q005"
+              "%s IS %a is statically empty under CWA_ER: no value in the \
+               constant set has the attribute's kind %s"
+              a pp_values vs kind;
+            Interval.impossible
+          end
+          else begin
+            if dead <> [] then
+              warn bag ~code:"Q004"
+                "%s IS %a: value(s) %a do not have kind %s and can never \
+                 match"
+                a pp_values vs pp_values dead kind;
+            Interval.top
+          end)
+
+let rec pred_interval bag schema = function
+  | Query.Ast.True -> Interval.certain
+  | Query.Ast.Is (a, vs) -> is_interval bag schema a vs
+  | Query.Ast.Cmp (cmp, x, y) ->
+      let tx = operand_type bag schema ~peer:y x in
+      let ty = operand_type bag schema ~peer:x y in
+      cmp_interval bag cmp x y tx ty
+  | Query.Ast.And (a, b) ->
+      Interval.mul (pred_interval bag schema a) (pred_interval bag schema b)
+  | Query.Ast.Or (a, b) ->
+      Interval.disj (pred_interval bag schema a) (pred_interval bag schema b)
+  | Query.Ast.Not a -> Interval.neg (pred_interval bag schema a)
+
+(* ------------------------------------------------------------------ *)
+(* Thresholds                                                          *)
+
+let check_threshold bag ~context threshold tm =
+  let rec bounds_sane = function
+    | Erm.Threshold.Always -> ()
+    | Erm.Threshold.Both (a, b) ->
+        bounds_sane a;
+        bounds_sane b
+    | Erm.Threshold.Cmp (f, _, b) ->
+        if b < 0.0 || b > 1.0 then
+          warn bag ~code:"Q016"
+            "threshold bound %s %g lies outside [0, 1]"
+            (Erm.Threshold.field_to_string f)
+            b
+  in
+  bounds_sane threshold;
+  match Interval.constrain_threshold threshold tm with
+  | Some tm -> (tm, false)
+  | None ->
+      err bag ~code:"Q007"
+        "membership threshold %a of %s is unsatisfiable: the derived \
+         support bounds are %a"
+        Erm.Threshold.pp threshold context Interval.pp tm;
+      (Interval.impossible, true)
+
+(* ------------------------------------------------------------------ *)
+(* Schemas                                                             *)
+
+let union_like bag ~op a b =
+  match (a.schema, b.schema) with
+  | Some sa, Some sb when not (Erm.Schema.union_compatible sa sb) ->
+      err bag ~code:"Q012"
+        "%s operands %s and %s are not union-compatible" op
+        (Erm.Schema.name sa) (Erm.Schema.name sb);
+      None
+  | Some sa, Some _ -> Some sa
+  | _ -> None
+
+let product_schema bag a b =
+  match (a.schema, b.schema) with
+  | Some sa, Some sb -> (
+      match Erm.Schema.product sa sb with
+      | s -> Some s
+      | exception Erm.Schema.Schema_error m ->
+          err bag ~code:"Q013" "product: %s (PREFIX one operand)" m;
+          None)
+  | _ -> None
+
+let project_schema bag schema cols =
+  match (schema, cols) with
+  | None, _ | _, None -> schema
+  | Some s, Some names ->
+      let unknown = List.filter (fun n -> not (Erm.Schema.mem s n)) names in
+      List.iter (fun n -> err bag ~code:"Q002" "unknown attribute %s" n)
+        unknown;
+      let dropped_keys =
+        List.filter
+          (fun a -> not (List.mem (Erm.Attr.name a) names))
+          (Erm.Schema.key s)
+      in
+      if dropped_keys <> [] then begin
+        err bag ~code:"Q008"
+          "key-dropping projection: attribute(s) %s are part of the key of \
+           %s; dropping them would force unsound merges of distinct \
+           entities"
+          (String.concat ", " (List.map Erm.Attr.name dropped_keys))
+          (Erm.Schema.name s);
+        None
+      end
+      else if unknown <> [] then None
+      else
+        match Erm.Schema.project s names with
+        | s -> Some s
+        | exception Erm.Schema.Schema_error m ->
+            err bag ~code:"Q008" "projection: %s" m;
+            None
+
+(* ------------------------------------------------------------------ *)
+(* The abstract interpreter                                            *)
+
+let rel_bounds r =
+  if Erm.Relation.is_empty r then Interval.impossible
+  else
+    Erm.Relation.fold
+      (fun t acc -> Interval.hull acc (Interval.exact (Erm.Etuple.tm t)))
+      r
+      (let t = Erm.Relation.tuples r |> List.hd in
+       Interval.exact (Erm.Etuple.tm t))
+
+let rec analyze_in bag env q =
+  match q with
+  | Query.Ast.Rel name -> (
+      match List.assoc_opt name env with
+      | None ->
+          err bag ~code:"Q001" "unknown relation %s" name;
+          { schema = None; tm = Interval.top; empty = false; diagnostics = [] }
+      | Some r ->
+          let empty = Erm.Relation.is_empty r in
+          if empty then
+            note bag ~code:"Q018" "relation %s holds no tuples" name;
+          { schema = Some (Erm.Relation.schema r);
+            tm = (if empty then Interval.impossible else rel_bounds r);
+            empty;
+            diagnostics = [] })
+  | Query.Ast.Select { cols; from; where; threshold } ->
+      let input = analyze_in bag env from in
+      let before = errors_in bag in
+      let support =
+        match input.schema with
+        | Some s -> pred_interval bag s where
+        | None -> Interval.top
+      in
+      let pred_reported = errors_in bag > before in
+      let tm = Interval.mul input.tm support in
+      let selection_empty =
+        (not input.empty) && Interval.never_positive tm
+      in
+      if selection_empty && not pred_reported then
+        (if Interval.never_positive support && where <> Query.Ast.True then
+           warn bag ~code:"Q010"
+             "selection is statically empty under CWA_ER: the WHERE clause \
+              can never hold with positive necessity"
+         else
+           warn bag ~code:"Q010"
+             "selection is statically empty under CWA_ER: no input tuple \
+              can retain positive necessary support");
+      let tm, thr_empty =
+        if selection_empty then (Interval.impossible, false)
+        else
+          check_threshold bag
+            ~context:(Format.asprintf "SELECT FROM %a" Query.Ast.pp from)
+            threshold tm
+      in
+      let schema = project_schema bag input.schema cols in
+      { schema;
+        tm;
+        empty = input.empty || selection_empty || thr_empty;
+        diagnostics = [] }
+  | Query.Ast.Union (a, b) ->
+      let ra = analyze_in bag env a and rb = analyze_in bag env b in
+      let schema = union_like bag ~op:"UNION" ra rb in
+      let tm =
+        if ra.empty then rb.tm
+        else if rb.empty then ra.tm
+        else Interval.combine_upper ra.tm rb.tm
+      in
+      { schema; tm; empty = ra.empty && rb.empty; diagnostics = [] }
+  | Query.Ast.Intersect (a, b) ->
+      let ra = analyze_in bag env a and rb = analyze_in bag env b in
+      let schema = union_like bag ~op:"INTERSECT" ra rb in
+      { schema;
+        tm = Interval.combine_upper ra.tm rb.tm;
+        empty = ra.empty || rb.empty;
+        diagnostics = [] }
+  | Query.Ast.Except (a, b) ->
+      let ra = analyze_in bag env a and rb = analyze_in bag env b in
+      let schema = union_like bag ~op:"EXCEPT" ra rb in
+      { schema; tm = ra.tm; empty = ra.empty; diagnostics = [] }
+  | Query.Ast.Product (a, b) ->
+      let ra = analyze_in bag env a and rb = analyze_in bag env b in
+      let schema = product_schema bag ra rb in
+      { schema;
+        tm = Interval.mul ra.tm rb.tm;
+        empty = ra.empty || rb.empty;
+        diagnostics = [] }
+  | Query.Ast.Join { left; right; on; threshold } ->
+      let ra = analyze_in bag env left and rb = analyze_in bag env right in
+      let schema = product_schema bag ra rb in
+      let support =
+        match schema with
+        | Some s -> pred_interval bag s on
+        | None -> Interval.top
+      in
+      let paired = Interval.mul ra.tm rb.tm in
+      let tm = Interval.mul paired support in
+      let conflict_empty =
+        (not (ra.empty || rb.empty))
+        && Interval.never_positive support
+        && on <> Query.Ast.True
+      in
+      if conflict_empty then
+        warn bag ~code:"Q011"
+          "total conflict: the θ-join predicate %a can never yield \
+           definitely-true mass, so every joined tuple is dropped by \
+           CWA_ER closure"
+          Query.Ast.pp_pred on;
+      let tm, thr_empty =
+        if conflict_empty then (Interval.impossible, false)
+        else check_threshold bag ~context:"JOIN" threshold tm
+      in
+      { schema;
+        tm;
+        empty = ra.empty || rb.empty || conflict_empty || thr_empty;
+        diagnostics = [] }
+  | Query.Ast.Ranked { from; limit; _ } ->
+      let input = analyze_in bag env from in
+      (match limit with
+      | Some k when k <= 0 ->
+          warn bag ~code:"Q017" "LIMIT %d yields an empty result" k
+      | _ -> ());
+      { input with
+        empty =
+          (input.empty || match limit with Some k -> k <= 0 | None -> false)
+      }
+  | Query.Ast.Prefixed { from; prefix } -> (
+      let input = analyze_in bag env from in
+      match input.schema with
+      | None -> input
+      | Some s -> (
+          match Erm.Schema.rename_attrs (fun n -> prefix ^ n) s with
+          | s -> { input with schema = Some s }
+          | exception Erm.Schema.Schema_error m ->
+              err bag ~code:"Q013" "prefix: %s" m;
+              { input with schema = None }))
+
+let analyze env q =
+  let bag = { diags = []; file = None } in
+  let r = analyze_in bag env q in
+  { r with diagnostics = List.sort Diagnostic.compare (List.rev bag.diags) }
+
+let check env q = (analyze env q).diagnostics
+
+let check_string ?file env text =
+  match Query.Parser.parse text with
+  | q ->
+      List.map
+        (fun d -> { d with Diagnostic.file })
+        (check env q)
+  | exception Query.Parser.Parse_error m ->
+      [ Diagnostic.error ?file ~code:"Q000" "parse error: %s" m ]
+
+let errors env q =
+  check env q
+  |> List.filter Diagnostic.is_error
+  |> List.map Diagnostic.to_string

@@ -1,0 +1,23 @@
+(** The [.erd] relation linter: validates source files without loading
+    them into the runtime.
+
+    Where {!Erm.Io.load} aborts at the first defect, the linter scans the
+    whole file and reports every finding as a positioned
+    {!Diagnostic.t} — mass functions that do not normalize within the
+    float tolerance (E009), mass on the empty set (E010), negative
+    masses (E011), focal values outside the declared domain (E012),
+    duplicate keys (E013), malformed or out-of-range membership pairs
+    (E014–E015), CWA_ER-inadmissible [sn ≤ 0] tuples (E016), plus the
+    structural defects (arity, declarations, keys, syntax; E001–E008).
+    Zero masses and duplicate focal members, which the runtime silently
+    folds away, are reported as warnings (E019–E020).
+
+    Guarantee (property-tested): a file the linter reports no errors for
+    loads through {!Erm.Io.relations_of_string} without raising. *)
+
+val lint_string : ?file:string -> string -> Diagnostic.t list
+(** Lints [.erd] source text. [file] tags the diagnostics' positions. *)
+
+val lint_file : string -> Diagnostic.t list
+(** Reads and lints a file; an unreadable file yields a single [E017]
+    error rather than an exception. *)

@@ -1,0 +1,105 @@
+type t = { sn_lo : float; sn_hi : float; sp_lo : float; sp_hi : float }
+
+let tol = Dst.Num.float_tolerance
+let clamp x = Float.min 1.0 (Float.max 0.0 x)
+
+let make ~sn_lo ~sn_hi ~sp_lo ~sp_hi =
+  { sn_lo = clamp sn_lo;
+    sn_hi = clamp sn_hi;
+    sp_lo = clamp sp_lo;
+    sp_hi = clamp sp_hi }
+
+let top = { sn_lo = 0.0; sn_hi = 1.0; sp_lo = 0.0; sp_hi = 1.0 }
+let certain = { sn_lo = 1.0; sn_hi = 1.0; sp_lo = 1.0; sp_hi = 1.0 }
+let impossible = { sn_lo = 0.0; sn_hi = 0.0; sp_lo = 0.0; sp_hi = 0.0 }
+
+let exact s =
+  let sn = Dst.Support.sn s and sp = Dst.Support.sp s in
+  { sn_lo = sn; sn_hi = sn; sp_lo = sp; sp_hi = sp }
+
+(* The feasible set is the rectangle cut by sn ≤ sp. It is empty when a
+   coordinate interval is inverted or when even the smallest sn exceeds
+   the largest sp. *)
+let is_empty t =
+  t.sn_lo > t.sn_hi +. tol
+  || t.sp_lo > t.sp_hi +. tol
+  || t.sn_lo > t.sp_hi +. tol
+
+let never_positive t = is_empty t || t.sn_hi <= tol
+
+(* All transfer functions below are monotone in each coordinate on
+   [0, 1], so evaluating at the interval ends is exact (for the
+   rectangle abstraction). *)
+let mul a b =
+  { sn_lo = a.sn_lo *. b.sn_lo;
+    sn_hi = a.sn_hi *. b.sn_hi;
+    sp_lo = a.sp_lo *. b.sp_lo;
+    sp_hi = a.sp_hi *. b.sp_hi }
+
+let dj x y = x +. y -. (x *. y)
+
+let disj a b =
+  { sn_lo = dj a.sn_lo b.sn_lo;
+    sn_hi = dj a.sn_hi b.sn_hi;
+    sp_lo = dj a.sp_lo b.sp_lo;
+    sp_hi = dj a.sp_hi b.sp_hi }
+
+let neg a =
+  { sn_lo = 1.0 -. a.sp_hi;
+    sn_hi = 1.0 -. a.sp_lo;
+    sp_lo = 1.0 -. a.sn_hi;
+    sp_hi = 1.0 -. a.sn_lo }
+
+let hull a b =
+  { sn_lo = Float.min a.sn_lo b.sn_lo;
+    sn_hi = Float.max a.sn_hi b.sn_hi;
+    sp_lo = Float.min a.sp_lo b.sp_lo;
+    sp_hi = Float.max a.sp_hi b.sp_hi }
+
+(* Dempster on the boolean frame renormalizes conflict away, which can
+   push sn up to 1 even from modest operands (and never below the
+   smaller operand's floor once the other side concedes possibility).
+   The sound cheap bound: lower ends come from the operands' minima,
+   upper ends reach 1 unless both operands are identically impossible. *)
+let combine_upper a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else if a.sp_hi <= tol && b.sp_hi <= tol then impossible
+  else
+    { sn_lo = Float.min a.sn_lo b.sn_lo;
+      sn_hi = 1.0;
+      sp_lo = Float.min a.sp_lo b.sp_lo;
+      sp_hi = 1.0 }
+
+(* Mirrors Erm.Threshold.satisfies: Gt means v > bound + tol, Ge means
+   v ≥ bound − tol, and so on. The threshold constrains one field at a
+   time, so the feasible region stays a rectangle. *)
+let constrain_field op bound (lo, hi) =
+  match op with
+  | Erm.Threshold.Gt -> (Float.max lo (bound +. tol), hi)
+  | Erm.Threshold.Ge -> (Float.max lo (bound -. tol), hi)
+  | Erm.Threshold.Lt -> (lo, Float.min hi (bound -. tol))
+  | Erm.Threshold.Le -> (lo, Float.min hi (bound +. tol))
+  | Erm.Threshold.Eq ->
+      (Float.max lo (bound -. tol), Float.min hi (bound +. tol))
+
+let rec constrain_threshold q t =
+  match q with
+  | Erm.Threshold.Always -> if is_empty t then None else Some t
+  | Erm.Threshold.Both (a, b) ->
+      Option.bind (constrain_threshold a t) (constrain_threshold b)
+  | Erm.Threshold.Cmp (field, op, bound) ->
+      let t =
+        match field with
+        | Erm.Threshold.Sn ->
+            let lo, hi = constrain_field op bound (t.sn_lo, t.sn_hi) in
+            { t with sn_lo = lo; sn_hi = hi }
+        | Erm.Threshold.Sp ->
+            let lo, hi = constrain_field op bound (t.sp_lo, t.sp_hi) in
+            { t with sp_lo = lo; sp_hi = hi }
+      in
+      if is_empty t then None else Some t
+
+let pp ppf t =
+  Format.fprintf ppf "sn ∈ [%g, %g], sp ∈ [%g, %g]" t.sn_lo t.sn_hi t.sp_lo
+    t.sp_hi

@@ -1,0 +1,60 @@
+(** The abstract domain of the plan checker: rectangular bounds on
+    support pairs.
+
+    An element over-approximates the set of [(sn, sp)] support pairs a
+    tuple (or a predicate evaluation) can carry at some point of a plan:
+    [sn ∈ [sn_lo, sn_hi]], [sp ∈ [sp_lo, sp_hi]], intersected with the
+    support invariant [sn ≤ sp]. Every transfer function is sound: if a
+    concrete execution can produce a pair, the abstract result contains
+    it. The checker derives static emptiness (CWA_ER stores only
+    [sn > 0]) and membership-threshold satisfiability from these
+    bounds. *)
+
+type t = { sn_lo : float; sn_hi : float; sp_lo : float; sp_hi : float }
+
+val top : t
+(** All admissible pairs: [[0,1] × [0,1]]. *)
+
+val certain : t
+(** Exactly [(1, 1)]. *)
+
+val impossible : t
+(** Exactly [(0, 0)]. *)
+
+val exact : Dst.Support.t -> t
+
+val make : sn_lo:float -> sn_hi:float -> sp_lo:float -> sp_hi:float -> t
+(** Clamps each bound into [[0, 1]]. *)
+
+val is_empty : t -> bool
+(** No admissible pair satisfies the bounds ([sn_lo > sp_hi] or an
+    inverted coordinate interval, beyond the float tolerance). *)
+
+val never_positive : t -> bool
+(** [sn_hi ≤ 0]: no concretization has positive necessary support, so
+    under CWA_ER every tuple carrying it is dropped by closure. *)
+
+val mul : t -> t -> t
+(** Componentwise product — [F_TM] and independent conjunction. *)
+
+val disj : t -> t -> t
+(** Independent disjunction [a + b − a·b], componentwise. *)
+
+val neg : t -> t
+(** Support-logic negation [(1 − sp, 1 − sn)]. *)
+
+val hull : t -> t -> t
+(** Smallest rectangle containing both — the join of the domain. *)
+
+val combine_upper : t -> t -> t
+(** Sound over-approximation of Dempster combination on the boolean
+    frame: combination can move mass anywhere between the operands'
+    extremes and [1], so the result widens towards certainty. *)
+
+val constrain_threshold : Erm.Threshold.t -> t -> t option
+(** Intersects the bounds with a membership threshold's feasible region,
+    using the same float tolerance as {!Erm.Threshold.satisfies}.
+    [None] when no admissible pair can satisfy the threshold — the
+    threshold is statically unsatisfiable given the derived bounds. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+let print ?(out = Format.std_formatter) diags =
+  match List.sort Diagnostic.compare diags with
+  | [] -> ()
+  | diags ->
+      List.iter (fun d -> Format.fprintf out "%a@." Diagnostic.pp d) diags;
+      let count sev =
+        List.length (List.filter (fun d -> d.Diagnostic.severity = sev) diags)
+      in
+      let errors = count Diagnostic.Error
+      and warnings = count Diagnostic.Warning in
+      Format.fprintf out "%d error%s, %d warning%s@." errors
+        (if errors = 1 then "" else "s")
+        warnings
+        (if warnings = 1 then "" else "s")
+
+let to_json diags =
+  let diags = List.sort Diagnostic.compare diags in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n  ";
+      Buffer.add_string buf (Diagnostic.to_json d))
+    diags;
+  if diags <> [] then Buffer.add_string buf "\n";
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+let exit_code diags =
+  match Diagnostic.max_severity diags with
+  | Some Diagnostic.Error -> 2
+  | Some Diagnostic.Warning -> 1
+  | Some Diagnostic.Info | None -> 0

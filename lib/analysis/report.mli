@@ -1,0 +1,14 @@
+(** Rendering a batch of diagnostics for humans, machines and shells. *)
+
+val print : ?out:Format.formatter -> Diagnostic.t list -> unit
+(** Human-readable report: one [file:line:col: severity[CODE]: message]
+    line per diagnostic (sorted), then a one-line summary. Prints
+    nothing for an empty list. *)
+
+val to_json : Diagnostic.t list -> string
+(** The diagnostics (sorted) as a JSON array, one object per finding. *)
+
+val exit_code : Diagnostic.t list -> int
+(** [0] when clean (info notes allowed), [1] when the worst finding is a
+    warning, [2] when any error is present — the contract of the
+    [eridb-lint] executable. *)

@@ -1,33 +1,40 @@
-exception Io_error of { line : int; message : string }
+exception Io_error of { line : int; col : int; message : string }
 
-let fail line fmt =
-  Format.kasprintf (fun message -> raise (Io_error { line; message })) fmt
+let fail ?(col = 0) line fmt =
+  Format.kasprintf (fun message -> raise (Io_error { line; col; message })) fmt
 
-let split_words s =
-  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+(* Offset of the first character of [s] that is not a blank, or
+   [String.length s] when all are. *)
+let lead s =
+  let n = String.length s in
+  let rec go i =
+    if i < n && (s.[i] = ' ' || s.[i] = '\t') then go (i + 1) else i
+  in
+  go 0
 
 let string_mentions haystack needle =
   let n = String.length needle and h = String.length haystack in
   let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
   n > 0 && go 0
 
-(* "name : string" or "name : evidence {a, b, c}" *)
-let parse_attr_decl line body =
+(* "name : string" or "name : evidence {a, b, c}". [col] is the 1-based
+   column of the declaration body in its source line. *)
+let parse_attr_decl ?(col = 0) line body =
   match String.index_opt body ':' with
-  | None -> fail line "expected `name : kind` in attribute declaration"
+  | None -> fail ~col line "expected `name : kind` in attribute declaration"
   | Some i ->
       let name = String.trim (String.sub body 0 i) in
-      let kind =
-        String.trim (String.sub body (i + 1) (String.length body - i - 1))
-      in
-      if name = "" then fail line "empty attribute name"
+      let kind_raw = String.sub body (i + 1) (String.length body - i - 1) in
+      let kcol = if col = 0 then 0 else col + i + 1 + lead kind_raw in
+      let kind = String.trim kind_raw in
+      if name = "" then fail ~col line "empty attribute name"
       else if String.length kind >= 8 && String.sub kind 0 8 = "evidence" then
         let spec = String.trim (String.sub kind 8 (String.length kind - 8)) in
         let inner =
           if String.length spec >= 2 && spec.[0] = '{'
              && spec.[String.length spec - 1] = '}'
           then String.sub spec 1 (String.length spec - 2)
-          else fail line "expected evidence {v1, v2, …}"
+          else fail ~col:kcol line "expected evidence {v1, v2, …}"
         in
         let values =
           String.split_on_char ',' inner
@@ -35,50 +42,70 @@ let parse_attr_decl line body =
           |> List.filter (fun v -> v <> "")
           |> List.map Dst.Value.of_literal
         in
-        if values = [] then fail line "empty evidence domain"
+        if values = [] then fail ~col:kcol line "empty evidence domain"
         else Attr.evidential name (Dst.Domain.of_values name values)
       else
         try Attr.definite name kind
-        with Invalid_argument _ -> fail line "unknown attribute kind %s" kind
+        with Invalid_argument _ ->
+          fail ~col:kcol line "unknown attribute kind %s" kind
 
-let parse_definite line kind raw =
+let parse_definite ?(col = 0) line kind raw =
   let raw = String.trim raw in
   match kind with
   | "string" ->
       if String.length raw >= 2 && raw.[0] = '"' then
         (try Dst.Value.of_literal raw
-         with Invalid_argument m -> fail line "%s" m)
+         with Invalid_argument m -> fail ~col line "%s" m)
       else Dst.Value.string raw
   | "int" -> (
       match int_of_string_opt raw with
       | Some n -> Dst.Value.int n
-      | None -> fail line "expected an int, got %s" raw)
+      | None -> fail ~col line "expected an int, got %s" raw)
   | "float" -> (
       match float_of_string_opt raw with
       | Some f -> Dst.Value.float f
-      | None -> fail line "expected a float, got %s" raw)
+      | None -> fail ~col line "expected a float, got %s" raw)
   | "bool" -> (
       match bool_of_string_opt raw with
       | Some b -> Dst.Value.bool b
-      | None -> fail line "expected a bool, got %s" raw)
-  | _ -> fail line "unknown value kind %s" kind
+      | None -> fail ~col line "expected a bool, got %s" raw)
+  | _ -> fail ~col line "unknown value kind %s" kind
 
-let parse_cell line attr raw =
+let parse_cell ?(col = 0) line attr raw =
   match Attr.kind attr with
-  | Attr.Definite kind -> Etuple.Definite (parse_definite line kind raw)
+  | Attr.Definite kind -> Etuple.Definite (parse_definite ~col line kind raw)
   | Attr.Evidential domain -> (
       try Etuple.Evidence (Dst.Evidence.of_string domain (String.trim raw))
       with
       | Dst.Evidence.Parse_error (_, m) ->
-          fail line "bad evidence for %s: %s" (Attr.name attr) m
+          fail ~col line "bad evidence for %s: %s" (Attr.name attr) m
       | Dst.Mass.F.Invalid_mass m ->
-          fail line "bad evidence for %s: %s" (Attr.name attr) m)
+          fail ~col line "bad evidence for %s: %s" (Attr.name attr) m)
 
-let parse_tuple line schema body =
-  let fields = String.split_on_char '|' body |> List.map String.trim in
+(* [base_col] is the 1-based column of [body]'s first character, so each
+   field's own column can be derived from the positions of the '|'
+   separators. *)
+let parse_tuple ?(base_col = 0) line schema body =
+  let fields =
+    let n = String.length body in
+    let pieces = ref [] and start = ref 0 in
+    String.iteri
+      (fun i c ->
+        if c = '|' then begin
+          pieces := (!start, String.sub body !start (i - !start)) :: !pieces;
+          start := i + 1
+        end)
+      body;
+    pieces := (!start, String.sub body !start (n - !start)) :: !pieces;
+    List.rev_map
+      (fun (off, f) ->
+        let col = if base_col = 0 then 0 else base_col + off + lead f in
+        (col, String.trim f))
+      !pieces
+  in
   let expected = Schema.arity schema + 1 in
   if List.length fields <> expected then
-    fail line "expected %d |-separated fields, got %d" expected
+    fail ~col:base_col line "expected %d |-separated fields, got %d" expected
       (List.length fields);
   let key_attrs = Schema.key schema in
   let rec split n l =
@@ -94,29 +121,34 @@ let parse_tuple line schema body =
   let cell_raw, tm_raw = split (List.length (Schema.nonkey schema)) rest in
   let key =
     List.map2
-      (fun attr raw ->
+      (fun attr (col, raw) ->
         match Attr.kind attr with
-        | Attr.Definite kind -> parse_definite line kind raw
-        | Attr.Evidential _ -> fail line "evidential key attribute")
+        | Attr.Definite kind -> parse_definite ~col line kind raw
+        | Attr.Evidential _ -> fail ~col line "evidential key attribute")
       key_attrs key_raw
   in
-  let cells = List.map2 (parse_cell line) (Schema.nonkey schema) cell_raw in
+  let cells =
+    List.map2
+      (fun attr (col, raw) -> parse_cell ~col line attr raw)
+      (Schema.nonkey schema) cell_raw
+  in
   let tm =
     match tm_raw with
-    | [ raw ] -> (
+    | [ (col, raw) ] -> (
         try Dst.Support.of_string raw
         with Invalid_argument _ | Dst.Support.Invalid_support _ ->
-          fail line "bad membership pair %s" raw)
+          fail ~col line "bad membership pair %s" raw)
     | _ -> assert false
   in
   try Etuple.make schema ~key ~cells ~tm
-  with Etuple.Tuple_error m -> fail line "%s" m
+  with Etuple.Tuple_error m -> fail ~col:base_col line "%s" m
 
 type block = {
-  mutable rname : string;
+  rname : string;
+  rline : int;
   mutable keys : Attr.t list;
   mutable attrs : Attr.t list;
-  mutable rows : (int * string) list;
+  mutable rows : (int * int * string) list;  (* line, column, body *)
 }
 
 let relations_of_string input =
@@ -133,46 +165,60 @@ let relations_of_string input =
   List.iteri
     (fun i raw ->
       let lineno = i + 1 in
+      let indent = lead raw in
       let line = String.trim raw in
       if line = "" || line.[0] = '#' then ()
-      else
-        match split_words line with
-        | "relation" :: rest ->
+      else begin
+        let word, word_len =
+          match String.index_opt line ' ' with
+          | None -> (line, String.length line)
+          | Some k -> (String.sub line 0 k, k)
+        in
+        let rest = String.sub line word_len (String.length line - word_len) in
+        let body = String.trim rest in
+        (* 1-based column of the body's first character in the raw line. *)
+        let body_col = indent + word_len + lead rest + 1 in
+        match word with
+        | "relation" ->
             flush ();
-            let name = String.concat " " rest in
-            if name = "" then fail lineno "relation needs a name"
+            if body = "" then
+              fail ~col:(indent + 1) lineno "relation needs a name"
             else
               current :=
-                Some { rname = name; keys = []; attrs = []; rows = [] }
-        | word :: _ -> (
-            let body () =
-              String.trim
-                (String.sub line (String.length word)
-                   (String.length line - String.length word))
-            in
+                Some
+                  { rname = body;
+                    rline = lineno;
+                    keys = [];
+                    attrs = [];
+                    rows = [] }
+        | _ -> (
             match (!current, word) with
-            | None, _ -> fail lineno "expected `relation <name>` first"
-            | Some b, "key" -> b.keys <- b.keys @ [ parse_attr_decl lineno (body ()) ]
+            | None, _ ->
+                fail ~col:(indent + 1) lineno "expected `relation <name>` first"
+            | Some b, "key" ->
+                b.keys <- b.keys @ [ parse_attr_decl ~col:body_col lineno body ]
             | Some b, "attr" ->
-                b.attrs <- b.attrs @ [ parse_attr_decl lineno (body ()) ]
-            | Some b, "tuple" -> b.rows <- b.rows @ [ (lineno, body ()) ]
-            | Some _, other -> fail lineno "unknown directive %s" other)
-        | [] -> ())
+                b.attrs <- b.attrs @ [ parse_attr_decl ~col:body_col lineno body ]
+            | Some b, "tuple" -> b.rows <- b.rows @ [ (lineno, body_col, body) ]
+            | Some _, other ->
+                fail ~col:(indent + 1) lineno "unknown directive %s" other)
+      end)
     lines;
   flush ();
   List.rev_map
     (fun b ->
       let schema =
         try Schema.make ~name:b.rname ~key:b.keys ~nonkey:b.attrs
-        with Schema.Schema_error m -> fail 0 "relation %s: %s" b.rname m
+        with Schema.Schema_error m ->
+          fail b.rline "relation %s: %s" b.rname m
       in
       List.fold_left
-        (fun r (lineno, body) ->
-          let tuple = parse_tuple lineno schema body in
+        (fun r (lineno, col, body) ->
+          let tuple = parse_tuple ~base_col:col lineno schema body in
           try Relation.add r tuple
           with
-          | Relation.Duplicate_key _ -> fail lineno "duplicate key"
-          | Relation.Relation_error m -> fail lineno "%s" m)
+          | Relation.Duplicate_key _ -> fail ~col lineno "duplicate key"
+          | Relation.Relation_error m -> fail ~col lineno "%s" m)
         (Relation.empty schema) b.rows)
     !blocks
 
@@ -257,8 +303,8 @@ let load path =
   let content = really_input_string ic n in
   close_in ic;
   try relations_of_string content
-  with Io_error { line; message } ->
-    raise (Io_error { line; message = path ^ ": " ^ message })
+  with Io_error { line; col; message } ->
+    raise (Io_error { line; col; message = path ^ ": " ^ message })
 
 let save path rels =
   let oc = open_out path in

@@ -16,10 +16,13 @@
     {!Dst.Evidence.of_string}; definite cells are literals parsed
     according to the attribute's declared kind. *)
 
-exception Io_error of { line : int; message : string }
+exception Io_error of { line : int; col : int; message : string }
+(** [line] is 1-based; [col] is the 1-based column of the offending
+    token, or [0] when no finer position than the line is known. *)
 
 val relations_of_string : string -> Relation.t list
-(** @raise Io_error with a 1-based line number on malformed input. *)
+(** @raise Io_error with a 1-based line/column position on malformed
+    input. *)
 
 val relation_of_string : string -> Relation.t
 (** Expects exactly one relation block. @raise Io_error otherwise. *)

@@ -31,3 +31,8 @@ val satisfies : t -> Dst.Support.t -> bool
     [1.0] computed through float products. *)
 
 val pp : Format.formatter -> t -> unit
+
+val field_to_string : field -> string
+(** ["sn"] or ["sp"] — the surface syntax used by the query language. *)
+
+val op_to_string : op -> string

@@ -37,7 +37,7 @@ let of_erd_file ?relation path =
   let fetch () =
     match Erm.Io.relations_of_string (read ()) with
     | exception Sys_error m -> Error (Unavailable m)
-    | exception Erm.Io.Io_error { line; message } ->
+    | exception Erm.Io.Io_error { line; message; _ } ->
         Error (Malformed { path; line; message })
     | rels -> (
         match relation with

@@ -458,5 +458,15 @@ let execute_measured ?ctx env p =
   exec p
 
 let execute ?ctx env p = fst (execute_measured ?ctx env p)
-let eval_fast ?ctx env q = execute ?ctx env (plan_optimized env q)
-let run ?ctx env input = eval_fast ?ctx env (Parser.parse input)
+exception Rejected of string list
+
+let apply_guard guard env q =
+  match guard with
+  | None -> ()
+  | Some g -> ( match g env q with [] -> () | findings -> raise (Rejected findings))
+
+let eval_fast ?ctx ?guard env q =
+  apply_guard guard env q;
+  execute ?ctx env (plan_optimized env q)
+
+let run ?ctx ?guard env input = eval_fast ?ctx ?guard env (Parser.parse input)

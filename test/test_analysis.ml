@@ -1,0 +1,328 @@
+(* The static analyzer: plan checker (Analysis.Check), .erd linter
+   (Analysis.Erd_lint) and the support-interval domain (Analysis.Interval).
+
+   Three layers:
+   - unit: each diagnostic code fires on a minimal trigger and stays
+     silent on the clean sample;
+   - agreement (qcheck): serialized generated relations lint clean and
+     load; textually mutated corpora both lint dirty and fail to load —
+     the linter and Erm.Io agree on validity in both directions;
+   - soundness (qcheck): a plan the checker proves statically empty
+     evaluates to the empty relation. *)
+
+module R = Workload.Rng
+module G = Workload.Gen
+module D = Analysis.Diagnostic
+
+let prop ?(count = 300) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let seed_arb = QCheck.int_range 0 1_000_000
+
+let sample =
+  {|relation ra
+key rname : string
+attr street : string
+attr bldg-no : int
+attr speciality : evidence {am, ca, hu, it, mu, si, ta}
+tuple garden | univ.ave. | 2011 | [si^0.5; hu^0.25; ~^0.25] | (1, 1)
+tuple wok | wash.ave. | 600 | [si^1] | (1, 1)
+
+relation rb
+key rname : string
+attr street : string
+attr bldg-no : int
+attr speciality : evidence {am, ca, hu, it, mu, si, ta}
+tuple wok | wash.ave. | 600 | [si^0.5; ~^0.5] | (0.8, 1)
+
+relation rc
+key rname : string
+attr city : string
+tuple wok | sf | (1, 1)
+
+relation hollow
+key rname : string
+attr street : string
+|}
+
+let env =
+  List.map
+    (fun r -> (Erm.Schema.name (Erm.Relation.schema r), r))
+    (Erm.Io.relations_of_string sample)
+
+let codes diags = List.map (fun d -> d.D.code) diags
+
+let check q = Analysis.Check.check_string env q
+
+let assert_code q code =
+  let found = codes (check q) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s on %S (got %s)" code q (String.concat "," found))
+    true (List.mem code found)
+
+let assert_clean q =
+  let diags = List.filter D.is_error (check q) in
+  Alcotest.(check (list string))
+    (Printf.sprintf "no errors on %S" q)
+    [] (codes diags)
+
+(* --- plan checker: one trigger per code ----------------------------- *)
+
+let test_check_codes () =
+  assert_code "SELECT" "Q000";
+  assert_code "SELECT rname FROM nosuch" "Q001";
+  assert_code "SELECT rname FROM ra WHERE bogus IS {am}" "Q002";
+  assert_code "SELECT rname FROM ra WHERE street > bldg-no" "Q003";
+  assert_code "SELECT rname FROM ra WHERE street = bldg-no" "Q004";
+  assert_code "SELECT rname FROM ra WHERE speciality IS {zz}" "Q005";
+  assert_code "SELECT rname FROM ra WHERE speciality IS {am, ca, hu, it, mu, si, ta}"
+    "Q006";
+  assert_code "SELECT rname FROM ra WITH SN > 0.5 AND SN < 0.2" "Q007";
+  assert_code "SELECT street FROM ra" "Q008";
+  assert_code "SELECT rname FROM ra WHERE street = bldg-no" "Q010";
+  assert_code "ra JOIN (rb PREFIX r_) ON street = r_bldg-no" "Q011";
+  assert_code "ra UNION rc" "Q012";
+  assert_code "ra JOIN rb ON rname = rname" "Q013";
+  assert_code "SELECT rname FROM ra WHERE speciality = [am^2]" "Q015";
+  assert_code "SELECT rname FROM ra WITH SN > 1.5" "Q016";
+  assert_code "SELECT rname FROM ra LIMIT 0" "Q017";
+  assert_code "SELECT rname FROM hollow" "Q018"
+
+let test_check_clean () =
+  assert_clean "SELECT rname, speciality FROM ra WHERE speciality IS {si} WITH SN > 0.5";
+  assert_clean "ra UNION rb";
+  assert_clean "ra JOIN (rb PREFIX r_) ON rname = r_rname";
+  assert_clean "SELECT rname FROM ra WHERE bldg-no > 500 ORDER BY SN DESC LIMIT 3"
+
+(* Error-level findings gate execution; warnings do not. *)
+let test_guard () =
+  let errs = Analysis.Check.errors env in
+  Alcotest.(check bool)
+    "statically-empty IS is rejected" true
+    (errs (Query.Parser.parse "SELECT rname FROM ra WHERE speciality IS {zz}")
+    <> []);
+  Alcotest.(check (list string))
+    "clean query passes" []
+    (errs (Query.Parser.parse "SELECT rname FROM ra"));
+  Alcotest.(check bool) "physical refuses under guard" true
+    (match
+       Query.Physical.run ~guard:Analysis.Check.errors env
+         "SELECT rname FROM ra WHERE speciality IS {zz}"
+     with
+    | _ -> false
+    | exception Query.Physical.Rejected (_ :: _) -> true)
+
+(* --- the interval domain -------------------------------------------- *)
+
+let test_intervals () =
+  let open Analysis.Interval in
+  Alcotest.(check bool) "top is satisfiable" false (is_empty top);
+  Alcotest.(check bool) "impossible is never positive" true
+    (never_positive impossible);
+  Alcotest.(check bool) "mul by impossible is never positive" true
+    (never_positive (mul top impossible));
+  Alcotest.(check bool) "disj keeps possibility" false
+    (never_positive (disj impossible certain));
+  Alcotest.(check bool) "neg certain is impossible" true
+    (never_positive (neg certain));
+  Alcotest.(check bool) "sn>0.5 && sn<0.2 infeasible" true
+    (constrain_threshold
+       Erm.Threshold.(sn_gt 0.5 &&& Cmp (Sn, Lt, 0.2))
+       top
+    = None);
+  Alcotest.(check bool) "sn>0.5 feasible on top" true
+    (constrain_threshold (Erm.Threshold.sn_gt 0.5) top <> None);
+  Alcotest.(check bool) "sn>0.5 infeasible after select sp<=0.3" true
+    (constrain_threshold (Erm.Threshold.sn_gt 0.5)
+       (make ~sn_lo:0.0 ~sn_hi:0.3 ~sp_lo:0.0 ~sp_hi:0.3)
+    = None)
+
+(* --- linter: one trigger per code ----------------------------------- *)
+
+let lint_codes s = codes (Analysis.Erd_lint.lint_string s)
+
+let assert_lint s code =
+  let found = lint_codes s in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (got %s)" code (String.concat "," found))
+    true (List.mem code found)
+
+let rel_wrap tuple_line =
+  Printf.sprintf
+    "relation r\nkey name : string\nattr rating : evidence {a, b}\n%s\n"
+    tuple_line
+
+let test_lint_codes () =
+  assert_lint "tuple x | y | (1, 1)\n" "E001";
+  assert_lint "relation r\nkey grade : evidence {a, b}\n" "E003";
+  assert_lint "relation r\nkey n : string\nattr n : int\n" "E004";
+  assert_lint "relation r\nkey n : decimal\n" "E005";
+  assert_lint (rel_wrap "tuple x | [a^1]") "E006";
+  assert_lint
+    "relation r\nkey n : int\ntuple twelve | (1, 1)\n" "E007";
+  assert_lint (rel_wrap "tuple x | [a^0.5 b^0.5] | (1, 1)") "E008";
+  assert_lint (rel_wrap "tuple x | [a^0.7; b^0.5] | (1, 1)") "E009";
+  assert_lint (rel_wrap "tuple x | [{}^0.5; a^0.5] | (1, 1)") "E010";
+  assert_lint (rel_wrap "tuple x | [a^1.5; b^-0.5] | (1, 1)") "E011";
+  assert_lint (rel_wrap "tuple x | [zz^1] | (1, 1)") "E012";
+  assert_lint
+    (rel_wrap "tuple x | [a^1] | (1, 1)\ntuple x | [b^1] | (1, 1)")
+    "E013";
+  assert_lint (rel_wrap "tuple x | [a^1] | (1 1)") "E014";
+  assert_lint (rel_wrap "tuple x | [a^1] | (0.9, 0.4)") "E015";
+  assert_lint (rel_wrap "tuple x | [a^1] | (0, 1)") "E016";
+  assert_lint (rel_wrap "tuple x | [a^0; b^1] | (1, 1)") "E019";
+  assert_lint (rel_wrap "tuple x | [a^0.5; a^0.5] | (1, 1)") "E020";
+  Alcotest.(check (list string))
+    "clean sample lints clean" [] (lint_codes sample);
+  Alcotest.(check int) "error exit code" 2
+    (Analysis.Report.exit_code (Analysis.Erd_lint.lint_string (rel_wrap "tuple x | [zz^1] | (1, 1)")));
+  Alcotest.(check int) "clean exit code" 0
+    (Analysis.Report.exit_code (Analysis.Erd_lint.lint_string sample))
+
+let test_json () =
+  let diags =
+    Analysis.Erd_lint.lint_string ~file:"f.erd" (rel_wrap "tuple x | [zz^1] | (1, 1)")
+  in
+  let json = Analysis.Report.to_json diags in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "json mentions %s" needle)
+        true
+        (let n = String.length needle and h = String.length json in
+         let rec go i =
+           i + n <= h && (String.sub json i n = needle || go (i + 1))
+         in
+         go 0))
+    [ "\"code\": \"E012\""; "\"severity\": \"error\""; "\"file\": \"f.erd\"" ];
+  Alcotest.(check string) "empty list is []" "[]" (Analysis.Report.to_json [])
+
+(* --- agreement: linter vs loader (qcheck) --------------------------- *)
+
+let gen_relation seed =
+  let rng = R.create seed in
+  G.relation rng ~size:(1 + R.int rng 8) (G.schema "g")
+
+let lint_accepts_iff_loads =
+  prop "lint-clean serialized relations load" seed_arb (fun seed ->
+      let text = Erm.Io.to_string (gen_relation seed) in
+      let errors = List.filter D.is_error (Analysis.Erd_lint.lint_string text) in
+      let loads =
+        match Erm.Io.relations_of_string text with
+        | _ -> true
+        | exception _ -> false
+      in
+      errors = [] && loads)
+
+(* Seeded textual corruptions, each violating one invariant the loader
+   also enforces: duplicated key row, inverted membership pair, dropped
+   field. Lint must go dirty and load must raise — on the same input. *)
+let mutate seed text =
+  let lines = String.split_on_char '\n' text in
+  let tuples, rest =
+    List.partition
+      (fun l -> String.length l >= 6 && String.sub l 0 6 = "tuple ")
+      lines
+  in
+  match tuples with
+  | [] -> None
+  | first :: _ ->
+      let broken =
+        match seed mod 3 with
+        | 0 -> tuples @ [ first ]
+        | 1 -> (
+            match String.rindex_opt first '(' with
+            | Some i -> (String.sub first 0 i ^ "(0.9, 0.4)") :: List.tl tuples
+            | None -> tuples)
+        | _ -> (
+            match String.rindex_opt first '|' with
+            | Some i -> String.sub first 0 i :: List.tl tuples
+            | None -> tuples)
+      in
+      Some (String.concat "\n" (List.filter (fun l -> l <> "") rest @ broken))
+
+let mutations_rejected_twice =
+  prop "mutated corpora lint dirty and fail to load" seed_arb (fun seed ->
+      match mutate seed (Erm.Io.to_string (gen_relation seed)) with
+      | None -> true
+      | Some text ->
+          let lint_dirty =
+            List.exists D.is_error (Analysis.Erd_lint.lint_string text)
+          in
+          let load_fails =
+            match Erm.Io.relations_of_string text with
+            | _ -> false
+            | exception _ -> true
+          in
+          lint_dirty && load_fails)
+
+(* --- soundness: statically empty ⇒ evaluates empty (qcheck) --------- *)
+
+(* Queries with a taste for dead atoms: out-of-frame IS sets and
+   contradictory thresholds alongside live ones. *)
+let gen_dead_query rng =
+  let dead_set = [ Dst.Value.string (Printf.sprintf "zz%d" (R.int rng 4)) ] in
+  let live_set =
+    List.init (1 + R.int rng 2) (fun _ ->
+        Dst.Value.string (Printf.sprintf "v%d" (R.int rng 8)))
+  in
+  let atom () =
+    match R.int rng 4 with
+    | 0 -> Query.Ast.Is ("e0", dead_set)
+    | 1 -> Query.Ast.Is ("e0", live_set)
+    | 2 -> Query.Ast.Is ("e1", live_set)
+    | _ ->
+        Query.Ast.Cmp
+          ( Erm.Predicate.Eq,
+            Query.Ast.Attr "k",
+            Query.Ast.Scalar (Dst.Value.string (Printf.sprintf "key%d" (R.int rng 6))) )
+  in
+  let pred =
+    match R.int rng 4 with
+    | 0 -> atom ()
+    | 1 -> Query.Ast.And (atom (), atom ())
+    | 2 -> Query.Ast.Or (atom (), atom ())
+    | _ -> Query.Ast.Not (Query.Ast.True)
+  in
+  let threshold =
+    match R.int rng 4 with
+    | 0 -> Erm.Threshold.always
+    | 1 -> Erm.Threshold.sn_gt (R.float rng 1.0)
+    | 2 -> Erm.Threshold.(sn_gt 0.6 &&& Cmp (Sn, Lt, 0.2))
+    | _ -> Erm.Threshold.sp_ge (R.float rng 1.0)
+  in
+  Query.Ast.Select
+    { cols = None;
+      from = Query.Ast.Rel (if R.bool rng then "ga" else "gb");
+      where = pred;
+      threshold }
+
+let static_empty_sound =
+  prop "statically-empty plans evaluate to the empty relation" seed_arb
+    (fun seed ->
+      let rng = R.create seed in
+      let schema = G.schema "g" in
+      let ga, gb = G.source_pair rng ~size:8 ~overlap:0.5 schema in
+      let genv = [ ("ga", ga); ("gb", gb) ] in
+      let q = gen_dead_query rng in
+      let r = Analysis.Check.analyze genv q in
+      if not r.Analysis.Check.empty then true
+      else
+        match Query.Eval.eval genv q with
+        | rel -> Erm.Relation.is_empty rel
+        | exception _ -> true)
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "check",
+        [ Alcotest.test_case "diagnostic codes" `Quick test_check_codes;
+          Alcotest.test_case "clean queries" `Quick test_check_clean;
+          Alcotest.test_case "execution guard" `Quick test_guard;
+          Alcotest.test_case "interval domain" `Quick test_intervals ] );
+      ( "erd-lint",
+        [ Alcotest.test_case "diagnostic codes" `Quick test_lint_codes;
+          Alcotest.test_case "json rendering" `Quick test_json ] );
+      ( "properties",
+        [ lint_accepts_iff_loads; mutations_rejected_twice;
+          static_empty_sound ] ) ]
