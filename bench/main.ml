@@ -345,6 +345,31 @@ let federated_tests =
         Integration.Federated.select_first ~threshold pred a b) ]
 
 (* ------------------------------------------------------------------ *)
+(* Span capture for the BENCH_*.json artifacts                         *)
+
+(* Timed loops all run with tracing off (the disabled guard is the
+   production configuration); afterwards one representative execution
+   is repeated with spans on and its per-operator summary is embedded
+   next to the timings. *)
+let traced_spans f =
+  Obs.Trace.clear Obs.Trace.default;
+  Obs.Trace.enable Obs.Trace.default;
+  (match f () with () -> () | exception _ -> ());
+  let summary = Obs.Trace.summary Obs.Trace.default in
+  Obs.Trace.disable Obs.Trace.default;
+  Obs.Trace.clear Obs.Trace.default;
+  summary
+
+let spans_json summary =
+  String.concat ",\n"
+    (List.map
+       (fun (name, count, total_ms) ->
+         Printf.sprintf
+           "    { \"op\": \"%s\", \"count\": %d, \"total_ms\": %.3f }" name
+           count total_ms)
+       summary)
+
+(* ------------------------------------------------------------------ *)
 (* Fault-tolerant federation: latency and result quality vs fault rate *)
 
 (* federated:faulty — the degradation runtime over four 500-tuple
@@ -451,8 +476,10 @@ let federation_fault_sweep () =
         (fail_rate, ns, gaps, mean_lost))
       [ 0.0; 0.2; 0.5; 0.8 ]
   in
+  let spans = traced_spans (fun () -> ignore (run_once 0.5 1)) in
   let oc = open_out "BENCH_federation.json" in
-  Printf.fprintf oc "{\n  \"federation_fault_sweep\": [\n%s\n  ]\n}\n"
+  Printf.fprintf oc
+    "{\n  \"federation_fault_sweep\": [\n%s\n  ],\n  \"spans\": [\n%s\n  ]\n}\n"
     (String.concat ",\n"
        (List.map
           (fun (fail_rate, ns, gap, lost) ->
@@ -460,7 +487,8 @@ let federation_fault_sweep () =
               "    { \"fail_rate\": %.2f, \"ns_per_run\": %.0f, \
                \"max_sn_gap\": %.4f, \"mean_entities_lost\": %.1f }"
               fail_rate ns gap lost)
-          rows));
+          rows))
+    (spans_json spans);
   close_out oc;
   print_endline "  wrote BENCH_federation.json\n"
 
@@ -524,8 +552,25 @@ let join_scaling () =
         (size, nested_ns, indexed_ns, speedup))
       [ 100; 1_000; 10_000 ]
   in
+  (* Per-operator spans for a representative physical-plan execution of
+     the same equi-join at n = 1000 (hash join + two scans). *)
+  let spans =
+    let a =
+      Workload.Gen.relation (Workload.Rng.create 3000) ~size:1000 sweep_schema
+    in
+    let b =
+      Erm.Ops.rename_attrs
+        (fun n -> "r_" ^ n)
+        (Workload.Gen.relation (Workload.Rng.create 4000) ~size:1000
+           sweep_schema)
+    in
+    let env = [ ("ja", a); ("jb", b) ] in
+    traced_spans (fun () ->
+        ignore (Query.Physical.run env "ja JOIN jb ON k = r_k"))
+  in
   let oc = open_out "BENCH_join.json" in
-  Printf.fprintf oc "{\n  \"join_scaling\": [\n%s\n  ]\n}\n"
+  Printf.fprintf oc
+    "{\n  \"join_scaling\": [\n%s\n  ],\n  \"spans\": [\n%s\n  ]\n}\n"
     (String.concat ",\n"
        (List.map
           (fun (size, nested_ns, indexed_ns, speedup) ->
@@ -533,7 +578,8 @@ let join_scaling () =
               "    { \"size\": %d, \"nested_ns\": %.0f, \"indexed_ns\": \
                %.0f, \"speedup\": %.2f }"
               size nested_ns indexed_ns speedup)
-          rows));
+          rows))
+    (spans_json spans);
   close_out oc;
   print_endline "  wrote BENCH_join.json\n"
 

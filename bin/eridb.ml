@@ -1,11 +1,16 @@
 (* eridb — an interactive shell over extended relations.
 
-   Usage: eridb [FILE.erd ...]
+   Usage: eridb [--trace-out FILE] [FILE.erd ...]
 
    Loads the given .erd files into the environment, then reads queries
-   (and dot-commands) from stdin. *)
+   (and dot-commands) from stdin. With --trace-out, every span recorded
+   during the session is written to FILE as Chrome trace JSON on exit.
+   ERIDB_CLOCK=virtual replaces the wall clock with a simulated one, so
+   all durations are deterministic (0). *)
 
 let usage = {|eridb — evidential extended-relation shell
+
+Usage: eridb [--trace-out FILE] [FILE.erd ...]
 
 Commands:
   .help                 show this help
@@ -29,6 +34,10 @@ Commands:
   .assess NAME NAME     pairwise conflict profile of two relations
   .diff OLD NEW         per-key change log between two relation versions
   .csv NAME [FILE]      CSV rendering (to FILE, or stdout)
+  .trace on|off         record a span tree for each query and print it
+                        (bare .trace reports the current state)
+  .metrics              dump the metrics registry (counters, gauges,
+                        histograms); .metrics reset clears it
   .quit                 exit
 
 Anything else is evaluated as a query, e.g.:
@@ -72,7 +81,8 @@ let load_file path =
   | exception Sys_error m -> Printf.printf "error: %s\n" m
 
 let run_query text =
-  match Query.Physical.run ~ctx ~guard !env text with
+  let mark = Obs.Trace.count Obs.Trace.default in
+  (match Query.Physical.run ~ctx ~guard !env text with
   | r -> Erm.Render.print ~title:"result" r
   | exception Query.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
   | exception Query.Physical.Rejected findings ->
@@ -83,7 +93,11 @@ let run_query text =
       Printf.printf
         "error: total conflict (kappa = 1) while combining evidence\n"
   | exception Erm.Ops.Incompatible_schemas m -> Printf.printf "error: %s\n" m
-  | exception Erm.Etuple.Tuple_error m -> Printf.printf "error: %s\n" m
+  | exception Erm.Etuple.Tuple_error m -> Printf.printf "error: %s\n" m);
+  if Obs.Trace.on () then
+    match Obs.Trace.forest ~from:mark Obs.Trace.default with
+    | [] -> ()
+    | trees -> Format.printf "trace:@.%a@." Obs.Trace.pp_forest trees
 
 let split_first s =
   match String.index_opt s ' ' with
@@ -275,6 +289,26 @@ let handle_command line =
           | exception Query.Eval.Eval_error m -> Printf.printf "error: %s\n" m)
       | exception Query.Parser.Parse_error m ->
           Printf.printf "parse error: %s\n" m)
+  | ".trace" -> (
+      match rest with
+      | "on" ->
+          Obs.Trace.enable Obs.Trace.default;
+          print_string "tracing on\n"
+      | "off" ->
+          Obs.Trace.disable Obs.Trace.default;
+          print_string "tracing off\n"
+      | "" ->
+          Printf.printf "tracing is %s (%d span(s) recorded)\n"
+            (if Obs.Trace.on () then "on" else "off")
+            (List.length (Obs.Trace.events Obs.Trace.default))
+      | _ -> print_string "usage: .trace on|off\n")
+  | ".metrics" -> (
+      match rest with
+      | "" -> print_string (Obs.Export.metrics_text ())
+      | "reset" ->
+          Obs.Metrics.reset ();
+          print_string "metrics reset\n"
+      | _ -> print_string "usage: .metrics [reset]\n")
   | ".analyze" -> (
       match Query.Parser.parse rest with
       | q -> (
@@ -311,11 +345,37 @@ let repl () =
   in
   loop ()
 
+(* Peel --trace-out FILE out of the argument list; everything left is
+   an .erd file to load. *)
+let rec split_trace_out = function
+  | "--trace-out" :: file :: rest ->
+      let _, files = split_trace_out rest in
+      (Some file, files)
+  | "--trace-out" :: [] ->
+      prerr_endline "eridb: --trace-out needs a file argument";
+      exit 2
+  | a :: rest ->
+      let out, files = split_trace_out rest in
+      (out, a :: files)
+  | [] -> (None, [])
+
 let () =
+  (match Sys.getenv_opt "ERIDB_CLOCK" with
+  | Some ("virtual" | "simulated") ->
+      Obs.Trace.set_clock Obs.Trace.default (Obs.Clock.simulated ())
+  | Some _ | None -> ());
+  Obs.Metrics.enable ();
   let args = List.tl (Array.to_list Sys.argv) in
   (match args with
   | [ ("-h" | "--help") ] ->
       print_string usage;
       exit 0
-  | _ -> List.iter load_file args);
+  | _ ->
+      let trace_out, files = split_trace_out args in
+      (match trace_out with
+      | Some file ->
+          Obs.Trace.enable Obs.Trace.default;
+          at_exit (fun () -> Obs.Export.write_chrome Obs.Trace.default file)
+      | None -> ());
+      List.iter load_file files);
   repl ()

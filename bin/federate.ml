@@ -85,7 +85,13 @@ let validate_files files =
   else Ok ()
 
 let run files relations discount name query csv out report_only fault_plan
-    seed retries timeout_ms budget_ms min_sources skip_malformed validate =
+    seed retries timeout_ms budget_ms min_sources skip_malformed validate
+    metrics_out =
+  (match metrics_out with
+  | Some _ ->
+      Obs.Metrics.enable ();
+      Obs.Metrics.reset ()
+  | None -> ());
   let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
   let fail code m = Error (code, m) in
   let result =
@@ -178,6 +184,11 @@ let run files relations discount name query csv out report_only fault_plan
           | Erm.Ops.Incompatible_schemas m -> fail exit_source_failure m
         end
   in
+  (match metrics_out with
+  | Some path ->
+      Obs.Export.write_metrics_json path;
+      Printf.printf "wrote metrics to %s\n" path
+  | None -> ());
   result
 
 let files_arg =
@@ -310,12 +321,23 @@ let validate_arg =
           "Run the static $(b,.erd) linter over every source file before \
            integrating; error-level findings abort the run.")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's metrics registry (combination counts, conflict \
+           mass, retry attempts, …) to $(docv) as JSON. The federation \
+           clock is simulated, so the dump is deterministic for a given \
+           seed and fault plan.")
+
 let term =
   Term.(
     const run $ files_arg $ relations_arg $ discount_arg $ name_arg
     $ query_arg $ csv_arg $ out_arg $ report_arg $ fault_plan_arg $ seed_arg
     $ retries_arg $ timeout_arg $ budget_arg $ min_sources_arg
-    $ skip_malformed_arg $ validate_arg)
+    $ skip_malformed_arg $ validate_arg $ metrics_out_arg)
 
 let cmd =
   let doc = "integrate evidential (.erd) relations with Dempster's rule" in

@@ -33,9 +33,11 @@ let combine_opt c m1 m2 =
   match Pmap.find_opt key c.table with
   | Some result ->
       c.hits <- c.hits + 1;
+      Obs.Metrics.incr "combine_cache.hit";
       result
   | None ->
       c.misses <- c.misses + 1;
+      Obs.Metrics.incr "combine_cache.miss";
       let result = Mass.F.combine_opt m1 m2 in
       c.table <- Pmap.add key result c.table;
       result

@@ -199,12 +199,22 @@ module Make (N : Num.S) : S with type num = N.t = struct
     cross m1 m2
       ~emit:(fun set p -> accumulate table set p)
       ~emit_conflict:(fun _ _ p -> kappa := N.add !kappa p);
-    if Vmap.is_empty !table then None
+    if Obs.Metrics.on () then begin
+      Obs.Metrics.incr "dst.combine.calls";
+      Obs.Metrics.observe "dst.combine.conflict_kappa" (N.to_float !kappa)
+    end;
+    if Vmap.is_empty !table then begin
+      Obs.Metrics.incr "dst.combine.total_conflict";
+      None
+    end
     else
       let norm = N.sub N.one !kappa in
       (* Guard against float drift making norm ≤ 0 while some non-empty
          product survived (cannot happen with exact arithmetic). *)
-      if N.compare norm N.zero <= 0 then None
+      if N.compare norm N.zero <= 0 then begin
+        Obs.Metrics.incr "dst.combine.total_conflict";
+        None
+      end
       else
         Some
           ( { frame = m1.frame; focals = Vmap.map (fun x -> N.div x norm) !table },

@@ -153,6 +153,7 @@ type block = {
 
 let relations_of_string input =
   let lines = String.split_on_char '\n' input in
+  Obs.Metrics.incr ~by:(List.length lines) "io.parse.lines";
   let blocks = ref [] in
   let current = ref None in
   let flush () =
@@ -294,17 +295,27 @@ let to_string r =
    of .erd files is undebuggable from "line 3: bad membership pair"
    alone. *)
 let load path =
-  let ic =
-    try open_in path
-    with Sys_error m ->
-      raise (Sys_error (if string_mentions m path then m else path ^ ": " ^ m))
+  let body () =
+    let ic =
+      try open_in path
+      with Sys_error m ->
+        raise (Sys_error (if string_mentions m path then m else path ^ ": " ^ m))
+    in
+    let n = in_channel_length ic in
+    let content = really_input_string ic n in
+    close_in ic;
+    let rels =
+      try relations_of_string content
+      with Io_error { line; col; message } ->
+        raise (Io_error { line; col; message = path ^ ": " ^ message })
+    in
+    Obs.Metrics.incr "io.load.files";
+    Obs.Metrics.incr ~by:(List.length rels) "io.load.relations";
+    rels
   in
-  let n = in_channel_length ic in
-  let content = really_input_string ic n in
-  close_in ic;
-  try relations_of_string content
-  with Io_error { line; col; message } ->
-    raise (Io_error { line; col; message = path ^ ": " ^ message })
+  if Obs.Trace.on () then
+    Obs.Trace.with_span ~cat:"io" ~args:[ ("detail", path) ] "io.load" body
+  else body ()
 
 let save path rels =
   let oc = open_out path in

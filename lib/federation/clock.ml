@@ -1,6 +1,3 @@
-type t = { now_ms : unit -> float; sleep_ms : float -> unit }
+type t = Obs.Clock.t = { now_ms : unit -> float; sleep_ms : float -> unit }
 
-let simulated ?(start_ms = 0.0) () =
-  let t = ref start_ms in
-  { now_ms = (fun () -> !t);
-    sleep_ms = (fun d -> if d > 0.0 then t := !t +. d) }
+let simulated = Obs.Clock.simulated

@@ -5,9 +5,14 @@
     every chaos run deterministic and instant — a simulated [sleep_ms]
     advances a counter instead of stalling the process. Tests, benches
     and the [federate] CLI all use {!simulated}; a wall clock is just
-    another record should a caller need one. *)
+    another record should a caller need one.
 
-type t = {
+    The abstraction now lives in {!Obs.Clock} so the observability layer
+    (which sits below every library) can share it; this module re-exports
+    it under its historical name. The type equality means a federation
+    clock can be handed straight to a tracer and vice versa. *)
+
+type t = Obs.Clock.t = {
   now_ms : unit -> float;  (** Monotonic milliseconds. *)
   sleep_ms : float -> unit;
       (** Blocks (or pretends to) for that many milliseconds; negative

@@ -105,10 +105,20 @@ let fetch_all cfg ~seed ~clock sources =
             | Some d -> trace.Retry.total_ms > d
             | None -> false
           in
-          (match Retry.fetch ~rng ~clock policy s with
-          | Ok (relation, trace) ->
-              (s.name, Got { relation; trace; stale = stale_from trace })
-          | Error (error, trace) -> (s.name, Lost { error; trace })))
+          let attempt () =
+            match Retry.fetch ~rng ~clock policy s with
+            | Ok (relation, trace) ->
+                Obs.Metrics.incr "federation.fetch.delivered";
+                (s.name, Got { relation; trace; stale = stale_from trace })
+            | Error (error, trace) ->
+                Obs.Metrics.incr "federation.fetch.lost";
+                (s.name, Lost { error; trace })
+          in
+          if Obs.Trace.on () then
+            Obs.Trace.with_span ~cat:"federation"
+              ~args:[ ("detail", s.name) ]
+              "federation.fetch" attempt
+          else attempt ())
     sources
 
 let integrate ?(config = default) ?(seed = 0) ~clock sources =

@@ -59,7 +59,10 @@ let fetch ~rng ~clock policy source =
         ( Source.Timeout { after_ms = elapsed () },
           trace (attempt - 1) failures )
     else
-      match source.Source.fetch () with
+      match
+        Obs.Metrics.incr "federation.retry.attempts";
+        source.Source.fetch ()
+      with
       | Ok r -> Ok (r, trace attempt failures)
       | Error e ->
           let can_retry =
@@ -73,6 +76,7 @@ let fetch ~rng ~clock policy source =
           else begin
             let backoff = backoff_delay ~rng policy attempt in
             let f = { error = e; at_ms = elapsed (); backoff_ms = backoff } in
+            Obs.Metrics.observe "federation.retry.backoff_ms" backoff;
             clock.Clock.sleep_ms backoff;
             go (attempt + 1) (f :: failures)
           end

@@ -39,7 +39,8 @@ let reliability_from_matrix matrix name =
       in
       Float.max 0.0 (Float.min 1.0 (1.0 -. mean))
 
-let integrate ?(discount = false) ?(alpha_floor = 0.0) ?(prior = []) sources =
+let integrate_inner ?(discount = false) ?(alpha_floor = 0.0) ?(prior = [])
+    sources =
   if alpha_floor < 0.0 || alpha_floor > 1.0 then
     invalid_arg "Multi.integrate: alpha_floor outside [0,1]";
   List.iter
@@ -83,8 +84,27 @@ let integrate ?(discount = false) ?(alpha_floor = 0.0) ?(prior = []) sources =
             merged)
           (prepared first) rest
       in
-      { integrated; conflicts = !conflicts; conflict_matrix = matrix;
-        reliabilities }
+      let report =
+        { integrated; conflicts = !conflicts; conflict_matrix = matrix;
+          reliabilities }
+      in
+      if Obs.Metrics.on () then begin
+        Obs.Metrics.incr ~by:(List.length sources) "integration.sources";
+        Obs.Metrics.incr ~by:(List.length !conflicts) "integration.conflicts";
+        List.iter
+          (fun (_, _, k) -> Obs.Metrics.observe "integration.mean_kappa" k)
+          matrix
+      end;
+      report
+
+let integrate ?discount ?alpha_floor ?prior sources =
+  let body () = integrate_inner ?discount ?alpha_floor ?prior sources in
+  if Obs.Trace.on () then
+    Obs.Trace.with_span ~cat:"integration"
+      ~args:
+        [ ("detail", Printf.sprintf "%d sources" (List.length sources)) ]
+      "integration.multi" body
+  else body ()
 
 let pp ppf r =
   Format.fprintf ppf "@[<v>integrated %d tuples from %d sources"

@@ -1,0 +1,10 @@
+type t = { now_ms : unit -> float; sleep_ms : float -> unit }
+
+let simulated ?(start_ms = 0.0) () =
+  let t = ref start_ms in
+  { now_ms = (fun () -> !t);
+    sleep_ms = (fun d -> if d > 0.0 then t := !t +. d) }
+
+let wall () =
+  { now_ms = (fun () -> Unix.gettimeofday () *. 1e3);
+    sleep_ms = (fun d -> if d > 0.0 then Unix.sleepf (d /. 1e3)) }

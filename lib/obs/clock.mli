@@ -1,0 +1,25 @@
+(** Time as a value.
+
+    Every duration the observability layer records — span timings,
+    retry backoff, fetch deadlines — is read through one of these
+    records, never through a bare [Unix.gettimeofday]. Passing a
+    {!simulated} clock makes a whole run (spans included) deterministic
+    and instant: sleeping advances a counter, nothing else moves time.
+    [Federation.Clock] is an alias of this type, so the federation
+    runtime and the tracer share one notion of "now". *)
+
+type t = {
+  now_ms : unit -> float;  (** Monotonic milliseconds. *)
+  sleep_ms : float -> unit;
+      (** Blocks (or pretends to) for that many milliseconds; negative
+          durations are ignored. *)
+}
+
+val simulated : ?start_ms:float -> unit -> t
+(** A fresh virtual clock starting at [start_ms] (default 0). Sleeping
+    advances it; nothing else does, so elapsed time measures exactly
+    the latency that was explicitly injected. *)
+
+val wall : unit -> t
+(** The process wall clock ([Unix.gettimeofday], reported in
+    milliseconds); [sleep_ms] really sleeps. *)

@@ -1,0 +1,92 @@
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* %.3f keeps microsecond timestamps stable across platforms (%g would
+   switch to scientific notation on long traces). *)
+let num f = Printf.sprintf "%.3f" f
+
+let chrome_event (e : Trace.event) =
+  let args =
+    match e.Trace.args with
+    | [] -> ""
+    | kvs ->
+        let fields =
+          List.map
+            (fun (k, v) -> json_escape k ^ ":" ^ json_escape v)
+            (List.sort compare kvs)
+        in
+        Printf.sprintf ",\"args\":{%s}" (String.concat "," fields)
+  in
+  Printf.sprintf
+    "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":1%s}"
+    (json_escape e.Trace.name) (json_escape e.Trace.cat)
+    (num (e.Trace.ts_ms *. 1e3))
+    (num (e.Trace.dur_ms *. 1e3))
+    args
+
+let chrome ?(from = 0) t =
+  let evs =
+    List.filter (fun e -> e.Trace.id >= from) (Trace.events t)
+  in
+  "[\n" ^ String.concat ",\n" (List.map chrome_event evs) ^ "\n]\n"
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let write_chrome ?from t path = write_file path (chrome ?from t)
+
+let metrics_text ?registry () =
+  match Metrics.snapshot ?registry () with
+  | [] -> "(no metrics recorded)\n"
+  | stats ->
+      String.concat ""
+        (List.map
+           (fun (name, stat) ->
+             match stat with
+             | Metrics.Counter n ->
+                 Printf.sprintf "counter   %-36s %d\n" name n
+             | Metrics.Gauge v ->
+                 Printf.sprintf "gauge     %-36s %g\n" name v
+             | Metrics.Histogram { count; sum; min; max; last } ->
+                 Printf.sprintf
+                   "histogram %-36s count=%d sum=%g min=%g max=%g last=%g\n"
+                   name count sum min max last)
+           stats)
+
+let metrics_json ?registry () =
+  let field (name, stat) =
+    let value =
+      match stat with
+      | Metrics.Counter n -> string_of_int n
+      | Metrics.Gauge v -> Printf.sprintf "{\"gauge\":%g}" v
+      | Metrics.Histogram { count; sum; min; max; last } ->
+          Printf.sprintf
+            "{\"count\":%d,\"sum\":%g,\"min\":%g,\"max\":%g,\"last\":%g}"
+            count sum min max last
+    in
+    Printf.sprintf "  %s: %s" (json_escape name) value
+  in
+  match Metrics.snapshot ?registry () with
+  | [] -> "{}\n"
+  | stats ->
+      "{\n" ^ String.concat ",\n" (List.map field stats) ^ "\n}\n"
+
+let write_metrics_json ?registry path =
+  write_file path (metrics_json ?registry ())

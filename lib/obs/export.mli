@@ -1,0 +1,32 @@
+(** Serialization of traces and metric snapshots.
+
+    Two formats: Chrome's Trace Event JSON (load the file in
+    [about:tracing] or [ui.perfetto.dev]) and a flat metrics dump
+    (text for the REPL, JSON for files). Both are emitted one record
+    per line, with keys and names sorted, so the output is diffable
+    and golden-testable byte for byte. *)
+
+val json_escape : string -> string
+(** Quote and escape per RFC 8259 (handles quotes, backslashes and
+    control characters; the result includes the surrounding quotes). *)
+
+val chrome : ?from:int -> Trace.t -> string
+(** The trace as a JSON array of Chrome complete events ([ph = "X"],
+    timestamps and durations in microseconds), one event per line, in
+    start order. With [from], only spans with [id >= from]. *)
+
+val write_chrome : ?from:int -> Trace.t -> string -> unit
+(** [write_chrome t path]: {!chrome} to a file. *)
+
+val metrics_text : ?registry:Metrics.registry -> unit -> string
+(** One metric per line, name-sorted:
+    [counter dst.combine.calls 42]. Histograms show
+    [count/sum/min/max/last]. Empty registries produce
+    ["(no metrics recorded)\n"]. *)
+
+val metrics_json : ?registry:Metrics.registry -> unit -> string
+(** A JSON object keyed by metric name, one metric per line; counters
+    are numbers, gauges [{"gauge": v}], histograms an object with
+    [count/sum/min/max/last]. *)
+
+val write_metrics_json : ?registry:Metrics.registry -> string -> unit

@@ -1,0 +1,94 @@
+type histo = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable h_last : float;
+}
+
+type metric = M_counter of int ref | M_gauge of float ref | M_histo of histo
+
+type registry = {
+  table : (string, metric) Hashtbl.t;
+  mutable live : bool;
+}
+
+type stat =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      sum : float;
+      min : float;
+      max : float;
+      last : float;
+    }
+
+let create () = { table = Hashtbl.create 64; live = true }
+let default = { table = Hashtbl.create 64; live = false }
+let on () = default.live
+let enable () = default.live <- true
+let disable () = default.live <- false
+
+let reset ?(registry = default) () = Hashtbl.reset registry.table
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: %s is already bound to another kind" name)
+
+(* Lookup-or-create under a fixed kind; the double branch keeps the
+   common path (name already bound, right kind) allocation-free. *)
+let incr ?(registry = default) ?(by = 1) name =
+  if registry.live then
+    match Hashtbl.find_opt registry.table name with
+    | Some (M_counter c) -> c := !c + by
+    | Some _ -> kind_error name
+    | None -> Hashtbl.add registry.table name (M_counter (ref by))
+
+let gauge ?(registry = default) name v =
+  if registry.live then
+    match Hashtbl.find_opt registry.table name with
+    | Some (M_gauge g) -> g := v
+    | Some _ -> kind_error name
+    | None -> Hashtbl.add registry.table name (M_gauge (ref v))
+
+let observe ?(registry = default) name v =
+  if registry.live then
+    match Hashtbl.find_opt registry.table name with
+    | Some (M_histo h) ->
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v;
+        h.h_last <- v
+    | Some _ -> kind_error name
+    | None ->
+        Hashtbl.add registry.table name
+          (M_histo
+             { h_count = 1; h_sum = v; h_min = v; h_max = v; h_last = v })
+
+let counter ?(registry = default) name =
+  match Hashtbl.find_opt registry.table name with
+  | Some (M_counter c) -> !c
+  | Some _ | None -> 0
+
+let last ?(registry = default) name =
+  match Hashtbl.find_opt registry.table name with
+  | Some (M_histo h) -> Some h.h_last
+  | Some (M_gauge g) -> Some !g
+  | Some (M_counter _) | None -> None
+
+let stat_of = function
+  | M_counter c -> Counter !c
+  | M_gauge g -> Gauge !g
+  | M_histo h ->
+      Histogram
+        { count = h.h_count;
+          sum = h.h_sum;
+          min = h.h_min;
+          max = h.h_max;
+          last = h.h_last }
+
+let snapshot ?(registry = default) () =
+  Hashtbl.fold (fun name m acc -> (name, stat_of m) :: acc) registry.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,64 @@
+(** Named counters, gauges and histograms.
+
+    One process-wide {!default} registry backs the instrumentation
+    hooks compiled into the hot paths ([Dst.Mass] combination, the
+    combine cache, the physical executor, the federation runtime,
+    [Erm.Io] loading). It starts {e disabled}: every hook guards its
+    work behind {!on}, so an uninstrumented run pays one boolean load
+    per call site and nothing else. [eridb], [federate --metrics-out]
+    and the test suites enable it explicitly.
+
+    Metric names are static strings in the source (dot-separated,
+    lower-case: [dst.combine.calls], [combine_cache.hit],
+    [physical.index_probe.rows], [federation.retry.attempts],
+    [io.parse.lines]). A name is bound to one kind for the registry's
+    lifetime; re-using it with another kind raises [Invalid_argument]
+    — that is a bug in the instrumentation, not a runtime condition. *)
+
+type registry
+
+type stat =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      sum : float;
+      min : float;
+      max : float;
+      last : float;
+    }
+
+val create : unit -> registry
+(** A fresh, enabled registry (explicit registries are always live). *)
+
+val default : registry
+(** The registry the compiled-in hooks write to. Starts disabled. *)
+
+val on : unit -> bool
+(** Is the default registry recording? The cheapest possible guard —
+    instrumentation sites test this before computing metric values. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : ?registry:registry -> unit -> unit
+(** Drop every metric (values and names). *)
+
+val incr : ?registry:registry -> ?by:int -> string -> unit
+(** Bump a counter (default 1). No-op while the registry is disabled. *)
+
+val gauge : ?registry:registry -> string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : ?registry:registry -> string -> float -> unit
+(** Record one histogram sample (count/sum/min/max/last are kept). *)
+
+val counter : ?registry:registry -> string -> int
+(** Current value of a counter; 0 when the name is unbound. *)
+
+val last : ?registry:registry -> string -> float option
+(** Latest sample of a histogram or value of a gauge; [None] when the
+    name is unbound. *)
+
+val snapshot : ?registry:registry -> unit -> (string * stat) list
+(** Every metric, sorted by name (so dumps are deterministic). *)

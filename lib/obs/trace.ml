@@ -1,0 +1,126 @@
+type event = {
+  id : int;
+  parent : int option;
+  depth : int;
+  name : string;
+  cat : string;
+  args : (string * string) list;
+  ts_ms : float;
+  dur_ms : float;
+}
+
+type t = {
+  mutable t_clock : Clock.t;
+  mutable t_live : bool;
+  mutable next_id : int;
+  mutable stack : int list;  (* open span ids, innermost first *)
+  mutable done_ : event list;  (* completed spans, most recent first *)
+}
+
+let create ?clock () =
+  let clock = match clock with Some c -> c | None -> Clock.wall () in
+  { t_clock = clock; t_live = true; next_id = 0; stack = []; done_ = [] }
+
+let default =
+  { t_clock = Clock.wall ();
+    t_live = false;
+    next_id = 0;
+    stack = [];
+    done_ = [] }
+
+let set_clock t c = t.t_clock <- c
+let clock t = t.t_clock
+let enable t = t.t_live <- true
+let disable t = t.t_live <- false
+let live t = t.t_live
+let on () = default.t_live
+
+let count t = t.next_id
+
+let with_span ?(tracer = default) ?(cat = "app") ?(args = []) name f =
+  if not tracer.t_live then f ()
+  else begin
+    let id = tracer.next_id in
+    tracer.next_id <- id + 1;
+    let parent = match tracer.stack with [] -> None | p :: _ -> Some p in
+    let depth = List.length tracer.stack in
+    tracer.stack <- id :: tracer.stack;
+    let t0 = tracer.t_clock.Clock.now_ms () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur_ms = tracer.t_clock.Clock.now_ms () -. t0 in
+        (match tracer.stack with
+        | top :: rest when top = id -> tracer.stack <- rest
+        | _ -> ());
+        tracer.done_ <-
+          { id; parent; depth; name; cat; args; ts_ms = t0; dur_ms }
+          :: tracer.done_)
+      f
+  end
+
+let events t =
+  List.sort (fun a b -> compare a.id b.id) (List.rev t.done_)
+
+let clear t = t.done_ <- []
+
+type tree = { event : event; children : tree list }
+
+let forest ?(from = 0) t =
+  let evs = List.filter (fun e -> e.id >= from) (events t) in
+  let kept = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace kept e.id ()) evs;
+  (* Children are grouped under their nearest kept ancestor; spans whose
+     parent was cut off (or never closed) become roots. *)
+  let rec build e =
+    { event = e;
+      children =
+        List.filter_map
+          (fun c ->
+            match c.parent with
+            | Some p when p = e.id -> Some (build c)
+            | _ -> None)
+          evs }
+  in
+  List.filter_map
+    (fun e ->
+      match e.parent with
+      | Some p when Hashtbl.mem kept p -> None
+      | _ -> Some (build e))
+    evs
+
+let pp_dur ppf ms =
+  if ms >= 1.0 then Format.fprintf ppf "%.1fms" ms
+  else Format.fprintf ppf "%.1fus" (ms *. 1e3)
+
+let rec pp_tree indent ppf tr =
+  let detail =
+    match List.assoc_opt "detail" tr.event.args with
+    | Some d when d <> "" -> " [" ^ d ^ "]"
+    | _ -> ""
+  in
+  Format.fprintf ppf "%s%s%s %a" indent tr.event.name detail pp_dur
+    tr.event.dur_ms;
+  List.iter
+    (fun child ->
+      Format.pp_print_newline ppf ();
+      pp_tree (indent ^ "  ") ppf child)
+    tr.children
+
+let pp_forest ppf trees =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_newline ppf ())
+    (pp_tree "") ppf trees
+
+let summary t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let n, d =
+        match Hashtbl.find_opt table e.name with
+        | Some (n, d) -> (n, d)
+        | None -> (0, 0.0)
+      in
+      Hashtbl.replace table e.name (n + 1, d +. e.dur_ms))
+    t.done_;
+  Hashtbl.fold (fun name (n, d) acc -> (name, n, d) :: acc) table []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)

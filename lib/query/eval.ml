@@ -61,7 +61,23 @@ let lookup_of_schemas sa sb a =
   | Some attr -> Some attr
   | None -> Erm.Schema.find_opt sb a
 
-let rec eval env = function
+let op_name = function
+  | Ast.Rel _ -> "rel"
+  | Ast.Select _ -> "select"
+  | Ast.Union _ -> "union"
+  | Ast.Intersect _ -> "intersect"
+  | Ast.Except _ -> "except"
+  | Ast.Product _ -> "product"
+  | Ast.Join _ -> "join"
+  | Ast.Ranked _ -> "rank"
+  | Ast.Prefixed _ -> "prefix"
+
+let rec eval env q =
+  if Obs.Trace.on () then
+    Obs.Trace.with_span ~cat:"query.eval" (op_name q) (fun () -> step env q)
+  else step env q
+
+and step env = function
   | Ast.Rel name -> (
       match List.assoc_opt name env with
       | Some r -> r

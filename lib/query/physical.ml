@@ -260,7 +260,9 @@ type report = {
   r_children : report list;
 }
 
-let now_ns () = Unix.gettimeofday () *. 1e9
+(* Timing flows through the default tracer's clock so a simulated clock
+   (ERIDB_CLOCK=virtual) makes per-operator wall times deterministic. *)
+let now_ns () = (Obs.Trace.clock Obs.Trace.default).Obs.Clock.now_ms () *. 1e6
 
 let rel_of env name =
   match List.assoc_opt name env with
@@ -286,10 +288,19 @@ let lookup_two sa sb a =
 let execute_measured ?ctx env p =
   let ctx = match ctx with Some c -> c | None -> create_ctx () in
   let rec exec p =
+    if Obs.Trace.on () then
+      let op, detail = label p in
+      Obs.Trace.with_span ~cat:"query.physical"
+        ~args:[ ("detail", detail) ]
+        op
+        (fun () -> exec_node p)
+    else exec_node p
+  and exec_node p =
     let stats = Stats.create () in
     let finish ~children out =
       stats.Stats.rows_out <- Erm.Relation.cardinal out;
       let op, detail = label p in
+      Stats.publish ~op stats;
       Log.debug (fun m -> m "%s [%s] %s" op detail (Stats.to_string stats));
       (out, { r_op = op; r_detail = detail; r_stats = stats; r_children = children })
     in
@@ -310,6 +321,8 @@ let execute_measured ?ctx env p =
             let idx = index_for ctx rel base attr in
             let bucket = Erm.Index.select_eq idx base value in
             let candidates = Erm.Relation.cardinal bucket in
+            Obs.Metrics.observe "physical.index_probe.rows"
+              (float_of_int candidates);
             if candidates > 0 then stats.Stats.index_hits <- 1
             else stats.Stats.index_misses <- 1;
             let out = select_project bucket residual threshold cols in

@@ -19,6 +19,18 @@ let create () =
     cache_misses = 0;
     wall_ns = 0.0 }
 
+(* Fold one operator's counters into the process-wide registry, keyed by
+   operator name. No-ops (inside each call) when metrics are disabled. *)
+let publish ~op s =
+  if Obs.Metrics.on () then begin
+    let key suffix = "physical." ^ op ^ suffix in
+    Obs.Metrics.incr (key ".calls");
+    Obs.Metrics.incr ~by:s.rows_in (key ".rows_in");
+    Obs.Metrics.incr ~by:s.rows_out (key ".rows_out");
+    Obs.Metrics.incr ~by:s.pruned (key ".pruned");
+    Obs.Metrics.observe (key ".wall_ns") s.wall_ns
+  end
+
 let pp ppf s =
   Format.fprintf ppf "rows=%d/%d" s.rows_in s.rows_out;
   if s.pruned > 0 then Format.fprintf ppf " pruned=%d" s.pruned;

@@ -34,6 +34,12 @@ type t = {
 
 val create : unit -> t
 
+val publish : op:string -> t -> unit
+(** Fold the counters into {!Obs.Metrics.default} under
+    [physical.<op>.calls/.rows_in/.rows_out/.pruned] counters and a
+    [physical.<op>.wall_ns] histogram. A no-op while the default
+    registry is disabled. *)
+
 val pp : Format.formatter -> t -> unit
 (** Compact one-line form, e.g.
     [rows=60/25 pruned=35 idx=8/10 memo=12/14 t=0.3ms]. Zero-valued

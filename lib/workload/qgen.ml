@@ -1,0 +1,156 @@
+module R = Rng
+
+let schema = Gen.schema "q"
+
+let env rng ?(size = 10) ?(overlap = 0.5) () =
+  let ra, rb = Gen.source_pair rng ~size ~overlap schema in
+  [ ("ra", ra); ("rb", rb) ]
+
+(* The a0 value of a random stored tuple — so definite-equality probes
+   actually hit (Gen's a0 cells are drawn from a 1000-value space, a
+   fresh random value would nearly always miss). *)
+let some_a0 rng r =
+  let ts = Erm.Relation.tuples r in
+  let t = List.nth ts (R.int rng (List.length ts)) in
+  match Erm.Etuple.cells t with
+  | Erm.Etuple.Definite v :: _ -> v
+  | _ -> Dst.Value.string "a0-0"
+
+let gen_vset rng =
+  List.init
+    (1 + R.int rng 3)
+    (fun _ -> Dst.Value.string (Printf.sprintf "v%d" (R.int rng 8)))
+
+let gen_cmp rng =
+  match R.int rng 4 with
+  | 0 -> Erm.Predicate.Eq
+  | 1 -> Erm.Predicate.Ne
+  | 2 -> Erm.Predicate.Le
+  | _ -> Erm.Predicate.Gt
+
+let pred rng env =
+  let ra = List.assoc "ra" env in
+  let atom () =
+    match R.int rng 6 with
+    | 0 -> Query.Ast.Is ("a0", [ some_a0 rng ra ])
+    | 1 ->
+        Query.Ast.Cmp
+          ( Erm.Predicate.Eq,
+            Query.Ast.Attr "k",
+            Query.Ast.Scalar
+              (Dst.Value.string (Printf.sprintf "key%d" (R.int rng 15))) )
+    | 2 -> Query.Ast.Is ("e0", gen_vset rng)
+    | 3 -> Query.Ast.Is ("e1", gen_vset rng)
+    | 4 ->
+        Query.Ast.Cmp
+          (gen_cmp rng, Query.Ast.Attr "e0", Query.Ast.Set_lit (gen_vset rng))
+    | _ ->
+        Query.Ast.Cmp
+          ( Erm.Predicate.Eq,
+            Query.Ast.Attr "a0",
+            Query.Ast.Scalar (some_a0 rng ra) )
+  in
+  match R.int rng 5 with
+  | 0 -> atom ()
+  | 1 | 2 -> Query.Ast.And (atom (), atom ())
+  | 3 -> Query.Ast.And (atom (), Query.Ast.And (atom (), atom ()))
+  | _ -> (
+      match R.int rng 3 with
+      | 0 -> Query.Ast.Or (atom (), atom ())
+      | 1 -> Query.Ast.Not (atom ())
+      | _ -> Query.Ast.True)
+
+(* Definite-only predicates carry crisp (1,1)/(0,0) supports, and
+   multiplying a support by exactly 1.0 or 0.0 is order-independent in
+   float arithmetic. The planner may push such a conjunct below a join
+   (reassociating the F_TM product); with crisp factors the
+   reassociation is bit-exact, so these are the only extra conjuncts a
+   generated ON clause may carry. *)
+let crisp_pred rng env =
+  let ra = List.assoc "ra" env in
+  let atom () =
+    match R.int rng 3 with
+    | 0 -> Query.Ast.Is ("a0", [ some_a0 rng ra ])
+    | 1 ->
+        Query.Ast.Cmp
+          ( Erm.Predicate.Eq,
+            Query.Ast.Attr "k",
+            Query.Ast.Scalar
+              (Dst.Value.string (Printf.sprintf "key%d" (R.int rng 15))) )
+    | _ ->
+        Query.Ast.Cmp
+          ( Erm.Predicate.Eq,
+            Query.Ast.Attr "a0",
+            Query.Ast.Scalar (some_a0 rng ra) )
+  in
+  match R.int rng 4 with
+  | 0 -> atom ()
+  | 1 -> Query.Ast.And (atom (), atom ())
+  | 2 -> Query.Ast.Not (atom ())
+  | _ -> Query.Ast.True
+
+let threshold rng =
+  match R.int rng 4 with
+  | 0 -> Erm.Threshold.always
+  | 1 -> Erm.Threshold.sn_gt (R.float rng 0.8)
+  | 2 -> Erm.Threshold.sp_ge (R.float rng 0.8)
+  | _ -> Erm.Threshold.(sn_gt 0.1 &&& sp_ge 0.3)
+
+let query rng env =
+  let base () = Query.Ast.Rel (if R.bool rng then "ra" else "rb") in
+  let cols () =
+    match R.int rng 3 with
+    | 0 -> None
+    | 1 -> Some [ "k"; "e0" ]
+    | _ -> Some [ "k"; "a0"; "e1" ]
+  in
+  let select from =
+    Query.Ast.Select
+      { cols = cols (); from; where = pred rng env;
+        threshold = threshold rng }
+  in
+  let setop a b =
+    match R.int rng 3 with
+    | 0 -> Query.Ast.Union (a, b)
+    | 1 -> Query.Ast.Intersect (a, b)
+    | _ -> Query.Ast.Except (a, b)
+  in
+  let join () =
+    let right = Query.Ast.Prefixed { from = base (); prefix = "r_" } in
+    let eq =
+      match R.int rng 3 with
+      | 0 ->
+          (* definite key equality — hash-join eligible *)
+          Query.Ast.Cmp
+            (Erm.Predicate.Eq, Query.Ast.Attr "k", Query.Ast.Attr "r_k")
+      | 1 ->
+          Query.Ast.Cmp
+            (Erm.Predicate.Eq, Query.Ast.Attr "a0", Query.Ast.Attr "r_a0")
+      | _ ->
+          (* evidential equality — must stay a nested loop *)
+          Query.Ast.Cmp
+            (Erm.Predicate.Eq, Query.Ast.Attr "e0", Query.Ast.Attr "r_e0")
+    in
+    let on =
+      if R.bool rng then eq else Query.Ast.And (eq, crisp_pred rng env)
+    in
+    Query.Ast.Join { left = base (); right; on; threshold = threshold rng }
+  in
+  match R.int rng 8 with
+  | 0 -> base ()
+  | 1 | 2 -> select (base ())
+  | 3 -> select (setop (base ()) (base ()))
+  | 4 -> setop (base ()) (base ())
+  | 5 -> join ()
+  | 6 ->
+      Query.Ast.Product
+        (base (), Query.Ast.Prefixed { from = base (); prefix = "p_" })
+  | _ ->
+      (* ranked only over set operations of stored relations: those are
+         bit-identical between the two pipelines, so LIMIT can never cut
+         at a value that differs in the last ulp between them. *)
+      Query.Ast.Ranked
+        { from = setop (base ()) (base ());
+          by = (if R.bool rng then Erm.Threshold.Sn else Erm.Threshold.Sp);
+          ascending = R.bool rng;
+          limit = Some (1 + R.int rng 8) }

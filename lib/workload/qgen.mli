@@ -1,0 +1,39 @@
+(** Random query generation over {!Gen}'s synthetic schema.
+
+    Produces ASTs spanning every operator the planner knows — scans,
+    selections (probe-eligible definite equalities next to evidential
+    residuals), set operations, hash- and loop-joins, products, ranking —
+    over a two-relation environment named [ra]/[rb]. Deterministic given
+    the {!Rng.t}, so a failing case is reproducible from its seed.
+
+    This is the workload for the differential conformance harness
+    (test/test_conformance.ml): the same generated query is executed on
+    the naive evaluator, the physical planner and the single-source
+    integration surface, and the results must agree exactly. *)
+
+val schema : Erm.Schema.t
+(** [Gen.schema "q"]: key [k], definite [a0], evidential [e0]/[e1] over
+    8-value frames. *)
+
+val env : Rng.t -> ?size:int -> ?overlap:float -> unit ->
+  (string * Erm.Relation.t) list
+(** Two relations [ra]/[rb] over {!schema} with [size] tuples each
+    (default 10) sharing [overlap·size] keys (default 0.5). *)
+
+val pred : Rng.t -> (string * Erm.Relation.t) list -> Query.Ast.pred
+(** A random predicate over {!schema}, biased toward conjunctions that
+    hold an index-probe-eligible definite equality next to evidential
+    residuals. Values are drawn from the stored relations so equality
+    probes actually hit. *)
+
+val threshold : Rng.t -> Erm.Threshold.t
+(** Always / SN / SP / conjunction, with random cutoffs. *)
+
+val query : Rng.t -> (string * Erm.Relation.t) list -> Query.Ast.query
+(** A random query over [ra]/[rb], confined to the bit-exact-conformant
+    fragment: Ranked-with-limit only appears above set operations of
+    stored relations (a LIMIT can then never cut at a value that
+    differs in the last ulp between evaluation orders), and extra ON
+    conjuncts are definite-only — their crisp (1,1)/(0,0) supports make
+    the planner's join pushdown an exact reassociation, so pushdown is
+    still exercised without breaking Float.equal conformance. *)

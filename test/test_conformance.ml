@@ -1,0 +1,128 @@
+(* Differential conformance harness: the three execution surfaces must
+   agree EXACTLY — same tuples, same evidence, bit-identical (sn, sp)
+   supports — on randomly generated workloads:
+
+   - the naive evaluator (Query.Eval), the reference semantics;
+   - the physical planner (Query.Physical), with tracing off and on —
+     observability must have no observer effect;
+   - the single-source integration surface (Integration.Multi), which
+     must be the identity on any query result.
+
+   Equality here is stricter than Erm.Relation.equal: supports and
+   masses are compared with Float.equal, not a tolerance. A double IS a
+   dyadic rational, so bit-exact float comparison is exact-rational
+   comparison of the values both pipelines actually computed — any
+   reordering of Dempster combinations that changes even the last ulp
+   is a divergence, and tolerance would mask it.
+
+   Seeds: qcheck honours QCHECK_SEED, which CI pins, so a divergence
+   found there reproduces locally with the same seed. *)
+
+module R = Workload.Rng
+module Q = Workload.Qgen
+module S = Dst.Support
+
+let count = 250
+
+let prop name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let seed_arb = QCheck.int_range 0 1_000_000
+
+(* --- exact relation equality ----------------------------------------- *)
+
+let exact_support s1 s2 =
+  Float.equal (S.sn s1) (S.sn s2) && Float.equal (S.sp s1) (S.sp s2)
+
+let exact_evidence e1 e2 =
+  let f1 = Dst.Mass.F.focals e1 and f2 = Dst.Mass.F.focals e2 in
+  List.length f1 = List.length f2
+  && List.for_all2
+       (fun (set1, m1) (set2, m2) ->
+         Dst.Vset.equal set1 set2 && Float.equal m1 m2)
+       f1 f2
+
+let exact_cell c1 c2 =
+  match (c1, c2) with
+  | Erm.Etuple.Definite v1, Erm.Etuple.Definite v2 ->
+      Dst.Value.compare v1 v2 = 0
+  | Erm.Etuple.Evidence e1, Erm.Etuple.Evidence e2 -> exact_evidence e1 e2
+  | Erm.Etuple.Definite _, Erm.Etuple.Evidence _
+  | Erm.Etuple.Evidence _, Erm.Etuple.Definite _ ->
+      false
+
+let exact_tuple t1 t2 =
+  List.compare Dst.Value.compare (Erm.Etuple.key t1) (Erm.Etuple.key t2) = 0
+  && List.length (Erm.Etuple.cells t1) = List.length (Erm.Etuple.cells t2)
+  && List.for_all2 exact_cell (Erm.Etuple.cells t1) (Erm.Etuple.cells t2)
+  && exact_support (Erm.Etuple.tm t1) (Erm.Etuple.tm t2)
+
+let exact_rel_equal r1 r2 =
+  Erm.Relation.cardinal r1 = Erm.Relation.cardinal r2
+  && List.for_all
+       (fun t1 ->
+         match Erm.Relation.find_opt r2 (Erm.Etuple.key t1) with
+         | Some t2 -> exact_tuple t1 t2
+         | None -> false)
+       (Erm.Relation.tuples r1)
+
+(* --- shared fixtures ------------------------------------------------- *)
+
+(* One execution context across all cases: the index cache sees a stream
+   of distinct relations under the same names, so staleness bugs break
+   conformance immediately (same construction as test_plan_equiv). *)
+let ctx = Query.Physical.create_ctx ()
+
+let make_case seed =
+  let env = Q.env (R.create seed) () in
+  let q = Q.query (R.create (seed + 7919)) env in
+  (env, q)
+
+(* A fresh private tracer would not exercise the compiled-in guards —
+   the observer-effect test must flip the DEFAULT tracer the hot paths
+   consult, and restore it whatever happens. *)
+let with_default_tracing f =
+  Obs.Trace.clear Obs.Trace.default;
+  Obs.Trace.enable Obs.Trace.default;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.disable Obs.Trace.default;
+      Obs.Trace.clear Obs.Trace.default)
+    f
+
+(* --- properties ------------------------------------------------------ *)
+
+let conformance_props =
+  [ prop "physical = naive (exact tuples, exact supports)" seed_arb (fun s ->
+        let env, q = make_case s in
+        exact_rel_equal
+          (Query.Eval.eval env q)
+          (Query.Physical.eval_fast ~ctx env q));
+    prop "tracing never changes a physical result" seed_arb (fun s ->
+        let env, q = make_case s in
+        let plain = Query.Physical.eval_fast ~ctx env q in
+        let traced =
+          with_default_tracing (fun () -> Query.Physical.eval_fast ~ctx env q)
+        in
+        exact_rel_equal plain traced);
+    prop "traced physical = naive (no observer effect vs reference)"
+      seed_arb
+      (fun s ->
+        let env, q = make_case s in
+        let naive = Query.Eval.eval env q in
+        let traced =
+          with_default_tracing (fun () -> Query.Physical.eval_fast ~ctx env q)
+        in
+        exact_rel_equal naive traced);
+    prop "single-source integration is the identity on query results"
+      seed_arb
+      (fun s ->
+        let env, q = make_case s in
+        let r = Query.Eval.eval env q in
+        let report =
+          Integration.Multi.integrate
+            [ { Integration.Multi.source_name = "only"; source_relation = r } ]
+        in
+        exact_rel_equal r report.Integration.Multi.integrated) ]
+
+let () = Alcotest.run "conformance" [ ("surfaces", conformance_props) ]

@@ -373,6 +373,77 @@ let test_pp_notation () =
   Alcotest.(check string)
     "paper notation with ~ for omega" "[~^0.5; red^0.5]" (M.to_string m)
 
+(* --- metamorphic combination properties ----------------------------- *)
+
+(* Dempster's rule probed through the production paths: the memo-cache
+   wrapper, the metrics-instrumented combine_opt, and the tracer. The
+   generated evidence keeps Gen's default Ω floor, so κ < 1 and
+   combination never throws Total_conflict. *)
+
+let meta_prop name law =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:200 (QCheck.int_range 0 1_000_000) law)
+
+let meta_dom = Workload.Gen.domain ~size:8 "meta"
+
+let gen_pair seed =
+  let rng = Workload.Rng.create seed in
+  ( Workload.Gen.evidence rng ~focals:4 ~max_focal_size:3 meta_dom,
+    Workload.Gen.evidence rng ~focals:4 ~max_focal_size:3 meta_dom )
+
+let gen_triple seed =
+  let rng = Workload.Rng.create (seed + 31) in
+  let e () = Workload.Gen.evidence rng ~focals:3 ~max_focal_size:3 meta_dom in
+  (e (), e (), e ())
+
+let with_default_metrics f =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.disable ();
+      Obs.Metrics.reset ())
+    f
+
+let metamorphic_props =
+  [ meta_prop "combination is commutative under the memo-cache" (fun s ->
+        let m1, m2 = gen_pair s in
+        let cache = Dst.Combine_cache.create () in
+        let a = Dst.Combine_cache.combine cache m1 m2 in
+        let b = Dst.Combine_cache.combine cache m2 m1 in
+        (* The canonical pair ordering makes the swapped call a hit. *)
+        M.equal a b && Dst.Combine_cache.hits cache = 1);
+    meta_prop "combination is associative (within float tolerance)" (fun s ->
+        let m1, m2, m3 = gen_triple s in
+        M.equal (M.combine (M.combine m1 m2) m3)
+          (M.combine m1 (M.combine m2 m3)));
+    meta_prop "metric kappa = kappa recomputed from first principles"
+      (fun s ->
+        let m1, m2 = gen_pair s in
+        with_default_metrics (fun () ->
+            ignore (M.combine_opt m1 m2);
+            match Obs.Metrics.last "dst.combine.conflict_kappa" with
+            | Some reported -> Float.equal reported (M.conflict m1 m2)
+            | None -> false));
+    meta_prop "observability never changes a combination (observer effect)"
+      (fun s ->
+        let m1, m2 = gen_pair s in
+        let plain = M.combine m1 m2 in
+        let observed =
+          with_default_metrics (fun () ->
+              Obs.Trace.clear Obs.Trace.default;
+              Obs.Trace.enable Obs.Trace.default;
+              Fun.protect
+                ~finally:(fun () ->
+                  Obs.Trace.disable Obs.Trace.default;
+                  Obs.Trace.clear Obs.Trace.default)
+                (fun () -> M.combine m1 m2))
+        in
+        (* Bit-exact focal-by-focal agreement, not tolerance equality. *)
+        List.for_all2
+          (fun (s1, x1) (s2, x2) -> Vs.equal s1 s2 && Float.equal x1 x2)
+          (M.focals plain) (M.focals observed)) ]
+
 let () =
   Alcotest.run "dst"
     [ ( "value",
@@ -415,4 +486,5 @@ let () =
           Alcotest.test_case "dissonance and combination" `Quick
             test_measures_dissonance;
           Alcotest.test_case "pignistic distance" `Quick
-            test_measures_distance ] ) ]
+            test_measures_distance ] );
+      ("metamorphic", metamorphic_props) ]
