@@ -584,6 +584,76 @@ let join_scaling () =
   print_endline "  wrote BENCH_join.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Provenance overhead gate                                            *)
+
+(* Three legs over the same Dempster-heavy workload (extended union of
+   the 1000-tuple source pair): baseline (provenance never enabled),
+   enabled (every combination records lineage), disabled again (guards
+   compiled in, store off, arena reset). The gate compares min times:
+   disabled / baseline must stay within 5%, i.e. recording must be
+   strictly pay-for-use — flipping it on and off may not leave residual
+   cost in the hot paths. Results go to BENCH_provenance.json; a
+   breach exits non-zero so CI fails. *)
+let provenance_gate () =
+  let a, b = baseline_pair in
+  let workload () = ignore (Erm.Ops.union a b) in
+  let batch () =
+    workload ();
+    (* warm-up *)
+    let t0 = Unix.gettimeofday () in
+    let rec go n =
+      workload ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < 0.05 && n < 1000 then go (n + 1) else dt /. float_of_int n *. 1e9
+    in
+    go 1
+  in
+  let time_leg () =
+    List.fold_left
+      (fun acc _ -> Float.min acc (batch ()))
+      Float.max_float [ 1; 2; 3; 4; 5 ]
+  in
+  Obs.Provenance.disable ();
+  Obs.Provenance.reset ();
+  let baseline_ns = time_leg () in
+  Obs.Provenance.enable ();
+  Obs.Provenance.reset ();
+  let enabled_ns = time_leg () in
+  let nodes = Obs.Provenance.count () in
+  Obs.Provenance.disable ();
+  Obs.Provenance.reset ();
+  let disabled_ns = time_leg () in
+  let ratio = disabled_ns /. baseline_ns in
+  let pass = ratio <= 1.05 in
+  print_endline "provenance-gate (union-1000, min of 5 batches):";
+  Printf.printf "  baseline (never enabled)  %12.0f ns/run\n" baseline_ns;
+  Printf.printf "  enabled  (%8d nodes)  %12.0f ns/run\n" nodes enabled_ns;
+  Printf.printf "  disabled (after reset)    %12.0f ns/run\n" disabled_ns;
+  Printf.printf "  disabled/baseline ratio   %.3f (gate: <= 1.05) %s\n%!"
+    ratio
+    (if pass then "OK" else "FAIL");
+  let oc = open_out "BENCH_provenance.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"union-1000\",\n\
+    \  \"baseline_ns\": %.0f,\n\
+    \  \"enabled_ns\": %.0f,\n\
+    \  \"disabled_ns\": %.0f,\n\
+    \  \"enabled_nodes\": %d,\n\
+    \  \"disabled_over_baseline\": %.4f,\n\
+    \  \"gate\": 1.05,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    baseline_ns enabled_ns disabled_ns nodes ratio pass;
+  close_out oc;
+  print_endline "  wrote BENCH_provenance.json\n";
+  if not pass then begin
+    print_endline
+      "  PROVENANCE GATE FAILED - disabled evaluation regressed > 5%";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 
 let run_group (group_name, tests) =
@@ -609,10 +679,16 @@ let run_group (group_name, tests) =
   print_newline ()
 
 let () =
+  if Array.exists (String.equal "--provenance-gate") Sys.argv then begin
+    (* CI mode: only the overhead gate, so the job stays fast. *)
+    provenance_gate ();
+    exit 0
+  end;
   print_endline "verifying artifacts against the paper:";
   verify ();
   federation_fault_sweep ();
   join_scaling ();
+  provenance_gate ();
   List.iter run_group
     [ ("paper-artifacts", artifact_tests);
       ("combination-scaling", combine_sweep);

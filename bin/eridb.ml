@@ -1,16 +1,18 @@
 (* eridb — an interactive shell over extended relations.
 
-   Usage: eridb [--trace-out FILE] [FILE.erd ...]
+   Usage: eridb [--trace-out FILE] [--provenance-out FILE] [FILE.erd ...]
 
    Loads the given .erd files into the environment, then reads queries
    (and dot-commands) from stdin. With --trace-out, every span recorded
    during the session is written to FILE as Chrome trace JSON on exit.
+   With --provenance-out, lineage recording is enabled and the arena is
+   written to FILE on exit (.dot selects Graphviz, anything else JSON).
    ERIDB_CLOCK=virtual replaces the wall clock with a simulated one, so
    all durations are deterministic (0). *)
 
 let usage = {|eridb — evidential extended-relation shell
 
-Usage: eridb [--trace-out FILE] [FILE.erd ...]
+Usage: eridb [--trace-out FILE] [--provenance-out FILE] [FILE.erd ...]
 
 Commands:
   .help                 show this help
@@ -38,6 +40,12 @@ Commands:
                         (bare .trace reports the current state)
   .metrics              dump the metrics registry (counters, gauges,
                         histograms); .metrics reset clears it
+  .provenance on|off    record a lineage node for every evidential
+                        derivation (bare .provenance reports the state;
+                        .provenance reset clears the arena)
+  .why KEY [ATTR]       explain a tuple of the last query result: the
+                        derivation tree of its membership support, or of
+                        attribute ATTR's combined evidence
   .quit                 exit
 
 Anything else is evaluated as a query, e.g.:
@@ -72,6 +80,8 @@ let load_file path =
         (fun r ->
           let name = Erm.Schema.name (Erm.Relation.schema r) in
           bind name r;
+          if Obs.Provenance.on () then
+            Erm.Lineage.register_relation ~name r;
           Printf.printf "loaded %s (%d tuples)\n" name
             (Erm.Relation.cardinal r))
         relations
@@ -80,10 +90,15 @@ let load_file path =
       else Printf.printf "error: %s:%d: %s\n" path line message
   | exception Sys_error m -> Printf.printf "error: %s\n" m
 
+(* The most recent successful query result — what .why explains. *)
+let last_result : Erm.Relation.t option ref = ref None
+
 let run_query text =
   let mark = Obs.Trace.count Obs.Trace.default in
   (match Query.Physical.run ~ctx ~guard !env text with
-  | r -> Erm.Render.print ~title:"result" r
+  | r ->
+      last_result := Some r;
+      Erm.Render.print ~title:"result" r
   | exception Query.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
   | exception Query.Physical.Rejected findings ->
       Printf.printf "rejected by the static checker (.strict off to override):\n";
@@ -104,6 +119,64 @@ let split_first s =
   | None -> (s, "")
   | Some i ->
       (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+(* .why KEY [ATTR]: resolve a tuple of the last result by its printed
+   key, then render the derivation tree of the requested value. The κ
+   footer is the sum-check against dst.combine.conflict_kappa: over a
+   fresh arena + registry, the per-step κ values of all derivation
+   trees add up to the histogram's sum. *)
+let why_command rest =
+  let key_str, attr = split_first rest in
+  if key_str = "" then print_string "usage: .why KEY [ATTR]\n"
+  else if not (Obs.Provenance.on ()) then
+    print_string "provenance is off (.provenance on, then re-run the query)\n"
+  else
+    match !last_result with
+    | None -> print_string "no query result to explain yet\n"
+    | Some r -> (
+        let tuple =
+          Erm.Relation.fold
+            (fun t acc ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  if String.equal (Erm.Lineage.key_string t) key_str then
+                    Some t
+                  else None)
+            r None
+        in
+        match tuple with
+        | None ->
+            Printf.printf "no tuple with key (%s) in the last result\n" key_str
+        | Some t -> (
+            let lookup =
+              if attr = "" then Ok (Obs.Provenance.find (Erm.Lineage.tm_digest t))
+              else
+                match Erm.Etuple.cell (Erm.Relation.schema r) t attr with
+                | Erm.Etuple.Evidence e ->
+                    Ok (Obs.Provenance.find (Dst.Mass.F.digest e))
+                | Erm.Etuple.Definite _ ->
+                    Error
+                      (Printf.sprintf
+                         "%s holds a definite value; no evidential lineage\n"
+                         attr)
+                | exception Not_found ->
+                    Error (Printf.sprintf "unknown attribute %s\n" attr)
+            in
+            match lookup with
+            | Error m -> print_string m
+            | Ok None ->
+                print_string
+                  "no lineage recorded for that value (was provenance on \
+                   when it was derived?)\n"
+            | Ok (Some id) ->
+                let tree = Obs.Why.tree id in
+                Format.printf "%a@." Obs.Why.pp tree;
+                let sum, n = Obs.Why.kappa_steps tree in
+                if n > 0 then
+                  Printf.printf
+                    "kappa sum-check: %d Dempster step(s), total kappa = %.6g\n"
+                    n sum))
 
 let handle_command line =
   let cmd, rest = split_first line in
@@ -304,11 +377,36 @@ let handle_command line =
       | _ -> print_string "usage: .trace on|off\n")
   | ".metrics" -> (
       match rest with
-      | "" -> print_string (Obs.Export.metrics_text ())
+      | "" ->
+          if Obs.Provenance.on () then Obs.Provenance.publish ();
+          print_string (Obs.Export.metrics_text ())
       | "reset" ->
           Obs.Metrics.reset ();
           print_string "metrics reset\n"
       | _ -> print_string "usage: .metrics [reset]\n")
+  | ".provenance" -> (
+      match rest with
+      | "on" ->
+          Obs.Provenance.enable ();
+          (* Existing bindings become Source leaves so derivations
+             recorded from here on resolve to stored tuples. *)
+          List.iter
+            (fun (name, r) -> Erm.Lineage.register_relation ~name r)
+            !env;
+          print_string "provenance on\n"
+      | "off" ->
+          Obs.Provenance.disable ();
+          print_string "provenance off\n"
+      | "reset" ->
+          Obs.Provenance.reset ();
+          print_string "provenance reset\n"
+      | "" ->
+          Printf.printf "provenance is %s (%d node(s), max depth %d)\n"
+            (if Obs.Provenance.on () then "on" else "off")
+            (Obs.Provenance.count ())
+            (Obs.Provenance.max_depth ())
+      | _ -> print_string "usage: .provenance on|off|reset\n")
+  | ".why" -> why_command rest
   | ".analyze" -> (
       match Query.Parser.parse rest with
       | q -> (
@@ -345,17 +443,17 @@ let repl () =
   in
   loop ()
 
-(* Peel --trace-out FILE out of the argument list; everything left is
-   an .erd file to load. *)
-let rec split_trace_out = function
-  | "--trace-out" :: file :: rest ->
-      let _, files = split_trace_out rest in
+(* Peel [flag FILE] out of the argument list; everything left is an
+   .erd file to load. *)
+let rec split_out flag = function
+  | f :: file :: rest when String.equal f flag ->
+      let _, files = split_out flag rest in
       (Some file, files)
-  | "--trace-out" :: [] ->
-      prerr_endline "eridb: --trace-out needs a file argument";
+  | [ f ] when String.equal f flag ->
+      Printf.eprintf "eridb: %s needs a file argument\n" flag;
       exit 2
   | a :: rest ->
-      let out, files = split_trace_out rest in
+      let out, files = split_out flag rest in
       (out, a :: files)
   | [] -> (None, [])
 
@@ -371,11 +469,17 @@ let () =
       print_string usage;
       exit 0
   | _ ->
-      let trace_out, files = split_trace_out args in
+      let trace_out, files = split_out "--trace-out" args in
+      let prov_out, files = split_out "--provenance-out" files in
       (match trace_out with
       | Some file ->
           Obs.Trace.enable Obs.Trace.default;
           at_exit (fun () -> Obs.Export.write_chrome Obs.Trace.default file)
+      | None -> ());
+      (match prov_out with
+      | Some file ->
+          Obs.Provenance.enable ();
+          at_exit (fun () -> Obs.Export.write_provenance file)
       | None -> ());
       List.iter load_file files);
   repl ()

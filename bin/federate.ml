@@ -8,7 +8,10 @@
    (Federation.Degrade over Integration.Multi), reports per-source
    outcomes, conflicts and reliabilities, and optionally queries or
    saves the result. --fault-plan/--seed inject deterministic chaos for
-   reproducible degradation runs.
+   reproducible degradation runs. --audit appends a per-merge lineage
+   audit with per-source κ-attribution; --metrics-out flushes the
+   metrics registry even on error exits (.prom selects Prometheus
+   exposition, anything else JSON).
 
    Exit codes: 0 success, 1 source/load/query failure, 2 quorum not
    met, 124 command-line usage error (Cmdliner). *)
@@ -84,17 +87,98 @@ let validate_files files =
     Error "static validation failed (see diagnostics above)"
   else Ok ()
 
+(* --audit: append a per-merge lineage audit. Each absorption step in
+   Integration.Multi brackets the provenance nodes it produced with a
+   Step node carrying a [from, to) id range; scanning each bracket
+   attributes every combination's κ to the source whose absorption
+   caused it, so flaky sources are rankable across runs. *)
+let write_audit path =
+  let module P = Obs.Provenance in
+  let nodes = P.nodes () in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# federate audit\n";
+      let per_source = ref [] in
+      List.iter
+        (fun (s : P.node) ->
+          if s.P.kind = P.Step then begin
+            let arg k =
+              match List.assoc_opt k s.P.args with Some v -> v | None -> ""
+            in
+            let name = arg "source" in
+            let from_ = int_of_string (arg "from") in
+            let upto = int_of_string (arg "to") in
+            let combines = ref 0 and ksum = ref 0.0 and kmax = ref 0.0 in
+            for i = from_ to upto - 1 do
+              let n = P.node i in
+              match (n.P.kind, n.P.kappa) with
+              | P.Combine, Some k ->
+                  incr combines;
+                  ksum := !ksum +. k;
+                  if k > !kmax then kmax := k
+              | _ -> ()
+            done;
+            for i = from_ to upto - 1 do
+              let n = P.node i in
+              if n.P.kind = P.Merge then begin
+                let kappa =
+                  Array.fold_left
+                    (fun acc j ->
+                      match (P.node j).P.kappa with
+                      | Some k -> acc +. k
+                      | None -> acc)
+                    0.0 n.P.inputs
+                in
+                let key =
+                  let l = n.P.label in
+                  let prefix = "merge " in
+                  let np = String.length prefix in
+                  if
+                    String.length l > np
+                    && String.equal (String.sub l 0 np) prefix
+                  then String.sub l np (String.length l - np)
+                  else l
+                in
+                Printf.fprintf oc "merge source=%s key=(%s) kappa=%.6g\n"
+                  name key kappa
+              end
+            done;
+            Printf.fprintf oc
+              "step source=%s combines=%d kappa_sum=%.6g kappa_max=%.6g\n"
+              name !combines !ksum !kmax;
+            per_source := (name, (!ksum, !combines)) :: !per_source
+          end)
+        nodes;
+      let ranked =
+        List.sort
+          (fun (a, (ka, _)) (b, (kb, _)) ->
+            match compare kb ka with 0 -> compare a b | c -> c)
+          !per_source
+      in
+      List.iteri
+        (fun i (name, (ksum, combines)) ->
+          Printf.fprintf oc "rank %d source=%s kappa_sum=%.6g combines=%d\n"
+            (i + 1) name ksum combines)
+        ranked)
+
 let run files relations discount name query csv out report_only fault_plan
     seed retries timeout_ms budget_ms min_sources skip_malformed validate
-    metrics_out =
+    metrics_out audit =
   (match metrics_out with
   | Some _ ->
       Obs.Metrics.enable ();
       Obs.Metrics.reset ()
   | None -> ());
+  (match audit with
+  | Some _ ->
+      Obs.Provenance.enable ();
+      Obs.Provenance.reset ()
+  | None -> ());
   let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
   let fail code m = Error (code, m) in
-  let result =
+  let body () =
     let* () =
       if validate then
         Result.map_error (fun m -> (exit_source_failure, m)) (validate_files files)
@@ -139,7 +223,19 @@ let run files relations discount name query csv out report_only fault_plan
         budget_ms;
         conflict_discount = discount }
     in
-    match Federation.Degrade.integrate ~config ~seed ~clock sources with
+    (* Combination exceptions escaping the runtime used to abort as an
+       uncaught exception, bypassing the metrics flush; turn them into
+       the typed source-failure exit instead. *)
+    let* outcome =
+      match Federation.Degrade.integrate ~config ~seed ~clock sources with
+      | outcome -> Ok outcome
+      | exception Dst.Mass.F.Total_conflict ->
+          fail exit_source_failure
+            "total conflict (kappa = 1) while combining evidence"
+      | exception Erm.Etuple.Tuple_error m ->
+          fail exit_source_failure ("tuple error: " ^ m)
+    in
+    match outcome with
     | Error (Federation.Degrade.Quorum_not_met { outcomes; _ } as f) ->
         Format.printf "%a@." Federation.Degrade.pp_outcomes outcomes;
         fail exit_quorum
@@ -152,6 +248,11 @@ let run files relations discount name query csv out report_only fault_plan
           report.Federation.Degrade.outcomes;
         Format.printf "%a@." Integration.Multi.pp
           report.Federation.Degrade.multi;
+        (match audit with
+        | Some path ->
+            write_audit path;
+            Printf.printf "wrote audit to %s\n" path
+        | None -> ());
         if report_only then Ok ()
         else begin
           let merged = report.Federation.Degrade.multi.integrated in
@@ -182,14 +283,24 @@ let run files relations discount name query csv out report_only fault_plan
               fail exit_source_failure ("parse error: " ^ m)
           | Query.Eval.Eval_error m -> fail exit_source_failure m
           | Erm.Ops.Incompatible_schemas m -> fail exit_source_failure m
+          | Dst.Mass.F.Total_conflict ->
+              fail exit_source_failure
+                "total conflict (kappa = 1) during query evaluation"
         end
   in
-  (match metrics_out with
-  | Some path ->
-      Obs.Export.write_metrics_json path;
-      Printf.printf "wrote metrics to %s\n" path
-  | None -> ());
-  result
+  (* The registry flush lives in a finalizer so runs that exit through a
+     typed error path (1/2/124) still write their metrics. The file
+     extension picks the format: .prom for Prometheus text exposition,
+     anything else JSON. *)
+  Fun.protect
+    ~finally:(fun () ->
+      match metrics_out with
+      | Some path ->
+          if Obs.Provenance.on () then Obs.Provenance.publish ();
+          Obs.Export.write_metrics path;
+          Printf.printf "wrote metrics to %s\n" path
+      | None -> ())
+    body
 
 let files_arg =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.erd")
@@ -328,16 +439,30 @@ let metrics_out_arg =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:
           "Write the run's metrics registry (combination counts, conflict \
-           mass, retry attempts, …) to $(docv) as JSON. The federation \
-           clock is simulated, so the dump is deterministic for a given \
-           seed and fault plan.")
+           mass, retry attempts, …) to $(docv) — Prometheus text \
+           exposition if $(docv) ends in .prom, JSON otherwise. Written \
+           even when the run exits with an error. The federation clock is \
+           simulated, so the dump is deterministic for a given seed and \
+           fault plan.")
+
+let audit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit" ] ~docv:"FILE"
+        ~doc:
+          "Enable provenance recording and append a per-merge audit log \
+           to $(docv): one line per merged key with its conflict mass, a \
+           per-source summary of every Dempster combination its \
+           absorption caused, and a ranking by total κ so flaky sources \
+           stand out across runs.")
 
 let term =
   Term.(
     const run $ files_arg $ relations_arg $ discount_arg $ name_arg
     $ query_arg $ csv_arg $ out_arg $ report_arg $ fault_plan_arg $ seed_arg
     $ retries_arg $ timeout_arg $ budget_arg $ min_sources_arg
-    $ skip_malformed_arg $ validate_arg $ metrics_out_arg)
+    $ skip_malformed_arg $ validate_arg $ metrics_out_arg $ audit_arg)
 
 let cmd =
   let doc = "integrate evidential (.erd) relations with Dempster's rule" in

@@ -28,12 +28,43 @@ let reset c =
    entry under a canonical ordering of the pair. *)
 let canonical m1 m2 = if Mass.F.compare m1 m2 <= 0 then (m1, m2) else (m2, m1)
 
+(* A cache hit must surface the original derivation, not re-derive.
+   Within one arena lifetime the result's digest is already bound (the
+   miss that populated the entry registered it), so this finds the
+   existing node and adds nothing. Only when the cache outlives the
+   arena (fresh store, warm cache) is a combination node reconstructed
+   from the memoized κ — Dempster's rule is never re-run. *)
+let link_hit m1 m2 result =
+  match result with
+  | Some (res, kappa) ->
+      let dres = Mass.F.digest res in
+      (match Obs.Provenance.find dres with
+      | Some _ -> ()
+      | None ->
+          let operand m =
+            Obs.Provenance.find_or_leaf (Mass.F.digest m)
+              ~label:(Mass.F.to_string m)
+          in
+          let i1 = operand m1 in
+          let i2 = operand m2 in
+          (* Same shape as the miss path's node — a warm-cache lineage
+             must be indistinguishable from the cold derivation. *)
+          let id =
+            Obs.Provenance.add Obs.Provenance.Combine (Mass.F.to_string res)
+              ~kappa ~norm:(1.0 -. kappa)
+              ~args:[ ("rule", "dempster") ]
+              ~inputs:[ i1; i2 ]
+          in
+          Obs.Provenance.register dres id)
+  | None -> ()
+
 let combine_opt c m1 m2 =
   let key = canonical m1 m2 in
   match Pmap.find_opt key c.table with
   | Some result ->
       c.hits <- c.hits + 1;
       Obs.Metrics.incr "combine_cache.hit";
+      if Obs.Provenance.on () then link_hit m1 m2 result;
       result
   | None ->
       c.misses <- c.misses + 1;

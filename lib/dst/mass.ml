@@ -46,6 +46,7 @@ module type S = sig
   val compare : t -> t -> int
   val pp : Format.formatter -> t -> unit
   val to_string : t -> string
+  val digest : t -> string
 end
 
 module Vmap = Map.Make (Vset)
@@ -160,6 +161,66 @@ module Make (N : Num.S) : S with type num = N.t = struct
     in
     chained by_size
 
+  let pp ppf m =
+    let omega = Domain.values m.frame in
+    let pp_focal ppf (set, x) =
+      if Vset.equal set omega then Format.fprintf ppf "~^%a" N.pp x
+      else Format.fprintf ppf "%a^%a" Vset.pp_compact set N.pp x
+    in
+    Format.fprintf ppf "[@[%a@]]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+         pp_focal)
+      (Vmap.bindings m.focals)
+
+  let to_string m = Format.asprintf "%a" pp m
+
+  (* Canonical digest: frame name, then the ordered focal assignment
+     with hex-float masses ([%h] is lossless for the float instance).
+     Bit-identical values digest equally, which is what gives every
+     distinct evidence value a single provenance identity. *)
+  let digest m =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf (Domain.name m.frame);
+    Buffer.add_char buf '#';
+    Buffer.add_string buf (string_of_int (Vset.cardinal (Domain.values m.frame)));
+    Vmap.iter
+      (fun set x ->
+        Buffer.add_char buf '|';
+        Buffer.add_string buf (Format.asprintf "%a" Vset.pp_compact set);
+        Buffer.add_char buf '^';
+        Buffer.add_string buf (Printf.sprintf "%h" (N.to_float x)))
+      m.focals;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+
+  (* Provenance hook shared by direct combination and the cache's miss
+     path: operands resolve to their registered derivations (or fresh
+     leaves when their history predates provenance being enabled), the
+     step records κ and the normalization factor, and the result's
+     digest is bound to the new node. *)
+  let record_combine m1 m2 result =
+    let operand m =
+      Obs.Provenance.find_or_leaf (digest m) ~label:(to_string m)
+    in
+    let i1 = operand m1 in
+    let i2 = operand m2 in
+    match result with
+    | Some (res, kappa) ->
+        let k = N.to_float kappa in
+        let id =
+          Obs.Provenance.add Obs.Provenance.Combine (to_string res) ~kappa:k
+            ~norm:(1.0 -. k)
+            ~args:[ ("rule", "dempster") ]
+            ~inputs:[ i1; i2 ]
+        in
+        Obs.Provenance.register (digest res) id
+    | None ->
+        ignore
+          (Obs.Provenance.add Obs.Provenance.Combine "(total conflict)"
+             ~kappa:1.0 ~norm:0.0
+             ~args:[ ("rule", "dempster") ]
+             ~inputs:[ i1; i2 ])
+
   let check_frames m1 m2 =
     if not (Domain.equal m1.frame m2.frame) then
       raise (Frame_mismatch (m1.frame, m2.frame))
@@ -203,22 +264,27 @@ module Make (N : Num.S) : S with type num = N.t = struct
       Obs.Metrics.incr "dst.combine.calls";
       Obs.Metrics.observe "dst.combine.conflict_kappa" (N.to_float !kappa)
     end;
-    if Vmap.is_empty !table then begin
-      Obs.Metrics.incr "dst.combine.total_conflict";
-      None
-    end
-    else
-      let norm = N.sub N.one !kappa in
-      (* Guard against float drift making norm ≤ 0 while some non-empty
-         product survived (cannot happen with exact arithmetic). *)
-      if N.compare norm N.zero <= 0 then begin
+    let result =
+      if Vmap.is_empty !table then begin
         Obs.Metrics.incr "dst.combine.total_conflict";
         None
       end
       else
-        Some
-          ( { frame = m1.frame; focals = Vmap.map (fun x -> N.div x norm) !table },
-            !kappa )
+        let norm = N.sub N.one !kappa in
+        (* Guard against float drift making norm ≤ 0 while some non-empty
+           product survived (cannot happen with exact arithmetic). *)
+        if N.compare norm N.zero <= 0 then begin
+          Obs.Metrics.incr "dst.combine.total_conflict";
+          None
+        end
+        else
+          Some
+            ( { frame = m1.frame;
+                focals = Vmap.map (fun x -> N.div x norm) !table },
+              !kappa )
+    in
+    if Obs.Provenance.on () then record_combine m1 m2 result;
+    result
 
   let combine m1 m2 =
     match combine_opt m1 m2 with
@@ -271,7 +337,7 @@ module Make (N : Num.S) : S with type num = N.t = struct
   let discount alpha m =
     if alpha < 0.0 || alpha > 1.0 then
       invalid_arg "Mass.discount: reliability outside [0,1]"
-    else
+    else begin
       let a = N.of_float alpha in
       let omega = Domain.values m.frame in
       let scaled =
@@ -281,7 +347,19 @@ module Make (N : Num.S) : S with type num = N.t = struct
           [ (omega, N.sub N.one a) ]
       in
       (* [make] merges the Ω entries and drops zeros. *)
-      make m.frame scaled
+      let result = make m.frame scaled in
+      if Obs.Provenance.on () && alpha < 1.0 then begin
+        let src =
+          Obs.Provenance.find_or_leaf (digest m) ~label:(to_string m)
+        in
+        let id =
+          Obs.Provenance.add Obs.Provenance.Discount (to_string result)
+            ~alpha ~inputs:[ src ]
+        in
+        Obs.Provenance.register (digest result) id
+      end;
+      result
+    end
 
   let condition m set = combine m (certain_set m.frame set)
 
@@ -358,19 +436,6 @@ module Make (N : Num.S) : S with type num = N.t = struct
     let c = Domain.compare m1.frame m2.frame in
     if c <> 0 then c else Vmap.compare N.compare m1.focals m2.focals
 
-  let pp ppf m =
-    let omega = Domain.values m.frame in
-    let pp_focal ppf (set, x) =
-      if Vset.equal set omega then Format.fprintf ppf "~^%a" N.pp x
-      else Format.fprintf ppf "%a^%a" Vset.pp_compact set N.pp x
-    in
-    Format.fprintf ppf "[@[%a@]]"
-      (Format.pp_print_list
-         ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
-         pp_focal)
-      (focals m)
-
-  let to_string m = Format.asprintf "%a" pp m
 end
 
 module F = Make (Num.Float)

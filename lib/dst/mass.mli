@@ -190,6 +190,15 @@ module type S = sig
       denotes Ω. *)
 
   val to_string : t -> string
+
+  val digest : t -> string
+  (** A canonical value digest (MD5 hex over the frame name and the
+      ordered focal assignment with hex-float masses): bit-identical
+      mass functions digest equally, so the provenance arena can give
+      every distinct evidence value one lineage identity. Exact for
+      the float instance; instances whose [num] loses precision under
+      [to_float] may alias distinct values (the rational instance is
+      test-only and runs with provenance off). *)
 end
 
 module Make (N : Num.S) : S with type num = N.t

@@ -35,3 +35,5 @@ let pignistic_distance m1 m2 =
     /. 2.0
 
 let total_uncertainty m = nonspecificity m +. dissonance m
+
+let conflict = Mass.F.conflict

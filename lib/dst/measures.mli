@@ -37,3 +37,9 @@ val pignistic_distance : Mass.F.t -> Mass.F.t -> float
 val total_uncertainty : Mass.F.t -> float
 (** [nonspecificity + dissonance] — an aggregate measure in the spirit
     of Klir's total uncertainty. *)
+
+val conflict : Mass.F.t -> Mass.F.t -> float
+(** The conflict mass κ of Dempster combination — [Mass.F.conflict]
+    under the measures namespace, so audit code can recompute the κ a
+    provenance node recorded without touching the combination rule
+    itself. @raise Mass.F.Frame_mismatch. *)

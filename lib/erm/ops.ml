@@ -17,7 +17,23 @@ let select ?(threshold = Threshold.always) pred r =
   let step tuple =
     let support = Predicate.eval schema tuple pred in
     let tm = Dst.Support.f_tm (Etuple.tm tuple) support in
-    if Threshold.satisfies threshold tm then Some (Etuple.with_tm tm tuple)
+    if Threshold.satisfies threshold tm then begin
+      let out = Etuple.with_tm tm tuple in
+      (* A crisp-true support leaves the membership bit-identical: no
+         new value is derived, so nothing is recorded — which is also
+         what makes lineage plan-invariant when a physical plan inserts
+         no-op selections (e.g. scan wrappers) naive evaluation lacks. *)
+      if
+        Obs.Provenance.on ()
+        && not
+             (Float.equal (Dst.Support.sn tm)
+                (Dst.Support.sn (Etuple.tm tuple))
+             && Float.equal (Dst.Support.sp tm)
+                  (Dst.Support.sp (Etuple.tm tuple)))
+      then
+        Lineage.record_support ~label:"select" ~support ~inputs:[ tuple ] out;
+      Some out
+    end
     else None
   in
   (* map_tuples drops any surviving tuple with sn = 0 (closure). *)
@@ -60,15 +76,19 @@ let union_with merge a b =
   List.fold_left add_if_positive (Relation.empty (Relation.schema a))
     (only_a @ rest)
 
+let merged_with_lineage x y m =
+  if Obs.Provenance.on () then Lineage.record_merge x y m;
+  Some m
+
 let union a b =
   let schema = Relation.schema a in
-  union_with (fun x y -> Some (Etuple.combine schema x y)) a b
+  union_with (fun x y -> merged_with_lineage x y (Etuple.combine schema x y)) a b
 
 let union_cached ~cache a b =
   let schema = Relation.schema a in
   union_with
     (fun x y ->
-      Some
+      merged_with_lineage x y
         (Etuple.combine_with
            ~combine_evidence:(Dst.Combine_cache.combine cache)
            schema x y))
@@ -121,7 +141,9 @@ let union_report a b =
           record key None "membership evidence in total conflict";
           raise Bail
       in
-      Some (Etuple.make schema ~key ~cells ~tm)
+      let m = Etuple.make schema ~key ~cells ~tm in
+      if Obs.Provenance.on () then Lineage.record_merge x y m;
+      Some m
     with Bail -> None
   in
   let result = union_with merge a b in
@@ -146,8 +168,13 @@ let join ?(threshold = Threshold.always) pred a b =
           let support = Predicate.eval_product sa sb ta tb pred in
           let paired = Etuple.concat ta tb in
           let tm = Dst.Support.f_tm (Etuple.tm paired) support in
-          if Threshold.satisfies threshold tm && Dst.Support.positive tm then
-            Relation.add acc (Etuple.with_tm tm paired)
+          if Threshold.satisfies threshold tm && Dst.Support.positive tm then begin
+            let out = Etuple.with_tm tm paired in
+            if Obs.Provenance.on () then
+              Lineage.record_support ~label:"join" ~support
+                ~inputs:[ ta; tb ] out;
+            Relation.add acc out
+          end
           else acc)
         b acc)
     a (Relation.empty schema)
@@ -200,7 +227,15 @@ let join_indexed ?(threshold = Threshold.always)
                 if Threshold.satisfies threshold tm && Dst.Support.positive tm
                 then begin
                   incr kept;
-                  Relation.add acc (Etuple.with_tm tm paired)
+                  let out = Etuple.with_tm tm paired in
+                  (* The crisp equality conjunct contributes (1,1) on
+                     every bucketed pair, so [support] here equals the
+                     nested loop's full-predicate support pair-for-pair
+                     — the recorded lineage is plan-invariant. *)
+                  if Obs.Provenance.on () then
+                    Lineage.record_support ~label:"join" ~support
+                      ~inputs:[ ta; tb ] out;
+                  Relation.add acc out
                 end
                 else acc)
               acc matches
@@ -251,6 +286,9 @@ let intersection a b =
   Relation.fold
     (fun t acc ->
       match Relation.find_opt b (Etuple.key t) with
-      | Some u -> add_if_positive acc (Etuple.combine schema t u)
+      | Some u ->
+          let m = Etuple.combine schema t u in
+          if Obs.Provenance.on () then Lineage.record_merge t u m;
+          add_if_positive acc m
       | None -> acc)
     a (Relation.empty schema)

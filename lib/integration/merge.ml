@@ -28,6 +28,7 @@ let of_matching schema (m : Entity_id.matching) =
     match Erm.Etuple.combine schema a b with
     | t ->
         incr merged;
+        if Obs.Provenance.on () then Erm.Lineage.record_merge a b t;
         Erm.Relation.replace acc t
     | exception Dst.Mass.F.Total_conflict ->
         conflicts :=

@@ -52,6 +52,15 @@ let integrate_inner ?(discount = false) ?(alpha_floor = 0.0) ?(prior = [])
   match sources with
   | [] -> raise No_sources
   | first :: rest ->
+      (* Sources register before any discounting or merging so that
+         discount and combination hooks resolve their operands to
+         Source leaves instead of anonymous operands. *)
+      if Obs.Provenance.on () then
+        List.iter
+          (fun s ->
+            Erm.Lineage.register_relation ~name:s.source_name
+              s.source_relation)
+          sources;
       let matrix = conflict_matrix sources in
       let reliabilities =
         List.map
@@ -72,18 +81,49 @@ let integrate_inner ?(discount = false) ?(alpha_floor = 0.0) ?(prior = [])
       let prepared s =
         let alpha = List.assoc s.source_name reliabilities in
         if alpha >= 1.0 then s.source_relation
-        else Reliability.discount_relation alpha s.source_relation
+        else begin
+          let d = Reliability.discount_relation alpha s.source_relation in
+          (* Evidence cells get Discount nodes from the Mass hook; the
+             membership support is discounted arithmetically, so its
+             lineage is recorded here. *)
+          if Obs.Provenance.on () then
+            Erm.Lineage.record_discount ~alpha s.source_relation d;
+          d
+        end
       in
       let conflicts = ref [] in
-      let integrated =
-        List.fold_left
-          (fun acc s ->
-            let merged, cs = Erm.Ops.union_report acc (prepared s) in
-            conflicts :=
-              !conflicts @ List.map (fun c -> (s.source_name, c)) cs;
-            merged)
-          (prepared first) rest
+      (* One absorption step per source: the [from, to) node range lets
+         the audit attribute every combination's κ to the source whose
+         absorption produced it. *)
+      let absorb acc s =
+        let mark =
+          if Obs.Provenance.on () then Obs.Provenance.count () else 0
+        in
+        let merged, cs = Erm.Ops.union_report acc (prepared s) in
+        conflicts := !conflicts @ List.map (fun c -> (s.source_name, c)) cs;
+        if Obs.Provenance.on () then begin
+          let upto = Obs.Provenance.count () in
+          ignore
+            (Obs.Provenance.add Obs.Provenance.Step
+               ("absorb " ^ s.source_name)
+               ~args:
+                 [ ("source", s.source_name);
+                   ("from", string_of_int mark);
+                   ("to", string_of_int upto) ]);
+          if Obs.Metrics.on () then
+            for i = mark to upto - 1 do
+              let n = Obs.Provenance.node i in
+              match (n.Obs.Provenance.kind, n.Obs.Provenance.kappa) with
+              | Obs.Provenance.Combine, Some k ->
+                  Obs.Metrics.observe
+                    ("dst.combine.kappa_by_source." ^ s.source_name)
+                    k
+              | _ -> ()
+            done
+        end;
+        merged
       in
+      let integrated = List.fold_left absorb (prepared first) rest in
       let report =
         { integrated; conflicts = !conflicts; conflict_matrix = matrix;
           reliabilities }

@@ -64,10 +64,12 @@ let metrics_text ?registry () =
                  Printf.sprintf "counter   %-36s %d\n" name n
              | Metrics.Gauge v ->
                  Printf.sprintf "gauge     %-36s %g\n" name v
-             | Metrics.Histogram { count; sum; min; max; last } ->
+             | Metrics.Histogram { count; sum; min; max; last; p50; p95; p99; _ }
+               ->
                  Printf.sprintf
-                   "histogram %-36s count=%d sum=%g min=%g max=%g last=%g\n"
-                   name count sum min max last)
+                   "histogram %-36s count=%d sum=%g min=%g max=%g last=%g \
+                    p50=%g p95=%g p99=%g\n"
+                   name count sum min max last p50 p95 p99)
            stats)
 
 let metrics_json ?registry () =
@@ -76,10 +78,10 @@ let metrics_json ?registry () =
       match stat with
       | Metrics.Counter n -> string_of_int n
       | Metrics.Gauge v -> Printf.sprintf "{\"gauge\":%g}" v
-      | Metrics.Histogram { count; sum; min; max; last } ->
+      | Metrics.Histogram { count; sum; min; max; last; p50; p95; p99; _ } ->
           Printf.sprintf
-            "{\"count\":%d,\"sum\":%g,\"min\":%g,\"max\":%g,\"last\":%g}"
-            count sum min max last
+            "{\"count\":%d,\"sum\":%g,\"min\":%g,\"max\":%g,\"last\":%g,\"quantiles\":{\"p50\":%g,\"p95\":%g,\"p99\":%g}}"
+            count sum min max last p50 p95 p99
     in
     Printf.sprintf "  %s: %s" (json_escape name) value
   in
@@ -90,3 +92,157 @@ let metrics_json ?registry () =
 
 let write_metrics_json ?registry path =
   write_file path (metrics_json ?registry ())
+
+(* ---- Prometheus text exposition ---------------------------------- *)
+
+let prom_name name =
+  let mangled =
+    String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+  in
+  "eridb_" ^ mangled
+
+let prom_le bound =
+  if bound = Float.infinity then "+Inf" else Printf.sprintf "%g" bound
+
+let metrics_prom ?registry () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, stat) ->
+      let p = prom_name name in
+      match stat with
+      | Metrics.Counter n ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s counter\n%s %d\n" p p n)
+      | Metrics.Gauge v ->
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s gauge\n%s %g\n" p p v)
+      | Metrics.Histogram { count; sum; buckets; _ } ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" p);
+          (* The grid is wide; emit only bounds where the cumulative
+             count steps (plus +Inf, which exposition requires). The
+             series stays monotone, so scrapers reconstruct the same
+             distribution. *)
+          let prev = ref (-1) in
+          List.iter
+            (fun (bound, cum) ->
+              if cum <> !prev || bound = Float.infinity then begin
+                prev := cum;
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" p
+                     (prom_le bound) cum)
+              end)
+            buckets;
+          Buffer.add_string buf (Printf.sprintf "%s_sum %g\n" p sum);
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" p count))
+    (Metrics.snapshot ?registry ());
+  Buffer.contents buf
+
+let write_metrics ?registry path =
+  if Filename.check_suffix path ".prom" then
+    write_file path (metrics_prom ?registry ())
+  else write_metrics_json ?registry path
+
+(* ---- Provenance exports ------------------------------------------ *)
+
+let provenance_json ?store () =
+  let buf = Buffer.create 1024 in
+  let nodes = Provenance.nodes ?store () in
+  Buffer.add_string buf "{\n\"nodes\": [\n";
+  let opt_field name = function
+    | Some v -> Printf.sprintf ",\"%s\":%g" name v
+    | None -> ""
+  in
+  List.iteri
+    (fun i (n : Provenance.node) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let args =
+        match n.args with
+        | [] -> ""
+        | kvs ->
+            Printf.sprintf ",\"args\":{%s}"
+              (String.concat ","
+                 (List.map
+                    (fun (k, v) -> json_escape k ^ ":" ^ json_escape v)
+                    kvs))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"id\":%d,\"kind\":%s,\"label\":%s%s%s%s%s,\"inputs\":[%s]}"
+           n.id
+           (json_escape (Provenance.kind_name n.kind))
+           (json_escape n.label) (opt_field "kappa" n.kappa)
+           (opt_field "norm" n.norm) (opt_field "alpha" n.alpha) args
+           (String.concat ","
+              (Array.to_list (Array.map string_of_int n.inputs)))))
+    nodes;
+  Buffer.add_string buf "\n],\n\"edges\": [\n";
+  let first = ref true in
+  List.iter
+    (fun (n : Provenance.node) ->
+      Array.iter
+        (fun i ->
+          if !first then first := false else Buffer.add_string buf ",\n";
+          Buffer.add_string buf (Printf.sprintf "[%d,%d]" i n.id))
+        n.inputs)
+    nodes;
+  Buffer.add_string buf "\n]\n}\n";
+  Buffer.contents buf
+
+let dot_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let dot_shape = function
+  | Provenance.Source -> "box"
+  | Provenance.Operand -> "plaintext"
+  | Provenance.Combine -> "ellipse"
+  | Provenance.Discount -> "trapezium"
+  | Provenance.Support -> "diamond"
+  | Provenance.Merge -> "hexagon"
+  | Provenance.Step -> "note"
+
+let provenance_dot ?store () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph provenance {\n  rankdir=BT;\n";
+  let nodes = Provenance.nodes ?store () in
+  List.iter
+    (fun (n : Provenance.node) ->
+      let deco =
+        (match n.kappa with
+        | Some k -> Printf.sprintf "\\nkappa=%.6g" k
+        | None -> "")
+        ^
+        match n.alpha with
+        | Some a -> Printf.sprintf "\\nalpha=%.6g" a
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=%s label=\"%s %s%s\"];\n" n.id
+           (dot_shape n.kind)
+           (Provenance.kind_name n.kind)
+           (dot_escape n.label) deco))
+    nodes;
+  List.iter
+    (fun (n : Provenance.node) ->
+      Array.iter
+        (fun i ->
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" i n.id))
+        n.inputs)
+    nodes;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_provenance ?store path =
+  if Filename.check_suffix path ".dot" then
+    write_file path (provenance_dot ?store ())
+  else write_file path (provenance_json ?store ())

@@ -21,12 +21,38 @@ val write_chrome : ?from:int -> Trace.t -> string -> unit
 val metrics_text : ?registry:Metrics.registry -> unit -> string
 (** One metric per line, name-sorted:
     [counter dst.combine.calls 42]. Histograms show
-    [count/sum/min/max/last]. Empty registries produce
-    ["(no metrics recorded)\n"]. *)
+    [count/sum/min/max/last] plus interpolated [p50/p95/p99]. Empty
+    registries produce ["(no metrics recorded)\n"]. *)
 
 val metrics_json : ?registry:Metrics.registry -> unit -> string
 (** A JSON object keyed by metric name, one metric per line; counters
     are numbers, gauges [{"gauge": v}], histograms an object with
-    [count/sum/min/max/last]. *)
+    [count/sum/min/max/last] and a [quantiles] object holding
+    [p50/p95/p99]. *)
 
 val write_metrics_json : ?registry:Metrics.registry -> string -> unit
+
+val metrics_prom : ?registry:Metrics.registry -> unit -> string
+(** Prometheus text exposition: [# TYPE] header per metric, names
+    prefixed [eridb_] with non-alphanumerics mangled to [_].
+    Histograms emit cumulative [_bucket{le="…"}] series (only bounds
+    where the count steps, plus [+Inf]), then [_sum] and [_count]. *)
+
+val write_metrics : ?registry:Metrics.registry -> string -> unit
+(** Dispatch on extension: [.prom] writes {!metrics_prom}, anything
+    else {!metrics_json}. *)
+
+val provenance_json : ?store:Provenance.t -> unit -> string
+(** The whole arena as [{"nodes": […], "edges": […]}]; nodes carry
+    id/kind/label, optional kappa/norm/alpha, args and input ids;
+    edges are [[from, to]] pairs (one per node input), so the edge
+    count equals the DOT export's. *)
+
+val provenance_dot : ?store:Provenance.t -> unit -> string
+(** Graphviz digraph, one [nN [...]] declaration per node (shape
+    encodes the kind) and one [nA -> nB;] line per input edge,
+    [rankdir=BT] so sources sit at the bottom. *)
+
+val write_provenance : ?store:Provenance.t -> string -> unit
+(** Dispatch on extension: [.dot] writes {!provenance_dot}, anything
+    else {!provenance_json}. *)

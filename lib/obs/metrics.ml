@@ -1,9 +1,39 @@
+(* Fixed log-spaced bucket upper bounds ({1,2,5} per decade from 1e-9
+   to 5e11, with a 0 bucket below and an overflow bucket above). The
+   grid is static so quantile estimates are deterministic, memory per
+   histogram is bounded, and the Prometheus exposition can reuse the
+   same cumulative counts. *)
+let bucket_bounds =
+  let acc = ref [ 0.0 ] in
+  for e = -9 to 11 do
+    List.iter
+      (fun m -> acc := (m *. (10.0 ** float_of_int e)) :: !acc)
+      [ 1.0; 2.0; 5.0 ]
+  done;
+  Array.of_list (List.sort compare !acc)
+
+let bucket_count = Array.length bucket_bounds + 1 (* + overflow *)
+
+(* First bucket whose upper bound is >= v (overflow past the grid). *)
+let bucket_index v =
+  let n = Array.length bucket_bounds in
+  if v > bucket_bounds.(n - 1) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bucket_bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
 type histo = {
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
   mutable h_last : float;
+  h_buckets : int array;
 }
 
 type metric = M_counter of int ref | M_gauge of float ref | M_histo of histo
@@ -22,6 +52,10 @@ type stat =
       min : float;
       max : float;
       last : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+      buckets : (float * int) list;
     }
 
 let create () = { table = Hashtbl.create 64; live = true }
@@ -60,12 +94,21 @@ let observe ?(registry = default) name v =
         h.h_sum <- h.h_sum +. v;
         if v < h.h_min then h.h_min <- v;
         if v > h.h_max then h.h_max <- v;
-        h.h_last <- v
+        h.h_last <- v;
+        let i = bucket_index v in
+        h.h_buckets.(i) <- h.h_buckets.(i) + 1
     | Some _ -> kind_error name
     | None ->
-        Hashtbl.add registry.table name
-          (M_histo
-             { h_count = 1; h_sum = v; h_min = v; h_max = v; h_last = v })
+        let h =
+          { h_count = 1;
+            h_sum = v;
+            h_min = v;
+            h_max = v;
+            h_last = v;
+            h_buckets = Array.make bucket_count 0 }
+        in
+        h.h_buckets.(bucket_index v) <- 1;
+        Hashtbl.add registry.table name (M_histo h)
 
 let counter ?(registry = default) name =
   match Hashtbl.find_opt registry.table name with
@@ -78,6 +121,48 @@ let last ?(registry = default) name =
   | Some (M_gauge g) -> Some !g
   | Some (M_counter _) | None -> None
 
+(* Linear interpolation inside the bucket where the cumulative count
+   crosses q·n, clamped to the observed [min, max]. Deterministic
+   (same samples, any order → same estimate); exact when the samples
+   are evenly spread across the crossing bucket. *)
+let quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let target = q *. float_of_int h.h_count in
+    let n = Array.length h.h_buckets in
+    let rec walk i cum =
+      if i >= n then h.h_max
+      else
+        let c = h.h_buckets.(i) in
+        let cum' = cum + c in
+        if c > 0 && float_of_int cum' >= target then begin
+          let lo = if i = 0 then h.h_min else bucket_bounds.(i - 1) in
+          let hi =
+            if i >= Array.length bucket_bounds then h.h_max
+            else bucket_bounds.(i)
+          in
+          let lo = Float.max lo h.h_min and hi = Float.min hi h.h_max in
+          let est =
+            lo +. ((hi -. lo) *. ((target -. float_of_int cum) /. float_of_int c))
+          in
+          Float.max h.h_min (Float.min h.h_max est)
+        end
+        else walk (i + 1) cum'
+    in
+    walk 0 0
+  end
+
+(* Cumulative (bound, count <= bound) pairs, one per grid bound plus
+   the +infinity overflow — the shape Prometheus histograms expect. *)
+let cumulative_buckets h =
+  let cum = ref 0 in
+  let grid =
+    List.init (Array.length bucket_bounds) (fun i ->
+        cum := !cum + h.h_buckets.(i);
+        (bucket_bounds.(i), !cum))
+  in
+  grid @ [ (Float.infinity, h.h_count) ]
+
 let stat_of = function
   | M_counter c -> Counter !c
   | M_gauge g -> Gauge !g
@@ -87,7 +172,11 @@ let stat_of = function
           sum = h.h_sum;
           min = h.h_min;
           max = h.h_max;
-          last = h.h_last }
+          last = h.h_last;
+          p50 = quantile h 0.50;
+          p95 = quantile h 0.95;
+          p99 = quantile h 0.99;
+          buckets = cumulative_buckets h }
 
 let snapshot ?(registry = default) () =
   Hashtbl.fold (fun name m acc -> (name, stat_of m) :: acc) registry.table []

@@ -26,6 +26,14 @@ type stat =
       min : float;
       max : float;
       last : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+      buckets : (float * int) list;
+          (** cumulative [(upper_bound, count <= bound)] over a fixed
+              log-spaced grid ({1,2,5} per decade), ending with the
+              [+infinity] overflow bucket — the shape a Prometheus
+              exposition needs. *)
     }
 
 val create : unit -> registry
@@ -51,7 +59,11 @@ val gauge : ?registry:registry -> string -> float -> unit
 (** Set a gauge to its latest value. *)
 
 val observe : ?registry:registry -> string -> float -> unit
-(** Record one histogram sample (count/sum/min/max/last are kept). *)
+(** Record one histogram sample. Besides count/sum/min/max/last, the
+    sample lands in a fixed log-spaced bucket grid from which
+    {!snapshot} estimates p50/p95/p99 by linear interpolation inside
+    the crossing bucket (clamped to the observed min/max) — a
+    deterministic, bounded-memory estimate. *)
 
 val counter : ?registry:registry -> string -> int
 (** Current value of a counter; 0 when the name is unbound. *)

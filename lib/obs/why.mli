@@ -1,0 +1,34 @@
+(** Derivation trees over the provenance arena.
+
+    A {!tree} is the unfolding of one node's input DAG. Shared
+    sub-derivations (the same node reachable along two paths) are
+    expanded once; later occurrences are marked [shared] and carry no
+    children, so the rendering stays linear in the arena size.
+
+    {!equal} compares trees structurally — kind, label, κ/norm/α,
+    args, sharing markers and children, but {e not} node ids — so two
+    arenas populated by different evaluation orders can be checked for
+    identical derivations. *)
+
+type tree = { root : Provenance.node; children : tree list; shared : bool }
+
+val tree : ?store:Provenance.t -> int -> tree
+(** Unfold the derivation rooted at a node id. *)
+
+val pp : Format.formatter -> tree -> unit
+(** Indented one-node-per-line rendering:
+    [#id kind label (κ=…, norm=…, …)]. *)
+
+val render : ?store:Provenance.t -> int -> string
+(** {!tree} then {!pp}, with a trailing newline. *)
+
+val equal : tree -> tree -> bool
+(** Structural equality ignoring node ids. *)
+
+val kappa_steps : tree -> float * int
+(** [(Σκ, n)] over the distinct Dempster combination nodes in the
+    tree (nodes tagged [rule=dempster]; membership-frame support
+    combinations are excluded). This is the per-derivation number
+    that sum-checks against the [dst.combine.conflict_kappa]
+    histogram when the registry was reset at the same time as the
+    arena. *)

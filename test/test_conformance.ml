@@ -3,8 +3,9 @@
    supports — on randomly generated workloads:
 
    - the naive evaluator (Query.Eval), the reference semantics;
-   - the physical planner (Query.Physical), with tracing off and on —
-     observability must have no observer effect;
+   - the physical planner (Query.Physical), with tracing off and on and
+     with provenance recording on — observability must have no observer
+     effect;
    - the single-source integration surface (Integration.Multi), which
      must be the identity on any query result.
 
@@ -90,6 +91,17 @@ let with_default_tracing f =
       Obs.Trace.clear Obs.Trace.default)
     f
 
+(* Same discipline for the lineage arena: the provenance legs must flip
+   the default store the recording hooks consult. *)
+let with_default_provenance f =
+  Obs.Provenance.reset ();
+  Obs.Provenance.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Provenance.disable ();
+      Obs.Provenance.reset ())
+    f
+
 (* --- properties ------------------------------------------------------ *)
 
 let conformance_props =
@@ -114,6 +126,24 @@ let conformance_props =
           with_default_tracing (fun () -> Query.Physical.eval_fast ~ctx env q)
         in
         exact_rel_equal naive traced);
+    prop "provenance never changes a physical result" seed_arb (fun s ->
+        let env, q = make_case s in
+        let plain = Query.Physical.eval_fast ~ctx env q in
+        let recorded =
+          with_default_provenance (fun () ->
+            Query.Physical.eval_fast ~ctx env q)
+        in
+        exact_rel_equal plain recorded);
+    prop "provenance-on physical = naive (no observer effect vs reference)"
+      seed_arb
+      (fun s ->
+        let env, q = make_case s in
+        let naive = Query.Eval.eval env q in
+        let recorded =
+          with_default_provenance (fun () ->
+            Query.Physical.eval_fast ~ctx env q)
+        in
+        exact_rel_equal naive recorded);
     prop "single-source integration is the identity on query results"
       seed_arb
       (fun s ->

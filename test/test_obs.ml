@@ -58,7 +58,7 @@ let test_gauges_histograms () =
   | Some v -> check "histogram last" true (Float.equal v 2.0)
   | None -> Alcotest.fail "histogram missing");
   match M.snapshot ~registry:r () with
-  | [ ("g", M.Gauge _); ("h", M.Histogram { count; sum; min; max; last }) ]
+  | [ ("g", M.Gauge _); ("h", M.Histogram { count; sum; min; max; last; _ }) ]
     ->
       check_int "histogram count" 3 count;
       check "histogram sum" true (Float.equal sum 6.0);
@@ -175,7 +175,7 @@ let test_metrics_export () =
   M.observe ~registry:r "h" 1.5;
   let json = Obs.Export.metrics_json ~registry:r () in
   check_str "metrics json" "{\n  \"c\": 3,\n  \"h\": \
-                            {\"count\":1,\"sum\":1.5,\"min\":1.5,\"max\":1.5,\"last\":1.5}\n}\n"
+                            {\"count\":1,\"sum\":1.5,\"min\":1.5,\"max\":1.5,\"last\":1.5,\"quantiles\":{\"p50\":1.5,\"p95\":1.5,\"p99\":1.5}}\n}\n"
     json;
   let text = Obs.Export.metrics_text ~registry:r () in
   check "text mentions counter" true
@@ -184,6 +184,53 @@ let test_metrics_export () =
     (Obs.Export.metrics_text ~registry:(M.create ()) ());
   check_str "empty registry json" "{}\n"
     (Obs.Export.metrics_json ~registry:(M.create ()) ())
+
+(* Pins the quantile estimator: samples 1..10 land in the {1,2,5}
+   log-grid as 1→le1, 2→le2, {3,4,5}→le5, {6..10}→le10, and linear
+   interpolation inside the crossing bucket gives exact rank
+   estimates for this evenly-spread workload. *)
+let test_quantile_interpolation () =
+  let r = M.create () in
+  for i = 1 to 10 do
+    M.observe ~registry:r "q" (float_of_int i)
+  done;
+  match M.snapshot ~registry:r () with
+  | [ ("q", M.Histogram { p50; p95; p99; buckets; _ }) ] ->
+      check "p50 interpolates to 5" true (Float.equal p50 5.0);
+      check "p95 interpolates to 9.5" true (Float.equal p95 9.5);
+      check "p99 interpolates to 9.9" true (Float.equal p99 9.9);
+      (match List.rev buckets with
+      | (inf, total) :: _ ->
+          check "overflow bound is +Inf" true (inf = Float.infinity);
+          check_int "cumulative reaches count" 10 total
+      | [] -> Alcotest.fail "no buckets");
+      check "cumulative counts are monotone" true
+        (let rec mono prev = function
+           | [] -> true
+           | (_, c) :: rest -> c >= prev && mono c rest
+         in
+         mono 0 buckets)
+  | _ -> Alcotest.fail "snapshot shape"
+
+let test_prometheus_export () =
+  let r = M.create () in
+  M.incr ~registry:r ~by:3 "dst.combine.calls";
+  M.gauge ~registry:r "provenance.nodes" 7.0;
+  M.observe ~registry:r "h" 1.5;
+  let prom = Obs.Export.metrics_prom ~registry:r () in
+  let has sub =
+    let n = String.length sub and h = String.length prom in
+    let rec go i = i + n <= h && (String.sub prom i n = sub || go (i + 1)) in
+    go 0
+  in
+  check "counter type line" true (has "# TYPE eridb_dst_combine_calls counter");
+  check "counter sample" true (has "eridb_dst_combine_calls 3");
+  check "gauge mangled name" true (has "eridb_provenance_nodes 7");
+  check "histogram type" true (has "# TYPE eridb_h histogram");
+  check "bucket line" true (has "eridb_h_bucket{le=\"2\"} 1");
+  check "inf bucket" true (has "eridb_h_bucket{le=\"+Inf\"} 1");
+  check "sum line" true (has "eridb_h_sum 1.5");
+  check "count line" true (has "eridb_h_count 1")
 
 (* --- acceptance: span tree = plan shape ------------------------------ *)
 
@@ -248,7 +295,8 @@ let () =
         [ t "counters" test_counters;
           t "gauges and histograms" test_gauges_histograms;
           t "kind collision" test_kind_collision;
-          t "disabled default no-ops" test_disabled_default_noops ] );
+          t "disabled default no-ops" test_disabled_default_noops;
+          t "quantile interpolation" test_quantile_interpolation ] );
       ( "trace",
         [ t "nesting" test_span_nesting;
           t "span recorded on raise" test_span_on_raise;
@@ -258,7 +306,8 @@ let () =
       ( "export",
         [ t "json escaping" test_json_escape;
           t "chrome trace" test_chrome_export;
-          t "metrics dumps" test_metrics_export ] );
+          t "metrics dumps" test_metrics_export;
+          t "prometheus exposition" test_prometheus_export ] );
       ( "acceptance",
         [ t "span tree matches join plan" test_span_tree_matches_plan;
           t "span tree matches union plan" test_span_tree_matches_union_plan;
