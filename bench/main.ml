@@ -493,29 +493,85 @@ let federation_fault_sweep () =
   print_endline "  wrote BENCH_federation.json\n"
 
 (* ------------------------------------------------------------------ *)
-(* Join scaling: indexed vs nested loop, sizes 10^2 .. 10^4            *)
+(* Join scaling: indexed vs nested loop, sizes 10^2 .. 10^6, plus the  *)
+(* sharded engine's worker curve and the flat-vs-map kernel curve      *)
 
 (* Bechamel's quota-driven repetition would take hours on the 10^8-pair
    nested loop, so this sweep uses a plain wall-clock timer: repeat
    until 0.2 s has elapsed (one warm-up run discarded), a single run for
-   anything that already takes longer. Results go to stdout and
-   BENCH_join.json. *)
-let join_scaling () =
-  let time f =
+   anything that already takes longer. The nested loop is only run up to
+   10^4 (10^8 pairs); above that its column is null. Results go to
+   stdout and BENCH_join.json. *)
+let wall_time f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  let rec go n =
     ignore (f ());
-    let t0 = Unix.gettimeofday () in
-    let rec go n =
-      ignore (f ());
-      let dt = Unix.gettimeofday () -. t0 in
-      if dt < 0.2 && n < 1000 then go (n + 1)
-      else dt /. float_of_int n *. 1e9
-    in
-    go 1
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < 0.2 && n < 1000 then go (n + 1) else dt /. float_of_int n *. 1e9
   in
+  go 1
+
+let join_domain_counts = [ 1; 2; 4 ]
+
+(* Flat vs map Dempster kernel: n combinations cycling through 64
+   pre-built operand pairs (distinct pairs, so the per-pair memo cache
+   cannot shortcut the arithmetic). Per-operation cost is flat in n;
+   the sweep shows both regimes from cold (n = 10^2) to steady-state
+   (n = 10^6), where the flat kernel's advantage is pure arithmetic. *)
+let combine_flat_vs_map () =
+  let dom = Workload.Gen.domain ~size:10 "flatbench" in
+  let frng = Workload.Rng.create 777 in
+  let pairs =
+    Array.init 64 (fun _ ->
+        ( Workload.Gen.evidence frng ~focals:6 ~max_focal_size:3 dom,
+          Workload.Gen.evidence frng ~focals:6 ~max_focal_size:3 dom ))
+  in
+  let it = Dst.Interner.create dom in
+  let flat_pairs =
+    Array.map
+      (fun (a, b) -> (Dst.Flat_mass.of_mass it a, Dst.Flat_mass.of_mass it b))
+      pairs
+  in
+  let per_op n f =
+    let batch () =
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to n - 1 do
+        f (i land 63)
+      done;
+      (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+    in
+    ignore (batch ());
+    List.fold_left
+      (fun acc _ -> Float.min acc (batch ()))
+      Float.max_float [ 1; 2; 3 ]
+  in
+  print_endline "combine-scaling (flat packed kernel vs map kernel):";
+  List.map
+    (fun n ->
+      let map_ns =
+        per_op n (fun i ->
+            let a, b = pairs.(i) in
+            ignore (Dst.Mass.F.combine_opt a b))
+      in
+      let flat_ns =
+        per_op n (fun i ->
+            let a, b = flat_pairs.(i) in
+            ignore (Dst.Flat_mass.combine_opt a b))
+      in
+      let speedup = map_ns /. flat_ns in
+      Printf.printf
+        "  n=%-8d map %8.1f ns/op  flat %8.1f ns/op  speedup %5.2fx\n%!" n
+        map_ns flat_ns speedup;
+      (n, map_ns, flat_ns, speedup))
+    [ 100; 1_000; 10_000; 100_000; 1_000_000 ]
+
+let join_scaling () =
   let key_eq =
     Erm.Predicate.theta Erm.Predicate.Eq (Erm.Predicate.Field "k")
       (Erm.Predicate.Field "r_k")
   in
+  let join_q = Query.Parser.parse "ja JOIN jb ON k = r_k" in
   print_endline "join-scaling (equi-join on the definite key, |out| = n):";
   let rows =
     List.map
@@ -533,25 +589,49 @@ let join_scaling () =
                ~size sweep_schema)
         in
         let nested_ns =
-          if size >= 10_000 then begin
+          if size > 10_000 then None (* n^2 > 10^8 pairs: hours per run *)
+          else if size >= 10_000 then begin
             (* single run: n^2 = 10^8 tuple pairs *)
             let t0 = Unix.gettimeofday () in
             ignore (Erm.Ops.join key_eq a b);
-            (Unix.gettimeofday () -. t0) *. 1e9
+            Some ((Unix.gettimeofday () -. t0) *. 1e9)
           end
-          else time (fun () -> Erm.Ops.join key_eq a b)
+          else Some (wall_time (fun () -> Erm.Ops.join key_eq a b))
         in
         let indexed_ns =
-          time (fun () ->
+          wall_time (fun () ->
               Erm.Ops.join_indexed ~left_attr:"k" ~right_attr:"r_k" a b)
         in
-        let speedup = nested_ns /. indexed_ns in
-        Printf.printf
-          "  n=%-6d nested-loop %14.0f ns  indexed %12.0f ns  speedup %8.1fx\n%!"
-          size nested_ns indexed_ns speedup;
-        (size, nested_ns, indexed_ns, speedup))
-      [ 100; 1_000; 10_000 ]
+        (* The same equi-join through the sharded engine (4 shards,
+           growing worker counts) — metrics/tracing are off here, so
+           this measures the parallel flat-kernel configuration. *)
+        let env = [ ("ja", a); ("jb", b) ] in
+        let sharded_ns =
+          List.map
+            (fun domains ->
+              ( domains,
+                wall_time (fun () ->
+                    Query.Physical.eval_fast
+                      ~ctx:(Query.Physical.create_ctx ())
+                      ~strategy:
+                        (Query.Physical.Sharded { shards = 4; domains })
+                      env join_q) ))
+            join_domain_counts
+        in
+        let speedup = Option.map (fun n -> n /. indexed_ns) nested_ns in
+        Printf.printf "  n=%-7d nested-loop %s  indexed %12.0f ns%s\n%!" size
+          (match nested_ns with
+          | Some ns -> Printf.sprintf "%14.0f ns" ns
+          | None -> "     (skipped) ")
+          indexed_ns
+          (String.concat ""
+             (List.map
+                (fun (d, ns) -> Printf.sprintf "  shard4/dom%d %12.0f ns" d ns)
+                sharded_ns));
+        (size, nested_ns, indexed_ns, speedup, sharded_ns))
+      [ 100; 1_000; 10_000; 100_000; 1_000_000 ]
   in
+  let kernel_rows = combine_flat_vs_map () in
   (* Per-operator spans for a representative physical-plan execution of
      the same equi-join at n = 1000 (hash join + two scans). *)
   let spans =
@@ -568,17 +648,49 @@ let join_scaling () =
     traced_spans (fun () ->
         ignore (Query.Physical.run env "ja JOIN jb ON k = r_k"))
   in
+  let opt_ns = function
+    | Some ns -> Printf.sprintf "%.0f" ns
+    | None -> "null"
+  in
+  let opt_ratio = function
+    | Some r -> Printf.sprintf "%.2f" r
+    | None -> "null"
+  in
   let oc = open_out "BENCH_join.json" in
   Printf.fprintf oc
-    "{\n  \"join_scaling\": [\n%s\n  ],\n  \"spans\": [\n%s\n  ]\n}\n"
+    "{\n\
+    \  \"join_scaling\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"combine_flat_vs_map\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"spans\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
     (String.concat ",\n"
        (List.map
-          (fun (size, nested_ns, indexed_ns, speedup) ->
+          (fun (size, nested_ns, indexed_ns, speedup, sharded_ns) ->
             Printf.sprintf
-              "    { \"size\": %d, \"nested_ns\": %.0f, \"indexed_ns\": \
-               %.0f, \"speedup\": %.2f }"
-              size nested_ns indexed_ns speedup)
+              "    { \"size\": %d, \"nested_ns\": %s, \"indexed_ns\": %.0f, \
+               \"speedup\": %s, \"sharded\": [%s] }"
+              size (opt_ns nested_ns) indexed_ns (opt_ratio speedup)
+              (String.concat ", "
+                 (List.map
+                    (fun (d, ns) ->
+                      Printf.sprintf
+                        "{ \"shards\": 4, \"domains\": %d, \"ns\": %.0f }" d ns)
+                    sharded_ns)))
           rows))
+    (String.concat ",\n"
+       (List.map
+          (fun (n, map_ns, flat_ns, speedup) ->
+            Printf.sprintf
+              "    { \"n\": %d, \"map_ns\": %.1f, \"flat_ns\": %.1f, \
+               \"speedup\": %.2f }"
+              n map_ns flat_ns speedup)
+          kernel_rows))
     (spans_json spans);
   close_out oc;
   print_endline "  wrote BENCH_join.json\n"
@@ -654,6 +766,78 @@ let provenance_gate () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Sharded-engine overhead gate                                        *)
+
+(* The Sharded strategy with shards = 1 must cost the same as the plain
+   physical executor — the engine stands aside entirely below two
+   shards, so routing everything through the strategy seam has to be
+   free. Gate: min times within 5%. The 4-shard single-worker ratio is
+   reported as information (partitioning + merge cost, paid back only
+   when workers parallelise). Results go to BENCH_sharded_gate.json; a
+   breach exits non-zero so CI fails. *)
+let sharded_gate () =
+  let a, b = baseline_pair in
+  let env = [ ("ua", a); ("ub", b) ] in
+  let q = Query.Parser.parse "ua UNION ub" in
+  let strategy_ns strategy =
+    let batch () =
+      let ctx = Query.Physical.create_ctx () in
+      ignore (Query.Physical.eval_fast ~ctx ?strategy env q);
+      (* warm-up *)
+      let t0 = Unix.gettimeofday () in
+      let rec go n =
+        ignore (Query.Physical.eval_fast ~ctx ?strategy env q);
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < 0.05 && n < 1000 then go (n + 1)
+        else dt /. float_of_int n *. 1e9
+      in
+      go 1
+    in
+    List.fold_left
+      (fun acc _ -> Float.min acc (batch ()))
+      Float.max_float [ 1; 2; 3; 4; 5 ]
+  in
+  let inline_ns = strategy_ns None in
+  let sharded1_ns =
+    strategy_ns
+      (Some (Query.Physical.Sharded { Query.Physical.shards = 1; domains = 1 }))
+  in
+  let sharded4_ns =
+    strategy_ns
+      (Some (Query.Physical.Sharded { Query.Physical.shards = 4; domains = 1 }))
+  in
+  let ratio = sharded1_ns /. inline_ns in
+  let pass = ratio <= 1.05 in
+  print_endline "sharded-gate (union-1000, min of 5 batches):";
+  Printf.printf "  inline physical           %12.0f ns/run\n" inline_ns;
+  Printf.printf "  sharded shards=1          %12.0f ns/run\n" sharded1_ns;
+  Printf.printf "  sharded shards=4 (1 wkr)  %12.0f ns/run (info: %.3fx)\n"
+    sharded4_ns (sharded4_ns /. inline_ns);
+  Printf.printf "  sharded1/inline ratio     %.3f (gate: <= 1.05) %s\n%!"
+    ratio
+    (if pass then "OK" else "FAIL");
+  let oc = open_out "BENCH_sharded_gate.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"union-1000\",\n\
+    \  \"inline_ns\": %.0f,\n\
+    \  \"sharded1_ns\": %.0f,\n\
+    \  \"sharded4_ns\": %.0f,\n\
+    \  \"sharded1_over_inline\": %.4f,\n\
+    \  \"gate\": 1.05,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    inline_ns sharded1_ns sharded4_ns ratio pass;
+  close_out oc;
+  print_endline "  wrote BENCH_sharded_gate.json\n";
+  if not pass then begin
+    print_endline
+      "  SHARDED GATE FAILED - single-shard strategy regressed > 5% over \
+       the inline executor";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 
 let run_group (group_name, tests) =
@@ -679,9 +863,20 @@ let run_group (group_name, tests) =
   print_newline ()
 
 let () =
+  Exec.Engine.install ();
   if Array.exists (String.equal "--provenance-gate") Sys.argv then begin
     (* CI mode: only the overhead gate, so the job stays fast. *)
     provenance_gate ();
+    exit 0
+  end;
+  if Array.exists (String.equal "--sharded-gate") Sys.argv then begin
+    (* CI mode: only the strategy-seam overhead gate. *)
+    sharded_gate ();
+    exit 0
+  end;
+  if Array.exists (String.equal "--join-scaling") Sys.argv then begin
+    (* Just the join/kernel sweep (regenerates BENCH_join.json). *)
+    join_scaling ();
     exit 0
   end;
   print_endline "verifying artifacts against the paper:";
@@ -689,6 +884,7 @@ let () =
   federation_fault_sweep ();
   join_scaling ();
   provenance_gate ();
+  sharded_gate ();
   List.iter run_group
     [ ("paper-artifacts", artifact_tests);
       ("combination-scaling", combine_sweep);

@@ -1,18 +1,31 @@
 (* eridb — an interactive shell over extended relations.
 
-   Usage: eridb [--trace-out FILE] [--provenance-out FILE] [FILE.erd ...]
+   Usage: eridb [--trace-out FILE] [--provenance-out FILE] [--domains N]
+                [FILE.erd ...]
 
    Loads the given .erd files into the environment, then reads queries
    (and dot-commands) from stdin. With --trace-out, every span recorded
    during the session is written to FILE as Chrome trace JSON on exit.
    With --provenance-out, lineage recording is enabled and the arena is
    written to FILE on exit (.dot selects Graphviz, anything else JSON).
+   With --domains N (or ERIDB_DOMAINS=N; the flag wins), N > 1 routes
+   queries through the sharded execution engine with one shard per
+   domain — results are bit-identical to the default path by the
+   conformance harness's contract. The shell keeps metrics enabled, so
+   shards evaluate sequentially here; parallel workers run where
+   recording is off (bench/main.ml measures that configuration).
    ERIDB_CLOCK=virtual replaces the wall clock with a simulated one, so
    all durations are deterministic (0). *)
 
 let usage = {|eridb — evidential extended-relation shell
 
-Usage: eridb [--trace-out FILE] [--provenance-out FILE] [FILE.erd ...]
+Usage: eridb [--trace-out FILE] [--provenance-out FILE] [--domains N]
+             [FILE.erd ...]
+
+  --domains N           evaluate queries through the sharded execution
+                        engine with N shards/domains (default: the
+                        ERIDB_DOMAINS environment variable, else 1 =
+                        the classic inline executor)
 
 Commands:
   .help                 show this help
@@ -61,6 +74,15 @@ let env : (string * Erm.Relation.t) list ref = ref []
    rebinding a name is safe without invalidation here. *)
 let ctx = Query.Physical.create_ctx ()
 
+(* Shard/worker count for the sharded engine; 1 keeps the classic
+   inline executor. Set from ERIDB_DOMAINS or --domains at startup. *)
+let domains = ref 1
+
+let strategy () =
+  if !domains > 1 then
+    Query.Physical.Sharded { Query.Physical.shards = !domains; domains = !domains }
+  else Query.Physical.Inline
+
 let bind name r = env := (name, r) :: List.remove_assoc name !env
 
 (* Strict mode gates execution on the static checker: plans with
@@ -95,7 +117,7 @@ let last_result : Erm.Relation.t option ref = ref None
 
 let run_query text =
   let mark = Obs.Trace.count Obs.Trace.default in
-  (match Query.Physical.run ~ctx ~guard !env text with
+  (match Query.Physical.run ~ctx ~guard ~strategy:(strategy ()) !env text with
   | r ->
       last_result := Some r;
       Erm.Render.print ~title:"result" r
@@ -211,7 +233,7 @@ let handle_command line =
       | Some i ->
           let name = String.trim (String.sub rest 0 i) in
           let text = String.sub rest (i + 1) (String.length rest - i - 1) in
-          (match Query.Physical.run ~ctx !env text with
+          (match Query.Physical.run ~ctx ~strategy:(strategy ()) !env text with
           | r ->
               bind name
                 (Erm.Relation.map_tuples
@@ -450,12 +472,23 @@ let rec split_out flag = function
       let _, files = split_out flag rest in
       (Some file, files)
   | [ f ] when String.equal f flag ->
-      Printf.eprintf "eridb: %s needs a file argument\n" flag;
+      Printf.eprintf "eridb: %s needs an argument\n" flag;
       exit 2
   | a :: rest ->
       let out, files = split_out flag rest in
       (out, a :: files)
   | [] -> (None, [])
+
+(* --domains / ERIDB_DOMAINS must be a positive integer; anything else
+   is a startup error (exit 2), not a silent fallback — a typo must not
+   quietly change which engine answered the session's queries. *)
+let parse_domains ~what s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> n
+  | Some _ | None ->
+      Printf.eprintf
+        "eridb: invalid %s value '%s' (expected a positive integer)\n" what s;
+      exit 2
 
 let () =
   (match Sys.getenv_opt "ERIDB_CLOCK" with
@@ -463,6 +496,10 @@ let () =
       Obs.Trace.set_clock Obs.Trace.default (Obs.Clock.simulated ())
   | Some _ | None -> ());
   Obs.Metrics.enable ();
+  Exec.Engine.install ();
+  (match Sys.getenv_opt "ERIDB_DOMAINS" with
+  | Some s -> domains := parse_domains ~what:"ERIDB_DOMAINS" s
+  | None -> ());
   let args = List.tl (Array.to_list Sys.argv) in
   (match args with
   | [ ("-h" | "--help") ] ->
@@ -471,6 +508,10 @@ let () =
   | _ ->
       let trace_out, files = split_out "--trace-out" args in
       let prov_out, files = split_out "--provenance-out" files in
+      let domains_arg, files = split_out "--domains" files in
+      (match domains_arg with
+      | Some s -> domains := parse_domains ~what:"--domains" s
+      | None -> ());
       (match trace_out with
       | Some file ->
           Obs.Trace.enable Obs.Trace.default;

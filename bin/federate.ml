@@ -11,7 +11,9 @@
    reproducible degradation runs. --audit appends a per-merge lineage
    audit with per-source κ-attribution; --metrics-out flushes the
    metrics registry even on error exits (.prom selects Prometheus
-   exposition, anything else JSON).
+   exposition, anything else JSON). --domains N with N > 1 runs the
+   merge through the sharded execution engine (N shards/workers); the
+   report is identical to the default path's by Degrade's contract.
 
    Exit codes: 0 success, 1 source/load/query failure, 2 quorum not
    met, 124 command-line usage error (Cmdliner). *)
@@ -165,7 +167,8 @@ let write_audit path =
 
 let run files relations discount name query csv out report_only fault_plan
     seed retries timeout_ms budget_ms min_sources skip_malformed validate
-    metrics_out audit =
+    metrics_out audit domains =
+  Exec.Engine.install ();
   (match metrics_out with
   | Some _ ->
       Obs.Metrics.enable ();
@@ -223,11 +226,22 @@ let run files relations discount name query csv out report_only fault_plan
         budget_ms;
         conflict_discount = discount }
     in
+    (* The merge itself is swappable: with --domains N > 1 the sharded
+       engine's drop-in replaces Integration.Multi.integrate (identical
+       report, partitioned absorption folds). *)
+    let merge =
+      if domains > 1 then
+        Exec.Engine.integrate { Query.Physical.shards = domains; domains }
+      else Integration.Multi.integrate
+    in
     (* Combination exceptions escaping the runtime used to abort as an
        uncaught exception, bypassing the metrics flush; turn them into
        the typed source-failure exit instead. *)
     let* outcome =
-      match Federation.Degrade.integrate ~config ~seed ~clock sources with
+      match
+        Federation.Degrade.integrate ~config ~seed ~integrate:merge ~clock
+          sources
+      with
       | outcome -> Ok outcome
       | exception Dst.Mass.F.Total_conflict ->
           fail exit_source_failure
@@ -457,12 +471,35 @@ let audit_arg =
            absorption caused, and a ranking by total κ so flaky sources \
            stand out across runs.")
 
+let domains_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "invalid value '%s' (expected a positive integer)"
+                s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let domains_arg =
+  Arg.(
+    value & opt domains_conv 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run the merge through the sharded execution engine with $(docv) \
+           shards and up to $(docv) parallel workers (default 1 = the \
+           classic sequential merge). The integration report is identical \
+           either way.")
+
 let term =
   Term.(
     const run $ files_arg $ relations_arg $ discount_arg $ name_arg
     $ query_arg $ csv_arg $ out_arg $ report_arg $ fault_plan_arg $ seed_arg
     $ retries_arg $ timeout_arg $ budget_arg $ min_sources_arg
-    $ skip_malformed_arg $ validate_arg $ metrics_out_arg $ audit_arg)
+    $ skip_malformed_arg $ validate_arg $ metrics_out_arg $ audit_arg
+    $ domains_arg)
 
 let cmd =
   let doc = "integrate evidential (.erd) relations with Dempster's rule" in

@@ -12,9 +12,11 @@ type t = {
   mutable table : (Mass.F.t * float) option Pmap.t;
   mutable hits : int;
   mutable misses : int;
+  kernel : Mass.F.t -> Mass.F.t -> (Mass.F.t * float) option;
 }
 
-let create () = { table = Pmap.empty; hits = 0; misses = 0 }
+let create ?(kernel = Mass.F.combine_opt) () =
+  { table = Pmap.empty; hits = 0; misses = 0; kernel }
 let hits c = c.hits
 let misses c = c.misses
 let size c = Pmap.cardinal c.table
@@ -69,7 +71,7 @@ let combine_opt c m1 m2 =
   | None ->
       c.misses <- c.misses + 1;
       Obs.Metrics.incr "combine_cache.miss";
-      let result = Mass.F.combine_opt m1 m2 in
+      let result = c.kernel m1 m2 in
       c.table <- Pmap.add key result c.table;
       result
 

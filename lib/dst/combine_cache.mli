@@ -18,7 +18,13 @@
 
 type t
 
-val create : unit -> t
+val create :
+  ?kernel:(Mass.F.t -> Mass.F.t -> (Mass.F.t * float) option) -> unit -> t
+(** [kernel] is the combination run on a miss (default
+    {!Mass.F.combine_opt}). The sharded engine passes
+    {!Flat_mass.kernel} here; because the flat kernel is bit-exact
+    against the map kernel, the choice is unobservable in results and
+    in hit/miss behavior — only in speed. *)
 
 val combine_opt : t -> Mass.F.t -> Mass.F.t -> (Mass.F.t * float) option
 (** Memoized {!Mass.F.combine_opt}: [Some (m, kappa)] or [None] on total

@@ -1,0 +1,156 @@
+type t = {
+  it : Interner.t;
+  ids : int array; (* focal-set ids, ascending Vset.compare of sets *)
+  masses : float array; (* parallel to [ids]; positive, sums to ~1 *)
+}
+
+let interner m = m.it
+let frame m = Interner.frame m.it
+
+let of_mass it m =
+  if not (Domain.equal (Interner.frame it) (Mass.F.frame m)) then
+    invalid_arg "Flat_mass.of_mass: frame mismatch";
+  (* Mass.F.focals is already in ascending Vset.compare order, which is
+     exactly the order the packed arrays maintain. *)
+  let fs = Mass.F.focals m in
+  let n = List.length fs in
+  let ids = Array.make n 0 and masses = Array.make n 0.0 in
+  List.iteri
+    (fun i (set, x) ->
+      ids.(i) <- Interner.intern it set;
+      masses.(i) <- x)
+    fs;
+  { it; ids; masses }
+
+let focals m =
+  Array.to_list
+    (Array.mapi (fun i id -> (Interner.set_of m.it id, m.masses.(i))) m.ids)
+
+let focal_count m = Array.length m.ids
+let to_mass m = Mass.F.make (Interner.frame m.it) (focals m)
+
+let check_operands a b =
+  if not (a.it == b.it) then
+    if not (Domain.equal (frame a) (frame b)) then
+      raise (Mass.F.Frame_mismatch (frame a, frame b))
+    else invalid_arg "Flat_mass: operands interned in different tables"
+
+let conflict a b =
+  check_operands a b;
+  let it = a.it in
+  let kappa = ref 0.0 in
+  for i = 0 to Array.length a.ids - 1 do
+    let x = a.ids.(i) and mx = a.masses.(i) in
+    for j = 0 to Array.length b.ids - 1 do
+      let p = mx *. b.masses.(j) in
+      if Interner.inter it x b.ids.(j) < 0 then kappa := !kappa +. p
+    done
+  done;
+  !kappa
+
+(* The flat Dempster kernel. Mirrors Mass.F.combine_opt move for move:
+   the double loop is [cross]'s iteration order (both Vmaps ascending,
+   and the packed arrays are sorted the same way), first touch of a
+   target id stores the product exactly as Vmap.update's None branch
+   does, later touches compute new-product +. running-sum like its Some
+   branch, and κ accumulates left to right. Generation marks make the
+   scratch accumulator self-cleaning, so repeated combines never pay an
+   O(|table|) reset. *)
+let combine_flat a b =
+  let it = a.it in
+  let acc = ref (Interner.scratch_acc it) in
+  let mark = ref (Interner.scratch_mark it) in
+  let touched = ref (Interner.scratch_touched it) in
+  let gen = Interner.next_gen it in
+  let ntouched = ref 0 in
+  let kappa = ref 0.0 in
+  let n1 = Array.length a.ids and n2 = Array.length b.ids in
+  for i = 0 to n1 - 1 do
+    let x = a.ids.(i) and mx = a.masses.(i) in
+    for j = 0 to n2 - 1 do
+      let p = mx *. b.masses.(j) in
+      let z = Interner.inter it x b.ids.(j) in
+      if z < 0 then kappa := !kappa +. p
+      else begin
+        (* [inter] may have interned a brand-new set: refresh the
+           scratch views so [z] is in range (growth preserves
+           prefixes, so live marks and sums survive). *)
+        if z >= Array.length !acc then begin
+          acc := Interner.scratch_acc it;
+          mark := Interner.scratch_mark it;
+          touched := Interner.scratch_touched it
+        end;
+        if !mark.(z) = gen then !acc.(z) <- p +. !acc.(z)
+        else begin
+          !mark.(z) <- gen;
+          !acc.(z) <- p;
+          !touched.(!ntouched) <- z;
+          incr ntouched
+        end
+      end
+    done
+  done;
+  let acc = !acc and touched = !touched in
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.incr "dst.combine.calls";
+    Obs.Metrics.observe "dst.combine.conflict_kappa" !kappa
+  end;
+  if !ntouched = 0 then begin
+    Obs.Metrics.incr "dst.combine.total_conflict";
+    None
+  end
+  else
+    let norm = 1.0 -. !kappa in
+    (* Same float-drift guard as the map kernel. *)
+    if Float.compare norm 0.0 <= 0 then begin
+      Obs.Metrics.incr "dst.combine.total_conflict";
+      None
+    end
+    else begin
+      let ids = Array.sub touched 0 !ntouched in
+      Array.sort
+        (fun i j ->
+          Vset.compare (Interner.set_of it i) (Interner.set_of it j))
+        ids;
+      let masses = Array.map (fun id -> acc.(id) /. norm) ids in
+      Some ({ it; ids; masses }, !kappa)
+    end
+
+let combine_opt a b =
+  check_operands a b;
+  if Obs.Provenance.on () then
+    (* Lineage must look identical whichever representation executed:
+       delegate to the map kernel, which records the Combine node (and
+       emits the same metrics the flat path would). *)
+    match Mass.F.combine_opt (to_mass a) (to_mass b) with
+    | None -> None
+    | Some (m, kappa) -> Some (of_mass a.it m, kappa)
+  else combine_flat a b
+
+let combine a b =
+  match combine_opt a b with
+  | Some (m, _) -> m
+  | None -> raise Mass.F.Total_conflict
+
+let sum_where p m =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length m.ids - 1 do
+    if p m.ids.(i) then acc := m.masses.(i) +. !acc
+  done;
+  !acc
+
+let bel m a = sum_where (fun id -> Interner.subset m.it id a) m
+let pls m a = sum_where (fun id -> not (Interner.disjoint m.it id a)) m
+
+let kernel resolve m1 m2 =
+  if Obs.Provenance.on () then Mass.F.combine_opt m1 m2
+  else begin
+    (* Frame mismatches must surface as the map kernel's exception, not
+       as an interner error. *)
+    if not (Domain.equal (Mass.F.frame m1) (Mass.F.frame m2)) then
+      raise (Mass.F.Frame_mismatch (Mass.F.frame m1, Mass.F.frame m2));
+    let it = resolve (Mass.F.frame m1) in
+    match combine_flat (of_mass it m1) (of_mass it m2) with
+    | None -> None
+    | Some (m, kappa) -> Some (to_mass m, kappa)
+  end

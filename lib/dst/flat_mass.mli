@@ -1,0 +1,67 @@
+(** Packed flat representation of float mass functions.
+
+    A mass function over an interned frame is two parallel arrays: the
+    dense {!Interner} ids of its focal sets and their masses, ordered by
+    ascending {!Vset.compare} of the underlying sets — the same order
+    {!Mass.F.focals} reports. Dempster combination then runs as a double
+    loop over the arrays with a scratch accumulator indexed by focal-set
+    id: no maps, no set construction, no allocation in the inner loop
+    (intersections resolve through the interner's memo table).
+
+    {b Bit-exactness contract.} Every kernel here visits products and
+    accumulates partial sums in {e exactly} the order the map kernels in
+    {!Mass.F} do (outer operand ascending, inner operand ascending,
+    new-product-plus-running-sum operand order), so results agree with
+    the map representation bit for bit — [Mass.F.compare] returns 0, not
+    merely [Mass.F.equal]. The differential conformance harness relies
+    on this; see test/test_flat_mass.ml.
+
+    {b Observability contract.} [combine_opt] emits the same
+    [dst.combine.*] metrics as {!Mass.F.combine_opt}. When provenance
+    recording is on it {e delegates} to the map kernel so lineage nodes
+    are recorded identically — flat execution is never observable in an
+    audit trail.
+
+    Values are only meaningful relative to their interner, which is
+    single-threaded; see {!Interner}. *)
+
+type t
+
+val interner : t -> Interner.t
+val frame : t -> Domain.t
+
+val of_mass : Interner.t -> Mass.F.t -> t
+(** Intern a map-form mass function. @raise Invalid_argument if the
+    frames of the interner and the mass function differ. *)
+
+val to_mass : t -> Mass.F.t
+(** The map form; [to_mass (of_mass it m)] compares equal to [m] under
+    {!Mass.F.compare}. *)
+
+val focals : t -> (Vset.t * float) list
+(** Focal sets with masses, ascending {!Vset.compare} — same as
+    {!Mass.F.focals} of {!to_mass}. *)
+
+val focal_count : t -> int
+
+val combine_opt : t -> t -> (t * float) option
+(** Dempster's rule on the packed form: [Some (m, κ)], or [None] on
+    total conflict. Bit-exact against {!Mass.F.combine_opt}.
+    @raise Mass.F.Frame_mismatch if the operands' frames differ.
+    @raise Invalid_argument if frames agree but interners differ. *)
+
+val combine : t -> t -> t
+(** @raise Mass.F.Total_conflict on κ = 1, like {!Mass.F.combine}. *)
+
+val conflict : t -> t -> float
+(** κ, bit-exact against {!Mass.F.conflict}. *)
+
+val bel : t -> Vset.t -> float
+val pls : t -> Vset.t -> float
+
+val kernel :
+  (Domain.t -> Interner.t) -> Mass.F.t -> Mass.F.t -> (Mass.F.t * float) option
+(** [kernel resolve] is a drop-in replacement for
+    {!Mass.F.combine_opt} that routes through the flat representation,
+    using [resolve] to pick (or create) the interner for each frame —
+    the hook {!Combine_cache.create}'s [?kernel] expects. *)

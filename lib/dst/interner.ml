@@ -1,0 +1,168 @@
+module Vm = Map.Make (Vset)
+module Em = Map.Make (Value)
+
+type t = {
+  frame : Domain.t;
+  small : bool; (* |Ω| ≤ 62: sets carry int bitmasks *)
+  elem_bit : int Em.t; (* value → bit position, small frames only *)
+  mutable sets : Vset.t array; (* id → set *)
+  mutable masks : int array; (* id → bitmask, small frames only *)
+  mutable count : int;
+  mutable by_set : int Vm.t; (* set → id *)
+  by_mask : (int, int) Hashtbl.t; (* mask → id, small frames only *)
+  inter_memo : (int, int) Hashtbl.t; (* packed id pair → id, -1 = ∅ *)
+  mutable acc : float array; (* combine scratch, owned by Flat_mass *)
+  mutable touched : int array; (* combine scratch, owned by Flat_mass *)
+  mutable mark : int array; (* generation stamps over acc entries *)
+  mutable gen : int;
+}
+
+let create frame =
+  let n = Domain.size frame in
+  let small = n <= 62 in
+  let elem_bit =
+    if not small then Em.empty
+    else
+      let next = ref 0 in
+      Vset.fold
+        (fun v m ->
+          let b = !next in
+          incr next;
+          Em.add v b m)
+        (Domain.values frame) Em.empty
+  in
+  { frame;
+    small;
+    elem_bit;
+    sets = Array.make 16 Vset.empty;
+    masks = Array.make 16 0;
+    count = 0;
+    by_set = Vm.empty;
+    by_mask = Hashtbl.create 64;
+    inter_memo = Hashtbl.create 256;
+    acc = Array.make 16 0.0;
+    touched = Array.make 16 0;
+    mark = Array.make 16 0;
+    gen = 0 }
+
+let frame t = t.frame
+let size t = t.count
+
+let mask_of_set t s =
+  Vset.fold (fun v m -> m lor (1 lsl Em.find v t.elem_bit)) s 0
+
+let grow t =
+  let cap = Array.length t.sets in
+  if t.count >= cap then begin
+    let cap' = cap * 2 in
+    let sets = Array.make cap' Vset.empty in
+    Array.blit t.sets 0 sets 0 cap;
+    t.sets <- sets;
+    let masks = Array.make cap' 0 in
+    Array.blit t.masks 0 masks 0 cap;
+    t.masks <- masks
+  end
+
+let alloc t s mask =
+  grow t;
+  let id = t.count in
+  t.sets.(id) <- s;
+  t.masks.(id) <- mask;
+  t.count <- id + 1;
+  t.by_set <- Vm.add s id t.by_set;
+  if t.small then Hashtbl.replace t.by_mask mask id;
+  id
+
+let intern t s =
+  match Vm.find s t.by_set with
+  | id -> id
+  | exception Not_found ->
+      if Vset.is_empty s then
+        invalid_arg "Interner.intern: empty focal set";
+      if not (Domain.subset s t.frame) then
+        invalid_arg
+          (Printf.sprintf "Interner.intern: set outside frame %s"
+             (Domain.name t.frame));
+      alloc t s (if t.small then mask_of_set t s else 0)
+
+let set_of t id =
+  if id < 0 || id >= t.count then invalid_arg "Interner.set_of: bad id";
+  t.sets.(id)
+
+(* Intern a set already known well-formed (an intersection of two interned
+   sets), with its mask precomputed on small frames. *)
+let intern_known t s mask =
+  match Vm.find s t.by_set with
+  | id -> id
+  | exception Not_found -> alloc t s mask
+
+let intern_mask t mask =
+  match Hashtbl.find t.by_mask mask with
+  | id -> id
+  | exception Not_found ->
+      let s =
+        Vset.filter
+          (fun v -> mask land (1 lsl Em.find v t.elem_bit) <> 0)
+          (Domain.values t.frame)
+      in
+      intern_known t s mask
+
+let pack i j = if i <= j then (i lsl 31) lor j else (j lsl 31) lor i
+
+let inter t i j =
+  if i = j then i
+  else
+    let key = pack i j in
+    match Hashtbl.find t.inter_memo key with
+    | id -> id
+    | exception Not_found ->
+        let id =
+          if t.small then
+            let m = t.masks.(i) land t.masks.(j) in
+            if m = 0 then -1 else intern_mask t m
+          else
+            let s = Vset.inter t.sets.(i) t.sets.(j) in
+            if Vset.is_empty s then -1 else intern_known t s 0
+        in
+        Hashtbl.add t.inter_memo key id;
+        id
+
+let subset t i a =
+  if Vset.is_empty a then false (* interned sets are never empty *)
+  else if t.small then
+    let ma = t.masks.(intern t a) in
+    t.masks.(i) land lnot ma = 0
+  else Vset.subset t.sets.(i) a
+
+let disjoint t i a =
+  if Vset.is_empty a then true
+  else if t.small then t.masks.(i) land t.masks.(intern t a) = 0
+  else Vset.disjoint t.sets.(i) a
+
+(* --- combine scratch (used by Flat_mass, see its .ml) ----------------- *)
+
+let grown arr n zero =
+  let cap = Array.length arr in
+  if n <= cap then arr
+  else
+    let arr' = Array.make (max (cap * 2) n) zero in
+    Array.blit arr 0 arr' 0 cap;
+    arr'
+
+let scratch_acc t =
+  t.acc <- grown t.acc t.count 0.0;
+  t.acc
+
+let scratch_touched t =
+  t.touched <- grown t.touched t.count 0;
+  t.touched
+
+let scratch_mark t =
+  t.mark <- grown t.mark t.count 0;
+  t.mark
+
+(* Fresh marks are 0 and generations start at 1, so a grown (zeroed)
+   mark entry can never collide with a live generation. *)
+let next_gen t =
+  t.gen <- t.gen + 1;
+  t.gen

@@ -1,0 +1,64 @@
+(** Dense interning of focal sets over one frame of discernment.
+
+    The paper's model guarantees small finite frames per attribute, so
+    every focal set a computation can ever touch lives in the powerset
+    of one known Ω. Interning gives each distinct {!Vset.t} a dense
+    integer id, which is what lets {!Flat_mass} store a mass function
+    as a pair of packed arrays and run Dempster's rule without building
+    sets in the inner loop.
+
+    Ids are allocated first-come-first-served and are {e stable}:
+    interning the same set again always returns the same id for the
+    lifetime of the table. Pairwise intersections are memoized by id
+    pair; for frames with at most 62 values each set also carries an
+    int bitmask, so a missed intersection costs one [land] instead of a
+    tree walk.
+
+    A table is {e mutable and unsynchronized} — share one per
+    evaluation context (e.g. per execution shard), never across
+    domains. *)
+
+type t
+
+val create : Domain.t -> t
+(** A fresh table for the given frame with no interned sets. *)
+
+val frame : t -> Domain.t
+
+val size : t -> int
+(** Number of sets interned so far (also the next id). *)
+
+val intern : t -> Vset.t -> int
+(** The id for a set, allocating one on first sight. Re-interning is
+    the identity: [intern t s = intern t s] for the table's lifetime.
+    @raise Invalid_argument if the set is empty or outside the frame. *)
+
+val set_of : t -> int -> Vset.t
+(** The set behind an id. @raise Invalid_argument if out of range. *)
+
+val inter : t -> int -> int -> int
+(** [inter t i j] is the id of [set_of t i ∩ set_of t j], interning the
+    intersection on first sight, or [-1] when it is empty. Memoized per
+    (unordered) id pair: the steady state is one hash probe, no
+    allocation. *)
+
+val subset : t -> int -> Vset.t -> bool
+(** [subset t i a]: is [set_of t i ⊆ a]? One mask test on small
+    frames. The query set is interned on first use. *)
+
+val disjoint : t -> int -> Vset.t -> bool
+(** [disjoint t i a]: is [set_of t i ∩ a = ∅]? *)
+
+(**/**)
+
+(* Scratch buffers for {!Flat_mass}'s combine kernel — persistent,
+   at least [size t] long on return, contents preserved across growth.
+   Part of what makes a table single-threaded. *)
+
+val scratch_acc : t -> float array
+val scratch_touched : t -> int array
+val scratch_mark : t -> int array
+
+val next_gen : t -> int
+(* A fresh positive generation stamp; mark entries from prior combines
+   (or freshly grown, zeroed ones) never equal it. *)

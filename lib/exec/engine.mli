@@ -1,0 +1,62 @@
+(** The sharded evaluation engine behind
+    [Query.Physical.Sharded].
+
+    Each physical operator is evaluated as [shards] independent
+    sub-evaluations over a content-addressed partition of its inputs
+    ({!Shard}), run through the deterministic task {!Pool}, and folded
+    back together by a canonical ordered merge — so the result is
+    bit-identical to the inline executor's for {e any} shard count and
+    {e any} worker count (the 5th conformance leg in
+    test/test_conformance.ml). Per-shard Dempster combination runs on
+    the packed {!Dst.Flat_mass} representation through a per-shard
+    {!Dst.Combine_cache} when workers are parallel, and through the
+    context's shared cache when sequential.
+
+    {b Determinism contract} (see DESIGN.md §7 for the full argument):
+
+    - provenance recording on, or [shards ≤ 1] → the engine stands
+      aside entirely and runs [Query.Physical.execute], so lineage is
+      plan- and shard-invariant by construction;
+    - tracing or metrics on → the partition still applies but exactly
+      one worker runs (the observability stores are process-global and
+      unsynchronized), shards evaluate in ascending order against the
+      shared context cache, so counter rollups are shard-count-invariant
+      for the [dst.*], [combine_cache.*] and [integration.*] families
+      ([exec.*] diagnostics describe the configuration itself and are
+      excluded);
+    - everything off → up to [domains] workers, per-shard caches,
+      flat-representation kernels.
+
+    The engine emits [exec.shards], [exec.shard.rows] and
+    [exec.merge.ns] metrics and [exec.*] spans through the default
+    tracer's clock, so a virtual clock keeps them deterministic. *)
+
+val install : unit -> unit
+(** Register {!execute} as [Query.Physical]'s sharded runner. Idempotent;
+    call once at program start (the binaries and test harnesses do). *)
+
+val execute :
+  Query.Physical.sharded ->
+  ?ctx:Query.Physical.ctx ->
+  Query.Eval.env ->
+  Query.Physical.t ->
+  Erm.Relation.t
+(** Evaluate a physical plan shard-wise. Raises exactly the inline
+    executor's exceptions ({!Query.Eval.Eval_error}, evidence
+    conflicts); when several shards fail, the lowest-numbered shard's
+    exception wins deterministically. *)
+
+val integrate :
+  Query.Physical.sharded ->
+  ?discount:bool ->
+  ?alpha_floor:float ->
+  ?prior:(string * float) list ->
+  Integration.Multi.source list ->
+  Integration.Multi.report
+(** Sharded {!Integration.Multi.integrate}: the conflict matrix and
+    per-source reliabilities are computed {e globally} (a per-shard
+    matrix would change discount rates), sources are discounted whole,
+    and only the per-key absorption folds are partitioned. The report —
+    integrated relation, conflict list order, matrix, reliabilities —
+    is identical to the unsharded one. Delegates to the unsharded path
+    when tracing or provenance recording is on or [shards ≤ 1]. *)

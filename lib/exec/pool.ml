@@ -1,0 +1,54 @@
+(* Results are published through per-slot writes (each slot has exactly
+   one writer) and read only after Domain.join of every worker, which
+   establishes the necessary happens-before edges. *)
+
+let run_parallel ~domains ~tasks f =
+  let results = Array.make tasks None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < tasks then begin
+        (results.(i) <-
+           (match f i with
+           | v -> Some (Ok v)
+           | exception e -> Some (Error e)));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers =
+    List.init
+      (min (domains - 1) (tasks - 1))
+      (fun _ -> Stdlib.Domain.spawn worker)
+  in
+  worker ();
+  List.iter Stdlib.Domain.join helpers;
+  (* Ascending scan, not Array.map, so the lowest-numbered failure wins
+     regardless of which worker hit it (or of map's visit order). *)
+  for i = 0 to tasks - 1 do
+    match results.(i) with Some (Error e) -> raise e | _ -> ()
+  done;
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | _ -> assert false (* every index < tasks was claimed *))
+    results
+
+let run ~domains ~tasks f =
+  if tasks < 0 then invalid_arg "Pool.run: negative task count"
+  else if tasks = 0 then [||]
+  else if domains <= 1 || tasks = 1 then begin
+    (* Explicit ascending loop: Array.init's evaluation order is
+       unspecified, and the inline path must visit tasks in index order
+       so that exceptions and any caller-shared state (the single-worker
+       mode exists precisely to permit it) behave deterministically. *)
+    let first = f 0 in
+    let out = Array.make tasks first in
+    for i = 1 to tasks - 1 do
+      out.(i) <- f i
+    done;
+    out
+  end
+  else run_parallel ~domains ~tasks f

@@ -1,0 +1,25 @@
+(** A deterministic fixed-size task pool over OCaml 5 domains.
+
+    [run ~domains ~tasks f] evaluates [f 0 … f (tasks - 1)] and returns
+    the results indexed by task. With [domains ≤ 1] (or a single task)
+    everything runs inline, in ascending task order, on the calling
+    domain. Otherwise up to [domains - 1] helper domains are spawned and
+    tasks are claimed from a shared atomic counter; the caller works
+    too, so [~domains:n] never uses more than [n] domains in total.
+
+    Determinism contract: the {e result} is the indexed array, so it
+    cannot depend on which worker ran which task or in what order they
+    finished — provided [f] itself touches no shared mutable state.
+    That proviso is why the engine only enables multiple workers when
+    tracing, metrics and provenance recording are all off (their stores
+    are process-global and unsynchronized) and gives each task its own
+    interner, scratch and cache.
+
+    Worker counts larger than the machine's core count are valid (the
+    extra domains just time-share); CI runs this on one core.
+
+    If any task raises, the exception of the {e lowest-numbered} failing
+    task is re-raised after all workers have been joined — again
+    independent of scheduling. *)
+
+val run : domains:int -> tasks:int -> (int -> 'a) -> 'a array

@@ -121,7 +121,8 @@ let fetch_all cfg ~seed ~clock sources =
           else attempt ())
     sources
 
-let integrate ?(config = default) ?(seed = 0) ~clock sources =
+let integrate ?(config = default) ?(seed = 0)
+    ?(integrate = Integration.Multi.integrate) ~clock sources =
   validate config;
   match sources with
   | [] -> Error No_sources
@@ -210,7 +211,7 @@ let integrate ?(config = default) ?(seed = 0) ~clock sources =
             delivered
         in
         let multi =
-          Integration.Multi.integrate ~discount:config.conflict_discount
+          integrate ~discount:config.conflict_discount
             ~alpha_floor:config.alpha_floor ~prior multi_sources
         in
         (* Report the α the merge actually used (prior × conflict rate),

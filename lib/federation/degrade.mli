@@ -76,12 +76,22 @@ type failure =
 val integrate :
   ?config:config ->
   ?seed:int ->
+  ?integrate:
+    (?discount:bool ->
+    ?alpha_floor:float ->
+    ?prior:(string * float) list ->
+    Integration.Multi.source list ->
+    Integration.Multi.report) ->
   clock:Clock.t ->
   Source.t list ->
   (report, failure) result
 (** Fetch all sources and integrate the survivors. [seed] (default 0)
     drives the backoff jitter; given the same seed, clock start, config
-    and sources, the result is deterministic.
+    and sources, the result is deterministic. [integrate] substitutes
+    the merge itself (default {!Integration.Multi.integrate}) — the
+    federate binary passes the sharded engine's drop-in here; any
+    substitute must be report-identical to the default, which the
+    sharded one is by the conformance harness's contract.
     @raise Invalid_argument on a malformed config. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -39,8 +39,8 @@ let reliability_from_matrix matrix name =
       in
       Float.max 0.0 (Float.min 1.0 (1.0 -. mean))
 
-let integrate_inner ?(discount = false) ?(alpha_floor = 0.0) ?(prior = [])
-    sources =
+let reliabilities ?(discount = false) ?(alpha_floor = 0.0) ?(prior = [])
+    matrix sources =
   if alpha_floor < 0.0 || alpha_floor > 1.0 then
     invalid_arg "Multi.integrate: alpha_floor outside [0,1]";
   List.iter
@@ -49,9 +49,33 @@ let integrate_inner ?(discount = false) ?(alpha_floor = 0.0) ?(prior = [])
         invalid_arg
           (Printf.sprintf "Multi.integrate: prior for %s outside [0,1]" name))
     prior;
+  List.map
+    (fun s ->
+      let conflict_alpha =
+        if discount then reliability_from_matrix matrix s.source_name
+        else 1.0
+      in
+      let prior_alpha =
+        match List.assoc_opt s.source_name prior with
+        | Some a -> a
+        | None -> 1.0
+      in
+      (s.source_name, Float.max alpha_floor (prior_alpha *. conflict_alpha)))
+    sources
+
+let integrate_inner ?discount ?alpha_floor ?prior sources =
   match sources with
-  | [] -> raise No_sources
+  | [] ->
+      (* Validate the knobs even when there is nothing to fold, keeping
+         the historical error precedence (Invalid_argument before
+         No_sources is not observable: both were raised before any
+         work). *)
+      ignore (reliabilities ?discount ?alpha_floor ?prior [] []);
+      raise No_sources
   | first :: rest ->
+      (* Knob validation precedes any observable work (provenance
+         registration included), as it always has. *)
+      ignore (reliabilities ?discount ?alpha_floor ?prior [] []);
       (* Sources register before any discounting or merging so that
          discount and combination hooks resolve their operands to
          Source leaves instead of anonymous operands. *)
@@ -63,20 +87,7 @@ let integrate_inner ?(discount = false) ?(alpha_floor = 0.0) ?(prior = [])
           sources;
       let matrix = conflict_matrix sources in
       let reliabilities =
-        List.map
-          (fun s ->
-            let conflict_alpha =
-              if discount then reliability_from_matrix matrix s.source_name
-              else 1.0
-            in
-            let prior_alpha =
-              match List.assoc_opt s.source_name prior with
-              | Some a -> a
-              | None -> 1.0
-            in
-            ( s.source_name,
-              Float.max alpha_floor (prior_alpha *. conflict_alpha) ))
-          sources
+        reliabilities ?discount ?alpha_floor ?prior matrix sources
       in
       let prepared s =
         let alpha = List.assoc s.source_name reliabilities in

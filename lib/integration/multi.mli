@@ -24,6 +24,24 @@ type report = {
 
 exception No_sources
 
+val conflict_matrix : source list -> (string * string * float) list
+(** Mean pairwise κ for every unordered source pair, in the order
+    {!integrate} reports it. Exposed for the sharded execution engine,
+    which must compute reliabilities {e globally} before partitioning —
+    a per-shard matrix would change the discount rates. *)
+
+val reliabilities :
+  ?discount:bool ->
+  ?alpha_floor:float ->
+  ?prior:(string * float) list ->
+  (string * string * float) list ->
+  source list ->
+  (string * float) list
+(** The per-source discount rates {!integrate} derives from a conflict
+    matrix: [max alpha_floor (prior · conflict_rate)]. Same knobs, same
+    validation, same arithmetic — {!integrate} itself calls this.
+    @raise Invalid_argument if a prior or the floor is outside [0,1]. *)
+
 val integrate :
   ?discount:bool ->
   ?alpha_floor:float ->

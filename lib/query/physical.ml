@@ -478,8 +478,32 @@ let apply_guard guard env q =
   | None -> ()
   | Some g -> ( match g env q with [] -> () | findings -> raise (Rejected findings))
 
-let eval_fast ?ctx ?guard env q =
-  apply_guard guard env q;
-  execute ?ctx env (plan_optimized env q)
+(* ------------------------------------------------------------------ *)
+(* Execution strategy                                                  *)
 
-let run ?ctx ?guard env input = eval_fast ?ctx ?guard env (Parser.parse input)
+type sharded = { shards : int; domains : int }
+type strategy = Inline | Sharded of sharded
+
+(* The sharded engine lives in lib/exec, which depends on this module
+   (it reuses the plan type and the per-operator semantics). Dispatch
+   therefore goes through an installed hook rather than a direct call:
+   Exec.Engine.install sets it at program start. *)
+let sharded_runner :
+    (sharded -> ctx -> Eval.env -> t -> Erm.Relation.t) option ref =
+  ref None
+
+let set_sharded_runner f = sharded_runner := Some f
+
+let eval_fast ?ctx ?guard ?(strategy = Inline) env q =
+  apply_guard guard env q;
+  match strategy with
+  | Inline -> execute ?ctx env (plan_optimized env q)
+  | Sharded cfg -> (
+      match !sharded_runner with
+      | Some runner ->
+          let ctx = match ctx with Some c -> c | None -> create_ctx () in
+          runner cfg ctx env (plan_optimized env q)
+      | None -> fail "sharded execution engine not installed")
+
+let run ?ctx ?guard ?strategy env input =
+  eval_fast ?ctx ?guard ?strategy env (Parser.parse input)

@@ -120,9 +120,32 @@ val execute : ?ctx:ctx -> Eval.env -> t -> Erm.Relation.t
 exception Rejected of string list
 (** Raised before execution when a [guard] reports findings. *)
 
+(** {1 Execution strategy} *)
+
+type sharded = {
+  shards : int;  (** Partitions per operator (≥ 1). *)
+  domains : int;  (** Worker budget for {!Exec.Pool} (≥ 1). *)
+}
+
+type strategy =
+  | Inline  (** Today's single-threaded executor — the default. *)
+  | Sharded of sharded
+      (** Partitioned evaluation through [Exec.Engine]. Bit-exact
+          against [Inline] for every plan (differentially tested in
+          test/test_conformance.ml); [{shards = 1; _}] collapses to
+          [Inline] outright. *)
+
+val set_sharded_runner :
+  (sharded -> ctx -> Eval.env -> t -> Erm.Relation.t) -> unit
+(** Install the sharded engine. [Exec.Engine.install] calls this at
+    program start; the indirection exists because lib/exec depends on
+    this module for the plan type. Evaluating with [Sharded _] before
+    installation raises {!Eval.Eval_error}. *)
+
 val eval_fast :
   ?ctx:ctx ->
   ?guard:(Eval.env -> Ast.query -> string list) ->
+  ?strategy:strategy ->
   Eval.env ->
   Ast.query ->
   Erm.Relation.t
@@ -137,6 +160,7 @@ val eval_fast :
 val run :
   ?ctx:ctx ->
   ?guard:(Eval.env -> Ast.query -> string list) ->
+  ?strategy:strategy ->
   Eval.env ->
   string ->
   Erm.Relation.t

@@ -1,4 +1,4 @@
-(* Differential conformance harness: the three execution surfaces must
+(* Differential conformance harness: the execution surfaces must
    agree EXACTLY — same tuples, same evidence, bit-identical (sn, sp)
    supports — on randomly generated workloads:
 
@@ -6,6 +6,11 @@
    - the physical planner (Query.Physical), with tracing off and on and
      with provenance recording on — observability must have no observer
      effect;
+   - the sharded engine (Exec.Engine behind Query.Physical.Sharded),
+     for every tested shard count × worker (domain) count, including
+     with tracing or provenance recording live — partitioning and
+     parallelism must have no representational effect either (the
+     per-shard fast paths run Dst.Flat_mass kernels);
    - the single-source integration surface (Integration.Multi), which
      must be the identity on any query result.
 
@@ -73,6 +78,35 @@ let exact_rel_equal r1 r2 =
    of distinct relations under the same names, so staleness bugs break
    conformance immediately (same construction as test_plan_equiv). *)
 let ctx = Query.Physical.create_ctx ()
+
+let () = Exec.Engine.install ()
+
+(* The sharded grid: every shard count × worker count combination the
+   issue pins, plus whatever ERIDB_DOMAINS the environment supplies
+   (CI's sharded job sets it), so the same binary sweeps a larger grid
+   there without a rebuild. *)
+let shard_counts = [ 1; 3; 8 ]
+
+let domain_counts =
+  let pinned = [ 1; 2; 4 ] in
+  match Sys.getenv_opt "ERIDB_DOMAINS" with
+  | None -> pinned
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 && not (List.mem n pinned) -> pinned @ [ n ]
+      | _ -> pinned)
+
+let sharded_grid ~ctx env q check =
+  List.for_all
+    (fun shards ->
+      List.for_all
+        (fun domains ->
+          check
+            (Query.Physical.eval_fast ~ctx
+               ~strategy:(Query.Physical.Sharded { shards; domains })
+               env q))
+        domain_counts)
+    shard_counts
 
 let make_case seed =
   let env = Q.env (R.create seed) () in
@@ -144,6 +178,23 @@ let conformance_props =
             Query.Physical.eval_fast ~ctx env q)
         in
         exact_rel_equal naive recorded);
+    prop "sharded = naive for every shard count x domain count" seed_arb
+      (fun s ->
+        let env, q = make_case s in
+        let naive = Query.Eval.eval env q in
+        sharded_grid ~ctx env q (exact_rel_equal naive));
+    prop "sharded under tracing = naive (no observer effect)" seed_arb
+      (fun s ->
+        let env, q = make_case s in
+        let naive = Query.Eval.eval env q in
+        with_default_tracing (fun () ->
+            sharded_grid ~ctx env q (exact_rel_equal naive)));
+    prop "sharded under provenance = naive (no observer effect)" seed_arb
+      (fun s ->
+        let env, q = make_case s in
+        let naive = Query.Eval.eval env q in
+        with_default_provenance (fun () ->
+            sharded_grid ~ctx env q (exact_rel_equal naive)));
     prop "single-source integration is the identity on query results"
       seed_arb
       (fun s ->

@@ -1,0 +1,247 @@
+(* The sharded engine's determinism contract, tested directly (the
+   result-conformance legs live in test_conformance.ml):
+
+   - Pool: results indexed by task, lowest-index exception wins, worker
+     counts beyond the core count are fine (CI runs on 1 core — every
+     count here must pass there);
+   - Shard: partitions are deterministic disjoint covers;
+   - Engine: for a fixed query and seed, the rendered result is
+     byte-identical for every worker count; metrics rollups (under a
+     virtual clock) and the lineage DOT export are byte-identical too;
+     and the dst.*/combine_cache.* counter families are invariant
+     across SHARD counts, not just worker counts. *)
+
+module R = Workload.Rng
+module G = Workload.Gen
+module Q = Workload.Qgen
+module P = Query.Physical
+
+let () = Exec.Engine.install ()
+
+let render r = Format.asprintf "%a" Erm.Relation.pp r
+
+let strategy shards domains = P.Sharded { P.shards; domains }
+
+(* A workload with guaranteed key overlap, so unions actually combine
+   evidence (and the combine caches see traffic). *)
+let env_of seed =
+  let rng = R.create seed in
+  let ra, rb = G.source_pair rng ~size:40 ~overlap:0.5 Q.schema in
+  [ ("ra", ra); ("rb", rb) ]
+
+let union_q = Query.Ast.Union (Query.Ast.Rel "ra", Query.Ast.Rel "rb")
+
+let queries seed =
+  let env = env_of seed in
+  let qs =
+    union_q
+    :: List.init 4 (fun i -> Q.query (R.create (seed + (7919 * (i + 1)))) env)
+  in
+  (env, qs)
+
+(* --- pool ------------------------------------------------------------ *)
+
+let pool_indexes_results () =
+  List.iter
+    (fun domains ->
+      let out = Exec.Pool.run ~domains ~tasks:23 (fun i -> i * i) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "task i slot holds f i (domains=%d)" domains)
+        (Array.init 23 (fun i -> i * i))
+        out)
+    [ 1; 2; 4; 8 ]
+
+let pool_lowest_exception_wins () =
+  List.iter
+    (fun domains ->
+      Alcotest.check_raises
+        (Printf.sprintf "lowest failing task wins (domains=%d)" domains)
+        (Failure "task 3")
+        (fun () ->
+          ignore
+            (Exec.Pool.run ~domains ~tasks:16 (fun i ->
+                 if i mod 3 = 0 && i > 0 then
+                   failwith (Printf.sprintf "task %d" i)
+                 else i))))
+    [ 1; 2; 4; 8 ]
+
+let pool_edges () =
+  Alcotest.(check (array int)) "zero tasks" [||]
+    (Exec.Pool.run ~domains:4 ~tasks:0 (fun i -> i));
+  Alcotest.(check (array int)) "one task" [| 7 |]
+    (Exec.Pool.run ~domains:4 ~tasks:1 (fun _ -> 7));
+  Alcotest.(check (array int)) "more domains than tasks"
+    (Array.init 3 (fun i -> i))
+    (Exec.Pool.run ~domains:16 ~tasks:3 (fun i -> i))
+
+(* --- shard ----------------------------------------------------------- *)
+
+let shard_disjoint_cover () =
+  let rel = G.relation (R.create 11) ~size:100 Q.schema in
+  List.iter
+    (fun shards ->
+      let parts = Exec.Shard.by_key ~shards rel in
+      Alcotest.(check int)
+        (Printf.sprintf "%d shards" shards)
+        shards (Array.length parts);
+      let total =
+        Array.fold_left (fun n p -> n + Erm.Relation.cardinal p) 0 parts
+      in
+      Alcotest.(check int) "tuples covered exactly once"
+        (Erm.Relation.cardinal rel)
+        total;
+      Erm.Relation.iter
+        (fun t ->
+          let key = Erm.Etuple.key t in
+          let holders =
+            Array.to_list parts
+            |> List.filter (fun p -> Erm.Relation.mem p key)
+          in
+          Alcotest.(check int) "exactly one shard holds each key" 1
+            (List.length holders))
+        rel)
+    [ 1; 3; 8 ]
+
+let shard_deterministic () =
+  let rel = G.relation (R.create 12) ~size:60 Q.schema in
+  let show parts =
+    String.concat "\n---\n" (Array.to_list (Array.map render parts))
+  in
+  Alcotest.(check string) "same partition on re-run"
+    (show (Exec.Shard.by_key ~shards:5 rel))
+    (show (Exec.Shard.by_key ~shards:5 rel))
+
+(* --- engine: worker-count and shard-count independence --------------- *)
+
+let worker_counts = [ 1; 2; 4; 8 ]
+
+let results_byte_identical () =
+  let env, qs = queries 101 in
+  List.iteri
+    (fun qi q ->
+      let reference = P.eval_fast ~ctx:(P.create_ctx ()) env q in
+      List.iter
+        (fun domains ->
+          let sharded =
+            P.eval_fast ~ctx:(P.create_ctx ())
+              ~strategy:(strategy 8 domains) env q
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "query %d, 8 shards, %d domains" qi domains)
+            (render reference) (render sharded))
+        worker_counts)
+    qs
+
+let with_metrics f =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.disable ();
+      Obs.Metrics.reset ())
+    f
+
+(* Swap in a virtual clock so exec.merge.ns & friends are deterministic
+   across runs — the binaries do the same under ERIDB_CLOCK=virtual. *)
+let with_virtual_clock f =
+  let saved = Obs.Trace.clock Obs.Trace.default in
+  Obs.Trace.set_clock Obs.Trace.default (Obs.Clock.simulated ());
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_clock Obs.Trace.default saved)
+    f
+
+let metrics_rollup_for ~shards ~domains env qs =
+  with_virtual_clock (fun () ->
+      with_metrics (fun () ->
+          let ctx = P.create_ctx () in
+          List.iter
+            (fun q ->
+              ignore (P.eval_fast ~ctx ~strategy:(strategy shards domains) env q))
+            qs;
+          Obs.Export.metrics_text ()))
+
+let metrics_byte_identical_across_workers () =
+  let env, qs = queries 202 in
+  let reference = metrics_rollup_for ~shards:8 ~domains:1 env qs in
+  List.iter
+    (fun domains ->
+      Alcotest.(check string)
+        (Printf.sprintf "metrics rollup, 8 shards, %d domains" domains)
+        reference
+        (metrics_rollup_for ~shards:8 ~domains env qs))
+    worker_counts
+
+(* Counter families owned by the evidential arithmetic must not depend
+   on how many shards the engine used. (exec.* diagnostics and
+   histogram float sums are configuration-dependent by design —
+   DESIGN.md §7 scopes the invariance claim.) *)
+let counters_invariant_across_shard_counts () =
+  let env, qs = queries 303 in
+  let counters_for shards =
+    with_virtual_clock (fun () ->
+        with_metrics (fun () ->
+            let ctx = P.create_ctx () in
+            List.iter
+              (fun q ->
+                ignore (P.eval_fast ~ctx ~strategy:(strategy shards 1) env q))
+              qs;
+            List.map
+              (fun name -> (name, Obs.Metrics.counter name))
+              [ "dst.combine.calls";
+                "dst.combine.total_conflict";
+                "combine_cache.hit";
+                "combine_cache.miss" ]))
+  in
+  let reference = counters_for 1 in
+  List.iter
+    (fun shards ->
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "%d shards" shards)
+        reference (counters_for shards))
+    [ 3; 8 ]
+
+let lineage_dot_byte_identical () =
+  let env, qs = queries 404 in
+  let dot_for domains =
+    Obs.Provenance.reset ();
+    Obs.Provenance.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Provenance.disable ();
+        Obs.Provenance.reset ())
+      (fun () ->
+        let ctx = P.create_ctx () in
+        List.iter
+          (fun q ->
+            ignore (P.eval_fast ~ctx ~strategy:(strategy 8 domains) env q))
+          qs;
+        Obs.Export.provenance_dot ())
+  in
+  let reference = dot_for 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check string)
+        (Printf.sprintf "lineage DOT, %d domains" domains)
+        reference (dot_for domains))
+    worker_counts
+
+let () =
+  Alcotest.run "exec"
+    [ ( "pool",
+        [ Alcotest.test_case "results are task-indexed" `Quick
+            pool_indexes_results;
+          Alcotest.test_case "lowest-index exception wins" `Quick
+            pool_lowest_exception_wins;
+          Alcotest.test_case "edge sizes" `Quick pool_edges ] );
+      ( "shard",
+        [ Alcotest.test_case "disjoint cover" `Quick shard_disjoint_cover;
+          Alcotest.test_case "deterministic" `Quick shard_deterministic ] );
+      ( "determinism",
+        [ Alcotest.test_case "results byte-identical across worker counts"
+            `Quick results_byte_identical;
+          Alcotest.test_case "metrics byte-identical across worker counts"
+            `Quick metrics_byte_identical_across_workers;
+          Alcotest.test_case "dst/cache counters shard-count-invariant"
+            `Quick counters_invariant_across_shard_counts;
+          Alcotest.test_case "lineage DOT byte-identical across worker counts"
+            `Quick lineage_dot_byte_identical ] ) ]

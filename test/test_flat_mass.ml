@@ -1,0 +1,162 @@
+(* The packed (flat) mass representation must be unobservable: map↔flat
+   round-trips are the identity, and every flat kernel agrees with the
+   map kernel BIT FOR BIT (Mass.F.compare = 0 and Float.equal, not the
+   tolerance Mass.F.equal uses). The sharded engine substitutes the flat
+   kernels for the hottest arithmetic in the repo on the strength of
+   exactly this suite — see DESIGN.md §7.
+
+   Both interner regimes are exercised: an 8-value frame (int-bitmask
+   fast path) and a 70-value frame (|Ω| > 62, set-walk fallback).
+
+   Seeds: qcheck honours QCHECK_SEED, which CI pins. *)
+
+module R = Workload.Rng
+module G = Workload.Gen
+module F = Dst.Mass.F
+module Fm = Dst.Flat_mass
+
+let count = 300
+
+let prop name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let seed_arb = QCheck.int_range 0 1_000_000
+
+let small_dom = G.domain ~size:8 "flat8"
+let big_dom = G.domain ~size:70 "flat70"
+
+(* One interner per frame for the whole run: every property then also
+   stresses id allocation against a long-lived, growing table. *)
+let interner_of =
+  let small = Dst.Interner.create small_dom in
+  let big = Dst.Interner.create big_dom in
+  fun dom -> if Dst.Domain.equal dom small_dom then small else big
+
+let exact_opt o1 o2 =
+  match (o1, o2) with
+  | None, None -> true
+  | Some (m, k), Some (m', k') -> F.compare m m' = 0 && Float.equal k k'
+  | Some _, None | None, Some _ -> false
+
+(* Masses with an Ω floor never totally conflict; masses without one
+   can. Both regimes matter: the None/None agreement is part of the
+   contract. *)
+let mass_pair ?omega_floor dom seed =
+  let rng = R.create seed in
+  (G.evidence rng ?omega_floor dom, G.evidence rng ?omega_floor dom)
+
+let flat_pair ?omega_floor dom seed =
+  let m1, m2 = mass_pair ?omega_floor dom seed in
+  let it = interner_of dom in
+  (m1, m2, Fm.of_mass it m1, Fm.of_mass it m2)
+
+let suite_for label dom =
+  [ prop (label ^ ": to_mass (of_mass m) = m (bit-exact)") seed_arb (fun s ->
+        let m = G.evidence (R.create s) dom in
+        F.compare (Fm.to_mass (Fm.of_mass (interner_of dom) m)) m = 0);
+    prop (label ^ ": flat combine_opt = map combine_opt") seed_arb (fun s ->
+        let m1, m2, f1, f2 = flat_pair dom s in
+        let flat =
+          Option.map (fun (m, k) -> (Fm.to_mass m, k)) (Fm.combine_opt f1 f2)
+        in
+        exact_opt (F.combine_opt m1 m2) flat);
+    prop (label ^ ": flat combine_opt = map combine_opt (no Ω floor)")
+      seed_arb
+      (fun s ->
+        let m1, m2, f1, f2 = flat_pair ~omega_floor:0.0 dom s in
+        let flat =
+          Option.map (fun (m, k) -> (Fm.to_mass m, k)) (Fm.combine_opt f1 f2)
+        in
+        exact_opt (F.combine_opt m1 m2) flat);
+    prop (label ^ ": flat conflict = map conflict") seed_arb (fun s ->
+        let m1, m2, f1, f2 = flat_pair ~omega_floor:0.0 dom s in
+        Float.equal (F.conflict m1 m2) (Fm.conflict f1 f2));
+    prop (label ^ ": flat bel/pls = map bel/pls") seed_arb (fun s ->
+        let rng = R.create s in
+        let m = G.evidence rng dom in
+        let a = G.vset rng dom ~max_size:4 in
+        let f = Fm.of_mass (interner_of dom) m in
+        Float.equal (F.bel m a) (Fm.bel f a)
+        && Float.equal (F.pls m a) (Fm.pls f a));
+    prop (label ^ ": interned ids are stable under re-interning") seed_arb
+      (fun s ->
+        let rng = R.create s in
+        let it = interner_of dom in
+        let sets =
+          List.init 5 (fun _ -> G.vset rng dom ~max_size:3)
+        in
+        let ids = List.map (Dst.Interner.intern it) sets in
+        (* Interleave fresh interning pressure, then re-intern. *)
+        let m = G.evidence rng dom in
+        ignore (Fm.combine_opt (Fm.of_mass it m) (Fm.of_mass it m));
+        let again = List.map (Dst.Interner.intern it) sets in
+        List.equal Int.equal ids again
+        && List.for_all2
+             (fun id set -> Dst.Vset.equal (Dst.Interner.set_of it id) set)
+             ids sets) ]
+
+(* --- Combine_cache representation invariance ------------------------- *)
+
+(* Drive a map-kernel cache and a flat-kernel cache through the same
+   request sequence drawn from a small pool (so hits actually occur):
+   every reply must be bit-identical and the hit/miss tallies must
+   match step for step. *)
+let cache_invariance =
+  prop "Combine_cache: flat kernel is hit/miss- and result-invariant"
+    seed_arb
+    (fun s ->
+      let rng = R.create s in
+      let pool =
+        Array.init 4 (fun _ -> G.evidence rng small_dom)
+      in
+      let plain = Dst.Combine_cache.create () in
+      let resolve =
+        let it = Dst.Interner.create small_dom in
+        fun _frame -> it
+      in
+      let flat =
+        Dst.Combine_cache.create ~kernel:(Dst.Flat_mass.kernel resolve) ()
+      in
+      let steps =
+        List.init 20 (fun _ ->
+            (pool.(R.int rng 4), pool.(R.int rng 4)))
+      in
+      List.for_all
+        (fun (m1, m2) ->
+          exact_opt
+            (Dst.Combine_cache.combine_opt plain m1 m2)
+            (Dst.Combine_cache.combine_opt flat m1 m2)
+          && Dst.Combine_cache.hits plain = Dst.Combine_cache.hits flat
+          && Dst.Combine_cache.misses plain = Dst.Combine_cache.misses flat)
+        steps)
+
+(* --- deterministic corner cases -------------------------------------- *)
+
+let total_conflict_unit () =
+  let v s = Dst.Value.string s in
+  let m1 = F.certain small_dom (v "v0") and m2 = F.certain small_dom (v "v1") in
+  let it = interner_of small_dom in
+  Alcotest.(check bool)
+    "map kernel reports total conflict" true
+    (Option.is_none (F.combine_opt m1 m2));
+  Alcotest.(check bool)
+    "flat kernel reports total conflict" true
+    (Option.is_none (Fm.combine_opt (Fm.of_mass it m1) (Fm.of_mass it m2)))
+
+let frame_mismatch_unit () =
+  let m1 = F.vacuous small_dom and m2 = F.vacuous big_dom in
+  let f1 = Fm.of_mass (interner_of small_dom) m1
+  and f2 = Fm.of_mass (interner_of big_dom) m2 in
+  Alcotest.check_raises "flat combine rejects mixed frames"
+    (F.Frame_mismatch (small_dom, big_dom))
+    (fun () -> ignore (Fm.combine_opt f1 f2))
+
+let () =
+  Alcotest.run "flat_mass"
+    [ ("small-frame (bitmask path)", suite_for "Ω=8" small_dom);
+      ("large-frame (set path)", suite_for "Ω=70" big_dom);
+      ("cache", [ cache_invariance ]);
+      ( "corners",
+        [ Alcotest.test_case "total conflict" `Quick total_conflict_unit;
+          Alcotest.test_case "frame mismatch" `Quick frame_mismatch_unit ] )
+    ]
