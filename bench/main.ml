@@ -838,6 +838,147 @@ let sharded_gate () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Incremental absorption vs full rebuild                              *)
+
+(* The store's delta path folds one source update into the merged
+   relation in O(changed entities) — Dempster's rule is associative, so
+   the fold is bit-identical to rebuilding from scratch. This sweep
+   quantifies what that buys: full rebuild vs Multi.absorb_delta at
+   1%/10%/50% changed entities over 10^4..10^6-tuple relations.
+   Results go to stdout and BENCH_incremental.json. *)
+let incremental_sweep () =
+  let schema = Workload.Gen.schema "inc" in
+  print_endline "incremental absorption vs full rebuild:";
+  let points = ref [] in
+  List.iter
+    (fun n ->
+      let base =
+        Workload.Gen.relation (Workload.Rng.create 42) ~size:n schema
+      in
+      List.iter
+        (fun frac ->
+          let k = max 1 (int_of_float (float_of_int n *. frac)) in
+          let changed =
+            Erm.Relation.of_tuples schema
+              (List.filteri (fun i _ -> i < k) (Erm.Relation.tuples base))
+          in
+          let delta =
+            Workload.Gen.reobserve (Workload.Rng.create (n + k)) changed
+          in
+          let src =
+            { Integration.Multi.source_name = "d"; source_relation = delta }
+          in
+          let time f =
+            let reps = if n <= 10_000 then 5 else 1 in
+            let best = ref Float.max_float in
+            for _ = 1 to 3 do
+              let t0 = Unix.gettimeofday () in
+              for _ = 1 to reps do
+                f ()
+              done;
+              best :=
+                Float.min !best
+                  ((Unix.gettimeofday () -. t0) /. float_of_int reps)
+            done;
+            !best *. 1e9
+          in
+          let full_ns =
+            time (fun () ->
+                ignore
+                  (Integration.Multi.integrate
+                     [ { Integration.Multi.source_name = "m";
+                         source_relation = base };
+                       src ]))
+          in
+          let delta_ns =
+            time (fun () ->
+                ignore (Integration.Multi.absorb_delta ~into:base src))
+          in
+          Printf.printf
+            "  n=%-8d changed=%-7d full %12.0f ns  delta %12.0f ns  \
+             speedup %6.1fx\n\
+             %!"
+            n k full_ns delta_ns (full_ns /. delta_ns);
+          points := (n, k, full_ns, delta_ns) :: !points)
+        [ 0.01; 0.1; 0.5 ])
+    [ 10_000; 100_000; 1_000_000 ];
+  let oc = open_out "BENCH_incremental.json" in
+  Printf.fprintf oc "{\n  \"workload\": \"delta-vs-full\",\n  \"points\": [\n";
+  let rows = List.rev !points in
+  List.iteri
+    (fun i (n, k, full_ns, delta_ns) ->
+      Printf.fprintf oc
+        "    { \"n\": %d, \"changed\": %d, \"full_ns\": %.0f, \
+         \"delta_ns\": %.0f, \"speedup\": %.1f }%s\n"
+        n k full_ns delta_ns (full_ns /. delta_ns)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  print_endline "  wrote BENCH_incremental.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Store recovery overhead gate                                        *)
+
+(* Opening a clean store always replays every committed record; with
+   verification on it additionally CRC-checks each record and re-checks
+   each upsert's key digest. The gate bounds what that integrity
+   checking may cost on the clean-store fast path: verified open within
+   5% of unverified open (min of 5 each, warm cache). Results go to
+   BENCH_store_gate.json; a breach exits non-zero so CI fails. *)
+let store_gate () =
+  let schema = Workload.Gen.schema "gate" in
+  let r = Workload.Gen.relation (Workload.Rng.create 11) ~size:10_000 schema in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "eridb_bench_store_%d" (Unix.getpid ()))
+  in
+  ignore (Store.Estore.create ~dir ~name:"gate" r);
+  let time_open ~verify =
+    ignore (Store.Estore.open_store ~verify dir);
+    (* warm-up *)
+    List.fold_left
+      (fun acc _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Store.Estore.open_store ~verify dir);
+        Float.min acc ((Unix.gettimeofday () -. t0) *. 1e9))
+      Float.max_float [ 1; 2; 3; 4; 5 ]
+  in
+  let unverified_ns = time_open ~verify:false in
+  let verified_ns = time_open ~verify:true in
+  let ratio = verified_ns /. unverified_ns in
+  let pass = ratio <= 1.05 in
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Sys.rmdir dir;
+  print_endline "store-gate (open 10k-tuple store, min of 5):";
+  Printf.printf "  unverified open           %12.0f ns/run\n" unverified_ns;
+  Printf.printf "  verified open             %12.0f ns/run\n" verified_ns;
+  Printf.printf "  verified/unverified       %.3f (gate: <= 1.05) %s\n%!"
+    ratio
+    (if pass then "OK" else "FAIL");
+  let oc = open_out "BENCH_store_gate.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"open-10k\",\n\
+    \  \"unverified_ns\": %.0f,\n\
+    \  \"verified_ns\": %.0f,\n\
+    \  \"verified_over_unverified\": %.4f,\n\
+    \  \"gate\": 1.05,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    unverified_ns verified_ns ratio pass;
+  close_out oc;
+  print_endline "  wrote BENCH_store_gate.json\n";
+  if not pass then begin
+    print_endline
+      "  STORE GATE FAILED - verified clean-store recovery regressed > 5% \
+       over unverified open";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 
 let run_group (group_name, tests) =
@@ -874,17 +1015,29 @@ let () =
     sharded_gate ();
     exit 0
   end;
+  if Array.exists (String.equal "--store-gate") Sys.argv then begin
+    (* CI mode: only the store recovery overhead gate. *)
+    store_gate ();
+    exit 0
+  end;
   if Array.exists (String.equal "--join-scaling") Sys.argv then begin
     (* Just the join/kernel sweep (regenerates BENCH_join.json). *)
     join_scaling ();
+    exit 0
+  end;
+  if Array.exists (String.equal "--incremental") Sys.argv then begin
+    (* Just the delta-vs-full sweep (regenerates BENCH_incremental.json). *)
+    incremental_sweep ();
     exit 0
   end;
   print_endline "verifying artifacts against the paper:";
   verify ();
   federation_fault_sweep ();
   join_scaling ();
+  incremental_sweep ();
   provenance_gate ();
   sharded_gate ();
+  store_gate ();
   List.iter run_group
     [ ("paper-artifacts", artifact_tests);
       ("combination-scaling", combine_sweep);

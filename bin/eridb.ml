@@ -44,6 +44,12 @@ Commands:
   .analyze QUERY        run the query, show measured per-operator statistics
   .open DIR             open a catalog directory (loads all relations)
   .commit DIR           write every bound relation into a catalog
+  .store open DIR       open a crash-safe evidence store (runs recovery,
+                        binds the stored relation)
+  .store create DIR NAME  persist a bound relation as a new store
+  .store delta FILE     fold a one-relation .erd update into the open
+                        store (O(changed entities), appends a segment)
+  .store status         version, segments and records of the open store
   .summary NAME         cardinality interval + evidence histograms
   .top NAME K           the K most-supported tuples
   .assess NAME NAME     pairwise conflict profile of two relations
@@ -114,6 +120,9 @@ let load_file path =
 
 (* The most recent successful query result — what .why explains. *)
 let last_result : Erm.Relation.t option ref = ref None
+
+(* The store handle behind .store delta/status. *)
+let current_store : Store.Estore.t option ref = ref None
 
 let run_query text =
   let mark = Obs.Trace.count Obs.Trace.default in
@@ -354,6 +363,99 @@ let handle_command line =
       | exception Store.Catalog.Catalog_error m ->
           Printf.printf "error: %s\n" m
       | exception Sys_error m -> Printf.printf "error: %s\n" m)
+  | ".store" -> (
+      let sub, arg = split_first rest in
+      (* Typed store failures are printed, never crash the shell. *)
+      let store_guard f =
+        match f () with
+        | v -> Some v
+        | exception Store.Recovery.Store_error e ->
+            Printf.printf "error: %s\n" (Store.Recovery.error_to_string e);
+            None
+        | exception (Store.Io.Fault _ as e) ->
+            Printf.printf "error: %s\n"
+              (Option.value ~default:"store i/o fault"
+                 (Store.Io.fault_message e));
+            None
+        | exception Erm.Ops.Incompatible_schemas m ->
+            Printf.printf "error: %s\n" m;
+            None
+      in
+      match sub with
+      | "open" when arg <> "" -> (
+          match store_guard (fun () -> Store.Estore.open_store arg) with
+          | None -> ()
+          | Some (t, report) ->
+              current_store := Some t;
+              let name = Store.Estore.name t in
+              let r = Store.Estore.relation t in
+              bind name r;
+              if Obs.Provenance.on () then
+                Erm.Lineage.register_relation ~name r;
+              Printf.printf
+                "store %s: %s v%d (%d tuples, %d records replayed)\n" arg name
+                (Store.Estore.version t) (Erm.Relation.cardinal r)
+                report.Store.Recovery.records;
+              List.iter
+                (fun e ->
+                  Printf.printf "recovery: %s\n"
+                    (Store.Recovery.event_to_string e))
+                report.Store.Recovery.events)
+      | "create" -> (
+          match String.split_on_char ' ' arg with
+          | [ dir; name ] -> (
+              match List.assoc_opt name !env with
+              | None -> Printf.printf "unknown relation %s\n" name
+              | Some r -> (
+                  match
+                    store_guard (fun () -> Store.Estore.create ~dir ~name r)
+                  with
+                  | None -> ()
+                  | Some t ->
+                      current_store := Some t;
+                      Printf.printf "created store %s: %s v1 (%d tuples)\n" dir
+                        name (Erm.Relation.cardinal r)))
+          | _ -> print_string "usage: .store create DIR NAME\n")
+      | "delta" when arg <> "" -> (
+          match !current_store with
+          | None -> print_string "no store open (.store open DIR first)\n"
+          | Some t -> (
+              match Erm.Io.load arg with
+              | [ rel ] -> (
+                  let source = Erm.Schema.name (Erm.Relation.schema rel) in
+                  match
+                    store_guard (fun () -> Store.Delta.apply t ~name:source rel)
+                  with
+                  | None -> ()
+                  | Some o ->
+                      List.iter
+                        (fun c ->
+                          Format.printf "conflict absorbing %s: %a@." source
+                            Erm.Ops.pp_conflict c)
+                        o.Store.Delta.conflicts;
+                      bind (Store.Estore.name t) o.Store.Delta.relation;
+                      Printf.printf
+                        "delta %s: %d upserts, %d deletes, %d conflicts -> v%d\n"
+                        source o.Store.Delta.upserts o.Store.Delta.deletes
+                        (List.length o.Store.Delta.conflicts)
+                        o.Store.Delta.version)
+              | _ ->
+                  Printf.printf "%s: delta file must hold exactly one relation\n"
+                    arg
+              | exception Erm.Io.Io_error { line; message; _ } ->
+                  Printf.printf "error: %s:%d: %s\n" arg line message
+              | exception Sys_error m -> Printf.printf "error: %s\n" m))
+      | "status" -> (
+          match !current_store with
+          | None -> print_string "no store open\n"
+          | Some t ->
+              Printf.printf "store %s: %s v%d (%d tuples)\n"
+                (Store.Estore.dir t) (Store.Estore.name t)
+                (Store.Estore.version t)
+                (Erm.Relation.cardinal (Store.Estore.relation t)))
+      | _ ->
+          print_string
+            "usage: .store open DIR | create DIR NAME | delta FILE | status\n")
   | ".check" -> (
       match Analysis.Check.check_string !env rest with
       | [] -> print_string "no findings\n"

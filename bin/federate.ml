@@ -165,9 +165,20 @@ let write_audit path =
             (i + 1) name ksum combines)
         ranked)
 
+(* --store/--delta: the persistent evidence store. Recovery output is
+   deterministic (version, counts, events in occurrence order), so
+   chaos runs golden-test cleanly. *)
+let print_recovery dir (report : Store.Recovery.report) =
+  Printf.printf "store %s: %s v%d, %d segments, %d records replayed\n" dir
+    report.Store.Recovery.store_name report.version report.segments
+    report.records;
+  List.iter
+    (fun e -> Printf.printf "recovery: %s\n" (Store.Recovery.event_to_string e))
+    report.Store.Recovery.events
+
 let run files relations discount name query csv out report_only fault_plan
     seed retries timeout_ms budget_ms min_sources skip_malformed validate
-    metrics_out audit domains =
+    metrics_out audit domains store_dir delta_file store_fault_plan =
   Exec.Engine.install ();
   (match metrics_out with
   | Some _ ->
@@ -181,7 +192,115 @@ let run files relations discount name query csv out report_only fault_plan
   | None -> ());
   let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
   let fail code m = Error (code, m) in
+  let store_io =
+    match store_fault_plan with
+    | None -> Store.Io.real
+    | Some plan -> Store.Io.faulty ~seed ~plan Store.Io.real
+  in
+  (* Store failures are always typed: Store_error from the recovery
+     state machine, Io.Fault from real or injected disk faults. Both
+     map to the source-failure exit. *)
+  let store_guard f =
+    match f () with
+    | v -> Ok v
+    | exception Store.Recovery.Store_error e ->
+        fail exit_source_failure (Store.Recovery.error_to_string e)
+    | exception (Store.Io.Fault _ as e) ->
+        fail exit_source_failure
+          (Option.value ~default:"store i/o fault"
+             (Store.Io.fault_message e))
+  in
+  let render r =
+    if csv then print_string (Erm.Render.to_csv r) else Erm.Render.print r
+  in
+  let query_and_out env r =
+    try
+      (match query with
+      | Some text -> render (Query.Eval.run env text)
+      | None -> render r);
+      (match out with
+      | Some path ->
+          Erm.Io.save path [ r ];
+          Printf.printf "wrote %s\n" path
+      | None -> ());
+      Ok ()
+    with
+    | Sys_error m -> fail exit_source_failure m
+    | Query.Parser.Parse_error m ->
+        fail exit_source_failure ("parse error: " ^ m)
+    | Query.Eval.Eval_error m -> fail exit_source_failure m
+    | Erm.Ops.Incompatible_schemas m -> fail exit_source_failure m
+    | Dst.Mass.F.Total_conflict ->
+        fail exit_source_failure
+          "total conflict (kappa = 1) during query evaluation"
+  in
+  (* Open the store (through recovery), optionally fold one delta file
+     into it, then expose the stored relation to --query/--out. *)
+  let store_body dir =
+    let* t, report =
+      store_guard (fun () -> Store.Estore.open_store ~io:store_io dir)
+    in
+    print_recovery dir report;
+    let* () =
+      match delta_file with
+      | None -> Ok ()
+      | Some dfile ->
+          let* rel =
+            match Erm.Io.load dfile with
+            | [ r ] -> Ok r
+            | _ ->
+                fail exit_source_failure
+                  (dfile ^ ": delta file must hold exactly one relation")
+            | exception Sys_error m -> fail exit_source_failure m
+            | exception Erm.Io.Io_error { line; message; _ } ->
+                fail exit_source_failure
+                  (Printf.sprintf "%s: line %d: %s" dfile line
+                     (strip_path_prefix dfile message))
+          in
+          let source = Erm.Schema.name (Erm.Relation.schema rel) in
+          let* outcome =
+            match
+              store_guard (fun () -> Store.Delta.apply t ~name:source rel)
+            with
+            | Ok o -> Ok o
+            | Error _ as e -> e
+            | exception Erm.Ops.Incompatible_schemas m ->
+                fail exit_source_failure m
+          in
+          List.iter
+            (fun c ->
+              Format.printf "conflict absorbing %s: %a@." source
+                Erm.Ops.pp_conflict c)
+            outcome.Store.Delta.conflicts;
+          Printf.printf "delta %s: %d upserts, %d deletes, %d conflicts -> v%d\n"
+            source outcome.Store.Delta.upserts outcome.Store.Delta.deletes
+            (List.length outcome.Store.Delta.conflicts)
+            outcome.Store.Delta.version;
+          Ok ()
+    in
+    if report_only then Ok ()
+    else
+      let stored = Store.Estore.relation t in
+      query_and_out [ (Store.Estore.name t, stored) ] stored
+  in
   let body () =
+    let* () =
+      match (store_dir, delta_file) with
+      | None, Some _ ->
+          fail Cmd.Exit.cli_error "--delta requires --store DIR"
+      | _ -> Ok ()
+    in
+    let* () =
+      if files = [] && store_dir = None then
+        fail Cmd.Exit.cli_error "pass at least one FILE.erd or --store DIR"
+      else Ok ()
+    in
+    match store_dir with
+    | Some dir when files = [] || delta_file <> None ->
+        (* Pure store runs: open (recovery), optionally fold a delta,
+           then query/print the stored relation. *)
+        store_body dir
+    | _ ->
     let* () =
       if validate then
         Result.map_error (fun m -> (exit_source_failure, m)) (validate_files files)
@@ -267,40 +386,30 @@ let run files relations discount name query csv out report_only fault_plan
             write_audit path;
             Printf.printf "wrote audit to %s\n" path
         | None -> ());
+        let merged = report.Federation.Degrade.multi.integrated in
+        let integrated =
+          Erm.Relation.map_tuples
+            (fun t -> Some t)
+            (Erm.Schema.rename_relation name (Erm.Relation.schema merged))
+            merged
+        in
+        (* Persist even under --report-only: creating the store is the
+           point of the run, not part of rendering. *)
+        let* () =
+          match store_dir with
+          | None -> Ok ()
+          | Some dir ->
+              let* t =
+                store_guard (fun () ->
+                    Store.Estore.create ~io:store_io ~dir ~name integrated)
+              in
+              Printf.printf "created store %s: %s v%d (%d tuples)\n" dir
+                (Store.Estore.name t) (Store.Estore.version t)
+                (Erm.Relation.cardinal (Store.Estore.relation t));
+              Ok ()
+        in
         if report_only then Ok ()
-        else begin
-          let merged = report.Federation.Degrade.multi.integrated in
-          let integrated =
-            Erm.Relation.map_tuples
-              (fun t -> Some t)
-              (Erm.Schema.rename_relation name (Erm.Relation.schema merged))
-              merged
-          in
-          let render r =
-            if csv then print_string (Erm.Render.to_csv r)
-            else Erm.Render.print r
-          in
-          try
-            (match query with
-            | Some text ->
-                render (Query.Eval.run ((name, integrated) :: env) text)
-            | None -> render integrated);
-            (match out with
-            | Some path ->
-                Erm.Io.save path [ integrated ];
-                Printf.printf "wrote %s\n" path
-            | None -> ());
-            Ok ()
-          with
-          | Sys_error m -> fail exit_source_failure m
-          | Query.Parser.Parse_error m ->
-              fail exit_source_failure ("parse error: " ^ m)
-          | Query.Eval.Eval_error m -> fail exit_source_failure m
-          | Erm.Ops.Incompatible_schemas m -> fail exit_source_failure m
-          | Dst.Mass.F.Total_conflict ->
-              fail exit_source_failure
-                "total conflict (kappa = 1) during query evaluation"
-        end
+        else query_and_out ((name, integrated) :: env) integrated
   in
   (* The registry flush lives in a finalizer so runs that exit through a
      typed error path (1/2/124) still write their metrics. The file
@@ -317,7 +426,7 @@ let run files relations discount name query csv out report_only fault_plan
     body
 
 let files_arg =
-  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.erd")
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE.erd")
 
 let relations_arg =
   Arg.(
@@ -493,13 +602,58 @@ let domains_arg =
            classic sequential merge). The integration report is identical \
            either way.")
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Crash-safe evidence store directory. With FILE.erd sources, \
+           persist the integrated relation there (the directory must not \
+           already hold a store). Without sources, open the store through \
+           recovery and expose its relation to $(b,--query)/$(b,--out).")
+
+let delta_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "delta" ] ~docv:"FILE.erd"
+        ~doc:
+          "Fold one source update (a single relation) into the store \
+           opened with $(b,--store), touching only the changed entities: \
+           Dempster's rule is associative, so absorbing the delta into the \
+           stored relation equals a full rebuild, bit for bit. Appends a \
+           new segment and bumps the store version.")
+
+let store_fault_plan_conv =
+  let parse s =
+    match Store.Io.plan_of_string s with
+    | Ok plan -> Ok plan
+    | Error m -> Error (`Msg ("bad store fault plan: " ^ m))
+  in
+  let print ppf _ = Format.pp_print_string ppf "<store-fault-plan>" in
+  Arg.conv (parse, print)
+
+let store_fault_plan_arg =
+  Arg.(
+    value
+    & opt (some store_fault_plan_conv) None
+    & info [ "store-fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Inject deterministic disk faults into store i/o: \
+           $(i,class:key=value,…;…) where class is $(b,segment), \
+           $(b,manifest) or $(b,*) and keys are eio, enospc, short, flip, \
+           fsync_eio, rename (probabilities) or torn_at (byte offset). \
+           Example: $(b,segment:torn_at=40) tears the next segment write \
+           at byte 40. Reproducible given $(b,--seed).")
+
 let term =
   Term.(
     const run $ files_arg $ relations_arg $ discount_arg $ name_arg
     $ query_arg $ csv_arg $ out_arg $ report_arg $ fault_plan_arg $ seed_arg
     $ retries_arg $ timeout_arg $ budget_arg $ min_sources_arg
     $ skip_malformed_arg $ validate_arg $ metrics_out_arg $ audit_arg
-    $ domains_arg)
+    $ domains_arg $ store_arg $ delta_arg $ store_fault_plan_arg)
 
 let cmd =
   let doc = "integrate evidential (.erd) relations with Dempster's rule" in

@@ -259,35 +259,48 @@ let exact_support s =
     (exact_float (Dst.Support.sn s))
     (exact_float (Dst.Support.sp s))
 
+let attr_decl a =
+  match Attr.kind a with
+  | Attr.Definite k -> Format.asprintf "%s : %s" (Attr.name a) k
+  | Attr.Evidential d ->
+      Format.asprintf "%s : evidence {%s}" (Attr.name a)
+        (String.concat ", "
+           (List.map Dst.Value.to_string
+              (Dst.Vset.to_list (Dst.Domain.values d))))
+
+let schema_to_string schema =
+  let buf = Buffer.create 128 in
+  let add fmt = Format.kasprintf (Buffer.add_string buf) fmt in
+  add "relation %s\n" (Schema.name schema);
+  List.iter (fun a -> add "key %s\n" (attr_decl a)) (Schema.key schema);
+  List.iter (fun a -> add "attr %s\n" (attr_decl a)) (Schema.nonkey schema);
+  Buffer.contents buf
+
+let schema_of_string s =
+  match relations_of_string s with
+  | [ r ] -> Relation.schema r
+  | l -> fail 0 "expected exactly one relation header, found %d" (List.length l)
+
+let tuple_to_string t =
+  let fields =
+    List.map Dst.Value.to_string (Etuple.key t)
+    @ List.map
+        (function
+          | Etuple.Definite v -> Dst.Value.to_string v
+          | Etuple.Evidence e -> exact_evidence e)
+        (Etuple.cells t)
+    @ [ exact_support (Etuple.tm t) ]
+  in
+  String.concat " | " fields
+
+let tuple_of_string schema s = parse_tuple 0 schema s
+
 let to_string r =
   let schema = Relation.schema r in
   let buf = Buffer.create 256 in
   let add fmt = Format.kasprintf (Buffer.add_string buf) fmt in
-  add "relation %s\n" (Schema.name schema);
-  let attr_decl a =
-    match Attr.kind a with
-    | Attr.Definite k -> Format.asprintf "%s : %s" (Attr.name a) k
-    | Attr.Evidential d ->
-        Format.asprintf "%s : evidence {%s}" (Attr.name a)
-          (String.concat ", "
-             (List.map Dst.Value.to_string
-                (Dst.Vset.to_list (Dst.Domain.values d))))
-  in
-  List.iter (fun a -> add "key %s\n" (attr_decl a)) (Schema.key schema);
-  List.iter (fun a -> add "attr %s\n" (attr_decl a)) (Schema.nonkey schema);
-  Relation.iter
-    (fun t ->
-      let fields =
-        List.map Dst.Value.to_string (Etuple.key t)
-        @ List.map
-            (function
-              | Etuple.Definite v -> Dst.Value.to_string v
-              | Etuple.Evidence e -> exact_evidence e)
-            (Etuple.cells t)
-        @ [ exact_support (Etuple.tm t) ]
-      in
-      add "tuple %s\n" (String.concat " | " fields))
-    r;
+  Buffer.add_string buf (schema_to_string schema);
+  Relation.iter (fun t -> add "tuple %s\n" (tuple_to_string t)) r;
   Buffer.contents buf
 
 (* Both failure channels carry the file path: open_in's Sys_error

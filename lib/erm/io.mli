@@ -31,6 +31,31 @@ val to_string : Relation.t -> string
 (** Round-trips through {!relation_of_string} (modulo float
     formatting). *)
 
+(** {2 Record-level pieces}
+
+    The persistent store frames individual tuples inside checksummed
+    segment records, so it needs the schema header and single tuple rows
+    as separate round-trippable strings. [to_string] is exactly
+    [schema_to_string] followed by one [tuple_to_string] row per tuple. *)
+
+val schema_to_string : Schema.t -> string
+(** The [relation]/[key]/[attr] header lines of {!to_string}, without
+    any tuple rows. *)
+
+val schema_of_string : string -> Schema.t
+(** Inverse of {!schema_to_string}. Tuple rows, if present, are parsed
+    and discarded. @raise Io_error on malformed input or when the text
+    declares more than one relation. *)
+
+val tuple_to_string : Etuple.t -> string
+(** One tuple row body ([k | cell | … | (sn, sp)], no [tuple] keyword).
+    Floats print via the exact round-trip encoding of {!to_string}, so
+    [tuple_of_string] returns a bit-identical tuple. *)
+
+val tuple_of_string : Schema.t -> string -> Etuple.t
+(** Inverse of {!tuple_to_string} under the same schema.
+    @raise Io_error on malformed input. *)
+
 val load : string -> Relation.t list
 (** Reads a [.erd] file. Both failure channels name the file:
     @raise Sys_error on IO failures (message includes the path);

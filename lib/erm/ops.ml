@@ -94,6 +94,53 @@ let union_cached ~cache a b =
            schema x y))
     a b
 
+(* Attribute-by-attribute merge so a conflict can name its column. The
+   incremental store's delta fold shares this function so its per-key
+   outcome (merged tuple, or conflict recorded and pair dropped) is
+   bit-identical to union_report's. *)
+let merge_report schema ~record x y =
+  let key = Etuple.key x in
+  let exception Bail in
+  try
+    let cells =
+      List.map2
+        (fun attr (cx, cy) ->
+          match (cx, cy) with
+          | Etuple.Definite v, Etuple.Definite w ->
+              if Dst.Value.equal v w then Etuple.Definite v
+              else begin
+                record key
+                  (Some (Attr.name attr))
+                  (Format.asprintf "definite values disagree: %a vs %a"
+                     Dst.Value.pp v Dst.Value.pp w);
+                raise Bail
+              end
+          | Etuple.Evidence e, Etuple.Evidence f -> (
+              match Dst.Mass.F.combine_opt e f with
+              | Some (m, _) -> Etuple.Evidence m
+              | None ->
+                  record key
+                    (Some (Attr.name attr))
+                    "total conflict (kappa = 1) between evidence sets";
+                  raise Bail)
+          | Etuple.Definite _, Etuple.Evidence _
+          | Etuple.Evidence _, Etuple.Definite _ ->
+              record key (Some (Attr.name attr)) "cell kinds disagree";
+              raise Bail)
+        (Schema.nonkey schema)
+        (List.combine (Etuple.cells x) (Etuple.cells y))
+    in
+    let tm =
+      try Dst.Support.combine (Etuple.tm x) (Etuple.tm y)
+      with Dst.Mass.F.Total_conflict ->
+        record key None "membership evidence in total conflict";
+        raise Bail
+    in
+    let m = Etuple.make schema ~key ~cells ~tm in
+    if Obs.Provenance.on () then Lineage.record_merge x y m;
+    Some m
+  with Bail -> None
+
 let union_report a b =
   let schema = Relation.schema a in
   let conflicts = ref [] in
@@ -102,51 +149,7 @@ let union_report a b =
       { conflict_key = key; conflict_attr = attr; conflict_detail = detail }
       :: !conflicts
   in
-  (* Attribute-by-attribute merge so a conflict can name its column. *)
-  let merge x y =
-    let key = Etuple.key x in
-    let exception Bail in
-    try
-      let cells =
-        List.map2
-          (fun attr (cx, cy) ->
-            match (cx, cy) with
-            | Etuple.Definite v, Etuple.Definite w ->
-                if Dst.Value.equal v w then Etuple.Definite v
-                else begin
-                  record key
-                    (Some (Attr.name attr))
-                    (Format.asprintf "definite values disagree: %a vs %a"
-                       Dst.Value.pp v Dst.Value.pp w);
-                  raise Bail
-                end
-            | Etuple.Evidence e, Etuple.Evidence f -> (
-                match Dst.Mass.F.combine_opt e f with
-                | Some (m, _) -> Etuple.Evidence m
-                | None ->
-                    record key
-                      (Some (Attr.name attr))
-                      "total conflict (kappa = 1) between evidence sets";
-                    raise Bail)
-            | Etuple.Definite _, Etuple.Evidence _
-            | Etuple.Evidence _, Etuple.Definite _ ->
-                record key (Some (Attr.name attr)) "cell kinds disagree";
-                raise Bail)
-          (Schema.nonkey schema)
-          (List.combine (Etuple.cells x) (Etuple.cells y))
-      in
-      let tm =
-        try Dst.Support.combine (Etuple.tm x) (Etuple.tm y)
-        with Dst.Mass.F.Total_conflict ->
-          record key None "membership evidence in total conflict";
-          raise Bail
-      in
-      let m = Etuple.make schema ~key ~cells ~tm in
-      if Obs.Provenance.on () then Lineage.record_merge x y m;
-      Some m
-    with Bail -> None
-  in
-  let result = union_with merge a b in
+  let result = union_with (merge_report schema ~record) a b in
   (result, List.rev !conflicts)
 
 let product a b =

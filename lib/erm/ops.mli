@@ -55,6 +55,20 @@ val union_report : Relation.t -> Relation.t -> Relation.t * conflict list
     disagreement, omits the offending pair from the result and reports it
     — the paper's "inform the data administrators" action (§2.2). *)
 
+val merge_report :
+  Schema.t ->
+  record:(Dst.Value.t list -> string option -> string -> unit) ->
+  Etuple.t ->
+  Etuple.t ->
+  Etuple.t option
+(** The per-pair merge {!union_report} applies to key-matched tuples:
+    Dempster-combine every non-key cell and the membership frame;
+    on total conflict or definite disagreement call
+    [record key attr detail] and return [None] (the pair is dropped).
+    Records lineage exactly as {!union_report} does. Exposed so the
+    incremental store's O(changed entities) delta fold is bit-identical
+    to a full {!union_report} rebuild. *)
+
 val product : Relation.t -> Relation.t -> Relation.t
 (** Extended cartesian product [R ×̂ S] (§3.4): tuple concatenation with
     membership combined by [F_TM].

@@ -75,6 +75,53 @@ let note_shard_rows parts =
           (float_of_int (Erm.Relation.cardinal r)))
       parts
 
+(* --- stored-relation scan cache ------------------------------------- *)
+
+(* Base-relation partitions and their per-shard indexes survive across
+   queries: a hit requires the physically identical relation value
+   (same [==] pointer, so a rebound environment name misses) *and* an
+   unchanged store generation — Store.Delta.apply bumps the generation,
+   invalidating every entry the moment stored data moves. Populated and
+   read only from [parts_of] closures, which run on the main domain, so
+   no worker ever touches the table. *)
+
+type scan_entry = {
+  c_rel : Erm.Relation.t;
+  c_gen : int;
+  c_parts : Erm.Relation.t array;
+  mutable c_indexes : (string * Erm.Index.t array) list;
+}
+
+let scan_cache : (string * int, scan_entry) Hashtbl.t = Hashtbl.create 8
+let reset_scan_cache () = Hashtbl.reset scan_cache
+
+let cached_parts ~shards name base =
+  let gen = Store.Estore.generation () in
+  match Hashtbl.find_opt scan_cache (name, shards) with
+  | Some e when e.c_rel == base && e.c_gen = gen -> e
+  | _ ->
+      let e =
+        {
+          c_rel = base;
+          c_gen = gen;
+          c_parts = Shard.by_key ~shards base;
+          c_indexes = [];
+        }
+      in
+      Hashtbl.replace scan_cache (name, shards) e;
+      e
+
+let cached_indexes e attr =
+  match List.assoc_opt attr e.c_indexes with
+  | Some idxs ->
+      Obs.Metrics.incr "exec.index.reuse";
+      idxs
+  | None ->
+      let idxs = Array.map (fun p -> Erm.Index.build p attr) e.c_parts in
+      e.c_indexes <- (attr, idxs) :: e.c_indexes;
+      Obs.Metrics.incr "exec.index.build";
+      idxs
+
 (* --- the sharded executor ------------------------------------------- *)
 
 let execute_plan cfg ctx env plan =
@@ -111,22 +158,27 @@ let execute_plan cfg ctx env plan =
   in
   let rec eval p =
     match p with
-    | P.Scan { rel; access; residual; threshold; cols } ->
+    | P.Scan { rel; access; residual; threshold; cols } -> (
         let base = rel_of env rel in
-        sharded "scan"
-          (fun () -> Shard.by_key ~shards base)
-          (fun i parts ->
-            let input = parts.(i) in
-            match access with
-            | P.Seq_scan -> select_project input residual threshold cols
-            | P.Index_eq { attr; value } ->
-                (* A per-shard index probe is exact: the bucket union
-                   over shards is the whole-relation bucket, and the
-                   residual runs per tuple. The context's index cache is
-                   left alone — it memoizes whole stored relations. *)
-                let idx = Erm.Index.build input attr in
-                let bucket = Erm.Index.select_eq idx input value in
-                select_project bucket residual threshold cols)
+        match access with
+        | P.Seq_scan ->
+            sharded "scan"
+              (fun () -> (cached_parts ~shards rel base).c_parts)
+              (fun i parts -> select_project parts.(i) residual threshold cols)
+        | P.Index_eq { attr; value } ->
+            (* A per-shard index probe is exact: the bucket union over
+               shards is the whole-relation bucket, and the residual
+               runs per tuple. Partitions and indexes come from the
+               scan cache (built on the main domain, reused while the
+               store generation holds); the context's whole-relation
+               index cache is left alone. *)
+            sharded "scan"
+              (fun () ->
+                let e = cached_parts ~shards rel base in
+                (e.c_parts, cached_indexes e attr))
+              (fun i (parts, idxs) ->
+                let bucket = Erm.Index.select_eq idxs.(i) parts.(i) value in
+                select_project bucket residual threshold cols))
     | P.Filter { input; where; threshold; cols } ->
         let child = eval input in
         sharded "filter"

@@ -35,6 +35,13 @@ val install : unit -> unit
 (** Register {!execute} as [Query.Physical]'s sharded runner. Idempotent;
     call once at program start (the binaries and test harnesses do). *)
 
+val reset_scan_cache : unit -> unit
+(** Drop every cached per-shard partition and index. The cache already
+    self-invalidates — entries are keyed on the physical relation and
+    the process-wide store generation ({!Store.Estore.generation}) —
+    so this is for harnesses that compare cold-start metric rollups
+    ([exec.index.build] vs [exec.index.reuse]) across repeated runs. *)
+
 val execute :
   Query.Physical.sharded ->
   ?ctx:Query.Physical.ctx ->

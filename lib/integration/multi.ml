@@ -148,6 +148,76 @@ let integrate_inner ?discount ?alpha_floor ?prior sources =
       end;
       report
 
+type change = Changed of Erm.Etuple.t | Dropped of Erm.Etuple.t
+
+(* One absorption step in O(changed entities): only the delta's keys are
+   visited, every untouched tuple of [into] rides along structurally.
+   Per-key outcomes go through Erm.Ops.merge_report — the exact function
+   union_report applies — so folding a delta into a stored merge is
+   bit-identical to re-integrating all sources from scratch (Dempster's
+   rule is associative and integrate folds left-to-right). *)
+let absorb_delta ~into s =
+  let schema = Erm.Relation.schema into in
+  if not (Erm.Schema.union_compatible schema (Erm.Relation.schema s.source_relation))
+  then
+    raise
+      (Erm.Ops.Incompatible_schemas
+         (Format.asprintf "%s and %s are not union-compatible"
+            (Erm.Schema.name schema)
+            (Erm.Schema.name (Erm.Relation.schema s.source_relation))));
+  if Obs.Provenance.on () then
+    Erm.Lineage.register_relation ~name:s.source_name s.source_relation;
+  let mark = if Obs.Provenance.on () then Obs.Provenance.count () else 0 in
+  let conflicts = ref [] in
+  let record key attr detail =
+    conflicts :=
+      { Erm.Ops.conflict_key = key;
+        conflict_attr = attr;
+        conflict_detail = detail }
+      :: !conflicts
+  in
+  let changes = ref [] in
+  let merged =
+    Erm.Relation.fold
+      (fun t acc ->
+        match Erm.Relation.find_opt into (Erm.Etuple.key t) with
+        | None ->
+            changes := Changed t :: !changes;
+            Erm.Relation.replace acc t
+        | Some old -> (
+            match Erm.Ops.merge_report schema ~record old t with
+            | Some m when Dst.Support.positive (Erm.Etuple.tm m) ->
+                changes := Changed m :: !changes;
+                Erm.Relation.replace acc m
+            | Some _ | None ->
+                (* union_report omits the pair (conflict, or the merged
+                   membership lost all necessary support). *)
+                changes := Dropped old :: !changes;
+                Erm.Relation.remove acc (Erm.Etuple.key old)))
+      s.source_relation into
+  in
+  if Obs.Provenance.on () then begin
+    let upto = Obs.Provenance.count () in
+    ignore
+      (Obs.Provenance.add Obs.Provenance.Step
+         ("absorb " ^ s.source_name)
+         ~args:
+           [ ("source", s.source_name);
+             ("from", string_of_int mark);
+             ("to", string_of_int upto) ]);
+    if Obs.Metrics.on () then
+      for i = mark to upto - 1 do
+        let n = Obs.Provenance.node i in
+        match (n.Obs.Provenance.kind, n.Obs.Provenance.kappa) with
+        | Obs.Provenance.Combine, Some k ->
+            Obs.Metrics.observe
+              ("dst.combine.kappa_by_source." ^ s.source_name)
+              k
+        | _ -> ()
+      done
+  end;
+  (merged, List.rev !conflicts, List.rev !changes)
+
 let integrate ?discount ?alpha_floor ?prior sources =
   let body () = integrate_inner ?discount ?alpha_floor ?prior sources in
   if Obs.Trace.on () then

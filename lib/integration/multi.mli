@@ -65,4 +65,29 @@ val integrate :
     @raise Invalid_argument if a prior or the floor is outside [0,1].
     @raise Erm.Ops.Incompatible_schemas if any source's schema differs. *)
 
+type change =
+  | Changed of Erm.Etuple.t
+      (** New key, or a key-matched pair whose Dempster merge survives. *)
+  | Dropped of Erm.Etuple.t
+      (** The previously stored tuple of a pair {!integrate} would omit:
+          total conflict, definite disagreement, or a merged membership
+          with [sn = 0]. *)
+
+val absorb_delta :
+  into:Erm.Relation.t ->
+  source ->
+  Erm.Relation.t * Erm.Ops.conflict list * change list
+(** [absorb_delta ~into s] folds one (undiscounted) source into an
+    existing merged relation in O(changed entities): only the keys of
+    [s] are visited. Because the per-key merge is
+    {!Erm.Ops.merge_report} — exactly what {!integrate}'s absorption
+    step applies — the result is bit-identical
+    ([Float.equal] supports) to
+    [integrate ~discount:false (sources @ [s])] when [into] was built
+    by [integrate ~discount:false sources]. Registers [s] as a
+    provenance source, records one [Step] node and the per-source κ
+    histogram exactly as {!integrate} does. The change list (in
+    ascending key order of [s]) is the persistent store's write set.
+    @raise Erm.Ops.Incompatible_schemas when the schemas differ. *)
+
 val pp : Format.formatter -> report -> unit

@@ -11,7 +11,11 @@
     Metric names are static strings in the source (dot-separated,
     lower-case: [dst.combine.calls], [combine_cache.hit],
     [physical.index_probe.rows], [federation.retry.attempts],
-    [io.parse.lines]). A name is bound to one kind for the registry's
+    [io.parse.lines], [exec.index.build] / [exec.index.reuse] for the
+    generation-keyed scan cache, and the persistent store's
+    [store.commit.*], [store.delta.*] and [store.recovery.*] families —
+    opens, replayed records, truncated tails, manifest fallbacks, typed
+    errors). A name is bound to one kind for the registry's
     lifetime; re-using it with another kind raises [Invalid_argument]
     — that is a bug in the instrumentation, not a runtime condition. *)
 

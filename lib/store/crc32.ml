@@ -1,0 +1,40 @@
+(* Table-driven CRC-32 (IEEE 802.3 polynomial, reflected), the checksum
+   framing every segment record carries. Pure OCaml — the store must not
+   pull in external dependencies for 30 lines of arithmetic. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let digest_sub s ~pos ~len =
+  let t = Lazy.force table in
+  let crc = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int
+        (Int32.logand
+           (Int32.logxor !crc (Int32.of_int (Char.code s.[i])))
+           0xFFl)
+    in
+    crc := Int32.logxor t.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let digest s = digest_sub s ~pos:0 ~len:(String.length s)
+let to_hex c = Printf.sprintf "%08lx" c
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some v when Int64.unsigned_compare v 0xFFFFFFFFL <= 0 ->
+        Some (Int64.to_int32 v)
+    | Some _ | None -> None

@@ -1,0 +1,16 @@
+(** CRC-32 (IEEE, reflected) — the per-record checksum of segment
+    framing and the manifest trailer. Self-contained table-driven
+    implementation; matches the polynomial used by zlib/gzip, so
+    externally generated fixtures can be checked with standard tools. *)
+
+val digest : string -> int32
+
+val digest_sub : string -> pos:int -> len:int -> int32
+(** Checksum of the byte range [\[pos, pos+len)]. *)
+
+val to_hex : int32 -> string
+(** Fixed-width 8-digit lower-case hex. *)
+
+val of_hex : string -> int32 option
+(** Inverse of {!to_hex}; [None] unless the input is exactly 8 hex
+    digits. *)

@@ -1,0 +1,108 @@
+type t = {
+  dir : string;
+  io : Io.t;
+  mutable manifest : Manifest.t;
+  mutable relation : Erm.Relation.t;
+}
+
+(* Process-global store generation: bumped whenever any store commits,
+   so caches keyed on stored relations (the execution engine's
+   per-shard indexes) can invalidate without holding a store handle. *)
+let generation_counter = Atomic.make 0
+let generation () = Atomic.get generation_counter
+let segment_name version = Printf.sprintf "%06d.seg" version
+
+let fail e =
+  if Obs.Metrics.on () then Obs.Metrics.incr "store.recovery.errors";
+  raise (Recovery.Store_error e)
+
+(* The commit protocol's cheap self-check: after writing (and fsyncing)
+   a segment, ask the filesystem how long the file really is. A short
+   or torn write that raised nothing — exactly what a full disk or an
+   interrupted kernel buffer leaves behind — is caught here, before the
+   manifest ever acknowledges the bytes. *)
+let verify_size (io : Io.t) path expected =
+  let actual = io.file_size path in
+  if actual <> expected then fail (Recovery.Torn_tail { path; offset = actual })
+
+let in_span op f =
+  if Obs.Trace.on () then Obs.Trace.with_span ~cat:"store" op f else f ()
+
+let create ?(io = Io.real) ~dir ~name relation =
+  in_span "store.create" (fun () ->
+      io.mkdir_p dir;
+      if io.exists (Manifest.file dir) then
+        fail
+          (Recovery.Bad_manifest
+             { path = Manifest.file dir; detail = "store already exists" });
+      let records =
+        Segment.Schema_rec
+          (Erm.Io.schema_to_string (Erm.Relation.schema relation))
+        :: List.map
+             (fun t ->
+               Segment.Upsert
+                 {
+                   digest = Segment.digest_of_tuple t;
+                   row = Erm.Io.tuple_to_string t;
+                 })
+             (Erm.Relation.tuples relation)
+      in
+      let content = Segment.encode_file records in
+      let seg = segment_name 1 in
+      let path = Filename.concat dir seg in
+      io.write_file path content;
+      verify_size io path (String.length content);
+      let manifest =
+        {
+          Manifest.format = Manifest.current_format;
+          name;
+          version = 1;
+          segments = [ (seg, String.length content) ];
+        }
+      in
+      Manifest.write io dir manifest;
+      Atomic.incr generation_counter;
+      if Obs.Metrics.on () then begin
+        Obs.Metrics.incr "store.commit.count";
+        Obs.Metrics.incr ~by:(List.length records) "store.commit.records"
+      end;
+      { dir; io; manifest; relation })
+
+let open_store ?(io = Io.real) ?(verify = true) dir =
+  in_span "store.open" (fun () ->
+      let manifest, relation, report = Recovery.recover ~verify io dir in
+      ({ dir; io; manifest; relation }, report))
+
+let relation t = t.relation
+let version t = t.manifest.Manifest.version
+let name t = t.manifest.Manifest.name
+let dir t = t.dir
+
+(* One segment per commit: write it whole, verify its real size, then
+   move the manifest — the single atomic commit point — over. Nothing
+   in the store mutates until every byte is acknowledged, so a fault
+   anywhere in here leaves the previous version intact on disk and in
+   memory. *)
+let append_commit t records new_relation =
+  let next = t.manifest.Manifest.version + 1 in
+  let seg = segment_name next in
+  let path = Filename.concat t.dir seg in
+  let content = Segment.encode_file records in
+  t.io.write_file path content;
+  verify_size t.io path (String.length content);
+  let manifest =
+    {
+      t.manifest with
+      Manifest.version = next;
+      segments = t.manifest.Manifest.segments @ [ (seg, String.length content) ];
+    }
+  in
+  Manifest.write t.io t.dir manifest;
+  t.manifest <- manifest;
+  t.relation <- new_relation;
+  Atomic.incr generation_counter;
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.incr "store.commit.count";
+    Obs.Metrics.incr ~by:(List.length records) "store.commit.records";
+    Obs.Metrics.incr ~by:(String.length content) "store.commit.bytes"
+  end

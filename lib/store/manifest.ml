@@ -1,0 +1,115 @@
+(* The store's commit point: a small text file naming the format
+   version, the relation, the logical store version, and every segment
+   with its committed byte length, sealed by a trailing CRC line.
+
+     eridb-store 1
+     name merged
+     version 3
+     segment 000001.seg 412
+     segment 000003.seg 97
+     crc 1a2b3c4d
+
+   Written bak → temp → fsync → atomic rename: the previous manifest
+   survives as MANIFEST.bak, so a corrupted current manifest falls back
+   to the last consistent version (segment committed lengths only ever
+   grow stale, never wrong, because segments are append-only and
+   truncated back to their committed length on recovery). *)
+
+type t = {
+  format : int;
+  name : string;
+  version : int;
+  segments : (string * int) list;
+}
+
+type error = Skew of int | Malformed of string
+
+let current_format = 1
+let file dir = Filename.concat dir "MANIFEST"
+let bak_file dir = Filename.concat dir "MANIFEST.bak"
+let tmp_file dir = Filename.concat dir "MANIFEST.tmp"
+
+let body_to_string t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "eridb-store %d\n" t.format);
+  Buffer.add_string buf (Printf.sprintf "name %s\n" t.name);
+  Buffer.add_string buf (Printf.sprintf "version %d\n" t.version);
+  List.iter
+    (fun (seg, len) ->
+      Buffer.add_string buf (Printf.sprintf "segment %s %d\n" seg len))
+    t.segments;
+  Buffer.contents buf
+
+let to_string t =
+  let body = body_to_string t in
+  body ^ "crc " ^ Crc32.to_hex (Crc32.digest body) ^ "\n"
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  (* Split off the sealing crc line; everything before it, verbatim, is
+     what the crc covers. *)
+  let rec split_crc acc = function
+    | [ crc; "" ] | [ crc ] -> Some (List.rev acc, crc)
+    | l :: rest -> split_crc (l :: acc) rest
+    | [] -> None
+  in
+  match split_crc [] lines with
+  | None -> Error (Malformed "empty manifest")
+  | Some (body_lines, crc_line) -> (
+      let body = String.concat "\n" body_lines ^ "\n" in
+      let check_crc () =
+        match String.split_on_char ' ' crc_line with
+        | [ "crc"; hex ] -> (
+            match Crc32.of_hex hex with
+            | Some c when Int32.equal c (Crc32.digest body) -> Ok ()
+            | Some _ -> Error (Malformed "manifest crc mismatch")
+            | None -> Error (Malformed "unreadable manifest crc"))
+        | _ -> Error (Malformed "missing manifest crc line")
+      in
+      match check_crc () with
+      | Error _ as e -> e
+      | Ok () -> (
+          let parse_line acc line =
+            match acc with
+            | Error _ -> acc
+            | Ok m -> (
+                match String.split_on_char ' ' line with
+                | [ "eridb-store"; v ] -> (
+                    match int_of_string_opt v with
+                    | Some f -> Ok { m with format = f }
+                    | None -> Error (Malformed "unreadable format version"))
+                | "name" :: rest ->
+                    Ok { m with name = String.concat " " rest }
+                | [ "version"; v ] -> (
+                    match int_of_string_opt v with
+                    | Some n -> Ok { m with version = n }
+                    | None -> Error (Malformed "unreadable store version"))
+                | [ "segment"; seg; len ] -> (
+                    match int_of_string_opt len with
+                    | Some n when n >= String.length Segment.header ->
+                        Ok { m with segments = m.segments @ [ (seg, n) ] }
+                    | Some _ | None ->
+                        Error (Malformed ("bad segment length for " ^ seg)))
+                | [ "" ] -> Ok m
+                | _ -> Error (Malformed ("unknown manifest line: " ^ line)))
+          in
+          match
+            List.fold_left parse_line
+              (Ok { format = 0; name = ""; version = 0; segments = [] })
+              body_lines
+          with
+          | Error _ as e -> e
+          | Ok m ->
+              if m.format <> current_format then Error (Skew m.format)
+              else if m.version < 1 || m.name = "" then
+                Error (Malformed "incomplete manifest")
+              else Ok m))
+
+(* bak → temp → atomic rename. The bak copy is made from the manifest
+   being replaced, so after a torn or bit-flipped manifest write the
+   previous version is still recoverable byte-for-byte. *)
+let write (io : Io.t) dir t =
+  if io.exists (file dir) then
+    io.write_file (bak_file dir) (io.read_file (file dir));
+  io.write_file (tmp_file dir) (to_string t);
+  io.rename (tmp_file dir) (file dir)

@@ -1,0 +1,26 @@
+(** The store's commit point: format version, relation name, logical
+    version, and each segment's committed byte length, sealed with a
+    CRC trailer and replaced via bak → temp → fsync → atomic rename. *)
+
+type t = {
+  format : int;
+  name : string;
+  version : int;
+  segments : (string * int) list;  (** (file name, committed bytes) *)
+}
+
+type error =
+  | Skew of int  (** the on-disk format version, ≠ {!current_format} *)
+  | Malformed of string
+
+val current_format : int
+val file : string -> string
+val bak_file : string -> string
+val tmp_file : string -> string
+val to_string : t -> string
+val of_string : string -> (t, error) result
+
+val write : Io.t -> string -> t -> unit
+(** Preserve the current manifest as [MANIFEST.bak], then write
+    [MANIFEST.tmp] and atomically rename it over [MANIFEST]. Durable
+    once it returns (file and directory fsyncs via {!Io.t}). *)

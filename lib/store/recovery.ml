@@ -1,0 +1,224 @@
+type error =
+  | Torn_tail of { path : string; offset : int }
+  | Bad_checksum of { path : string; offset : int }
+  | Bad_magic of { path : string; offset : int }
+  | Version_skew of { path : string; found : int; supported : int }
+  | No_store of { dir : string }
+  | Bad_manifest of { path : string; detail : string }
+  | Bad_record of { path : string; detail : string }
+
+exception Store_error of error
+
+let error_to_string = function
+  | Torn_tail { path; offset } ->
+      Printf.sprintf "torn tail: %s loses committed bytes at offset %d" path
+        offset
+  | Bad_checksum { path; offset } ->
+      Printf.sprintf "bad checksum: %s record at offset %d" path offset
+  | Bad_magic { path; offset } ->
+      Printf.sprintf "bad magic: %s framing violated at offset %d" path offset
+  | Version_skew { path; found; supported } ->
+      Printf.sprintf "version skew: %s is format %d, this build supports %d"
+        path found supported
+  | No_store { dir } -> Printf.sprintf "no store at %s" dir
+  | Bad_manifest { path; detail } ->
+      Printf.sprintf "bad manifest: %s: %s" path detail
+  | Bad_record { path; detail } ->
+      Printf.sprintf "bad record: %s: %s" path detail
+
+let () =
+  Printexc.register_printer (function
+    | Store_error e -> Some ("Store_error: " ^ error_to_string e)
+    | _ -> None)
+
+type event =
+  | Truncated_tail of { segment : string; dropped : int }
+  | Manifest_fallback
+  | Removed_stray of string
+
+let event_to_string = function
+  | Truncated_tail { segment; dropped } ->
+      Printf.sprintf "truncated %d uncommitted byte%s from %s" dropped
+        (if dropped = 1 then "" else "s")
+        segment
+  | Manifest_fallback -> "fell back to MANIFEST.bak"
+  | Removed_stray f -> Printf.sprintf "removed stray file %s" f
+
+type report = {
+  version : int;
+  store_name : string;
+  segments : int;
+  records : int;
+  events : event list;
+}
+
+let fail e =
+  if Obs.Metrics.on () then Obs.Metrics.incr "store.recovery.errors";
+  raise (Store_error e)
+
+let in_span phase f =
+  if Obs.Trace.on () then
+    Obs.Trace.with_span ~cat:"store" ("store.recovery." ^ phase) f
+  else f ()
+
+(* Phase 1 — establish the commit point. The current manifest wins; a
+   missing or corrupted one falls back to MANIFEST.bak (segments are
+   append-only, so the previous manifest's committed lengths are still a
+   consistent — merely older — version). A format from another build
+   never falls back: that is version skew, not corruption. *)
+let read_manifest (io : Io.t) dir events =
+  let parse path =
+    match Manifest.of_string (io.read_file path) with
+    | Ok m -> Ok m
+    | Error (Manifest.Skew found) ->
+        Error
+          (`Skew
+            (Version_skew { path; found; supported = Manifest.current_format }))
+    | Error (Manifest.Malformed detail) ->
+        Error (`Corrupt (Bad_manifest { path; detail }))
+  in
+  let fallback on_missing =
+    let bak = Manifest.bak_file dir in
+    if not (io.exists bak) then fail on_missing
+    else
+      match parse bak with
+      | Ok m ->
+          events := Manifest_fallback :: !events;
+          if Obs.Metrics.on () then
+            Obs.Metrics.incr "store.recovery.manifest_fallback";
+          m
+      | Error (`Skew e) | Error (`Corrupt e) -> fail e
+  in
+  let current = Manifest.file dir in
+  if not (io.exists current) then
+    fallback (No_store { dir })
+  else
+    match parse current with
+    | Ok m -> m
+    | Error (`Skew e) -> fail e
+    | Error (`Corrupt e) -> fallback e
+
+(* Phase 2 — scan every committed segment. Bytes beyond the committed
+   length are an interrupted append: truncated away (recoverable).
+   Damage *within* the committed prefix lost acknowledged data: a typed
+   error, never a silent repair. *)
+let scan_segment ~verify (io : Io.t) dir events (seg, committed) =
+  let path = Filename.concat dir seg in
+  if not (io.exists path) then
+    fail (Bad_manifest { path; detail = "committed segment missing" });
+  let size = io.file_size path in
+  if size < committed then fail (Torn_tail { path; offset = size });
+  let content = io.read_file path in
+  let records, consumed, tail =
+    Segment.scan ~verify (String.sub content 0 committed)
+  in
+  (match tail with
+  | Segment.Clean when consumed = committed -> ()
+  | Segment.Clean | Segment.Torn _ ->
+      fail (Torn_tail { path; offset = consumed })
+  | Segment.Bad_magic_at off -> fail (Bad_magic { path; offset = off })
+  | Segment.Bad_crc_at off -> fail (Bad_checksum { path; offset = off }));
+  if size > committed then begin
+    io.truncate_file path committed;
+    events := Truncated_tail { segment = seg; dropped = size - committed }
+              :: !events;
+    if Obs.Metrics.on () then begin
+      Obs.Metrics.incr "store.recovery.truncated_tails";
+      Obs.Metrics.incr ~by:(size - committed) "store.recovery.truncated_bytes"
+    end
+  end;
+  records
+
+(* Files an interrupted commit left behind but the manifest never
+   acknowledged: segments outside the list and a stale MANIFEST.tmp.
+   Removing them keeps the directory equal to the committed state. *)
+let remove_strays (io : Io.t) dir manifest events =
+  let committed = List.map fst manifest.Manifest.segments in
+  List.iter
+    (fun f ->
+      let stray_segment =
+        Filename.check_suffix f ".seg" && not (List.mem f committed)
+      in
+      let stray_tmp = String.equal f "MANIFEST.tmp" in
+      if stray_segment || stray_tmp then begin
+        io.remove (Filename.concat dir f);
+        events := Removed_stray f :: !events;
+        if Obs.Metrics.on () then Obs.Metrics.incr "store.recovery.stray_removed"
+      end)
+    (io.list_dir dir)
+
+(* Phase 3 — replay the clean records into the relation. *)
+let replay ~verify dir per_segment =
+  let bad path detail = fail (Bad_record { path; detail }) in
+  let digests : (string, Dst.Value.t list) Hashtbl.t = Hashtbl.create 64 in
+  let state = ref None in
+  let count = ref 0 in
+  let replay_one path record =
+    incr count;
+    match (record, !state) with
+    | Segment.Schema_rec text, None -> (
+        match Erm.Io.schema_of_string text with
+        | s -> state := Some (Erm.Relation.empty s)
+        | exception Erm.Io.Io_error { message; _ } ->
+            bad path ("unreadable schema record: " ^ message))
+    | Segment.Schema_rec _, Some _ -> bad path "duplicate schema record"
+    | (Segment.Upsert _ | Segment.Delete _), None ->
+        bad path "tuple record before any schema record"
+    | Segment.Upsert { digest; row }, Some rel -> (
+        match Erm.Io.tuple_of_string (Erm.Relation.schema rel) row with
+        | t ->
+            if verify && not (String.equal digest (Segment.digest_of_tuple t))
+            then bad path ("digest mismatch for key " ^ digest)
+            else begin
+              Hashtbl.replace digests digest (Erm.Etuple.key t);
+              state := Some (Erm.Relation.replace rel t)
+            end
+        | exception Erm.Io.Io_error { message; _ } ->
+            bad path ("unreadable tuple row: " ^ message)
+        | exception Erm.Relation.Relation_error m ->
+            bad path ("tuple violates CWA_ER: " ^ m))
+    | Segment.Delete { digest }, Some rel -> (
+        match Hashtbl.find_opt digests digest with
+        | Some key -> state := Some (Erm.Relation.remove rel key)
+        | None -> bad path ("delete for unknown digest " ^ digest))
+  in
+  List.iter
+    (fun (seg, records) ->
+      let path = Filename.concat dir seg in
+      List.iter (replay_one path) records)
+    per_segment;
+  match !state with
+  | None ->
+      fail
+        (Bad_record
+           { path = Manifest.file dir; detail = "store holds no schema record" })
+  | Some rel -> (rel, !count)
+
+let recover ?(verify = true) (io : Io.t) dir =
+  if Obs.Metrics.on () then Obs.Metrics.incr "store.recovery.opens";
+  let events = ref [] in
+  let manifest = in_span "manifest" (fun () -> read_manifest io dir events) in
+  let per_segment =
+    in_span "scan" (fun () ->
+        remove_strays io dir manifest events;
+        List.map
+          (fun seg -> (fst seg, scan_segment ~verify io dir events seg))
+          manifest.Manifest.segments)
+  in
+  let rel, records =
+    in_span "replay" (fun () -> replay ~verify dir per_segment)
+  in
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.incr ~by:(List.length manifest.Manifest.segments)
+      "store.recovery.segments";
+    Obs.Metrics.incr ~by:records "store.recovery.records"
+  end;
+  ( manifest,
+    rel,
+    {
+      version = manifest.Manifest.version;
+      store_name = manifest.Manifest.name;
+      segments = List.length manifest.Manifest.segments;
+      records;
+      events = List.rev !events;
+    } )

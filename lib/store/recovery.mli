@@ -1,0 +1,70 @@
+(** The store's recovery state machine.
+
+    Opening a store runs three phases, each under a [store.recovery.*]
+    span and metrics when observability is enabled:
+
+    {v
+        manifest ──► scan ──► replay
+    v}
+
+    - {b manifest}: read [MANIFEST]; if missing or corrupt, fall back
+      to [MANIFEST.bak] (a consistent, merely older, commit point —
+      segments are append-only so its committed lengths are still
+      valid). A foreign format version is {!Version_skew}, never a
+      fallback.
+    - {b scan}: per committed segment, verify the framing and CRC of
+      every record inside the committed prefix; truncate any bytes
+      beyond it (an interrupted append) and remove files no manifest
+      acknowledges. Damage {e within} the committed prefix lost
+      acknowledged data and is a typed error — recovery never silently
+      repairs it.
+    - {b replay}: fold the clean records into the extended relation.
+
+    The contract the crash-recovery fuzz suite pins down: for any write
+    history cut or corrupted at any byte offset, [recover] either
+    returns a prefix-consistent store or raises {!Store_error} — it
+    never crashes and never returns silently wrong masses. *)
+
+type error =
+  | Torn_tail of { path : string; offset : int }
+      (** Committed bytes are missing or incomplete at [offset]. *)
+  | Bad_checksum of { path : string; offset : int }
+      (** A committed record fails its CRC. *)
+  | Bad_magic of { path : string; offset : int }
+      (** File header or record framing violated. *)
+  | Version_skew of { path : string; found : int; supported : int }
+      (** The store was written by a different format version. *)
+  | No_store of { dir : string }
+      (** No manifest (nor backup) at [dir]. *)
+  | Bad_manifest of { path : string; detail : string }
+      (** Manifest unreadable and no usable backup, or a committed
+          segment is missing outright. *)
+  | Bad_record of { path : string; detail : string }
+      (** A record passed its CRC but does not replay (impossible
+          without a writer bug or a checksum collision). *)
+
+exception Store_error of error
+
+val error_to_string : error -> string
+
+type event =
+  | Truncated_tail of { segment : string; dropped : int }
+  | Manifest_fallback
+  | Removed_stray of string
+
+val event_to_string : event -> string
+
+type report = {
+  version : int;
+  store_name : string;
+  segments : int;
+  records : int;
+  events : event list;  (** in occurrence order *)
+}
+
+val recover :
+  ?verify:bool -> Io.t -> string -> Manifest.t * Erm.Relation.t * report
+(** Run the state machine over the store at [dir]. [~verify:false]
+    skips record CRC and digest checks (the recovery benchmark's
+    baseline, never the durability path).
+    @raise Store_error as described per phase. *)

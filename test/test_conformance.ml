@@ -12,7 +12,13 @@
      parallelism must have no representational effect either (the
      per-shard fast paths run Dst.Flat_mass kernels);
    - the single-source integration surface (Integration.Multi), which
-     must be the identity on any query result.
+     must be the identity on any query result;
+   - the persistent store's delta path (Store.Estore + Store.Delta):
+     creating a store from the integration of a source prefix, folding
+     the remaining source in as an on-disk delta, and reopening the
+     store through recovery must reproduce Integration.Multi.integrate
+     over all sources — persistence, incremental absorption and crash
+     recovery together must have no representational effect.
 
    Equality here is stricter than Erm.Relation.equal: supports and
    masses are compared with Float.equal, not a tolerance. A double IS a
@@ -26,6 +32,7 @@
 
 module R = Workload.Rng
 module Q = Workload.Qgen
+module G = Workload.Gen
 module S = Dst.Support
 
 let count = 250
@@ -136,6 +143,43 @@ let with_default_provenance f =
       Obs.Provenance.reset ())
     f
 
+(* The store leg needs real files: each case builds, deltas and reopens
+   a store in a throwaway directory. *)
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "eridb_conf_%d_%d" (Unix.getpid ()) (Random.int 100000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun file -> Sys.remove (Filename.concat dir file))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let store_schema = G.schema "conf_store"
+
+(* Persist a two-source integration incrementally — create from the
+   first source, fold the second in as an on-disk delta, reopen through
+   recovery — and return what the store then holds. *)
+let via_store dir r1 d =
+  let t = Store.Estore.create ~dir ~name:"m" r1 in
+  ignore (Store.Delta.apply t ~name:"d" d);
+  let t2, _ = Store.Estore.open_store dir in
+  Store.Estore.relation t2
+
+let store_case s =
+  let r1 = G.relation (R.create s) ~size:8 store_schema in
+  let d = G.reobserve (R.create (s + 104729)) r1 in
+  let sources =
+    [ { Integration.Multi.source_name = "m"; source_relation = r1 };
+      { Integration.Multi.source_name = "d"; source_relation = d } ]
+  in
+  (r1, d, sources)
+
 (* --- properties ------------------------------------------------------ *)
 
 let conformance_props =
@@ -204,6 +248,35 @@ let conformance_props =
           Integration.Multi.integrate
             [ { Integration.Multi.source_name = "only"; source_relation = r } ]
         in
-        exact_rel_equal r report.Integration.Multi.integrated) ]
+        exact_rel_equal r report.Integration.Multi.integrated);
+    prop "store delta + recovery = integrate (sharded grid)" seed_arb
+      (fun s ->
+        let r1, d, sources = store_case s in
+        let stored = with_temp_dir (fun dir -> via_store dir r1 d) in
+        exact_rel_equal stored
+          (Integration.Multi.integrate sources).Integration.Multi.integrated
+        && List.for_all
+             (fun shards ->
+               List.for_all
+                 (fun domains ->
+                   exact_rel_equal stored
+                     (Exec.Engine.integrate
+                        { Query.Physical.shards; domains }
+                        sources)
+                       .Integration.Multi.integrated)
+                 domain_counts)
+             shard_counts);
+    prop "store delta under provenance = integrate (no observer effect)"
+      seed_arb
+      (fun s ->
+        let r1, d, sources = store_case s in
+        let plain =
+          (Integration.Multi.integrate sources).Integration.Multi.integrated
+        in
+        let stored =
+          with_default_provenance (fun () ->
+              with_temp_dir (fun dir -> via_store dir r1 d))
+        in
+        exact_rel_equal plain stored) ]
 
 let () = Alcotest.run "conformance" [ ("surfaces", conformance_props) ]

@@ -151,6 +151,9 @@ let with_virtual_clock f =
     f
 
 let metrics_rollup_for ~shards ~domains env qs =
+  (* Cold scan cache per rollup, so exec.index.build/reuse counts are a
+     function of the batch alone, not of which rollup ran first. *)
+  Exec.Engine.reset_scan_cache ();
   with_virtual_clock (fun () ->
       with_metrics (fun () ->
           let ctx = P.create_ctx () in
@@ -225,6 +228,82 @@ let lineage_dot_byte_identical () =
         reference (dot_for domains))
     worker_counts
 
+(* --- scan cache: per-shard partitions and indexes -------------------- *)
+
+(* An Index_eq probe over ra's definite attribute: the planner picks the
+   index access path, and the engine serves it from the scan cache. *)
+let index_probe_q value =
+  Query.Ast.Select
+    { cols = None;
+      from = Query.Ast.Rel "ra";
+      where =
+        Query.Ast.Cmp
+          ( Erm.Predicate.Eq,
+            Query.Ast.Attr "a0",
+            Query.Ast.Scalar (Dst.Value.string value) );
+      threshold = Erm.Threshold.always }
+
+let index_reuse_across_queries () =
+  let env = env_of 77 in
+  Exec.Engine.reset_scan_cache ();
+  with_metrics (fun () ->
+      let ctx = P.create_ctx () in
+      let run v =
+        ignore (P.eval_fast ~ctx ~strategy:(strategy 4 1) env (index_probe_q v))
+      in
+      run "a0-1";
+      Alcotest.(check int) "first probe builds" 1
+        (Obs.Metrics.counter "exec.index.build");
+      Alcotest.(check int) "no reuse yet" 0
+        (Obs.Metrics.counter "exec.index.reuse");
+      run "a0-2";
+      Alcotest.(check int) "second probe reuses" 1
+        (Obs.Metrics.counter "exec.index.reuse");
+      Alcotest.(check int) "no rebuild" 1
+        (Obs.Metrics.counter "exec.index.build"))
+
+let index_cache_invalidated_by_store_commit () =
+  let env = env_of 78 in
+  Exec.Engine.reset_scan_cache ();
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "eridb_exec_%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      with_metrics (fun () ->
+          let ctx = P.create_ctx () in
+          let run () =
+            ignore
+              (P.eval_fast ~ctx ~strategy:(strategy 4 1) env
+                 (index_probe_q "a0-1"))
+          in
+          run ();
+          run ();
+          let reuse = Obs.Metrics.counter "exec.index.reuse" in
+          Alcotest.(check int) "warm before commit" 1 reuse;
+          (* Any store commit bumps the process-wide store generation;
+             the cache must drop its partitions and rebuild, because the
+             committed relation may be the one being scanned. *)
+          ignore
+            (Store.Estore.create ~dir ~name:"g"
+               (G.relation (R.create 79) ~size:3 Q.schema));
+          run ();
+          Alcotest.(check int) "no reuse right after a commit" reuse
+            (Obs.Metrics.counter "exec.index.reuse");
+          Alcotest.(check int) "rebuilt" 2
+            (Obs.Metrics.counter "exec.index.build");
+          run ();
+          Alcotest.(check int) "warm again" (reuse + 1)
+            (Obs.Metrics.counter "exec.index.reuse")))
+
 let () =
   Alcotest.run "exec"
     [ ( "pool",
@@ -244,4 +323,9 @@ let () =
           Alcotest.test_case "dst/cache counters shard-count-invariant"
             `Quick counters_invariant_across_shard_counts;
           Alcotest.test_case "lineage DOT byte-identical across worker counts"
-            `Quick lineage_dot_byte_identical ] ) ]
+            `Quick lineage_dot_byte_identical ] );
+      ( "scan-cache",
+        [ Alcotest.test_case "per-shard indexes reused across queries" `Quick
+            index_reuse_across_queries;
+          Alcotest.test_case "store commit invalidates the cache" `Quick
+            index_cache_invalidated_by_store_commit ] ) ]
