@@ -979,6 +979,76 @@ let store_gate () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Whole-store sweep gate                                              *)
+
+(* The S-check sweep is a batch job, but it must stay a *feasible*
+   batch job: the gate builds a 100k-tuple store, runs the full
+   catalog sweep under the metrics registry, and fails unless the
+   sweep completes and every analysis.sweep.* counter is populated
+   with the expected workload shape (1 run x |checks| checks x 100k
+   tuples). Results go to BENCH_sweep_gate.json. *)
+let sweep_gate () =
+  let size = 100_000 in
+  let schema = Workload.Gen.schema "gate" in
+  let r = Workload.Gen.relation (Workload.Rng.create 17) ~size schema in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "eridb_bench_sweep_%d" (Unix.getpid ()))
+  in
+  ignore (Store.Estore.create ~dir ~name:"gate" r);
+  let store, _report = Store.Estore.open_store dir in
+  let env = [ ("gate", r) ] in
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  let t0 = Unix.gettimeofday () in
+  let diags = Analysis.Sweep.run (Analysis.Sweep.subject ~store env) in
+  let sweep_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  let counter name = Obs.Metrics.counter ("analysis.sweep." ^ name) in
+  let runs = counter "runs"
+  and checks = counter "checks"
+  and relations = counter "relations"
+  and tuples = counter "tuples"
+  and findings = counter "findings" in
+  Obs.Metrics.disable ();
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Sys.rmdir dir;
+  let n_checks = List.length Analysis.Sweep.checks in
+  let pass =
+    runs = 1 && checks = n_checks && relations = 1 && tuples = size
+    && findings = List.length diags
+  in
+  Printf.printf "sweep-gate (S-check sweep over a %dk-tuple store):\n"
+    (size / 1000);
+  Printf.printf "  sweep                     %12.0f ns  (%.1f ktuple/s)\n"
+    sweep_ns
+    (float_of_int size /. sweep_ns *. 1e6);
+  Printf.printf
+    "  metrics: runs=%d checks=%d relations=%d tuples=%d findings=%d %s\n%!"
+    runs checks relations tuples findings
+    (if pass then "OK" else "FAIL");
+  let oc = open_out "BENCH_sweep_gate.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"sweep-100k\",\n\
+    \  \"sweep_ns\": %.0f,\n\
+    \  \"tuples\": %d,\n\
+    \  \"checks\": %d,\n\
+    \  \"findings\": %d,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    sweep_ns tuples checks findings pass;
+  close_out oc;
+  print_endline "  wrote BENCH_sweep_gate.json\n";
+  if not pass then begin
+    print_endline
+      "  SWEEP GATE FAILED - analysis.sweep.* metrics did not reflect the \
+       workload";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 
 let run_group (group_name, tests) =
@@ -1018,6 +1088,11 @@ let () =
   if Array.exists (String.equal "--store-gate") Sys.argv then begin
     (* CI mode: only the store recovery overhead gate. *)
     store_gate ();
+    exit 0
+  end;
+  if Array.exists (String.equal "--sweep-gate") Sys.argv then begin
+    (* CI mode: only the whole-store sweep feasibility gate. *)
+    sweep_gate ();
     exit 0
   end;
   if Array.exists (String.equal "--join-scaling") Sys.argv then begin

@@ -36,6 +36,8 @@ Commands:
   .save NAME FILE       write a relation to an .erd file
   .let NAME = QUERY     evaluate a query and bind the result
   .check QUERY          static analysis: report diagnostics without running
+  .sweep                whole-store data-quality sweep (S-checks) over the
+                        bound relations and the open store's history
   .strict on|off        refuse to execute queries with error diagnostics
                         (initial state from ERIDB_STRICT=1)
   .plan QUERY           show the optimized query
@@ -460,6 +462,18 @@ let handle_command line =
       match Analysis.Check.check_string !env rest with
       | [] -> print_string "no findings\n"
       | diags -> Analysis.Report.print diags)
+  | ".sweep" -> (
+      (* Whole-store S-checks over every bound relation (plus the open
+         store's segment history); κ telemetry is whatever .metrics /
+         .provenance recording has accumulated this session. *)
+      match
+        Analysis.Sweep.run
+          (Analysis.Sweep.subject ?store:!current_store !env)
+      with
+      | [] -> print_string "no findings\n"
+      | diags -> Analysis.Report.print diags
+      | exception Store.Recovery.Store_error e ->
+          Printf.printf "error: %s\n" (Store.Recovery.error_to_string e))
   | ".strict" -> (
       match rest with
       | "on" ->

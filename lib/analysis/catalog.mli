@@ -1,0 +1,37 @@
+(** The named data-quality check catalog.
+
+    Every check the analyzer knows — the per-file E-lints
+    ({!Erd_lint}), the per-query Q-checks ({!Check}) and the
+    whole-store S-sweeps ({!Sweep}) — registered as one first-class
+    {!Checkdef.check} value with a stable code, a reactome-style
+    display name, a priority (Blocker → Info) and a one-line
+    description. The catalog is what [eridb-lint --list-checks]
+    exports and what {!Report} consults to order findings by
+    priority. *)
+
+val checks : Checkdef.check list
+(** The full registry, ascending by code (E…, Q…, S…). Codes are
+    unique. *)
+
+val find : string -> Checkdef.check option
+(** Look a check up by its code. *)
+
+val priority_for : string -> Checkdef.priority option
+(** The registered priority of a diagnostic code; [None] for codes
+    outside the catalog (reports sort those last). *)
+
+val run_all : Checkdef.subject -> Diagnostic.t list
+(** Run every check that applies to the subject's scope, through the
+    underlying engine once (not once per check), sorted with
+    {!Diagnostic.compare}. *)
+
+val to_tsv : unit -> string
+(** The catalog as a [descriptions.tsv]-style table:
+    a [Display Name\tPriority\tDescription] header line followed by
+    one row per check in code order, each prefixed by its code —
+    [CODE Display_Name\tPriority\tDescription]. *)
+
+val to_json : unit -> string
+(** The catalog as a JSON array of
+    [{"code", "name", "priority", "scope", "description"}] objects in
+    code order. *)

@@ -1,0 +1,95 @@
+type priority = Blocker | High | Medium | Low | Info
+
+let priority_rank = function
+  | Blocker -> 4
+  | High -> 3
+  | Medium -> 2
+  | Low -> 1
+  | Info -> 0
+
+let priority_to_string = function
+  | Blocker -> "Blocker"
+  | High -> "High"
+  | Medium -> "Medium"
+  | Low -> "Low"
+  | Info -> "Info"
+
+let priority_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "blocker" -> Some Blocker
+  | "high" -> Some High
+  | "medium" -> Some Medium
+  | "low" -> Some Low
+  | "info" -> Some Info
+  | _ -> None
+
+let severity_of_priority = function
+  | Blocker | High -> Diagnostic.Error
+  | Medium | Low -> Diagnostic.Warning
+  | Info -> Diagnostic.Info
+
+type scope = File | Query | Store
+
+let scope_to_string = function
+  | File -> "file"
+  | Query -> "query"
+  | Store -> "store"
+
+type thresholds = {
+  dormant_pls : float;
+  source_kappa : float;
+  merge_kappa : float;
+  bloat_factor : float;
+}
+
+let default_thresholds =
+  { dormant_pls = 0.02;
+    source_kappa = 0.6;
+    merge_kappa = 0.9;
+    bloat_factor = 1.0 }
+
+type kappa_rollup = {
+  rollup_source : string;
+  rollup_count : int;
+  rollup_mean : float;
+  rollup_max : float;
+}
+
+type merge_record = {
+  merge_source : string;
+  merge_label : string;
+  merge_kappa : float;
+}
+
+type store_subject = {
+  relations : (string * Erm.Relation.t) list;
+  store : store_meta option;
+  rollups : kappa_rollup list;
+  merges : merge_record list;
+  thresholds : thresholds;
+}
+
+and store_meta = {
+  store_name : string;
+  store_dir : string;
+  store_version : int;
+  store_segments : (string * Store.Segment.record list) list;
+}
+
+type subject =
+  | File_subject of { path : string; content : string }
+  | Query_subject of {
+      env : (string * Erm.Relation.t) list;
+      file : string option;
+      text : string;
+    }
+  | Store_subject of store_subject
+
+type check = {
+  code : string;
+  name : string;
+  priority : priority;
+  scope : scope;
+  description : string;
+  run : subject -> Diagnostic.t list;
+}

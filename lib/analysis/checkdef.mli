@@ -1,0 +1,108 @@
+(** First-class data-quality checks: the vocabulary of the catalog.
+
+    Every check the analyzer can run — the per-file E-lints, the
+    per-query Q-checks and the whole-store S-sweeps — is described by
+    one {!check} value: a stable code, a display name, a priority in
+    the reactome [descriptions.tsv] style (Blocker → Info), the scope
+    it runs at and a runner over a {!subject}. {!Catalog} assembles the
+    full registry; this module only defines the types so the front
+    ends ({!Erd_lint}, {!Check}, {!Sweep}) and the registry can share
+    them without cycles. *)
+
+type priority = Blocker | High | Medium | Low | Info
+
+val priority_rank : priority -> int
+(** [Blocker] = 4 … [Info] = 0 — reports sort descending on this. *)
+
+val priority_to_string : priority -> string
+(** Capitalized, as the TSV export prints it: ["Blocker"], ["High"]… *)
+
+val priority_of_string : string -> priority option
+(** Case-insensitive inverse of {!priority_to_string}. *)
+
+val severity_of_priority : priority -> Diagnostic.severity
+(** [Blocker]/[High] → [Error], [Medium]/[Low] → [Warning],
+    [Info] → [Info] — how sweep findings pick their severity. *)
+
+type scope = File | Query | Store
+
+val scope_to_string : scope -> string
+(** Lower-case: ["file"], ["query"], ["store"]. *)
+
+(** Tunable cut-offs of the store sweeps. All are compared with [>=]
+    against derived statistics; see each S-check's description. *)
+type thresholds = {
+  dormant_pls : float;
+      (** S002: a domain value with [Bel = 0] and [Pls <=] this in
+          every stored tuple is dormant (default 0.02). *)
+  source_kappa : float;
+      (** S004: a source whose mean merge κ meets this disagrees with
+          the consensus (default 0.6). *)
+  merge_kappa : float;
+      (** S005: one cell merge with κ at or above this is a
+          high-conflict combination (default 0.9). *)
+  bloat_factor : float;
+      (** S009: dead (superseded) records beyond [factor × live]
+          suggest compaction (default 1.0). *)
+}
+
+val default_thresholds : thresholds
+
+(** Per-source agreement rollup, read back from the
+    [dst.combine.kappa_by_source.*] histograms the integration layer
+    records. *)
+type kappa_rollup = {
+  rollup_source : string;
+  rollup_count : int;  (** combinations attributed to the source *)
+  rollup_mean : float;  (** mean κ over those combinations *)
+  rollup_max : float;
+}
+
+(** One recorded cell combination, attributed to the absorption Step
+    that produced it (from the provenance arena). *)
+type merge_record = {
+  merge_source : string;  (** the absorbed source's name *)
+  merge_label : string;  (** the combine node's value label *)
+  merge_kappa : float;
+}
+
+(** What a store sweep looks at: the merged/bound relations, optional
+    on-disk store metadata (committed segments in manifest order) and
+    the merge telemetry harvested from the ambient observability
+    layer. *)
+type store_subject = {
+  relations : (string * Erm.Relation.t) list;
+  store : store_meta option;
+  rollups : kappa_rollup list;
+  merges : merge_record list;
+  thresholds : thresholds;
+}
+
+and store_meta = {
+  store_name : string;
+  store_dir : string;
+  store_version : int;
+  store_segments : (string * Store.Segment.record list) list;
+      (** [(file, records)] in manifest (= commit) order. *)
+}
+
+type subject =
+  | File_subject of { path : string; content : string }
+  | Query_subject of {
+      env : (string * Erm.Relation.t) list;
+      file : string option;
+      text : string;
+    }
+  | Store_subject of store_subject
+
+type check = {
+  code : string;  (** stable identifier: ["E012"], ["Q005"], ["S001"] *)
+  name : string;  (** reactome-style display name, e.g.
+                      ["Dangling_Key_Reference"] *)
+  priority : priority;
+  scope : scope;
+  description : string;  (** one sentence for the TSV/JSON inventory *)
+  run : subject -> Diagnostic.t list;
+      (** Findings of {e this} check only; [[]] on subjects outside the
+          check's scope. *)
+}

@@ -87,10 +87,13 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let to_json d =
+let to_json ?priority d =
   Printf.sprintf
-    {|{"severity": "%s", "code": "%s", "file": %s, "line": %d, "col": %d, "message": "%s"}|}
+    {|{"severity": "%s", %s"code": "%s", "file": %s, "line": %d, "col": %d, "message": "%s"}|}
     (severity_to_string d.severity)
+    (match priority with
+    | Some p -> Printf.sprintf {|"priority": "%s", |} (json_escape p)
+    | None -> "")
     (json_escape d.code)
     (match d.file with
     | Some f -> "\"" ^ json_escape f ^ "\""

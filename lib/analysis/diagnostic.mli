@@ -45,6 +45,12 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
-val to_json : t -> string
+val json_escape : string -> string
+(** Minimal JSON string escaping (quotes, backslashes, control
+    characters) shared by every JSON emitter in the analyzer. *)
+
+val to_json : ?priority:string -> t -> string
 (** One JSON object with fields [severity], [code], [file], [line],
-    [col], [message]. Deterministic field order. *)
+    [col], [message] — plus a [priority] field (the catalog's
+    capitalized spelling, e.g. ["High"]) when one is supplied.
+    Deterministic field order. *)

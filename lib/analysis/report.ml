@@ -1,8 +1,31 @@
+(* Findings are presented most-severe-first by catalog priority, with
+   the position-based Diagnostic.compare order stable inside each
+   priority band. Codes the catalog does not know rank below Info —
+   they still print, just last and without a priority tag. *)
+
+let priority_key d =
+  match Catalog.priority_for d.Diagnostic.code with
+  | Some p -> Checkdef.priority_rank p
+  | None -> -1
+
+let compare_prioritized a b =
+  let c = Int.compare (priority_key b) (priority_key a) in
+  if c <> 0 then c else Diagnostic.compare a b
+
+let sort diags = List.sort compare_prioritized diags
+
 let print ?(out = Format.std_formatter) diags =
-  match List.sort Diagnostic.compare diags with
+  match sort diags with
   | [] -> ()
   | diags ->
-      List.iter (fun d -> Format.fprintf out "%a@." Diagnostic.pp d) diags;
+      List.iter
+        (fun d ->
+          (match Catalog.priority_for d.Diagnostic.code with
+          | Some p ->
+              Format.fprintf out "[%s] " (Checkdef.priority_to_string p)
+          | None -> ());
+          Format.fprintf out "%a@." Diagnostic.pp d)
+        diags;
       let count sev =
         List.length (List.filter (fun d -> d.Diagnostic.severity = sev) diags)
       in
@@ -14,14 +37,18 @@ let print ?(out = Format.std_formatter) diags =
         (if warnings = 1 then "" else "s")
 
 let to_json diags =
-  let diags = List.sort Diagnostic.compare diags in
+  let diags = sort diags in
   let buf = Buffer.create 256 in
   Buffer.add_string buf "[";
   List.iteri
     (fun i d ->
       if i > 0 then Buffer.add_string buf ",";
       Buffer.add_string buf "\n  ";
-      Buffer.add_string buf (Diagnostic.to_json d))
+      let priority =
+        Option.map Checkdef.priority_to_string
+          (Catalog.priority_for d.Diagnostic.code)
+      in
+      Buffer.add_string buf (Diagnostic.to_json ?priority d))
     diags;
   if diags <> [] then Buffer.add_string buf "\n";
   Buffer.add_string buf "]";

@@ -1,14 +1,23 @@
-(** Rendering a batch of diagnostics for humans, machines and shells. *)
+(** Rendering a batch of diagnostics for humans, machines and shells.
+
+    Reports are ordered by catalog priority (Blocker first, Info last;
+    codes outside the {!Catalog} sort after Info), with
+    {!Diagnostic.compare}'s position order stable within each
+    priority. *)
 
 val print : ?out:Format.formatter -> Diagnostic.t list -> unit
-(** Human-readable report: one [file:line:col: severity[CODE]: message]
-    line per diagnostic (sorted), then a one-line summary. Prints
-    nothing for an empty list. *)
+(** Human-readable report: one
+    [[Priority] file:line:col: severity[CODE]: message] line per
+    diagnostic (priority-sorted; the prefix is omitted for codes the
+    catalog does not know), then a one-line summary. Prints nothing
+    for an empty list. *)
 
 val to_json : Diagnostic.t list -> string
-(** The diagnostics (sorted) as a JSON array, one object per finding. *)
+(** The diagnostics (priority-sorted) as a JSON array, one object per
+    finding, each carrying a ["priority"] field when its code is in
+    the catalog. *)
 
 val exit_code : Diagnostic.t list -> int
 (** [0] when clean (info notes allowed), [1] when the worst finding is a
     warning, [2] when any error is present — the contract of the
-    [eridb-lint] executable. *)
+    [eridb-lint] executable's file/query modes. *)

@@ -181,3 +181,13 @@ let stat_of = function
 let snapshot ?(registry = default) () =
   Hashtbl.fold (fun name m acc -> (name, stat_of m) :: acc) registry.table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let with_prefix ?(registry = default) prefix =
+  let n = String.length prefix in
+  Hashtbl.fold
+    (fun name m acc ->
+      if String.length name >= n && String.sub name 0 n = prefix then
+        (name, stat_of m) :: acc
+      else acc)
+    registry.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -78,3 +78,8 @@ val last : ?registry:registry -> string -> float option
 
 val snapshot : ?registry:registry -> unit -> (string * stat) list
 (** Every metric, sorted by name (so dumps are deterministic). *)
+
+val with_prefix : ?registry:registry -> string -> (string * stat) list
+(** {!snapshot} restricted to names starting with the prefix, sorted —
+    how batch consumers read back a rollup family such as
+    [dst.combine.kappa_by_source.*] without scanning everything. *)

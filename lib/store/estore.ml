@@ -77,6 +77,45 @@ let relation t = t.relation
 let version t = t.manifest.Manifest.version
 let name t = t.manifest.Manifest.name
 let dir t = t.dir
+let segments t = t.manifest.Manifest.segments
+
+(* Read-only re-scan of one committed segment, for batch auditors
+   (Analysis.Sweep) that want the record history rather than the
+   replayed relation. Recovery already certified these bytes when the
+   store opened, so anything but a clean scan of exactly the committed
+   prefix means the file changed underneath the live handle. *)
+let segment_records t seg =
+  match List.assoc_opt seg t.manifest.Manifest.segments with
+  | None ->
+      fail
+        (Recovery.Bad_manifest
+           { path = Filename.concat t.dir seg;
+             detail = "not a committed segment" })
+  | Some committed ->
+      let path = Filename.concat t.dir seg in
+      if not (t.io.exists path) then
+        fail
+          (Recovery.Bad_manifest { path; detail = "committed segment missing" });
+      let content = t.io.read_file path in
+      if String.length content < committed then
+        fail (Recovery.Torn_tail { path; offset = String.length content });
+      let records, consumed, tail =
+        Segment.scan ~verify:true (String.sub content 0 committed)
+      in
+      (match tail with
+      | Segment.Clean when consumed = committed -> ()
+      | Segment.Clean | Segment.Torn _ ->
+          fail (Recovery.Torn_tail { path; offset = consumed })
+      | Segment.Bad_magic_at off ->
+          fail (Recovery.Bad_magic { path; offset = off })
+      | Segment.Bad_crc_at off ->
+          fail (Recovery.Bad_checksum { path; offset = off }));
+      records
+
+let fold_segments t ~init ~f =
+  List.fold_left
+    (fun acc (seg, _) -> f acc seg (segment_records t seg))
+    init t.manifest.Manifest.segments
 
 (* One segment per commit: write it whole, verify its real size, then
    move the manifest — the single atomic commit point — over. Nothing

@@ -34,6 +34,23 @@ val version : t -> int
 val name : t -> string
 val dir : t -> string
 
+val segments : t -> (string * int) list
+(** The committed segments in manifest (= commit) order, as
+    [(file, bytes)] pairs — the read-only view batch auditors iterate.
+    Never touches the disk; this is the manifest's own list. *)
+
+val segment_records : t -> string -> Segment.record list
+(** Re-read one committed segment through the store's I/O seam and
+    return its verified records. The segment was CRC-checked when the
+    manifest acknowledged it, so a dirty tail here means the file
+    changed underneath a live store.
+    @raise Recovery.Store_error on a missing or corrupt segment;
+    @raise Io.Fault on injected or real I/O failure. *)
+
+val fold_segments :
+  t -> init:'a -> f:('a -> string -> Segment.record list -> 'a) -> 'a
+(** Fold {!segment_records} over {!segments} in commit order. *)
+
 val append_commit : t -> Segment.record list -> Erm.Relation.t -> unit
 (** Commit one delta's write set as a new segment + manifest version
     and install [new_relation] as the current relation. Exposed for

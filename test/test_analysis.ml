@@ -313,6 +313,303 @@ let static_empty_sound =
         | rel -> Erm.Relation.is_empty rel
         | exception _ -> true)
 
+(* --- the check catalog ---------------------------------------------- *)
+
+module C = Analysis.Catalog
+module K = Analysis.Checkdef
+
+let test_catalog_registry () =
+  let codes_of cs = List.map (fun c -> c.K.code) cs in
+  let all = codes_of C.checks in
+  Alcotest.(check bool) "codes are unique" true
+    (List.sort_uniq String.compare all = List.sort String.compare all);
+  (* Every diagnostic code the two legacy front ends emit is registered,
+     and the S-family is present. *)
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s registered" code)
+        true (C.find code <> None))
+    [ "E001"; "E009"; "E017"; "E099"; "Q000"; "Q008"; "Q018"; "S001"; "S010" ];
+  Alcotest.(check (option int)) "E016 priority" (Some 3)
+    (Option.map K.priority_rank (C.priority_for "E016"));
+  Alcotest.(check (option int)) "unknown code has no priority" None
+    (Option.map K.priority_rank (C.priority_for "X123"));
+  (* Severity derivation is the documented table. *)
+  Alcotest.(check bool) "Blocker is an error" true
+    (K.severity_of_priority K.Blocker = D.Error);
+  Alcotest.(check bool) "Low is a warning" true
+    (K.severity_of_priority K.Low = D.Warning);
+  (* Round-trip the priority spellings, case-insensitively. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (K.priority_to_string p ^ " round-trips")
+        true
+        (K.priority_of_string
+           (String.lowercase_ascii (K.priority_to_string p))
+        = Some p))
+    [ K.Blocker; K.High; K.Medium; K.Low; K.Info ]
+
+let test_catalog_export () =
+  let tsv = C.to_tsv () in
+  let lines = String.split_on_char '\n' tsv in
+  Alcotest.(check string) "TSV header"
+    "Display Name\tPriority\tDescription" (List.hd lines);
+  Alcotest.(check int) "one row per check (plus header and trailing \\n)"
+    (List.length C.checks + 2)
+    (List.length lines);
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "TSV names S001" true
+    (contains "S001 Dangling_Key_Reference\tHigh" tsv);
+  let json = C.to_json () in
+  Alcotest.(check bool) "JSON names E012" true
+    (contains {|"code": "E012", "name": "Value_Outside_Domain"|} json);
+  Alcotest.(check bool) "JSON spells scope" true
+    (contains {|"scope": "store"|} json)
+
+(* --- store sweeps ---------------------------------------------------- *)
+
+(* Fixture root relative to cwd: the dune test runner runs from test/,
+   `dune exec test/test_analysis.exe` (CI's sweep job) from the repo
+   root. *)
+let fixture_dir =
+  if Sys.file_exists "fixtures/sweep/bad_catalog" then "fixtures/sweep/bad_catalog"
+  else "test/fixtures/sweep/bad_catalog"
+
+let sweep_env files =
+  List.concat_map
+    (fun f ->
+      List.map
+        (fun r -> (Erm.Schema.name (Erm.Relation.schema r), r))
+        (Erm.Io.load (fixture_dir ^ "/" ^ f)))
+    files
+
+let sweep_codes ?thresholds env =
+  codes (Analysis.Sweep.run (Analysis.Sweep.subject ?thresholds ~telemetry:false env))
+
+let test_sweep_bad_catalog () =
+  let env = sweep_env [ "hotels.erd"; "bookings.erd"; "empty_rel.erd" ] in
+  let found = sweep_codes env in
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s fires on the bad catalog (got %s)" code
+           (String.concat "," found))
+        true (List.mem code found))
+    [ "S001"; "S002"; "S006"; "S007"; "S010" ];
+  (* Each planted defect is singular: exactly one dangling reference,
+     one dormant value, one clone group. *)
+  let count c = List.length (List.filter (String.equal c) found) in
+  Alcotest.(check int) "one dangling reference" 1 (count "S001");
+  Alcotest.(check int) "one dormant domain value" 1 (count "S002");
+  Alcotest.(check int) "two duplicate-entity groups" 2 (count "S006");
+  Alcotest.(check int) "one clone group" 1 (count "S007")
+
+let test_sweep_clean_env () =
+  (* The paper's restaurant sample: referentially irrelevant (no shared
+     attribute names across keys), live evidence everywhere. *)
+  Alcotest.(check (list string))
+    "clean sample relations sweep clean (bar the declared-empty one)"
+    [ "S010" ] (sweep_codes env)
+
+let test_sweep_cwa () =
+  let schema =
+    Erm.Schema.make ~name:"u"
+      ~key:[ Erm.Attr.definite "k" "string" ]
+      ~nonkey:[ Erm.Attr.definite "v" "string" ]
+  in
+  let tuple sn sp key =
+    Erm.Etuple.make schema
+      ~key:[ Dst.Value.string key ]
+      ~cells:[ Erm.Etuple.Definite (Dst.Value.string "x") ]
+      ~tm:(Dst.Support.make ~sn ~sp)
+  in
+  let bad =
+    Erm.Relation.of_tuples_unchecked schema [ tuple 0.0 0.4 "dead" ]
+  in
+  Alcotest.(check bool) "S003 fires on an sn = 0 tuple" true
+    (List.mem "S003" (sweep_codes [ ("u", bad) ]));
+  let ok = Erm.Relation.of_tuples schema [ tuple 0.5 1.0 "live" ] in
+  Alcotest.(check bool) "S003 silent on an admissible tuple" false
+    (List.mem "S003" (sweep_codes [ ("u", ok) ]))
+
+(* S008/S009 read the committed segment history; drive them through a
+   hand-built store_meta rather than disk. *)
+let test_sweep_segments () =
+  let upsert d = Store.Segment.Upsert { digest = d; row = "row" } in
+  let delete d = Store.Segment.Delete { digest = d } in
+  let meta segs =
+    { K.store_name = "s";
+      store_dir = "dir";
+      store_version = 1;
+      store_segments = segs }
+  in
+  let subject segs relations =
+    { K.relations;
+      store = Some (meta segs);
+      rollups = [];
+      merges = [];
+      thresholds = K.default_thresholds }
+  in
+  let run s = codes (Analysis.Sweep.run s) in
+  let dangling =
+    subject [ ("000001.seg", [ upsert "aa"; delete "bb" ]) ] []
+  in
+  Alcotest.(check bool) "S008 fires on a never-upserted delete" true
+    (List.mem "S008" (run dangling));
+  let ordered =
+    subject
+      [ ("000001.seg", [ upsert "aa" ]); ("000002.seg", [ delete "aa" ]) ]
+      []
+  in
+  Alcotest.(check bool) "S008 silent when the upsert precedes" false
+    (List.mem "S008" (run ordered));
+  let bloated =
+    subject
+      [ ("000001.seg",
+         [ upsert "aa"; upsert "aa"; upsert "aa"; upsert "bb"; delete "bb" ])
+      ]
+      []
+  in
+  Alcotest.(check bool) "S009 fires on 4 dead vs 1 live" true
+    (List.mem "S009" (run bloated));
+  let fresh =
+    subject [ ("000001.seg", [ upsert "aa"; upsert "bb" ]) ] []
+  in
+  Alcotest.(check bool) "S009 silent on an all-live history" false
+    (List.mem "S009" (run fresh))
+
+(* S004/S005 come from the ambient κ telemetry a real absorption
+   records. *)
+let test_sweep_telemetry () =
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  Obs.Provenance.enable ();
+  Obs.Provenance.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.reset ();
+      Obs.Metrics.disable ();
+      Obs.Provenance.reset ();
+      Obs.Provenance.disable ())
+    (fun () ->
+      (* Three heavily conflicting evidential cells (κ ≈ 0.96 each)
+         against one agreeing membership combine (κ = 0) keep the
+         source's mean κ well above the 0.6 disagreement threshold. *)
+      let load text = List.hd (Erm.Io.relations_of_string text) in
+      let base =
+        load
+          {|relation base
+key k : string
+attr grade : evidence {a, b}
+attr food : evidence {a, b}
+attr view : evidence {a, b}
+tuple x | [a^0.98; ~^0.02] | [a^0.98; ~^0.02] | [a^0.98; ~^0.02] | (1, 1)
+|}
+      and noisy =
+        load
+          {|relation noisy
+key k : string
+attr grade : evidence {a, b}
+attr food : evidence {a, b}
+attr view : evidence {a, b}
+tuple x | [b^0.98; ~^0.02] | [b^0.98; ~^0.02] | [b^0.98; ~^0.02] | (1, 1)
+|}
+      in
+      let merged, _, _ =
+        Integration.Multi.absorb_delta ~into:base
+          { Integration.Multi.source_name = "noisy";
+            source_relation = noisy }
+      in
+      let found =
+        codes (Analysis.Sweep.run (Analysis.Sweep.subject [ ("base", merged) ]))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "S004 fires on the conflicting source (got %s)"
+           (String.concat "," found))
+        true (List.mem "S004" found);
+      Alcotest.(check bool) "S005 fires on the κ = 0.96 merges" true
+        (List.mem "S005" found);
+      let rollups = Analysis.Sweep.kappa_rollups () in
+      Alcotest.(check int) "one source rolled up" 1 (List.length rollups);
+      let r = List.hd rollups in
+      Alcotest.(check string) "rollup names the source" "noisy"
+        r.K.rollup_source)
+
+let test_sweep_report_order () =
+  let env = sweep_env [ "hotels.erd"; "bookings.erd"; "empty_rel.erd" ] in
+  let diags =
+    Analysis.Sweep.run (Analysis.Sweep.subject ~telemetry:false env)
+  in
+  let rendered = Analysis.Report.to_json diags in
+  (* Priority order in the rendered report: High before Medium before
+     Low before Info. *)
+  let pos needle =
+    let n = String.length needle and h = String.length rendered in
+    let rec go i =
+      if i + n > h then -1
+      else if String.sub rendered i n = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let s001 = pos {|"code": "S001"|}
+  and s006 = pos {|"code": "S006"|}
+  and s002 = pos {|"code": "S002"|}
+  and s010 = pos {|"code": "S010"|} in
+  Alcotest.(check bool) "all four codes rendered" true
+    (s001 >= 0 && s006 >= 0 && s002 >= 0 && s010 >= 0);
+  Alcotest.(check bool) "High < Medium < Low < Info positions" true
+    (s001 < s006 && s006 < s002 && s002 < s010);
+  Alcotest.(check bool) "JSON carries the priority field" true
+    (pos {|"priority": "High"|} >= 0)
+
+(* Metrics the sweep itself records. *)
+let test_sweep_metrics () =
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.reset ();
+      Obs.Metrics.disable ())
+    (fun () ->
+      let env = sweep_env [ "hotels.erd"; "bookings.erd" ] in
+      ignore (Analysis.Sweep.run (Analysis.Sweep.subject ~telemetry:false env));
+      Alcotest.(check int) "analysis.sweep.runs" 1
+        (Obs.Metrics.counter "analysis.sweep.runs");
+      Alcotest.(check int) "analysis.sweep.relations" 2
+        (Obs.Metrics.counter "analysis.sweep.relations");
+      Alcotest.(check int) "analysis.sweep.tuples" 7
+        (Obs.Metrics.counter "analysis.sweep.tuples");
+      Alcotest.(check bool) "analysis.sweep.findings > 0" true
+        (Obs.Metrics.counter "analysis.sweep.findings" > 0))
+
+(* Clean generated workloads carry no Blocker/High pathologies: the
+   generator keeps Ω mass ≥ its floor (no dormant evidence beyond Low),
+   satisfies CWA, and never fabricates cross-relation references. *)
+let sweep_clean_generated =
+  prop "generated workload stores sweep without Blocker/High findings"
+    seed_arb (fun seed ->
+      let rng = R.create seed in
+      let schema = G.schema "g" in
+      let ga, gb = G.source_pair rng ~size:(1 + R.int rng 12) ~overlap:0.5 schema in
+      let diags =
+        Analysis.Sweep.run
+          (Analysis.Sweep.subject ~telemetry:false
+             [ ("ga", ga); ("gb", gb) ])
+      in
+      List.for_all
+        (fun d ->
+          match C.priority_for d.D.code with
+          | Some p -> K.priority_rank p < K.priority_rank K.High
+          | None -> false)
+        diags)
+
 let () =
   Alcotest.run "analysis"
     [ ( "check",
@@ -323,6 +620,17 @@ let () =
       ( "erd-lint",
         [ Alcotest.test_case "diagnostic codes" `Quick test_lint_codes;
           Alcotest.test_case "json rendering" `Quick test_json ] );
+      ( "catalog",
+        [ Alcotest.test_case "registry" `Quick test_catalog_registry;
+          Alcotest.test_case "tsv/json export" `Quick test_catalog_export ] );
+      ( "sweep",
+        [ Alcotest.test_case "bad catalog fires" `Quick test_sweep_bad_catalog;
+          Alcotest.test_case "clean env is quiet" `Quick test_sweep_clean_env;
+          Alcotest.test_case "CWA violations" `Quick test_sweep_cwa;
+          Alcotest.test_case "segment history" `Quick test_sweep_segments;
+          Alcotest.test_case "κ telemetry" `Quick test_sweep_telemetry;
+          Alcotest.test_case "report order" `Quick test_sweep_report_order;
+          Alcotest.test_case "sweep metrics" `Quick test_sweep_metrics ] );
       ( "properties",
         [ lint_accepts_iff_loads; mutations_rejected_twice;
-          static_empty_sound ] ) ]
+          static_empty_sound; sweep_clean_generated ] ) ]
