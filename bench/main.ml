@@ -1049,6 +1049,197 @@ let sweep_gate () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Combination-rule policy-seam gate                                   *)
+
+(* Every merge path now routes combinations through the κ-escalation
+   seam (Mass.F.combine_policy) instead of calling the raw Dempster
+   kernel directly. The gate times both over the same evidence pool and
+   bounds what the default dempster-no-escalation policy may cost: the
+   policy check is two field reads, so the seam must stay within 5% of
+   the raw kernel. Results go to BENCH_rules_gate.json; a breach exits
+   non-zero so CI fails. *)
+let rules_gate () =
+  let dom = Workload.Gen.domain ~size:8 "rulesgate" in
+  let pairs =
+    Array.init 200 (fun i ->
+        let prng = Workload.Rng.create (1000 + i) in
+        ( Workload.Gen.evidence prng ~omega_floor:0.05 dom,
+          Workload.Gen.evidence prng ~omega_floor:0.05 dom ))
+  in
+  let raw () =
+    Array.iter (fun (a, b) -> ignore (Dst.Mass.F.combine_opt a b)) pairs
+  in
+  let seam () =
+    Array.iter
+      (fun (a, b) ->
+        ignore
+          (Dst.Mass.F.combine_policy ~policy:Dst.Rule.dempster a b))
+      pairs
+  in
+  let batch workload =
+    workload ();
+    (* warm-up *)
+    let t0 = Unix.gettimeofday () in
+    let rec go n =
+      workload ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < 0.05 && n < 1000 then go (n + 1) else dt /. float_of_int n *. 1e9
+    in
+    go 1
+  in
+  let time_leg workload =
+    List.fold_left
+      (fun acc _ -> Float.min acc (batch workload))
+      Float.max_float [ 1; 2; 3; 4; 5 ]
+  in
+  let raw_ns = time_leg raw in
+  let seam_ns = time_leg seam in
+  let ratio = seam_ns /. raw_ns in
+  let pass = ratio <= 1.05 in
+  print_endline "rules-gate (combine-200, min of 5 batches):";
+  Printf.printf "  raw dempster kernel       %12.0f ns/run\n" raw_ns;
+  Printf.printf "  policy seam (default)     %12.0f ns/run\n" seam_ns;
+  Printf.printf "  seam/raw ratio            %.3f (gate: <= 1.05) %s\n%!"
+    ratio
+    (if pass then "OK" else "FAIL");
+  let oc = open_out "BENCH_rules_gate.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"combine-200\",\n\
+    \  \"raw_ns\": %.0f,\n\
+    \  \"seam_ns\": %.0f,\n\
+    \  \"seam_over_raw\": %.4f,\n\
+    \  \"gate\": 1.05,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    raw_ns seam_ns ratio pass;
+  close_out oc;
+  print_endline "  wrote BENCH_rules_gate.json\n";
+  if not pass then begin
+    print_endline "  RULES GATE FAILED - policy seam regressed dempster > 5%";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rule quality sweep over the adversarial scenario corpus             *)
+
+(* Not a timing benchmark: a decision aid. Each rule (and a
+   quarantining escalation policy) integrates the same
+   adversarially-conflicting source pairs — Zadeh, near-total,
+   one-against-many, dissenter, 50 rows each — and is scored on
+   entity loss (fraction of rows dropped to total conflict or
+   quarantine) and support gap (mean Pls - Bel of the best-supported
+   hypothesis: how undecided the merged evidence stays). Dempster
+   loses nothing but feigns certainty; quarantine trades rows for
+   honesty; Yager keeps rows maximally undecided. Deterministic: fixed
+   seeds. Results go to stdout and BENCH_rules.json. *)
+let rules_quality_sweep () =
+  let dom = Workload.Gen.domain ~size:8 "rulesq" in
+  let rows = 50 in
+  let policies =
+    List.map
+      (fun rule -> (Dst.Rule.to_string rule, Dst.Rule.make rule))
+      (Dst.Rule.all @ [ Dst.Rule.discount_then_combine 0.9 ])
+    @ [ ( "dempster->quarantine@0.9",
+          Dst.Rule.make
+            ~escalation:(Dst.Rule.escalate ~kappa0:0.9 Dst.Rule.Quarantine)
+            Dst.Rule.Dempster );
+        ( "dempster->yager@0.9",
+          Dst.Rule.make
+            ~escalation:
+              (Dst.Rule.escalate ~kappa0:0.9
+                 (Dst.Rule.Fallback Dst.Rule.Yager))
+            Dst.Rule.Dempster ) ]
+  in
+  let singletons =
+    List.map
+      (fun v -> Dst.Vset.of_list [ v ])
+      (Dst.Vset.to_list (Dst.Domain.values dom))
+  in
+  (* Mean over evidence cells of Pls - Bel on the best (max-Bel)
+     singleton: 0 = decided, 1 = total ignorance about the winner. *)
+  let support_gap rel =
+    let total, n =
+      List.fold_left
+        (fun (total, n) t ->
+          List.fold_left
+            (fun (total, n) cell ->
+              match cell with
+              | Erm.Etuple.Definite _ -> (total, n)
+              | Erm.Etuple.Evidence e ->
+                  let best =
+                    List.fold_left
+                      (fun best s ->
+                        if Dst.Mass.F.bel e s > Dst.Mass.F.bel e best then s
+                        else best)
+                      (List.hd singletons) singletons
+                  in
+                  ( total +. (Dst.Mass.F.pls e best -. Dst.Mass.F.bel e best),
+                    n + 1 ))
+            (total, n) (Erm.Etuple.cells t))
+        (0.0, 0) (Erm.Relation.tuples rel)
+    in
+    if n = 0 then 0.0 else total /. float_of_int n
+  in
+  let score policy kind =
+    let prng = Workload.Rng.create 424242 in
+    let l, r = Workload.Scenario.source_pair prng ~rows kind dom in
+    let merged, conflicts = Erm.Ops.union_report ~policy l r in
+    let quarantined =
+      List.length (List.filter Erm.Ops.is_quarantine conflicts)
+    in
+    let lost = rows - Erm.Relation.cardinal merged in
+    ( float_of_int lost /. float_of_int rows,
+      support_gap merged,
+      quarantined )
+  in
+  print_endline "rules (entity loss / support gap over the conflict corpus):";
+  Printf.printf "  %-26s" "";
+  List.iter
+    (fun kind -> Printf.printf " %16s" (Workload.Scenario.kind_name kind))
+    Workload.Scenario.all_kinds;
+  print_newline ();
+  let rule_rows =
+    List.map
+      (fun (name, policy) ->
+        let cells =
+          List.map
+            (fun kind ->
+              let loss, gap, quarantined = score policy kind in
+              (kind, loss, gap, quarantined))
+            Workload.Scenario.all_kinds
+        in
+        Printf.printf "  %-26s" name;
+        List.iter
+          (fun (_, loss, gap, _) -> Printf.printf "  %5.2f / %6.4f" loss gap)
+          cells;
+        print_newline ();
+        (name, cells))
+      policies
+  in
+  print_newline ();
+  let oc = open_out "BENCH_rules.json" in
+  Printf.fprintf oc "{\n  \"rows_per_kind\": %d,\n  \"rules\": [\n" rows;
+  List.iteri
+    (fun i (name, cells) ->
+      Printf.fprintf oc "    { \"rule\": \"%s\", \"kinds\": [\n" name;
+      List.iteri
+        (fun j (kind, loss, gap, quarantined) ->
+          Printf.fprintf oc
+            "      { \"kind\": \"%s\", \"entity_loss\": %.4f, \
+             \"support_gap\": %.6f, \"quarantined\": %d }%s\n"
+            (Workload.Scenario.kind_name kind)
+            loss gap quarantined
+            (if j = List.length cells - 1 then "" else ","))
+        cells;
+      Printf.fprintf oc "    ] }%s\n"
+        (if i = List.length rule_rows - 1 then "" else ","))
+    rule_rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  print_endline "  wrote BENCH_rules.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 
 let run_group (group_name, tests) =
@@ -1095,6 +1286,16 @@ let () =
     sweep_gate ();
     exit 0
   end;
+  if Array.exists (String.equal "--rules-gate") Sys.argv then begin
+    (* CI mode: only the combination-policy seam gate. *)
+    rules_gate ();
+    exit 0
+  end;
+  if Array.exists (String.equal "--rules") Sys.argv then begin
+    (* Just the rule quality sweep (regenerates BENCH_rules.json). *)
+    rules_quality_sweep ();
+    exit 0
+  end;
   if Array.exists (String.equal "--join-scaling") Sys.argv then begin
     (* Just the join/kernel sweep (regenerates BENCH_join.json). *)
     join_scaling ();
@@ -1113,6 +1314,8 @@ let () =
   provenance_gate ();
   sharded_gate ();
   store_gate ();
+  rules_gate ();
+  rules_quality_sweep ();
   List.iter run_group
     [ ("paper-artifacts", artifact_tests);
       ("combination-scaling", combine_sweep);

@@ -20,12 +20,14 @@
 let usage = {|eridb — evidential extended-relation shell
 
 Usage: eridb [--trace-out FILE] [--provenance-out FILE] [--domains N]
-             [FILE.erd ...]
+             [--rule SPEC] [FILE.erd ...]
 
   --domains N           evaluate queries through the sharded execution
                         engine with N shards/domains (default: the
                         ERIDB_DOMAINS environment variable, else 1 =
                         the classic inline executor)
+  --rule SPEC           session combination rule, same spec as .rule
+                        (quote multi-word specs: --rule "yager 0.9")
 
 Commands:
   .help                 show this help
@@ -40,6 +42,11 @@ Commands:
                         bound relations and the open store's history
   .strict on|off        refuse to execute queries with error diagnostics
                         (initial state from ERIDB_STRICT=1)
+  .rule [RULE [K [FB]]] show or set the session combination rule:
+                        dempster | yager | dubois-prade | averaging |
+                        discount[:ALPHA], optionally with a κ-threshold
+                        K in [0,1] and fallback FB (a rule name, or
+                        quarantine = drop and report; the default)
   .plan QUERY           show the optimized query
   .explain QUERY        show the optimized plan tree with row estimates
   .physical QUERY       show the physical plan (access paths, join algorithms)
@@ -210,6 +217,41 @@ let why_command rest =
                   Printf.printf
                     "kappa sum-check: %d Dempster step(s), total kappa = %.6g\n"
                     n sum))
+
+(* .rule and --rule share this parser: a rule name, optionally followed
+   by a κ-threshold in [0,1] and a fallback action (default quarantine).
+   The policy is session-global (Dst.Rule.current), so every merge seam
+   — queries, .store delta, the sharded engine — honors it. *)
+let parse_rule_spec spec =
+  let ( let* ) = Result.bind in
+  match
+    String.split_on_char ' ' (String.trim spec)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> Error "usage: .rule [RULE [KAPPA0 [FALLBACK]]]"
+  | rule :: rest ->
+      let* rule = Dst.Rule.of_string rule in
+      (match rest with
+      | [] -> Ok (Dst.Rule.make rule)
+      | k :: rest ->
+          let* kappa0 =
+            match float_of_string_opt k with
+            | Some k when k >= 0.0 && k <= 1.0 -> Ok k
+            | Some _ | None ->
+                Error
+                  (Printf.sprintf
+                     "bad kappa threshold '%s' (expected a float in [0,1])" k)
+          in
+          let* fallback =
+            match rest with
+            | [] -> Ok Dst.Rule.Quarantine
+            | [ f ] -> Dst.Rule.fallback_of_string f
+            | _ -> Error "usage: .rule [RULE [KAPPA0 [FALLBACK]]]"
+          in
+          Ok
+            (Dst.Rule.make
+               ~escalation:(Dst.Rule.escalate ~kappa0 fallback)
+               rule))
 
 let handle_command line =
   let cmd, rest = split_first line in
@@ -485,6 +527,18 @@ let handle_command line =
       | "" ->
           Printf.printf "strict mode is %s\n" (if !strict then "on" else "off")
       | _ -> print_string "usage: .strict on|off\n")
+  | ".rule" -> (
+      match String.trim rest with
+      | "" ->
+          Printf.printf "combination rule is %s\n"
+            (Dst.Rule.policy_to_string (Dst.Rule.current ()))
+      | spec -> (
+          match parse_rule_spec spec with
+          | Ok policy ->
+              Dst.Rule.set_current policy;
+              Printf.printf "combination rule set to %s\n"
+                (Dst.Rule.policy_to_string policy)
+          | Error m -> Printf.printf "error: %s\n" m))
   | ".plan" -> (
       match Query.Parser.parse rest with
       | q ->
@@ -625,8 +679,17 @@ let () =
       let trace_out, files = split_out "--trace-out" args in
       let prov_out, files = split_out "--provenance-out" files in
       let domains_arg, files = split_out "--domains" files in
+      let rule_arg, files = split_out "--rule" files in
       (match domains_arg with
       | Some s -> domains := parse_domains ~what:"--domains" s
+      | None -> ());
+      (match rule_arg with
+      | Some spec -> (
+          match parse_rule_spec spec with
+          | Ok policy -> Dst.Rule.set_current policy
+          | Error m ->
+              Printf.eprintf "eridb: invalid --rule value: %s\n" m;
+              exit 2)
       | None -> ());
       (match trace_out with
       | Some file ->

@@ -14,14 +14,19 @@
    exposition, anything else JSON). --domains N with N > 1 runs the
    merge through the sharded execution engine (N shards/workers); the
    report is identical to the default path's by Degrade's contract.
+   --rule selects the combination rule (dempster, yager, dubois-prade,
+   averaging, discount[:alpha]); --kappa-threshold K --fallback ACTION
+   adds a κ-escalation policy on top (combine with a fallback rule, or
+   quarantine the cell and exit 3).
 
    Exit codes: 0 success, 1 source/load/query failure, 2 quorum not
-   met, 124 command-line usage error (Cmdliner). *)
+   met, 3 quarantined merges, 124 command-line usage error (Cmdliner). *)
 
 open Cmdliner
 
 let exit_source_failure = 1
 let exit_quorum = 2
+let exit_quarantine = 3
 
 (* Load every file, each through the typed channel. In quarantine mode
    ([--skip-malformed]) a file that fails to read or parse is reported
@@ -178,7 +183,8 @@ let print_recovery dir (report : Store.Recovery.report) =
 
 let run files relations discount name query csv out report_only fault_plan
     seed retries timeout_ms budget_ms min_sources skip_malformed validate
-    metrics_out audit domains store_dir delta_file store_fault_plan =
+    metrics_out audit domains store_dir delta_file store_fault_plan rule
+    kappa_threshold fallback =
   Exec.Engine.install ();
   (match metrics_out with
   | Some _ ->
@@ -192,6 +198,22 @@ let run files relations discount name query csv out report_only fault_plan
   | None -> ());
   let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
   let fail code m = Error (code, m) in
+  (* The combination rule is session-global: every merge seam (inline,
+     sharded, store delta) reads Dst.Rule.current, so setting it once
+     here covers them all. *)
+  let policy_setup () =
+    match (kappa_threshold, fallback) with
+    | None, Some _ ->
+        fail Cmd.Exit.cli_error "--fallback requires --kappa-threshold"
+    | None, None -> Ok (Dst.Rule.set_current (Dst.Rule.make rule))
+    | Some k, _ when not (k >= 0.0 && k <= 1.0) ->
+        fail Cmd.Exit.cli_error "--kappa-threshold must be in [0,1]"
+    | Some k, fb ->
+        let fb = Option.value fb ~default:Dst.Rule.Quarantine in
+        Ok
+          (Dst.Rule.set_current
+             (Dst.Rule.make ~escalation:(Dst.Rule.escalate ~kappa0:k fb) rule))
+  in
   let store_io =
     match store_fault_plan with
     | None -> Store.Io.real
@@ -284,6 +306,7 @@ let run files relations discount name query csv out report_only fault_plan
       query_and_out [ (Store.Estore.name t, stored) ] stored
   in
   let body () =
+    let* () = policy_setup () in
     let* () =
       match (store_dir, delta_file) with
       | None, Some _ ->
@@ -408,8 +431,26 @@ let run files relations discount name query csv out report_only fault_plan
                 (Erm.Relation.cardinal (Store.Estore.relation t));
               Ok ()
         in
-        if report_only then Ok ()
-        else query_and_out ((name, integrated) :: env) integrated
+        let* () =
+          if report_only then Ok ()
+          else query_and_out ((name, integrated) :: env) integrated
+        in
+        (* Quarantined cells are a typed outcome, not a silent drop: the
+           merge completed (and was rendered/persisted above), but the
+           integrator is told through the exit code that κ-escalation
+           withheld at least one combination. *)
+        let quarantined =
+          List.filter
+            (fun (_, c) -> Erm.Ops.is_quarantine c)
+            report.Federation.Degrade.multi.conflicts
+        in
+        if quarantined = [] then Ok ()
+        else
+          fail exit_quarantine
+            (Printf.sprintf
+               "%d merge(s) quarantined by kappa-escalation (rule %s)"
+               (List.length quarantined)
+               (Dst.Rule.policy_to_string (Dst.Rule.current ())))
   in
   (* The registry flush lives in a finalizer so runs that exit through a
      typed error path (1/2/124) still write their metrics. The file
@@ -647,13 +688,70 @@ let store_fault_plan_arg =
            Example: $(b,segment:torn_at=40) tears the next segment write \
            at byte 40. Reproducible given $(b,--seed).")
 
+let rule_conv =
+  let parse s =
+    match Dst.Rule.of_string s with
+    | Ok r -> Ok r
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, Dst.Rule.pp)
+
+let rule_arg =
+  Arg.(
+    value
+    & opt rule_conv Dst.Rule.Dempster
+    & info [ "rule" ] ~docv:"RULE"
+        ~doc:
+          "Combination rule applied to matched evidence cells: \
+           $(b,dempster) (default), $(b,yager) (conflict mass moves to \
+           Ω instead of normalizing), $(b,dubois-prade) (conflict mass \
+           moves to the union of the disagreeing focal sets), \
+           $(b,averaging) (pointwise mean; idempotent but not \
+           associative, so the source fold order matters), or \
+           $(b,discount)[$(b,:ALPHA)] (α-discount both operands, then \
+           Dempster; default α picked so total conflict is impossible).")
+
+let fallback_conv =
+  let parse s =
+    match Dst.Rule.fallback_of_string s with
+    | Ok f -> Ok f
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf f = Format.pp_print_string ppf (Dst.Rule.fallback_to_string f) in
+  Arg.conv (parse, print)
+
+let kappa_threshold_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "kappa-threshold" ] ~docv:"K"
+        ~doc:
+          "κ-escalation: whenever two evidence cells' raw conflict κ \
+           reaches $(docv) (in [0,1]), the primary $(b,--rule) is not \
+           trusted with the combination and the $(b,--fallback) action \
+           runs instead. 1 degenerates to the pure primary rule \
+           (escalating only where Dempster is undefined); 0 escalates \
+           every combination.")
+
+let fallback_arg =
+  Arg.(
+    value
+    & opt (some fallback_conv) None
+    & info [ "fallback" ] ~docv:"ACTION"
+        ~doc:
+          "What κ-escalation does (requires $(b,--kappa-threshold)): a \
+           rule name to combine with instead, or $(b,quarantine) \
+           (default) to withhold the merge, report the pair as a \
+           conflict, and exit with code 3.")
+
 let term =
   Term.(
     const run $ files_arg $ relations_arg $ discount_arg $ name_arg
     $ query_arg $ csv_arg $ out_arg $ report_arg $ fault_plan_arg $ seed_arg
     $ retries_arg $ timeout_arg $ budget_arg $ min_sources_arg
     $ skip_malformed_arg $ validate_arg $ metrics_out_arg $ audit_arg
-    $ domains_arg $ store_arg $ delta_arg $ store_fault_plan_arg)
+    $ domains_arg $ store_arg $ delta_arg $ store_fault_plan_arg $ rule_arg
+    $ kappa_threshold_arg $ fallback_arg)
 
 let cmd =
   let doc = "integrate evidential (.erd) relations with Dempster's rule" in
@@ -687,6 +785,11 @@ let cmd =
       ~doc:"a source failed to load, parse or integrate, or the query failed."
     :: Cmd.Exit.info exit_quorum
          ~doc:"quorum not met: too few sources delivered."
+    :: Cmd.Exit.info exit_quarantine
+         ~doc:
+           "κ-escalation quarantined at least one merge (see \
+            $(b,--kappa-threshold)); the reported result omits the \
+            quarantined pairs."
     :: Cmd.Exit.defaults
   in
   Cmd.v

@@ -1,22 +1,31 @@
-module Pair = struct
-  type t = Mass.F.t * Mass.F.t
+module Key = struct
+  (* The policy key comes first: entries computed under different rules
+     or κ-thresholds can never alias, however equal their operands. *)
+  type t = string * Mass.F.t * Mass.F.t
 
-  let compare (a1, b1) (a2, b2) =
-    let c = Mass.F.compare a1 a2 in
-    if c <> 0 then c else Mass.F.compare b1 b2
+  let compare (p1, a1, b1) (p2, a2, b2) =
+    let c = String.compare p1 p2 in
+    if c <> 0 then c
+    else
+      let c = Mass.F.compare a1 a2 in
+      if c <> 0 then c else Mass.F.compare b1 b2
 end
 
-module Pmap = Map.Make (Pair)
+module Pmap = Map.Make (Key)
 
 type t = {
-  mutable table : (Mass.F.t * float) option Pmap.t;
+  mutable table : Mass.F.outcome Pmap.t;
   mutable hits : int;
   mutable misses : int;
-  kernel : Mass.F.t -> Mass.F.t -> (Mass.F.t * float) option;
+  kernel : Mass.F.kernel;
 }
 
-let create ?(kernel = Mass.F.combine_opt) () =
+let default_kernel ~rule ~prov m1 m2 =
+  Mass.F.combine_rule_opt ~rule ~prov m1 m2
+
+let create ?(kernel = default_kernel) () =
   { table = Pmap.empty; hits = 0; misses = 0; kernel }
+
 let hits c = c.hits
 let misses c = c.misses
 let size c = Pmap.cardinal c.table
@@ -26,54 +35,47 @@ let reset c =
   c.hits <- 0;
   c.misses <- 0
 
-(* Dempster's rule is commutative, so (m1, m2) and (m2, m1) share one
+(* Every rule here is commutative, so (m1, m2) and (m2, m1) share one
    entry under a canonical ordering of the pair. *)
 let canonical m1 m2 = if Mass.F.compare m1 m2 <= 0 then (m1, m2) else (m2, m1)
 
-(* A cache hit must surface the original derivation, not re-derive.
-   Within one arena lifetime the result's digest is already bound (the
-   miss that populated the entry registered it), so this finds the
-   existing node and adds nothing. Only when the cache outlives the
-   arena (fresh store, warm cache) is a combination node reconstructed
-   from the memoized κ — Dempster's rule is never re-run. *)
-let link_hit m1 m2 result =
-  match result with
-  | Some (res, kappa) ->
-      let dres = Mass.F.digest res in
-      (match Obs.Provenance.find dres with
-      | Some _ -> ()
-      | None ->
-          let operand m =
-            Obs.Provenance.find_or_leaf (Mass.F.digest m)
-              ~label:(Mass.F.to_string m)
-          in
-          let i1 = operand m1 in
-          let i2 = operand m2 in
-          (* Same shape as the miss path's node — a warm-cache lineage
-             must be indistinguishable from the cold derivation. *)
-          let id =
-            Obs.Provenance.add Obs.Provenance.Combine (Mass.F.to_string res)
-              ~kappa ~norm:(1.0 -. kappa)
-              ~args:[ ("rule", "dempster") ]
-              ~inputs:[ i1; i2 ]
-          in
-          Obs.Provenance.register dres id)
-  | None -> ()
-
-let combine_opt c m1 m2 =
-  let key = canonical m1 m2 in
+let combine_policy ?policy c m1 m2 =
+  let policy = match policy with Some p -> p | None -> Rule.current () in
+  let a, b = canonical m1 m2 in
+  let key = (Rule.policy_key policy, a, b) in
   match Pmap.find_opt key c.table with
-  | Some result ->
+  | Some outcome ->
       c.hits <- c.hits + 1;
       Obs.Metrics.incr "combine_cache.hit";
-      if Obs.Provenance.on () then link_hit m1 m2 result;
-      result
+      (* A cache hit must surface the original derivation, not
+         re-derive. Within one arena lifetime the result's digest is
+         already bound (the miss that populated the entry registered
+         it) and relink adds nothing. Only when the cache outlives the
+         arena (fresh store, warm cache) is the combination node
+         reconstructed from the memoized outcome — no rule is ever
+         re-run. *)
+      if Obs.Provenance.on () then Mass.F.relink ~policy m1 m2 outcome;
+      outcome
   | None ->
       c.misses <- c.misses + 1;
       Obs.Metrics.incr "combine_cache.miss";
-      let result = c.kernel m1 m2 in
-      c.table <- Pmap.add key result c.table;
-      result
+      let outcome =
+        Mass.F.combine_policy_with ~kernel:c.kernel ~policy m1 m2
+      in
+      c.table <- Pmap.add key outcome c.table;
+      outcome
+
+let combine_policy_exn ?policy c m1 m2 =
+  match combine_policy ?policy c m1 m2 with
+  | Mass.F.Combined { result; _ } -> result
+  | Mass.F.Conflicted -> raise Mass.F.Total_conflict
+  | Mass.F.Quarantined { kappa } -> raise (Mass.F.Quarantined_cell kappa)
+
+let combine_opt c m1 m2 =
+  match combine_policy ~policy:Rule.dempster c m1 m2 with
+  | Mass.F.Combined { result; kappa; _ } -> Some (result, kappa)
+  | Mass.F.Conflicted -> None
+  | Mass.F.Quarantined _ -> assert false (* dempster never quarantines *)
 
 let combine c m1 m2 =
   match combine_opt c m1 m2 with

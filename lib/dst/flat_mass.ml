@@ -116,6 +116,153 @@ let combine_flat a b =
       Some ({ it; ids; masses }, !kappa)
     end
 
+(* --- per-rule flat kernels ------------------------------------------- *)
+
+(* Shared conjunctive sweep for the non-normalizing rules: mirror
+   combine_flat's loop exactly, letting [on_conflict] decide where a
+   disjoint pair's product lands (Yager: nowhere yet, κ only;
+   Dubois-Prade: the union id). State lives in refs because [inter] and
+   [union] can intern new sets mid-loop, invalidating scratch views. *)
+type sweep = {
+  mutable s_acc : float array;
+  mutable s_mark : int array;
+  mutable s_touched : int array;
+  mutable s_ntouched : int;
+  s_gen : int;
+  s_it : Interner.t;
+}
+
+let sweep_start it =
+  {
+    s_acc = Interner.scratch_acc it;
+    s_mark = Interner.scratch_mark it;
+    s_touched = Interner.scratch_touched it;
+    s_ntouched = 0;
+    s_gen = Interner.next_gen it;
+    s_it = it;
+  }
+
+let sweep_add s z p =
+  if z >= Array.length s.s_acc then begin
+    s.s_acc <- Interner.scratch_acc s.s_it;
+    s.s_mark <- Interner.scratch_mark s.s_it;
+    s.s_touched <- Interner.scratch_touched s.s_it
+  end;
+  if s.s_mark.(z) = s.s_gen then s.s_acc.(z) <- p +. s.s_acc.(z)
+  else begin
+    s.s_mark.(z) <- s.s_gen;
+    s.s_acc.(z) <- p;
+    s.s_touched.(s.s_ntouched) <- z;
+    s.s_ntouched <- s.s_ntouched + 1
+  end
+
+let sweep_finish s it =
+  let ids = Array.sub s.s_touched 0 s.s_ntouched in
+  Array.sort
+    (fun i j -> Vset.compare (Interner.set_of it i) (Interner.set_of it j))
+    ids;
+  let masses = Array.map (fun id -> s.s_acc.(id)) ids in
+  { it; ids; masses }
+
+let note_call kappa =
+  if Obs.Metrics.on () then begin
+    Obs.Metrics.incr "dst.combine.calls";
+    Obs.Metrics.observe "dst.combine.conflict_kappa" kappa
+  end
+
+(* Yager: the conjunctive table with κ added to Ω last — the same
+   accumulate order as the map kernel's final [accumulate table Ω κ]. *)
+let yager_flat a b =
+  check_operands a b;
+  let it = a.it in
+  let s = sweep_start it in
+  let kappa = ref 0.0 in
+  for i = 0 to Array.length a.ids - 1 do
+    let x = a.ids.(i) and mx = a.masses.(i) in
+    for j = 0 to Array.length b.ids - 1 do
+      let p = mx *. b.masses.(j) in
+      let z = Interner.inter it x b.ids.(j) in
+      if z < 0 then kappa := !kappa +. p else sweep_add s z p
+    done
+  done;
+  note_call !kappa;
+  if !kappa <> 0.0 then begin
+    let omega = Interner.intern it (Domain.values (frame a)) in
+    sweep_add s omega !kappa
+  end;
+  (sweep_finish s it, !kappa)
+
+(* Dubois-Prade: disjoint pairs accumulate on their union, in the same
+   left-to-right cross order the map kernel's emit_conflict runs. *)
+let dubois_prade_flat a b =
+  check_operands a b;
+  let it = a.it in
+  let s = sweep_start it in
+  let kappa = ref 0.0 in
+  for i = 0 to Array.length a.ids - 1 do
+    let x = a.ids.(i) and mx = a.masses.(i) in
+    for j = 0 to Array.length b.ids - 1 do
+      let y = b.ids.(j) in
+      let p = mx *. b.masses.(j) in
+      let z = Interner.inter it x y in
+      if z < 0 then begin
+        kappa := !kappa +. p;
+        sweep_add s (Interner.union it x y) p
+      end
+      else sweep_add s z p
+    done
+  done;
+  note_call !kappa;
+  (sweep_finish s it, !kappa)
+
+(* Averaging: a sorted merge-walk over the two packed arrays (both
+   ascending by focal-set order, like Vmap.union's traversal); masses
+   halve exactly as the map kernel's [N.mul half x] does, first operand
+   first. κ is the plain conflict, same as the map side reports. *)
+let average_flat a b =
+  check_operands a b;
+  let kappa = conflict a b in
+  note_call kappa;
+  let it = a.it in
+  let na = Array.length a.ids and nb = Array.length b.ids in
+  let ids = Array.make (na + nb) 0 and masses = Array.make (na + nb) 0.0 in
+  let half = 0.5 in
+  let k = ref 0 and i = ref 0 and j = ref 0 in
+  let put id m =
+    ids.(!k) <- id;
+    masses.(!k) <- m;
+    incr k
+  in
+  while !i < na && !j < nb do
+    let c =
+      Vset.compare
+        (Interner.set_of it a.ids.(!i))
+        (Interner.set_of it b.ids.(!j))
+    in
+    if c < 0 then begin
+      put a.ids.(!i) (half *. a.masses.(!i));
+      incr i
+    end
+    else if c > 0 then begin
+      put b.ids.(!j) (half *. b.masses.(!j));
+      incr j
+    end
+    else begin
+      put a.ids.(!i) ((half *. a.masses.(!i)) +. (half *. b.masses.(!j)));
+      incr i;
+      incr j
+    end
+  done;
+  while !i < na do
+    put a.ids.(!i) (half *. a.masses.(!i));
+    incr i
+  done;
+  while !j < nb do
+    put b.ids.(!j) (half *. b.masses.(!j));
+    incr j
+  done;
+  ({ it; ids = Array.sub ids 0 !k; masses = Array.sub masses 0 !k }, kappa)
+
 let combine_opt a b =
   check_operands a b;
   if Obs.Provenance.on () then
@@ -142,15 +289,35 @@ let sum_where p m =
 let bel m a = sum_where (fun id -> Interner.subset m.it id a) m
 let pls m a = sum_where (fun id -> not (Interner.disjoint m.it id a)) m
 
-let kernel resolve m1 m2 =
-  if Obs.Provenance.on () then Mass.F.combine_opt m1 m2
+let kernel resolve ~rule ~prov m1 m2 =
+  if Obs.Provenance.on () then Mass.F.combine_rule_opt ~rule ~prov m1 m2
   else begin
     (* Frame mismatches must surface as the map kernel's exception, not
        as an interner error. *)
     if not (Domain.equal (Mass.F.frame m1) (Mass.F.frame m2)) then
       raise (Mass.F.Frame_mismatch (Mass.F.frame m1, Mass.F.frame m2));
+    if Obs.Metrics.on () then Obs.Metrics.incr (Rule.metric rule);
     let it = resolve (Mass.F.frame m1) in
-    match combine_flat (of_mass it m1) (of_mass it m2) with
-    | None -> None
-    | Some (m, kappa) -> Some (to_mass m, kappa)
+    let dempster d1 d2 =
+      match combine_flat (of_mass it d1) (of_mass it d2) with
+      | None -> None
+      | Some (m, kappa) -> Some (to_mass m, kappa)
+    in
+    match rule with
+    | Rule.Dempster -> dempster m1 m2
+    | Rule.Yager ->
+        let m, kappa = yager_flat (of_mass it m1) (of_mass it m2) in
+        Some (to_mass m, kappa)
+    | Rule.Dubois_prade ->
+        let m, kappa = dubois_prade_flat (of_mass it m1) (of_mass it m2) in
+        Some (to_mass m, kappa)
+    | Rule.Averaging ->
+        let m, kappa = average_flat (of_mass it m1) (of_mass it m2) in
+        Some (to_mass m, kappa)
+    | Rule.Discount_then_combine alpha ->
+        (* Discounting is O(focals) per operand on the map form;
+           provenance is off on this path, so no Discount nodes are
+           recorded — exactly like the map kernel with provenance
+           off. *)
+        dempster (Mass.F.discount alpha m1) (Mass.F.discount alpha m2)
   end

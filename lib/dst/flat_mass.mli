@@ -59,9 +59,22 @@ val conflict : t -> t -> float
 val bel : t -> Vset.t -> float
 val pls : t -> Vset.t -> float
 
-val kernel :
-  (Domain.t -> Interner.t) -> Mass.F.t -> Mass.F.t -> (Mass.F.t * float) option
+(** {1 Per-rule kernels}
+
+    Each mirrors its map counterpart in {!Mass.F} move for move (same
+    product visit order, same accumulate operand order), so results are
+    bit-exact against [combine_yager]/[combine_dubois_prade]/
+    [combine_average] paired with the κ those rules measure. *)
+
+val yager_flat : t -> t -> t * float
+val dubois_prade_flat : t -> t -> t * float
+val average_flat : t -> t -> t * float
+
+val kernel : (Domain.t -> Interner.t) -> Mass.F.kernel
 (** [kernel resolve] is a drop-in replacement for
-    {!Mass.F.combine_opt} that routes through the flat representation,
-    using [resolve] to pick (or create) the interner for each frame —
-    the hook {!Combine_cache.create}'s [?kernel] expects. *)
+    {!Mass.F.combine_rule_opt} that routes through the flat
+    representation, using [resolve] to pick (or create) the interner
+    for each frame — the hook {!Combine_cache.create}'s [?kernel]
+    expects. Emits the same metrics as the map kernel; when provenance
+    recording is on it delegates to {!Mass.F.combine_rule_opt} so
+    lineage is recorded identically. *)

@@ -11,6 +11,7 @@ type t = {
   mutable by_set : int Vm.t; (* set → id *)
   by_mask : (int, int) Hashtbl.t; (* mask → id, small frames only *)
   inter_memo : (int, int) Hashtbl.t; (* packed id pair → id, -1 = ∅ *)
+  union_memo : (int, int) Hashtbl.t; (* packed id pair → id, never ∅ *)
   mutable acc : float array; (* combine scratch, owned by Flat_mass *)
   mutable touched : int array; (* combine scratch, owned by Flat_mass *)
   mutable mark : int array; (* generation stamps over acc entries *)
@@ -40,6 +41,7 @@ let create frame =
     by_set = Vm.empty;
     by_mask = Hashtbl.create 64;
     inter_memo = Hashtbl.create 256;
+    union_memo = Hashtbl.create 256;
     acc = Array.make 16 0.0;
     touched = Array.make 16 0;
     mark = Array.make 16 0;
@@ -125,6 +127,23 @@ let inter t i j =
             if Vset.is_empty s then -1 else intern_known t s 0
         in
         Hashtbl.add t.inter_memo key id;
+        id
+
+(* Unions of interned sets are never empty, so there is no -1 case. The
+   Dubois-Prade and disjunctive flat kernels accumulate on unions the
+   way Dempster's accumulates on intersections. *)
+let union t i j =
+  if i = j then i
+  else
+    let key = pack i j in
+    match Hashtbl.find t.union_memo key with
+    | id -> id
+    | exception Not_found ->
+        let id =
+          if t.small then intern_mask t (t.masks.(i) lor t.masks.(j))
+          else intern_known t (Vset.union t.sets.(i) t.sets.(j)) 0
+        in
+        Hashtbl.add t.union_memo key id;
         id
 
 let subset t i a =

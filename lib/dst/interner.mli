@@ -42,6 +42,11 @@ val inter : t -> int -> int -> int
     (unordered) id pair: the steady state is one hash probe, no
     allocation. *)
 
+val union : t -> int -> int -> int
+(** [union t i j] is the id of [set_of t i ∪ set_of t j], interning the
+    union on first sight (never empty, so always a real id). Memoized
+    per (unordered) id pair like {!inter}. *)
+
 val subset : t -> int -> Vset.t -> bool
 (** [subset t i a]: is [set_of t i ⊆ a]? One mask test on small
     frames. The query set is interned on first use. *)

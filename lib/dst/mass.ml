@@ -4,7 +4,15 @@ module type S = sig
 
   exception Invalid_mass of string
   exception Total_conflict
+  exception Quarantined_cell of float
   exception Frame_mismatch of Domain.t * Domain.t
+
+  type outcome =
+    | Combined of { result : t; kappa : num; rule : Rule.t; escalated : bool }
+    | Quarantined of { kappa : num }
+    | Conflicted
+
+  type kernel = rule:Rule.t -> prov:(string * string) list -> t -> t -> (t * num) option
 
   val make : Domain.t -> (Vset.t * num) list -> t
   val make_normalized : Domain.t -> (Vset.t * num) list -> t
@@ -31,11 +39,18 @@ module type S = sig
   val conflict : t -> t -> num
   val combine : t -> t -> t
   val combine_opt : t -> t -> (t * num) option
+  val combine_rule_opt :
+    ?rule:Rule.t -> ?prov:(string * string) list -> t -> t -> (t * num) option
+  val combine_policy_with :
+    kernel:kernel -> ?policy:Rule.policy -> t -> t -> outcome
+  val combine_policy : ?policy:Rule.policy -> t -> t -> outcome
+  val combine_policy_exn : ?policy:Rule.policy -> t -> t -> t
+  val relink : ?policy:Rule.policy -> t -> t -> outcome -> unit
   val combine_yager : t -> t -> t
   val combine_dubois_prade : t -> t -> t
   val combine_average : t -> t -> t
   val combine_disjunctive : t -> t -> t
-  val combine_many : t list -> t
+  val combine_many : ?rule:Rule.t -> t list -> t
   val discount : float -> t -> t
   val condition : t -> Vset.t -> t
   val pignistic : t -> (Value.t * num) list
@@ -57,7 +72,16 @@ module Make (N : Num.S) : S with type num = N.t = struct
 
   exception Invalid_mass of string
   exception Total_conflict
+  exception Quarantined_cell of float
   exception Frame_mismatch of Domain.t * Domain.t
+
+  type outcome =
+    | Combined of { result : t; kappa : num; rule : Rule.t; escalated : bool }
+    | Quarantined of { kappa : num }
+    | Conflicted
+
+  type kernel =
+    rule:Rule.t -> prov:(string * string) list -> t -> t -> (t * num) option
 
   let num_lt a b = N.compare a b < 0
   let num_gt a b = N.compare a b > 0
@@ -196,9 +220,13 @@ module Make (N : Num.S) : S with type num = N.t = struct
   (* Provenance hook shared by direct combination and the cache's miss
      path: operands resolve to their registered derivations (or fresh
      leaves when their history predates provenance being enabled), the
-     step records κ and the normalization factor, and the result's
-     digest is bound to the new node. *)
-  let record_combine m1 m2 result =
+     step records κ, the normalization factor and the rule that ran
+     (plus any escalation annotations in [prov]), and the result's
+     digest is bound to the new node. Only Dempster (and the Dempster
+     leg of discount-then-combine) normalizes, so [norm] is 1 - κ for
+     it and 1 for every other rule. *)
+  let record_combine ?(rule = "dempster") ?(prov = [])
+      ?(norm = fun k -> 1.0 -. k) m1 m2 result =
     let operand m =
       Obs.Provenance.find_or_leaf (digest m) ~label:(to_string m)
     in
@@ -209,8 +237,8 @@ module Make (N : Num.S) : S with type num = N.t = struct
         let k = N.to_float kappa in
         let id =
           Obs.Provenance.add Obs.Provenance.Combine (to_string res) ~kappa:k
-            ~norm:(1.0 -. k)
-            ~args:[ ("rule", "dempster") ]
+            ~norm:(norm k)
+            ~args:(("rule", rule) :: prov)
             ~inputs:[ i1; i2 ]
         in
         Obs.Provenance.register (digest res) id
@@ -218,7 +246,7 @@ module Make (N : Num.S) : S with type num = N.t = struct
         ignore
           (Obs.Provenance.add Obs.Provenance.Combine "(total conflict)"
              ~kappa:1.0 ~norm:0.0
-             ~args:[ ("rule", "dempster") ]
+             ~args:(("rule", rule) :: prov)
              ~inputs:[ i1; i2 ])
 
   let check_frames m1 m2 =
@@ -253,71 +281,85 @@ module Make (N : Num.S) : S with type num = N.t = struct
         (function None -> Some p | Some q -> Some (N.add p q))
         !table
 
-  let combine_opt m1 m2 =
+  (* Every kernel below emits the shared dst.combine.calls /
+     conflict_kappa metrics itself; rule-counter bumps and provenance
+     happen once, in [combine_rule_opt]. *)
+  let note_call kappa =
+    if Obs.Metrics.on () then begin
+      Obs.Metrics.incr "dst.combine.calls";
+      Obs.Metrics.observe "dst.combine.conflict_kappa" (N.to_float kappa)
+    end
+
+  let dempster_raw m1 m2 =
     check_frames m1 m2;
     let table = ref Vmap.empty in
     let kappa = ref N.zero in
     cross m1 m2
       ~emit:(fun set p -> accumulate table set p)
       ~emit_conflict:(fun _ _ p -> kappa := N.add !kappa p);
-    if Obs.Metrics.on () then begin
-      Obs.Metrics.incr "dst.combine.calls";
-      Obs.Metrics.observe "dst.combine.conflict_kappa" (N.to_float !kappa)
-    end;
-    let result =
-      if Vmap.is_empty !table then begin
+    note_call !kappa;
+    if Vmap.is_empty !table then begin
+      Obs.Metrics.incr "dst.combine.total_conflict";
+      None
+    end
+    else
+      let norm = N.sub N.one !kappa in
+      (* Guard against float drift making norm ≤ 0 while some non-empty
+         product survived (cannot happen with exact arithmetic). *)
+      if N.compare norm N.zero <= 0 then begin
         Obs.Metrics.incr "dst.combine.total_conflict";
         None
       end
       else
-        let norm = N.sub N.one !kappa in
-        (* Guard against float drift making norm ≤ 0 while some non-empty
-           product survived (cannot happen with exact arithmetic). *)
-        if N.compare norm N.zero <= 0 then begin
-          Obs.Metrics.incr "dst.combine.total_conflict";
-          None
-        end
-        else
-          Some
-            ( { frame = m1.frame;
-                focals = Vmap.map (fun x -> N.div x norm) !table },
-              !kappa )
-    in
-    if Obs.Provenance.on () then record_combine m1 m2 result;
-    result
+        Some
+          ( { frame = m1.frame;
+              focals = Vmap.map (fun x -> N.div x norm) !table },
+            !kappa )
 
-  let combine m1 m2 =
-    match combine_opt m1 m2 with
-    | Some (m, _) -> m
-    | None -> raise Total_conflict
-
-  let combine_yager m1 m2 =
+  let yager_raw m1 m2 =
     check_frames m1 m2;
     let table = ref Vmap.empty in
     let kappa = ref N.zero in
     cross m1 m2
       ~emit:(fun set p -> accumulate table set p)
       ~emit_conflict:(fun _ _ p -> kappa := N.add !kappa p);
-    if not (is_zero !kappa) then
+    note_call !kappa;
+    (* Exact zero test, not the tolerance of [N.equal]: any conflict
+       mass at all moves to Ω (keeping Σm = 1 exactly), and the flat
+       kernel's [κ <> 0.0] test agrees bit for bit. *)
+    if N.compare !kappa N.zero <> 0 then
       accumulate table (Domain.values m1.frame) !kappa;
-    { frame = m1.frame; focals = !table }
+    ({ frame = m1.frame; focals = !table }, !kappa)
 
-  let combine_dubois_prade m1 m2 =
+  let dubois_prade_raw m1 m2 =
     check_frames m1 m2;
     let table = ref Vmap.empty in
+    let kappa = ref N.zero in
     cross m1 m2
       ~emit:(fun set p -> accumulate table set p)
-      ~emit_conflict:(fun x y p -> accumulate table (Vset.union x y) p);
-    { frame = m1.frame; focals = !table }
+      ~emit_conflict:(fun x y p ->
+        kappa := N.add !kappa p;
+        accumulate table (Vset.union x y) p);
+    note_call !kappa;
+    ({ frame = m1.frame; focals = !table }, !kappa)
 
-  let combine_average m1 m2 =
+  let average_raw m1 m2 =
     check_frames m1 m2;
+    (* κ is reported for observability (the escalation policy measures
+       it independently); averaging itself neither resolves nor
+       redistributes it. *)
+    let kappa = conflict m1 m2 in
+    note_call kappa;
     let half = N.div N.one (N.add N.one N.one) in
     let halved m = Vmap.map (fun x -> N.mul half x) m.focals in
     let merged =
       Vmap.union (fun _ a b -> Some (N.add a b)) (halved m1) (halved m2)
     in
-    { frame = m1.frame; focals = merged }
+    ({ frame = m1.frame; focals = merged }, kappa)
+
+  let combine_yager m1 m2 = fst (yager_raw m1 m2)
+  let combine_dubois_prade m1 m2 = fst (dubois_prade_raw m1 m2)
+  let combine_average m1 m2 = fst (average_raw m1 m2)
 
   let combine_disjunctive m1 m2 =
     check_frames m1 m2;
@@ -329,10 +371,6 @@ module Make (N : Num.S) : S with type num = N.t = struct
           m2.focals)
       m1.focals;
     { frame = m1.frame; focals = !table }
-
-  let combine_many = function
-    | [] -> raise (Invalid_mass "combine_many: empty list")
-    | m :: rest -> List.fold_left combine m rest
 
   let discount alpha m =
     if alpha < 0.0 || alpha > 1.0 then
@@ -360,6 +398,180 @@ module Make (N : Num.S) : S with type num = N.t = struct
       end;
       result
     end
+
+  (* --- rule dispatch and the escalation policy ----------------------- *)
+
+  let combine_rule_opt ?(rule = Rule.Dempster) ?(prov = []) m1 m2 =
+    if Obs.Metrics.on () then Obs.Metrics.incr (Rule.metric rule);
+    match rule with
+    | Rule.Dempster ->
+        let r = dempster_raw m1 m2 in
+        if Obs.Provenance.on () then record_combine ~prov m1 m2 r;
+        r
+    | Rule.Yager ->
+        let res, kappa = yager_raw m1 m2 in
+        let r = Some (res, kappa) in
+        if Obs.Provenance.on () then
+          record_combine ~rule:"yager" ~prov ~norm:(fun _ -> 1.0) m1 m2 r;
+        r
+    | Rule.Dubois_prade ->
+        let res, kappa = dubois_prade_raw m1 m2 in
+        let r = Some (res, kappa) in
+        if Obs.Provenance.on () then
+          record_combine ~rule:"dubois-prade" ~prov
+            ~norm:(fun _ -> 1.0)
+            m1 m2 r;
+        r
+    | Rule.Averaging ->
+        let res, kappa = average_raw m1 m2 in
+        let r = Some (res, kappa) in
+        if Obs.Provenance.on () then
+          record_combine ~rule:"averaging" ~prov ~norm:(fun _ -> 1.0) m1 m2 r;
+        r
+    | Rule.Discount_then_combine alpha ->
+        (* Discounting both operands puts at least (1-α)² of joint mass
+           on Ω ∩ Ω, so for α < 1 the Dempster leg cannot totally
+           conflict. The Discount provenance nodes record themselves;
+           the Combine node names the composite rule and takes the
+           discounted operands as inputs, so `.why` shows the full
+           derivation. *)
+        let d1 = discount alpha m1 and d2 = discount alpha m2 in
+        let r = dempster_raw d1 d2 in
+        if Obs.Provenance.on () then
+          record_combine ~rule:(Rule.to_string rule) ~prov d1 d2 r;
+        r
+
+  let combine_opt m1 m2 = combine_rule_opt m1 m2
+
+  let combine m1 m2 =
+    match combine_opt m1 m2 with
+    | Some (m, _) -> m
+    | None -> raise Total_conflict
+
+  let escalation_prov primary (e : Rule.escalation) =
+    [ ("escalated_from", Rule.to_string primary);
+      ("kappa0", Printf.sprintf "%g" e.Rule.kappa0) ]
+
+  let record_quarantine ~primary ~(e : Rule.escalation) ~kappa m1 m2 =
+    let operand m =
+      Obs.Provenance.find_or_leaf (digest m) ~label:(to_string m)
+    in
+    let i1 = operand m1 in
+    let i2 = operand m2 in
+    ignore
+      (Obs.Provenance.add Obs.Provenance.Combine "(quarantined)"
+         ~kappa:(N.to_float kappa) ~norm:0.0
+         ~args:
+           (("rule", Rule.to_string primary)
+           :: ("escalation", "quarantine")
+           :: [ ("kappa0", Printf.sprintf "%g" e.Rule.kappa0) ])
+         ~inputs:[ i1; i2 ])
+
+  let combine_policy_with ~(kernel : kernel) ?policy m1 m2 =
+    let policy =
+      match policy with Some p -> p | None -> Rule.current ()
+    in
+    let primary = policy.Rule.primary in
+    let finish ~escalated rule = function
+      | Some (result, kappa) -> Combined { result; kappa; rule; escalated }
+      | None -> Conflicted
+    in
+    match policy.Rule.escalation with
+    | None -> finish ~escalated:false primary (kernel ~rule:primary ~prov:[] m1 m2)
+    | Some e ->
+        (* The threshold tests the operands' conjunctive conflict — the
+           same κ Dempster would normalize away — regardless of which
+           primary rule is configured, so switching primaries never
+           moves the escalation boundary. Fires at κ = κ₀ exactly. *)
+        let kappa = conflict m1 m2 in
+        if N.to_float kappa < e.Rule.kappa0 then
+          finish ~escalated:false primary
+            (kernel ~rule:primary ~prov:[] m1 m2)
+        else begin
+          if Obs.Metrics.on () then
+            Obs.Metrics.incr "dst.combine.escalations";
+          match e.Rule.fallback with
+          | Rule.Quarantine ->
+              if Obs.Provenance.on () then
+                record_quarantine ~primary ~e ~kappa m1 m2;
+              Quarantined { kappa }
+          | Rule.Fallback fb ->
+              finish ~escalated:true fb
+                (kernel ~rule:fb ~prov:(escalation_prov primary e) m1 m2)
+        end
+
+  let default_kernel ~rule ~prov m1 m2 = combine_rule_opt ~rule ~prov m1 m2
+  let combine_policy ?policy m1 m2 =
+    combine_policy_with ~kernel:default_kernel ?policy m1 m2
+
+  let combine_policy_exn ?policy m1 m2 =
+    match combine_policy ?policy m1 m2 with
+    | Combined { result; _ } -> result
+    | Conflicted -> raise Total_conflict
+    | Quarantined { kappa } -> raise (Quarantined_cell (N.to_float kappa))
+
+  (* Cache-hit lineage reconstruction: rebuild exactly the node the
+     cold miss recorded, but only when the cache outlived the arena
+     (within one arena the digest is already bound and this adds
+     nothing). Quarantined and Conflicted outcomes bind no digest, so
+     there is nothing to relink. *)
+  let relink ?policy m1 m2 outcome =
+    let policy =
+      match policy with Some p -> p | None -> Rule.current ()
+    in
+    match outcome with
+    | Quarantined _ | Conflicted -> ()
+    | Combined { result; kappa; rule; escalated } -> (
+        match Obs.Provenance.find (digest result) with
+        | Some _ -> ()
+        | None ->
+            let prov =
+              if escalated then
+                match policy.Rule.escalation with
+                | Some e -> escalation_prov policy.Rule.primary e
+                | None -> []
+              else []
+            in
+            let record ~norm a b =
+              record_combine ~rule:(Rule.to_string rule) ~prov ~norm a b
+                (Some (result, kappa))
+            in
+            (match rule with
+            | Rule.Dempster -> record ~norm:(fun k -> 1.0 -. k) m1 m2
+            | Rule.Discount_then_combine alpha ->
+                (* The cold path combined the discounted operands (their
+                   Discount nodes re-record here), so the rebuilt node
+                   has the same inputs move for move. *)
+                let d1 = discount alpha m1 and d2 = discount alpha m2 in
+                record ~norm:(fun k -> 1.0 -. k) d1 d2
+            | Rule.Yager | Rule.Dubois_prade | Rule.Averaging ->
+                record ~norm:(fun _ -> 1.0) m1 m2))
+
+  let combine_many ?(rule = Rule.Dempster) ms =
+    match ms with
+    | [] -> raise (Invalid_mass "combine_many: empty list")
+    | m :: rest -> (
+        match rule with
+        | Rule.Averaging ->
+            (* The n-ary mixture (weight 1/n each), NOT the left fold of
+               pairwise averaging — that fold would weight source i by
+               2^-(n-i) because averaging is not associative. *)
+            List.iter (check_frames m) rest;
+            let n = N.of_float (float_of_int (List.length ms)) in
+            let entries =
+              List.concat_map
+                (fun m ->
+                  List.map (fun (s, x) -> (s, N.div x n)) (focals m))
+                ms
+            in
+            make m.frame entries
+        | _ ->
+            List.fold_left
+              (fun acc m ->
+                match combine_rule_opt ~rule acc m with
+                | Some (r, _) -> r
+                | None -> raise Total_conflict)
+              m rest)
 
   let condition m set = combine m (certain_set m.frame set)
 

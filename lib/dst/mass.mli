@@ -24,8 +24,32 @@ module type S = sig
       contradictory (κ = 1): Dempster's rule is undefined. The paper (§2.2)
       prescribes alerting the integrator in this case. *)
 
+  exception Quarantined_cell of float
+  (** Raised by {!combine_policy_exn} (carrying κ) when the active
+      {!Rule.policy} quarantines the combination instead of running a
+      rule — the merge paths catch it and drop or report the pair. *)
+
   exception Frame_mismatch of Domain.t * Domain.t
   (** Raised when combining mass functions over different frames. *)
+
+  type outcome =
+    | Combined of { result : t; kappa : num; rule : Rule.t; escalated : bool }
+        (** [rule] is the rule that actually ran (the fallback when
+            [escalated]); [kappa] is the conflict it measured. *)
+    | Quarantined of { kappa : num }
+        (** The policy refused the merge: κ reached κ₀ and the fallback
+            is {!Rule.Quarantine}. *)
+    | Conflicted
+        (** Total conflict under a normalizing rule with no escalation
+            configured — the typed form of {!Total_conflict}. *)
+  (** The typed result of a policy-driven combination. *)
+
+  type kernel =
+    rule:Rule.t -> prov:(string * string) list -> t -> t -> (t * num) option
+  (** A rule-parameterized combination primitive: [prov] carries extra
+      provenance annotations (escalation tags) for the recorded Combine
+      node. {!combine_rule_opt} is the map implementation;
+      [Flat_mass.kernel] the packed one. *)
 
   val make : Domain.t -> (Vset.t * num) list -> t
   (** [make frame focals] validates and builds a mass function. Zero-mass
@@ -116,7 +140,49 @@ module type S = sig
 
   val combine_opt : t -> t -> (t * num) option
   (** [Some (m, κ)] or [None] on total conflict — the non-raising form,
-      reporting the amount of conflict that was normalized away. *)
+      reporting the amount of conflict that was normalized away.
+      Equivalent to [combine_rule_opt ~rule:Rule.Dempster]. *)
+
+  val combine_rule_opt :
+    ?rule:Rule.t -> ?prov:(string * string) list -> t -> t -> (t * num) option
+  (** One combination under the given rule (default {!Rule.Dempster}).
+      [Some (m, κ)] where κ is the conjunctive conflict the rule
+      measured between its operands; [None] only when the (possibly
+      discounted) Dempster leg hits total conflict — Yager,
+      Dubois-Prade and averaging are total. Emits [dst.combine.calls],
+      [dst.combine.conflict_kappa] and the per-rule
+      [dst.combine.rule.*] counter; when provenance is on, records a
+      Combine node tagged with the rule (and any [prov] annotations).
+      @raise Frame_mismatch if the frames differ. *)
+
+  val combine_policy_with :
+    kernel:kernel -> ?policy:Rule.policy -> t -> t -> outcome
+  (** The escalation engine, parameterized by the combination kernel so
+      the memo-cache can route misses through the flat representation.
+      Below κ₀ (or with no escalation configured) the primary rule
+      runs; at or exactly on κ₀ the policy escalates — incrementing
+      [dst.combine.escalations] and either running the fallback rule
+      (its Combine node carries [escalated_from]/[kappa0] annotations)
+      or quarantining (recording a ["(quarantined)"] node). [policy]
+      defaults to {!Rule.current}. The threshold κ is always the
+      operands' raw conjunctive conflict ({!conflict}), independent of
+      the primary rule. *)
+
+  val combine_policy : ?policy:Rule.policy -> t -> t -> outcome
+  (** [combine_policy_with] over {!combine_rule_opt} — the uncached
+      policy-honoring entry point every merge path uses. *)
+
+  val combine_policy_exn : ?policy:Rule.policy -> t -> t -> t
+  (** Like {!combine_policy} but raising: {!Total_conflict} on
+      [Conflicted], {!Quarantined_cell} on [Quarantined]. *)
+
+  val relink : ?policy:Rule.policy -> t -> t -> outcome -> unit
+  (** Cache-hit lineage reconstruction: if the outcome's result digest
+      is not yet bound in the live arena, record the same Combine node
+      (rule, κ, norm, escalation annotations — and for the discount
+      rule, the same discounted operands) the cold miss recorded. The
+      memo-cache calls this so warm-hit lineage is indistinguishable
+      from the cold derivation for every rule. *)
 
   val combine_yager : t -> t -> t
   (** Yager's rule (extension beyond the paper): conflict mass is moved to
@@ -135,8 +201,17 @@ module type S = sig
   (** Disjunctive consensus (extension): products accumulate on [X ∪ Y].
       Appropriate when only one of the two sources is known reliable. *)
 
-  val combine_many : t list -> t
-  (** Left fold of {!combine}. @raise Invalid_mass on the empty list. *)
+  val combine_many : ?rule:Rule.t -> t list -> t
+  (** N-ary combination under [rule] (default {!Rule.Dempster}). For
+      every rule but averaging this is the left fold of the pairwise
+      rule — associative for Dempster, order-sensitive (documented, not
+      hidden) for Yager and Dubois-Prade. For {!Rule.Averaging} it is
+      the uniform n-ary mixture (each source weighted 1/n), {e not} the
+      pairwise fold, which would weight source i by 2^-(n-i) because
+      averaging is not associative. @raise Invalid_mass on the empty
+      list (no frame to build a result on, whatever the rule).
+      @raise Total_conflict if a Dempster (or discount-at-α=1) step
+      hits κ = 1; the non-normalizing rules never raise it. *)
 
   (** {1 Transformations} *)
 

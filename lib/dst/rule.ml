@@ -1,0 +1,122 @@
+type t =
+  | Dempster
+  | Yager
+  | Dubois_prade
+  | Averaging
+  | Discount_then_combine of float
+
+type fallback = Fallback of t | Quarantine
+type escalation = { kappa0 : float; fallback : fallback }
+type policy = { primary : t; escalation : escalation option }
+
+let default_discount_alpha = 0.9
+
+let discount_then_combine alpha =
+  if alpha < 0.0 || alpha > 1.0 then
+    invalid_arg "Rule.discount_then_combine: alpha outside [0,1]";
+  Discount_then_combine alpha
+
+let escalate ~kappa0 fallback =
+  if kappa0 < 0.0 || kappa0 > 1.0 then
+    invalid_arg "Rule.escalate: kappa0 outside [0,1]";
+  { kappa0; fallback }
+
+let make ?escalation primary = { primary; escalation }
+let dempster = { primary = Dempster; escalation = None }
+
+let name = function
+  | Dempster -> "dempster"
+  | Yager -> "yager"
+  | Dubois_prade -> "dubois-prade"
+  | Averaging -> "averaging"
+  | Discount_then_combine _ -> "discount"
+
+let to_string = function
+  | Discount_then_combine a -> Printf.sprintf "discount:%g" a
+  | r -> name r
+
+(* Counter families are per rule constructor, not per parameterization:
+   discount:0.8 and discount:0.9 share one counter. *)
+let metric = function
+  | Dempster -> "dst.combine.rule.dempster"
+  | Yager -> "dst.combine.rule.yager"
+  | Dubois_prade -> "dst.combine.rule.dubois-prade"
+  | Averaging -> "dst.combine.rule.averaging"
+  | Discount_then_combine _ -> "dst.combine.rule.discount"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "dempster" -> Ok Dempster
+  | "yager" -> Ok Yager
+  | "dubois-prade" | "dubois_prade" | "dp" -> Ok Dubois_prade
+  | "averaging" | "average" | "mixing" -> Ok Averaging
+  | "discount" -> Ok (Discount_then_combine default_discount_alpha)
+  | s when String.length s > 9 && String.sub s 0 9 = "discount:" -> (
+      let arg = String.sub s 9 (String.length s - 9) in
+      match float_of_string_opt arg with
+      | Some a when a >= 0.0 && a <= 1.0 -> Ok (Discount_then_combine a)
+      | Some _ -> Error (Printf.sprintf "discount alpha %s outside [0,1]" arg)
+      | None -> Error (Printf.sprintf "bad discount alpha %S" arg))
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown rule %S (expected dempster, yager, dubois-prade, \
+            averaging or discount[:ALPHA])"
+           other)
+
+let fallback_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quarantine" -> Ok Quarantine
+  | other -> Result.map (fun r -> Fallback r) (of_string other)
+
+let fallback_to_string = function
+  | Quarantine -> "quarantine"
+  | Fallback r -> to_string r
+
+let policy_to_string p =
+  match p.escalation with
+  | None -> to_string p.primary
+  | Some { kappa0; fallback } ->
+      Printf.sprintf "%s [kappa0 %g -> %s]" (to_string p.primary) kappa0
+        (fallback_to_string fallback)
+
+(* Canonical cache-key fragment. Float parameters print with %h so two
+   policies differing only by bits never alias one cache entry. *)
+let policy_key p =
+  let rule_key = function
+    | Discount_then_combine a -> Printf.sprintf "discount:%h" a
+    | r -> name r
+  in
+  match p.escalation with
+  | None -> rule_key p.primary
+  | Some { kappa0; fallback } ->
+      Printf.sprintf "%s@%h>%s" (rule_key p.primary) kappa0
+        (match fallback with
+        | Quarantine -> "quarantine"
+        | Fallback r -> rule_key r)
+
+let equal a b =
+  match (a, b) with
+  | Discount_then_combine x, Discount_then_combine y -> Float.equal x y
+  | Dempster, Dempster | Yager, Yager -> true
+  | Dubois_prade, Dubois_prade | Averaging, Averaging -> true
+  | _ -> false
+
+let equal_policy a b = String.equal (policy_key a) (policy_key b)
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+let pp_policy ppf p = Format.pp_print_string ppf (policy_to_string p)
+
+let all = [ Dempster; Yager; Dubois_prade; Averaging ]
+
+(* The session-wide policy every combination site defaults to. Read-only
+   during evaluation: surfaces (CLI flags, REPL .rule) set it once before
+   running, and worker domains only ever read it. *)
+let current_policy = ref dempster
+let current () = !current_policy
+let set_current p = current_policy := p
+
+let with_policy p f =
+  let saved = !current_policy in
+  current_policy := p;
+  Fun.protect ~finally:(fun () -> current_policy := saved) f

@@ -80,25 +80,45 @@ let merged_with_lineage x y m =
   if Obs.Provenance.on () then Lineage.record_merge x y m;
   Some m
 
-let union a b =
-  let schema = Relation.schema a in
-  union_with (fun x y -> merged_with_lineage x y (Etuple.combine schema x y)) a b
-
-let union_cached ~cache a b =
+(* A quarantined cell (κ-escalation with a Quarantine fallback) drops
+   the matched pair, exactly as a total conflict does on the reporting
+   paths — the non-reporting operators stay deterministic and agree
+   with union_report's kept set, which the conformance harness
+   compares bit for bit across surfaces. *)
+let union ?policy a b =
   let schema = Relation.schema a in
   union_with
     (fun x y ->
-      merged_with_lineage x y
-        (Etuple.combine_with
-           ~combine_evidence:(Dst.Combine_cache.combine cache)
-           schema x y))
+      match
+        Etuple.combine_with
+          ~combine_evidence:(Dst.Mass.F.combine_policy_exn ?policy)
+          schema x y
+      with
+      | m -> merged_with_lineage x y m
+      | exception Dst.Mass.F.Quarantined_cell _ -> None)
+    a b
+
+let union_cached ~cache ?policy a b =
+  let schema = Relation.schema a in
+  union_with
+    (fun x y ->
+      match
+        Etuple.combine_with
+          ~combine_evidence:(Dst.Combine_cache.combine_policy_exn ?policy cache)
+          schema x y
+      with
+      | m -> merged_with_lineage x y m
+      | exception Dst.Mass.F.Quarantined_cell _ -> None)
     a b
 
 (* Attribute-by-attribute merge so a conflict can name its column. The
    incremental store's delta fold shares this function so its per-key
    outcome (merged tuple, or conflict recorded and pair dropped) is
    bit-identical to union_report's. *)
-let merge_report schema ~record x y =
+let merge_report ?policy schema ~record x y =
+  let policy =
+    match policy with Some p -> p | None -> Dst.Rule.current ()
+  in
   let key = Etuple.key x in
   let exception Bail in
   try
@@ -116,12 +136,19 @@ let merge_report schema ~record x y =
                 raise Bail
               end
           | Etuple.Evidence e, Etuple.Evidence f -> (
-              match Dst.Mass.F.combine_opt e f with
-              | Some (m, _) -> Etuple.Evidence m
-              | None ->
+              match Dst.Mass.F.combine_policy ~policy e f with
+              | Dst.Mass.F.Combined { result = m; _ } -> Etuple.Evidence m
+              | Dst.Mass.F.Conflicted ->
                   record key
                     (Some (Attr.name attr))
                     "total conflict (kappa = 1) between evidence sets";
+                  raise Bail
+              | Dst.Mass.F.Quarantined { kappa } ->
+                  record key
+                    (Some (Attr.name attr))
+                    (Format.asprintf
+                       "quarantined: kappa = %g at or above rule threshold"
+                       kappa);
                   raise Bail)
           | Etuple.Definite _, Etuple.Evidence _
           | Etuple.Evidence _, Etuple.Definite _ ->
@@ -141,7 +168,7 @@ let merge_report schema ~record x y =
     Some m
   with Bail -> None
 
-let union_report a b =
+let union_report ?policy a b =
   let schema = Relation.schema a in
   let conflicts = ref [] in
   let record key attr detail =
@@ -149,8 +176,12 @@ let union_report a b =
       { conflict_key = key; conflict_attr = attr; conflict_detail = detail }
       :: !conflicts
   in
-  let result = union_with (merge_report schema ~record) a b in
+  let result = union_with (merge_report ?policy schema ~record) a b in
   (result, List.rev !conflicts)
+
+let is_quarantine c =
+  String.length c.conflict_detail >= 12
+  && String.sub c.conflict_detail 0 12 = "quarantined:"
 
 let product a b =
   let schema = Schema.product (Relation.schema a) (Relation.schema b) in
@@ -283,15 +314,21 @@ let difference a b =
       && not (Relation.mem b (Etuple.key t)))
     a
 
-let intersection a b =
+let intersection ?policy a b =
   check_union_compatible a b;
   let schema = Relation.schema a in
   Relation.fold
     (fun t acc ->
       match Relation.find_opt b (Etuple.key t) with
-      | Some u ->
-          let m = Etuple.combine schema t u in
-          if Obs.Provenance.on () then Lineage.record_merge t u m;
-          add_if_positive acc m
+      | Some u -> (
+          match
+            Etuple.combine_with
+              ~combine_evidence:(Dst.Mass.F.combine_policy_exn ?policy)
+              schema t u
+          with
+          | m ->
+              if Obs.Provenance.on () then Lineage.record_merge t u m;
+              add_if_positive acc m
+          | exception Dst.Mass.F.Quarantined_cell _ -> acc)
       | None -> acc)
     a (Relation.empty schema)

@@ -22,25 +22,40 @@ val project : string list -> Relation.t -> Relation.t
     key; membership is always retained.
     @raise Schema.Schema_error on invalid attribute lists. *)
 
-val union : Relation.t -> Relation.t -> Relation.t
+val union :
+  ?policy:Dst.Rule.policy -> Relation.t -> Relation.t -> Relation.t
 (** Extended union [R ∪̂_K̃ S] (§3.2): tuples whose key appears in only
     one operand are retained unchanged (the other source is treated as
-    wholly ignorant about them); key-matched tuples are merged by
-    Dempster's rule applied to every non-key evidence attribute and to
-    the membership frame. Commutative and associative.
+    wholly ignorant about them); key-matched tuples are merged by the
+    combination rule of [policy] (default {!Dst.Rule.current}, itself
+    Dempster unless the session says otherwise) applied to every
+    non-key evidence attribute. Membership pairs always combine by
+    boolean-frame Dempster ({!Dst.Support.combine}) — the rule policy
+    governs attribute evidence, not tuple membership. Commutative; and
+    associative for every rule except averaging (see {!Dst.Rule}).
+    A pair whose combination is {e quarantined} by the policy's
+    κ-escalation is silently dropped — use {!union_report} to observe
+    which pairs and why.
     @raise Incompatible_schemas unless the operands are union-compatible.
     @raise Dst.Mass.F.Total_conflict when matched evidence is completely
-    contradictory (κ = 1) — see {!union_report} for the non-raising
-    variant used by the integration pipeline.
+    contradictory (κ = 1) under a rule that is undefined there — see
+    {!union_report} for the non-raising variant used by the integration
+    pipeline.
     @raise Etuple.Tuple_error when matched definite attributes disagree
     (the paper's consistent-sources assumption). *)
 
-val union_cached : cache:Dst.Combine_cache.t -> Relation.t -> Relation.t -> Relation.t
-(** {!union} with every per-cell Dempster combination routed through the
-    given memo-cache. Bit-identical to {!union} (the cache replays
-    [combine_opt] outcomes verbatim); repeated merges of the same
-    evidence pairs — the dominant cost of the Figure-1 pipeline — become
-    map lookups. Raises exactly as {!union} does. *)
+val union_cached :
+  cache:Dst.Combine_cache.t ->
+  ?policy:Dst.Rule.policy ->
+  Relation.t ->
+  Relation.t ->
+  Relation.t
+(** {!union} with every per-cell combination routed through the given
+    memo-cache. Bit-identical to {!union} under the same policy (the
+    cache replays outcomes verbatim, and its keys include the policy);
+    repeated merges of the same evidence pairs — the dominant cost of
+    the Figure-1 pipeline — become map lookups. Raises exactly as
+    {!union} does. *)
 
 type conflict = {
   conflict_key : Dst.Value.t list;
@@ -50,20 +65,33 @@ type conflict = {
   conflict_detail : string;
 }
 
-val union_report : Relation.t -> Relation.t -> Relation.t * conflict list
+val union_report :
+  ?policy:Dst.Rule.policy ->
+  Relation.t ->
+  Relation.t ->
+  Relation.t * conflict list
 (** {!union} that, instead of raising on total conflict or definite
     disagreement, omits the offending pair from the result and reports it
-    — the paper's "inform the data administrators" action (§2.2). *)
+    — the paper's "inform the data administrators" action (§2.2).
+    κ-escalation quarantines are reported the same way, with a
+    [conflict_detail] starting with ["quarantined:"] (test with
+    {!is_quarantine}). *)
+
+val is_quarantine : conflict -> bool
+(** Did this conflict come from the policy's κ-escalation quarantining
+    the cell (as opposed to total conflict or definite disagreement)? *)
 
 val merge_report :
+  ?policy:Dst.Rule.policy ->
   Schema.t ->
   record:(Dst.Value.t list -> string option -> string -> unit) ->
   Etuple.t ->
   Etuple.t ->
   Etuple.t option
 (** The per-pair merge {!union_report} applies to key-matched tuples:
-    Dempster-combine every non-key cell and the membership frame;
-    on total conflict or definite disagreement call
+    combine every non-key cell under [policy] (default
+    {!Dst.Rule.current}) and the membership frame by boolean Dempster;
+    on total conflict, quarantine, or definite disagreement call
     [record key attr detail] and return [None] (the pair is dropped).
     Records lineage exactly as {!union_report} does. Exposed so the
     incremental store's O(changed entities) delta fold is bit-identical
@@ -133,9 +161,11 @@ val difference : Relation.t -> Relation.t -> Relation.t
     it even over [_unchecked]-materialized inputs.
     @raise Incompatible_schemas unless union-compatible. *)
 
-val intersection : Relation.t -> Relation.t -> Relation.t
+val intersection :
+  ?policy:Dst.Rule.policy -> Relation.t -> Relation.t -> Relation.t
 (** [intersection r s]: exactly the key-matched pairs of extended union,
-    Dempster-merged; tuples present in only one source are dropped. The
+    merged under [policy] (default {!Dst.Rule.current}); tuples present
+    in only one source are dropped, as are quarantined pairs. The
     "both sources corroborate" reading of integration.
     @raise Incompatible_schemas / @raise Dst.Mass.F.Total_conflict /
     @raise Etuple.Tuple_error as for {!union}. *)

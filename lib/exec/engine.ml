@@ -287,9 +287,9 @@ let install () = P.set_sharded_runner (fun cfg ctx env plan ->
 
 module M = Integration.Multi
 
-let integrate cfg ?discount ?alpha_floor ?prior sources =
+let integrate cfg ?policy ?discount ?alpha_floor ?prior sources =
   if cfg.P.shards <= 1 || Obs.Trace.on () || Obs.Provenance.on () then
-    M.integrate ?discount ?alpha_floor ?prior sources
+    M.integrate ?policy ?discount ?alpha_floor ?prior sources
   else
     match sources with
     | [] ->
@@ -322,7 +322,7 @@ let integrate cfg ?discount ?alpha_floor ?prior sources =
           Pool.run ~domains:workers ~tasks:shards (fun i ->
               List.fold_left
                 (fun (acc, confs) (name, parts) ->
-                  let merged, cs = Erm.Ops.union_report acc parts.(i) in
+                  let merged, cs = Erm.Ops.union_report ?policy acc parts.(i) in
                   (merged, confs @ List.map (fun c -> (name, c)) cs))
                 (first_parts.(i), [])
                 rest_parts)

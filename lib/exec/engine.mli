@@ -55,6 +55,7 @@ val execute :
 
 val integrate :
   Query.Physical.sharded ->
+  ?policy:Dst.Rule.policy ->
   ?discount:bool ->
   ?alpha_floor:float ->
   ?prior:(string * float) list ->
@@ -65,5 +66,8 @@ val integrate :
     matrix would change discount rates), sources are discounted whole,
     and only the per-key absorption folds are partitioned. The report —
     integrated relation, conflict list order, matrix, reliabilities —
-    is identical to the unsharded one. Delegates to the unsharded path
-    when tracing or provenance recording is on or [shards ≤ 1]. *)
+    is identical to the unsharded one — for any combination rule:
+    evidence cells combine under [?policy] (default {!Dst.Rule.current},
+    which worker domains read but never write — set the session rule
+    before integrating). Delegates to the unsharded path when tracing
+    or provenance recording is on or [shards ≤ 1]. *)

@@ -77,7 +77,8 @@ val integrate :
   ?config:config ->
   ?seed:int ->
   ?integrate:
-    (?discount:bool ->
+    (?policy:Dst.Rule.policy ->
+    ?discount:bool ->
     ?alpha_floor:float ->
     ?prior:(string * float) list ->
     Integration.Multi.source list ->
@@ -91,7 +92,9 @@ val integrate :
     the merge itself (default {!Integration.Multi.integrate}) — the
     federate binary passes the sharded engine's drop-in here; any
     substitute must be report-identical to the default, which the
-    sharded one is by the conformance harness's contract.
+    sharded one is by the conformance harness's contract. Evidence
+    combines under the session rule ({!Dst.Rule.current}): [?policy] is
+    left to its default, so set the session rule before calling.
     @raise Invalid_argument on a malformed config. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -6,8 +6,8 @@ type report = {
   right_only : int;
 }
 
-let by_key left right =
-  let integrated, conflicts = Erm.Ops.union_report left right in
+let by_key ?policy left right =
+  let integrated, conflicts = Erm.Ops.union_report ?policy left right in
   let shared = List.length (Erm.Ops.intersect_keys left right) in
   { integrated;
     conflicts;
@@ -19,13 +19,17 @@ let rekey schema key t =
   Erm.Etuple.make schema ~key ~cells:(Erm.Etuple.cells t)
     ~tm:(Erm.Etuple.tm t)
 
-let of_matching schema (m : Entity_id.matching) =
+let of_matching ?policy schema (m : Entity_id.matching) =
   let conflicts = ref [] in
   let merged = ref 0 in
   let combine_pair acc (a, b) =
     let key = Erm.Etuple.key a in
     let b = if Erm.Etuple.key_equal a b then b else rekey schema key b in
-    match Erm.Etuple.combine schema a b with
+    match
+      Erm.Etuple.combine_with
+        ~combine_evidence:(Dst.Mass.F.combine_policy_exn ?policy)
+        schema a b
+    with
     | t ->
         incr merged;
         if Obs.Provenance.on () then Erm.Lineage.record_merge a b t;
@@ -35,6 +39,15 @@ let of_matching schema (m : Entity_id.matching) =
           { Erm.Ops.conflict_key = key;
             conflict_attr = None;
             conflict_detail = "total conflict while merging matched pair" }
+          :: !conflicts;
+        acc
+    | exception Dst.Mass.F.Quarantined_cell kappa ->
+        conflicts :=
+          { Erm.Ops.conflict_key = key;
+            conflict_attr = None;
+            conflict_detail =
+              Format.asprintf
+                "quarantined: kappa = %g at or above rule threshold" kappa }
           :: !conflicts;
         acc
     | exception Erm.Etuple.Tuple_error detail ->

@@ -16,15 +16,20 @@ type report = {
   right_only : int;
 }
 
-val by_key : Erm.Relation.t -> Erm.Relation.t -> report
-(** Extended union with reporting; the paper's integration step. *)
+val by_key :
+  ?policy:Dst.Rule.policy -> Erm.Relation.t -> Erm.Relation.t -> report
+(** Extended union with reporting; the paper's integration step.
+    Evidence cells combine under [policy] (default {!Dst.Rule.current});
+    κ-escalation quarantines surface as conflicts whose detail starts
+    with ["quarantined:"] ({!Erm.Ops.is_quarantine}). *)
 
 val of_matching :
-  Erm.Schema.t -> Entity_id.matching -> report
+  ?policy:Dst.Rule.policy -> Erm.Schema.t -> Entity_id.matching -> report
 (** Merge an explicit matching (e.g. from {!Entity_id.by_similarity}).
-    Matched pairs are combined with Dempster's rule; unmatched tuples
-    pass through. When a similarity matching pairs tuples with different
-    keys, the left tuple's key names the merged tuple. *)
+    Matched pairs are combined under [policy] (default
+    {!Dst.Rule.current}); unmatched tuples pass through. When a
+    similarity matching pairs tuples with different keys, the left
+    tuple's key names the merged tuple. *)
 
 val pp : Format.formatter -> report -> unit
 (** Summary line plus one line per conflict. *)

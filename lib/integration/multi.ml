@@ -63,7 +63,7 @@ let reliabilities ?(discount = false) ?(alpha_floor = 0.0) ?(prior = [])
       (s.source_name, Float.max alpha_floor (prior_alpha *. conflict_alpha)))
     sources
 
-let integrate_inner ?discount ?alpha_floor ?prior sources =
+let integrate_inner ?policy ?discount ?alpha_floor ?prior sources =
   match sources with
   | [] ->
       (* Validate the knobs even when there is nothing to fold, keeping
@@ -110,7 +110,7 @@ let integrate_inner ?discount ?alpha_floor ?prior sources =
         let mark =
           if Obs.Provenance.on () then Obs.Provenance.count () else 0
         in
-        let merged, cs = Erm.Ops.union_report acc (prepared s) in
+        let merged, cs = Erm.Ops.union_report ?policy acc (prepared s) in
         conflicts := !conflicts @ List.map (fun c -> (s.source_name, c)) cs;
         if Obs.Provenance.on () then begin
           let upto = Obs.Provenance.count () in
@@ -156,7 +156,7 @@ type change = Changed of Erm.Etuple.t | Dropped of Erm.Etuple.t
    union_report applies — so folding a delta into a stored merge is
    bit-identical to re-integrating all sources from scratch (Dempster's
    rule is associative and integrate folds left-to-right). *)
-let absorb_delta ~into s =
+let absorb_delta ?policy ~into s =
   let schema = Erm.Relation.schema into in
   if not (Erm.Schema.union_compatible schema (Erm.Relation.schema s.source_relation))
   then
@@ -185,7 +185,7 @@ let absorb_delta ~into s =
             changes := Changed t :: !changes;
             Erm.Relation.replace acc t
         | Some old -> (
-            match Erm.Ops.merge_report schema ~record old t with
+            match Erm.Ops.merge_report ?policy schema ~record old t with
             | Some m when Dst.Support.positive (Erm.Etuple.tm m) ->
                 changes := Changed m :: !changes;
                 Erm.Relation.replace acc m
@@ -218,8 +218,10 @@ let absorb_delta ~into s =
   end;
   (merged, List.rev !conflicts, List.rev !changes)
 
-let integrate ?discount ?alpha_floor ?prior sources =
-  let body () = integrate_inner ?discount ?alpha_floor ?prior sources in
+let integrate ?policy ?discount ?alpha_floor ?prior sources =
+  let body () =
+    integrate_inner ?policy ?discount ?alpha_floor ?prior sources
+  in
   if Obs.Trace.on () then
     Obs.Trace.with_span ~cat:"integration"
       ~args:

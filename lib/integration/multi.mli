@@ -43,13 +43,19 @@ val reliabilities :
     @raise Invalid_argument if a prior or the floor is outside [0,1]. *)
 
 val integrate :
+  ?policy:Dst.Rule.policy ->
   ?discount:bool ->
   ?alpha_floor:float ->
   ?prior:(string * float) list ->
   source list ->
   report
-(** Fold all sources into one relation (left to right; the result is
-    order-independent up to float rounding because ⊕ is associative).
+(** Fold all sources into one relation (left to right; with the default
+    Dempster rule the result is order-independent up to float rounding
+    because ⊕ is associative — averaging is {e not} associative, so
+    under [--rule averaging] the fold order is part of the semantics).
+    Evidence cells combine under [?policy] (default
+    {!Dst.Rule.current}); κ-escalation quarantines surface in
+    [conflicts] like total conflicts do.
     With [~discount:true] (default false), each source is first
     α-discounted by [1 − (mean κ against the other sources)].
 
@@ -74,6 +80,7 @@ type change =
           with [sn = 0]. *)
 
 val absorb_delta :
+  ?policy:Dst.Rule.policy ->
   into:Erm.Relation.t ->
   source ->
   Erm.Relation.t * Erm.Ops.conflict list * change list

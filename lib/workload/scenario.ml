@@ -1,0 +1,130 @@
+type kind = Zadeh | Near_total | One_against_many | Dissenter
+
+let all_kinds = [ Zadeh; Near_total; One_against_many; Dissenter ]
+
+let kind_name = function
+  | Zadeh -> "zadeh"
+  | Near_total -> "near-total"
+  | One_against_many -> "one-against-many"
+  | Dissenter -> "dissenter"
+
+let kind_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "zadeh" -> Ok Zadeh
+  | "near-total" | "near_total" -> Ok Near_total
+  | "one-against-many" | "one_against_many" -> Ok One_against_many
+  | "dissenter" -> Ok Dissenter
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown scenario \"%s\" (expected zadeh, near-total, \
+            one-against-many or dissenter)"
+           other)
+
+(* Three distinct hypotheses: every scenario opposes concentrations on
+   [a] and [b], with [c] as the marginal shared (or alternative)
+   hypothesis. Drawn, not fixed, so different seeds stress different
+   corners of the frame. *)
+let distinct3 rng dom =
+  let values = Dst.Vset.to_list (Dst.Domain.values dom) in
+  if List.length values < 3 then
+    invalid_arg "Scenario: domain needs at least 3 values";
+  match Rng.sample rng 3 values with
+  | [ a; b; c ] -> (a, b, c)
+  | _ -> assert false
+
+let mass dom entries =
+  Dst.Mass.F.make dom
+    (List.map (fun (vs, w) -> (Dst.Vset.of_list vs, w)) entries)
+
+let omega dom = Dst.Vset.to_list (Dst.Domain.values dom)
+
+(* Zadeh (1984): the two experts' only common ground carries 0.01 from
+   each, yet Dempster concludes it with certainty (κ = 0.9999). *)
+let zadeh_pair rng dom =
+  let a, b, c = distinct3 rng dom in
+  ( mass dom [ ([ a ], 0.99); ([ c ], 0.01) ],
+    mass dom [ ([ b ], 0.99); ([ c ], 0.01) ] )
+
+(* Disjoint near-certainties with an ε of declared ignorance: κ stays
+   strictly below 1, so Dempster is defined but rests everything on
+   ε-sized products. *)
+let near_total_pair rng dom =
+  let a, b, _ = distinct3 rng dom in
+  let eps = 0.001 +. Rng.float rng 0.019 in
+  ( mass dom [ ([ a ], 1.0 -. eps); (omega dom, eps) ],
+    mass dom [ ([ b ], 1.0 -. eps); (omega dom, eps) ] )
+
+let majority_size rng = 2 + Rng.int rng 3 (* 2..4 majority sources *)
+
+(* Several moderately-confident sources agreeing on [a] against one
+   source concentrated on [b]. *)
+let one_against_many_group rng dom =
+  let a, b, _ = distinct3 rng dom in
+  let n = majority_size rng in
+  let consensus () =
+    let w = 0.7 +. Rng.float rng 0.25 in
+    mass dom [ ([ a ], w); (omega dom, 1.0 -. w) ]
+  in
+  let majority = List.init n (fun _ -> consensus ()) in
+  majority @ [ mass dom [ ([ b ], 0.9); (omega dom, 0.1) ] ]
+
+(* Near-unanimity with one dissenter hedging across alternatives. *)
+let dissenter_group rng dom =
+  let a, b, c = distinct3 rng dom in
+  let n = majority_size rng in
+  let unanimous () = mass dom [ ([ a ], 0.95); (omega dom, 0.05) ] in
+  let majority = List.init n (fun _ -> unanimous ()) in
+  majority
+  @ [ mass dom [ ([ b ], 0.6); ([ b; c ], 0.3); (omega dom, 0.1) ] ]
+
+let group rng kind dom =
+  match kind with
+  | Zadeh ->
+      let m1, m2 = zadeh_pair rng dom in
+      [ m1; m2 ]
+  | Near_total ->
+      let m1, m2 = near_total_pair rng dom in
+      [ m1; m2 ]
+  | One_against_many -> one_against_many_group rng dom
+  | Dissenter -> dissenter_group rng dom
+
+let pair rng kind dom =
+  match kind with
+  | Zadeh -> zadeh_pair rng dom
+  | Near_total -> near_total_pair rng dom
+  | One_against_many | Dissenter -> (
+      match group rng kind dom with
+      | first :: rest -> (first, List.nth rest (List.length rest - 1))
+      | [] -> assert false)
+
+let corpus ~seed ?(per_kind = 5) dom =
+  List.concat_map
+    (fun kind ->
+      List.init per_kind (fun i ->
+          let rng =
+            Rng.create (seed lxor Hashtbl.hash (kind_name kind, i))
+          in
+          (kind, group rng kind dom)))
+    all_kinds
+
+let schema dom =
+  Erm.Schema.make ~name:"scenario"
+    ~key:[ Erm.Attr.definite "k" "string" ]
+    ~nonkey:[ Erm.Attr.evidential "e" dom ]
+
+let source_pair rng ~rows kind dom =
+  let s = schema dom in
+  let crisp = Dst.Support.make ~sn:1.0 ~sp:1.0 in
+  let lefts = ref [] and rights = ref [] in
+  for i = rows - 1 downto 0 do
+    let m1, m2 = pair rng kind dom in
+    let key = [ Dst.Value.string (Printf.sprintf "k%03d" i) ] in
+    let row m =
+      Erm.Etuple.make s ~key ~cells:[ Erm.Etuple.Evidence m ] ~tm:crisp
+    in
+    lefts := row m1 :: !lefts;
+    rights := row m2 :: !rights
+  done;
+  ( Erm.Relation.of_tuples s !lefts,
+    Erm.Relation.of_tuples s !rights )

@@ -1,0 +1,73 @@
+(** Adversarial high-conflict evidence scenarios (extension).
+
+    The combination-rule literature is driven by a handful of
+    pathological cases where Dempster's rule behaves counterintuitively;
+    this module generates them as a seeded fixture corpus so every rule
+    ({!Dst.Rule}) can be exercised — and compared — on exactly the
+    inputs it was designed to disagree on:
+
+    - {b Zadeh}: Zadeh's classic paradox. Two sources each give 0.99 to
+      a different singleton and 0.01 to a shared third; κ = 0.9999 and
+      Dempster concludes the shared hypothesis with certainty, while
+      Yager moves the conflict to Ω and averaging keeps the two
+      majorities visible.
+    - {b Near_total}: both sources nearly certain of disjoint
+      singletons, with an ε of ignorance keeping κ strictly below 1 —
+      the region where Dempster's normalization amplifies ε-sized
+      remainders.
+    - {b One_against_many}: several moderately-confident agreeing
+      sources and one concentrated opposer — the n-ary shape where
+      rule choice decides whether the majority or the loudest source
+      wins.
+    - {b Dissenter}: near-unanimity with a single dissenter spreading
+      its mass over alternatives — low pairwise κ within the majority,
+      high κ against the dissenter.
+
+    All draws go through {!Rng}, so a seed pins the whole corpus. *)
+
+type kind = Zadeh | Near_total | One_against_many | Dissenter
+
+val all_kinds : kind list
+(** In the order above. *)
+
+val kind_name : kind -> string
+(** Lower-kebab name ("zadeh", "near-total", …) for fixtures, bench
+    labels and CLI selection. *)
+
+val kind_of_string : string -> (kind, string) result
+
+val pair : Rng.t -> kind -> Dst.Domain.t -> Dst.Mass.F.t * Dst.Mass.F.t
+(** The scenario reduced to one adversarial operand pair — for
+    [One_against_many]/[Dissenter] that is (a majority source, the
+    opposer). The domain needs at least 3 values.
+    @raise Invalid_argument on a smaller domain. *)
+
+val group : Rng.t -> kind -> Dst.Domain.t -> Dst.Mass.F.t list
+(** The full n-ary scenario, in combination order: for [Zadeh] and
+    [Near_total] the two operands; for [One_against_many] and
+    [Dissenter] the majority sources followed by the opposer (3–5
+    masses). Feed to {!Dst.Mass.S.combine_many}.
+    @raise Invalid_argument if the domain has fewer than 3 values. *)
+
+val corpus :
+  seed:int ->
+  ?per_kind:int ->
+  Dst.Domain.t ->
+  (kind * Dst.Mass.F.t list) list
+(** [per_kind] (default 5) independently seeded groups of every kind,
+    grouped by kind in {!all_kinds} order. Equal seeds give equal
+    corpora. *)
+
+val schema : Dst.Domain.t -> Erm.Schema.t
+(** The one-evidential-attribute schema ([k : string] key, [e] over the
+    domain) that {!source_pair} builds relations over. *)
+
+val source_pair :
+  Rng.t -> rows:int -> kind -> Dst.Domain.t -> Erm.Relation.t * Erm.Relation.t
+(** Two union-compatible single-attribute relations whose key-matched
+    rows each realize an independent draw of the scenario: row [i] of
+    the left relation carries the pair's first mass, row [i] of the
+    right its second; membership is crisp (1,1) so rule behavior on the
+    {e attribute} evidence is the only variable. Integrating them
+    (e.g. {!Integration.Merge.by_key}) exercises the rule once per
+    row. *)

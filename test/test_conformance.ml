@@ -279,4 +279,63 @@ let conformance_props =
         in
         exact_rel_equal plain stored) ]
 
-let () = Alcotest.run "conformance" [ ("surfaces", conformance_props) ]
+(* --- leg 7: rule-parameterized conformance --------------------------- *)
+
+(* The combination rule is a session-global strategy: under EVERY rule
+   (and under an escalation policy) naive, physical and sharded
+   execution must still agree bit-exactly, shard count x domain count
+   across the same grid. The fast paths dispatch to per-rule flat
+   kernels, so this leg is what licenses them. *)
+
+let rule_policies =
+  List.map Dst.Rule.make
+    (Dst.Rule.all @ [ Dst.Rule.discount_then_combine 0.9 ])
+  @ [ Dst.Rule.make
+        ~escalation:
+          (Dst.Rule.escalate ~kappa0:0.6
+             (Dst.Rule.Fallback Dst.Rule.Averaging))
+        Dst.Rule.Dempster ]
+
+(* The policy sweep multiplies the grid, so these run at a lower count;
+   QCHECK_SEED still pins the cases. *)
+let rule_prop name law =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:40 seed_arb law)
+
+let rule_props =
+  [ rule_prop "every rule: physical = naive and sharded = naive (grid)"
+      (fun s ->
+        let env, q = make_case s in
+        List.for_all
+          (fun policy ->
+            Dst.Rule.with_policy policy (fun () ->
+                let naive = Query.Eval.eval env q in
+                exact_rel_equal naive (Query.Physical.eval_fast ~ctx env q)
+                && sharded_grid ~ctx env q (exact_rel_equal naive)))
+          rule_policies);
+    rule_prop "every rule: sharded integrate = naive integrate (grid)"
+      (fun s ->
+        let _, _, sources = store_case s in
+        List.for_all
+          (fun policy ->
+            Dst.Rule.with_policy policy (fun () ->
+                let naive =
+                  (Integration.Multi.integrate sources)
+                    .Integration.Multi.integrated
+                in
+                List.for_all
+                  (fun shards ->
+                    List.for_all
+                      (fun domains ->
+                        exact_rel_equal naive
+                          (Exec.Engine.integrate
+                             { Query.Physical.shards; domains }
+                             sources)
+                            .Integration.Multi.integrated)
+                      domain_counts)
+                  shard_counts))
+          rule_policies) ]
+
+let () =
+  Alcotest.run "conformance"
+    [ ("surfaces", conformance_props); ("rules", rule_props) ]

@@ -131,6 +131,79 @@ let cache_props =
         | Some t1, Some t2 -> W.equal t1 t2
         | _ -> false) ]
 
+(* --- policy-keyed cache ---------------------------------------------- *)
+
+(* The cache key includes Rule.policy_key: the same operand pair under a
+   different rule or κ-threshold is a different entry, never a cross-rule
+   hit — and for every policy the warm-hit lineage (relink) must be
+   indistinguishable from the cold derivation. *)
+
+let policies_under_test =
+  List.map Dst.Rule.make
+    (Dst.Rule.all
+    @ [ Dst.Rule.discount_then_combine 0.9;
+        Dst.Rule.discount_then_combine 0.5 ])
+  @ [ Dst.Rule.make
+        ~escalation:
+          (Dst.Rule.escalate ~kappa0:0.0 (Dst.Rule.Fallback Dst.Rule.Yager))
+        Dst.Rule.Dempster ]
+
+let outcome_equal o1 o2 =
+  match (o1, o2) with
+  | ( M.Combined { result = r1; kappa = k1; rule = u1; escalated = e1 },
+      M.Combined { result = r2; kappa = k2; rule = u2; escalated = e2 } ) ->
+      M.compare r1 r2 = 0 && Float.equal k1 k2 && Dst.Rule.equal u1 u2
+      && e1 = e2
+  | M.Quarantined { kappa = k1 }, M.Quarantined { kappa = k2 } ->
+      Float.equal k1 k2
+  | M.Conflicted, M.Conflicted -> true
+  | _ -> false
+
+let rule_cache_props =
+  [ prop "a hit never crosses policies; within one it always hits"
+      seed_arb
+      (fun s ->
+        let a = gen_evidence s and b = gen_evidence (s + 1) in
+        let cache = Dst.Combine_cache.create () in
+        List.for_all
+          (fun policy ->
+            (* The pair is already cached under every previous policy;
+               this policy must still start with a miss. *)
+            let misses = Dst.Combine_cache.misses cache in
+            let hits = Dst.Combine_cache.hits cache in
+            let o1 = Dst.Combine_cache.combine_policy ~policy cache a b in
+            let o2 = Dst.Combine_cache.combine_policy ~policy cache a b in
+            Dst.Combine_cache.misses cache = misses + 1
+            && Dst.Combine_cache.hits cache = hits + 1
+            && outcome_equal o1 o2
+            && outcome_equal o1 (M.combine_policy ~policy a b))
+          policies_under_test);
+    prop "warm-hit lineage = cold derivation for every policy" ~count:50
+      seed_arb
+      (fun s ->
+        let a = gen_evidence s and b = gen_evidence (s + 1) in
+        List.for_all
+          (fun policy ->
+            let cache = Dst.Combine_cache.create () in
+            let leg () =
+              with_provenance (fun () ->
+                match
+                  Dst.Combine_cache.combine_policy ~policy cache a b
+                with
+                | M.Combined { result; _ } -> (
+                    match P.find (M.digest result) with
+                    | Some id -> Some (W.tree id)
+                    | None -> None)
+                | M.Quarantined _ | M.Conflicted -> None)
+            in
+            let cold = leg () in
+            (* warm cache, fresh arena: the hit path relinks *)
+            let warm = leg () in
+            match (cold, warm) with
+            | Some t1, Some t2 -> W.equal t1 t2
+            | _ -> false)
+          policies_under_test) ]
+
 (* --- plan invariance ------------------------------------------------- *)
 
 let ctx = Query.Physical.create_ctx ()
@@ -288,5 +361,6 @@ let () =
     [ ("leaves", leaf_props);
       ("kappa", kappa_props);
       ("cache", cache_props);
+      ("rule-cache", rule_cache_props);
       ("plans", plan_props);
       ("export", unit_tests) ]
