@@ -1049,6 +1049,112 @@ let sweep_gate () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead gate                                         *)
+
+(* Telemetry must be strictly pay-for-use: after a fully-instrumented
+   run (metrics + tracing + flight recorder over the 4-shard/4-worker
+   engine), turning everything off again has to leave the hot paths at
+   their never-observed cost — the guards are one boolean load each.
+   Gate: disabled/baseline min times within 5%. The enabled leg also
+   proves the clamp is gone: with metrics recording, domains = 4 must
+   still run 4 workers (the exec.workers gauge says what the pool
+   actually did). Results go to BENCH_obs.json; a breach exits non-zero
+   so CI fails. *)
+let obs_gate () =
+  let a, b = baseline_pair in
+  let env = [ ("ua", a); ("ub", b) ] in
+  let q = Query.Parser.parse "ua UNION ub" in
+  let strategy =
+    Some (Query.Physical.Sharded { Query.Physical.shards = 4; domains = 4 })
+  in
+  let workload ctx () = ignore (Query.Physical.eval_fast ~ctx ?strategy env q) in
+  let time_leg () =
+    let ctx = Query.Physical.create_ctx () in
+    (* A parallel run is tens of milliseconds with real scheduler
+       jitter, so batches are long (several runs each) and the min is
+       taken over more of them than the single-threaded gates need. *)
+    let batch () =
+      workload ctx ();
+      (* warm-up *)
+      let t0 = Unix.gettimeofday () in
+      let rec go n =
+        workload ctx ();
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < 0.3 && n < 1000 then go (n + 1) else dt /. float_of_int n *. 1e9
+      in
+      go 1
+    in
+    List.fold_left
+      (fun acc _ -> Float.min acc (batch ()))
+      Float.max_float [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Obs.Metrics.disable ();
+  Obs.Metrics.reset ();
+  let baseline_ns = time_leg () in
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  Obs.Trace.set_clock Obs.Trace.default (Obs.Clock.simulated ());
+  Obs.Trace.enable Obs.Trace.default;
+  Obs.Log.set_clock (Obs.Clock.simulated ());
+  Obs.Log.enable ();
+  let enabled_ns = time_leg () in
+  let workers =
+    match Obs.Metrics.last "exec.workers" with
+    | Some w -> int_of_float w
+    | None -> 0
+  in
+  let events = List.length (Obs.Log.events ()) in
+  Obs.Metrics.disable ();
+  Obs.Metrics.reset ();
+  Obs.Trace.disable Obs.Trace.default;
+  Obs.Trace.clear Obs.Trace.default;
+  Obs.Log.disable ();
+  Obs.Log.clear ();
+  let disabled_ns = time_leg () in
+  let ratio = disabled_ns /. baseline_ns in
+  let workers_ok = workers = 4 in
+  let pass = ratio <= 1.05 && workers_ok in
+  print_endline "obs-gate (sharded union-1000, shards=4 domains=4, min of 8):";
+  Printf.printf "  baseline (never observed) %12.0f ns/run\n" baseline_ns;
+  Printf.printf "  enabled  (m+t+log)        %12.0f ns/run (%d events)\n"
+    enabled_ns events;
+  Printf.printf "  disabled (after reset)    %12.0f ns/run\n" disabled_ns;
+  Printf.printf "  workers with metrics on   %d (gate: = 4) %s\n" workers
+    (if workers_ok then "OK" else "FAIL");
+  Printf.printf "  disabled/baseline ratio   %.3f (gate: <= 1.05) %s\n%!"
+    ratio
+    (if ratio <= 1.05 then "OK" else "FAIL");
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"workload\": \"sharded-union-1000\",\n\
+    \  \"shards\": 4,\n\
+    \  \"domains\": 4,\n\
+    \  \"baseline_ns\": %.0f,\n\
+    \  \"enabled_ns\": %.0f,\n\
+    \  \"disabled_ns\": %.0f,\n\
+    \  \"workers_with_metrics\": %d,\n\
+    \  \"flight_events\": %d,\n\
+    \  \"disabled_over_baseline\": %.4f,\n\
+    \  \"gate\": 1.05,\n\
+    \  \"pass\": %b\n\
+     }\n"
+    baseline_ns enabled_ns disabled_ns workers events ratio pass;
+  close_out oc;
+  print_endline "  wrote BENCH_obs.json\n";
+  if not pass then begin
+    if not workers_ok then
+      print_endline
+        "  OBS GATE FAILED - metrics recording did not run 4 workers at \
+         domains=4";
+    if ratio > 1.05 then
+      print_endline
+        "  OBS GATE FAILED - disabled observability regressed > 5% over the \
+         never-observed baseline";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Combination-rule policy-seam gate                                   *)
 
 (* Every merge path now routes combinations through the κ-escalation
@@ -1291,6 +1397,11 @@ let () =
     rules_gate ();
     exit 0
   end;
+  if Array.exists (String.equal "--obs-gate") Sys.argv then begin
+    (* CI mode: only the observability overhead + worker-clamp gate. *)
+    obs_gate ();
+    exit 0
+  end;
   if Array.exists (String.equal "--rules") Sys.argv then begin
     (* Just the rule quality sweep (regenerates BENCH_rules.json). *)
     rules_quality_sweep ();
@@ -1315,6 +1426,7 @@ let () =
   sharded_gate ();
   store_gate ();
   rules_gate ();
+  obs_gate ();
   rules_quality_sweep ();
   List.iter run_group
     [ ("paper-artifacts", artifact_tests);

@@ -1,26 +1,28 @@
 (* eridb — an interactive shell over extended relations.
 
-   Usage: eridb [--trace-out FILE] [--provenance-out FILE] [--domains N]
-                [FILE.erd ...]
+   Usage: eridb [--trace-out FILE] [--provenance-out FILE]
+                [--flight-out FILE] [--domains N] [FILE.erd ...]
 
    Loads the given .erd files into the environment, then reads queries
    (and dot-commands) from stdin. With --trace-out, every span recorded
    during the session is written to FILE as Chrome trace JSON on exit.
    With --provenance-out, lineage recording is enabled and the arena is
    written to FILE on exit (.dot selects Graphviz, anything else JSON).
+   With --flight-out, the flight recorder journals typed events and the
+   surviving ring plus a metrics snapshot is written to FILE as JSONL on
+   exit — including typed error exits, so it doubles as a crash dump.
    With --domains N (or ERIDB_DOMAINS=N; the flag wins), N > 1 routes
    queries through the sharded execution engine with one shard per
    domain — results are bit-identical to the default path by the
-   conformance harness's contract. The shell keeps metrics enabled, so
-   shards evaluate sequentially here; parallel workers run where
-   recording is off (bench/main.ml measures that configuration).
+   conformance harness's contract, with metrics, tracing and the flight
+   recorder running at full parallelism through per-worker buffers.
    ERIDB_CLOCK=virtual replaces the wall clock with a simulated one, so
    all durations are deterministic (0). *)
 
 let usage = {|eridb — evidential extended-relation shell
 
-Usage: eridb [--trace-out FILE] [--provenance-out FILE] [--domains N]
-             [--rule SPEC] [FILE.erd ...]
+Usage: eridb [--trace-out FILE] [--provenance-out FILE] [--flight-out FILE]
+             [--domains N] [--rule SPEC] [FILE.erd ...]
 
   --domains N           evaluate queries through the sharded execution
                         engine with N shards/domains (default: the
@@ -68,6 +70,12 @@ Commands:
                         (bare .trace reports the current state)
   .metrics              dump the metrics registry (counters, gauges,
                         histograms); .metrics reset clears it
+  .log on|off|dump      flight recorder: journal typed events (retries,
+                        escalations, commits, …) in a bounded ring
+                        (bare .log reports the state; .log dump prints
+                        the surviving events as JSONL)
+  .events [N]           pretty-print the flight recorder's surviving
+                        events (the last N with an argument)
   .provenance on|off    record a lineage node for every evidential
                         derivation (bare .provenance reports the state;
                         .provenance reset clears the arena)
@@ -576,6 +584,36 @@ let handle_command line =
           Obs.Metrics.reset ();
           print_string "metrics reset\n"
       | _ -> print_string "usage: .metrics [reset]\n")
+  | ".log" -> (
+      match rest with
+      | "on" ->
+          Obs.Log.enable ();
+          print_string "flight recorder on\n"
+      | "off" ->
+          Obs.Log.disable ();
+          print_string "flight recorder off\n"
+      | "dump" -> print_string (Obs.Export.events_jsonl ())
+      | "" ->
+          Printf.printf "flight recorder is %s (%d event(s), capacity %d)\n"
+            (if Obs.Log.on () then "on" else "off")
+            (List.length (Obs.Log.events ()))
+            (Obs.Log.capacity ())
+      | _ -> print_string "usage: .log on|off|dump\n")
+  | ".events" -> (
+      let last =
+        match rest with
+        | "" -> Ok None
+        | s -> (
+            match int_of_string_opt s with
+            | Some n when n >= 0 -> Ok (Some n)
+            | Some _ | None -> Error ())
+      in
+      match last with
+      | Error () -> print_string "usage: .events [N]\n"
+      | Ok last -> (
+          match Obs.Log.events ?last () with
+          | [] -> print_string "no events recorded\n"
+          | evs -> Format.printf "%a@." Obs.Log.pp_events evs))
   | ".provenance" -> (
       match rest with
       | "on" ->
@@ -663,7 +701,8 @@ let parse_domains ~what s =
 let () =
   (match Sys.getenv_opt "ERIDB_CLOCK" with
   | Some ("virtual" | "simulated") ->
-      Obs.Trace.set_clock Obs.Trace.default (Obs.Clock.simulated ())
+      Obs.Trace.set_clock Obs.Trace.default (Obs.Clock.simulated ());
+      Obs.Log.set_clock (Obs.Clock.simulated ())
   | Some _ | None -> ());
   Obs.Metrics.enable ();
   Exec.Engine.install ();
@@ -678,8 +717,29 @@ let () =
   | _ ->
       let trace_out, files = split_out "--trace-out" args in
       let prov_out, files = split_out "--provenance-out" files in
+      let flight_out, files = split_out "--flight-out" files in
       let domains_arg, files = split_out "--domains" files in
       let rule_arg, files = split_out "--rule" files in
+      (* Output sinks register before any flag that can exit 2: a bad
+         --domains or --rule still leaves through the shared protected
+         flush, so the files the user asked for are written. *)
+      (match trace_out with
+      | Some file ->
+          Obs.Trace.enable Obs.Trace.default;
+          Obs.Export.on_exit_flush (fun () ->
+              Obs.Export.write_chrome Obs.Trace.default file)
+      | None -> ());
+      (match prov_out with
+      | Some file ->
+          Obs.Provenance.enable ();
+          Obs.Export.on_exit_flush (fun () -> Obs.Export.write_provenance file)
+      | None -> ());
+      (match flight_out with
+      | Some file ->
+          Obs.Metrics.enable ();
+          Obs.Log.enable ();
+          Obs.Export.on_exit_flush (fun () -> Obs.Export.write_flight file)
+      | None -> ());
       (match domains_arg with
       | Some s -> domains := parse_domains ~what:"--domains" s
       | None -> ());
@@ -690,16 +750,6 @@ let () =
           | Error m ->
               Printf.eprintf "eridb: invalid --rule value: %s\n" m;
               exit 2)
-      | None -> ());
-      (match trace_out with
-      | Some file ->
-          Obs.Trace.enable Obs.Trace.default;
-          at_exit (fun () -> Obs.Export.write_chrome Obs.Trace.default file)
-      | None -> ());
-      (match prov_out with
-      | Some file ->
-          Obs.Provenance.enable ();
-          at_exit (fun () -> Obs.Export.write_provenance file)
       | None -> ());
       List.iter load_file files);
   repl ()

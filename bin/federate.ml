@@ -11,7 +11,10 @@
    reproducible degradation runs. --audit appends a per-merge lineage
    audit with per-source κ-attribution; --metrics-out flushes the
    metrics registry even on error exits (.prom selects Prometheus
-   exposition, anything else JSON). --domains N with N > 1 runs the
+   exposition, anything else JSON); --flight-out journals typed
+   flight-recorder events and dumps the surviving ring plus a metrics
+   snapshot as JSONL, again even on error exits — a crash dump of what
+   happened last. --domains N with N > 1 runs the
    merge through the sharded execution engine (N shards/workers); the
    report is identical to the default path's by Degrade's contract.
    --rule selects the combination rule (dempster, yager, dubois-prade,
@@ -184,7 +187,7 @@ let print_recovery dir (report : Store.Recovery.report) =
 let run files relations discount name query csv out report_only fault_plan
     seed retries timeout_ms budget_ms min_sources skip_malformed validate
     metrics_out audit domains store_dir delta_file store_fault_plan rule
-    kappa_threshold fallback =
+    kappa_threshold fallback flight_out =
   Exec.Engine.install ();
   (match metrics_out with
   | Some _ ->
@@ -195,6 +198,16 @@ let run files relations discount name query csv out report_only fault_plan
   | Some _ ->
       Obs.Provenance.enable ();
       Obs.Provenance.reset ()
+  | None -> ());
+  (match flight_out with
+  | Some _ ->
+      (* The journal rides the simulated clock like the federation
+         runtime itself, so a crash dump is deterministic for a given
+         seed and fault plan. *)
+      Obs.Metrics.enable ();
+      Obs.Log.set_clock (Obs.Clock.simulated ());
+      Obs.Log.enable ();
+      Obs.Log.clear ()
   | None -> ());
   let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
   let fail code m = Error (code, m) in
@@ -452,19 +465,24 @@ let run files relations discount name query csv out report_only fault_plan
                (List.length quarantined)
                (Dst.Rule.policy_to_string (Dst.Rule.current ())))
   in
-  (* The registry flush lives in a finalizer so runs that exit through a
-     typed error path (1/2/124) still write their metrics. The file
-     extension picks the format: .prom for Prometheus text exposition,
-     anything else JSON. *)
-  Fun.protect
-    ~finally:(fun () ->
-      match metrics_out with
-      | Some path ->
+  (* Output flushes live in the shared protected-flush registry so runs
+     that exit through a typed error path (1/2/3/124) still write their
+     metrics and flight journal. The metrics file extension picks the
+     format: .prom for Prometheus text exposition, anything else JSON. *)
+  (match metrics_out with
+  | Some path ->
+      Obs.Export.on_exit_flush (fun () ->
           if Obs.Provenance.on () then Obs.Provenance.publish ();
           Obs.Export.write_metrics path;
-          Printf.printf "wrote metrics to %s\n" path
-      | None -> ())
-    body
+          Printf.printf "wrote metrics to %s\n" path)
+  | None -> ());
+  (match flight_out with
+  | Some path ->
+      Obs.Export.on_exit_flush (fun () ->
+          Obs.Export.write_flight path;
+          Printf.printf "wrote flight journal to %s\n" path)
+  | None -> ());
+  Obs.Export.flush_protect body
 
 let files_arg =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE.erd")
@@ -733,6 +751,21 @@ let kappa_threshold_arg =
            (escalating only where Dempster is undefined); 0 escalates \
            every combination.")
 
+let flight_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable the flight recorder and write its event journal (one \
+           JSON object per line: retries, degraded sources, \
+           κ-escalations, store commits, …) plus a final metrics \
+           snapshot to $(docv). Written even when the run exits with an \
+           error, so it doubles as a crash dump of the last events before \
+           the failure. The journal rides the simulated federation \
+           clock, so it is deterministic for a given seed and fault \
+           plan.")
+
 let fallback_arg =
   Arg.(
     value
@@ -751,7 +784,7 @@ let term =
     $ retries_arg $ timeout_arg $ budget_arg $ min_sources_arg
     $ skip_malformed_arg $ validate_arg $ metrics_out_arg $ audit_arg
     $ domains_arg $ store_arg $ delta_arg $ store_fault_plan_arg $ rule_arg
-    $ kappa_threshold_arg $ fallback_arg)
+    $ kappa_threshold_arg $ fallback_arg $ flight_out_arg)
 
 let cmd =
   let doc = "integrate evidential (.erd) relations with Dempster's rule" in

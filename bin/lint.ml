@@ -172,7 +172,16 @@ let run_sweep ~json ~min_priority dir deltas =
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 
-let run json queries list_checks sweep deltas min_priority files =
+let run json queries list_checks sweep deltas min_priority flight_out files =
+  (match flight_out with
+  | Some path ->
+      (* Deterministic journal timestamps, and a flush that runs on
+         every exit path — including the error exits (2/124). *)
+      Obs.Metrics.enable ();
+      Obs.Log.set_clock (Obs.Clock.simulated ());
+      Obs.Log.enable ();
+      Obs.Export.on_exit_flush (fun () -> Obs.Export.write_flight path)
+  | None -> ());
   if list_checks then begin
     print_string
       (if json then Analysis.Catalog.to_json () ^ "\n"
@@ -259,6 +268,17 @@ let delta_arg =
            in memory (never committed) before sweeping, so per-source \
            conflict telemetry is populated. Repeatable.")
 
+let flight_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable the flight recorder and write its event journal plus a \
+           metrics snapshot to $(docv) as JSONL on exit — including error \
+           exits. Sweeps over a recovering store journal the recovery \
+           anomalies it repaired.")
+
 let min_priority_arg =
   Arg.(
     value
@@ -297,6 +317,6 @@ let cmd =
     (Cmd.info "eridb-lint" ~version:"1.0" ~doc ~man ~exits)
     Term.(
       const run $ json_arg $ queries_arg $ list_checks_arg $ sweep_arg
-      $ delta_arg $ min_priority_arg $ files_arg)
+      $ delta_arg $ min_priority_arg $ flight_out_arg $ files_arg)
 
 let () = exit (Cmd.eval' cmd)

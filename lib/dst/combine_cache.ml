@@ -31,6 +31,13 @@ let misses c = c.misses
 let size c = Pmap.cardinal c.table
 
 let reset c =
+  if Obs.Log.on () then
+    Obs.Log.record ~severity:Obs.Log.Debug
+      ~fields:
+        [ ("entries", string_of_int (Pmap.cardinal c.table));
+          ("hits", string_of_int c.hits);
+          ("misses", string_of_int c.misses) ]
+      Obs.Log.Cache_evict "combine cache dropped";
   c.table <- Pmap.empty;
   c.hits <- 0;
   c.misses <- 0

@@ -490,10 +490,23 @@ module Make (N : Num.S) : S with type num = N.t = struct
         else begin
           if Obs.Metrics.on () then
             Obs.Metrics.incr "dst.combine.escalations";
+          if Obs.Log.on () then
+            Obs.Log.record ~severity:Obs.Log.Warn
+              ~fields:
+                [ ("rule", Rule.to_string primary);
+                  ("kappa", Printf.sprintf "%g" (N.to_float kappa));
+                  ("kappa0", Printf.sprintf "%g" e.Rule.kappa0) ]
+              Obs.Log.Escalation "combination kappa crossed the threshold";
           match e.Rule.fallback with
           | Rule.Quarantine ->
               if Obs.Provenance.on () then
                 record_quarantine ~primary ~e ~kappa m1 m2;
+              if Obs.Log.on () then
+                Obs.Log.record ~severity:Obs.Log.Error
+                  ~fields:
+                    [ ("rule", Rule.to_string primary);
+                      ("kappa", Printf.sprintf "%g" (N.to_float kappa)) ]
+                  Obs.Log.Quarantine "escalated combination quarantined";
               Quarantined { kappa }
           | Rule.Fallback fb ->
               finish ~escalated:true fb

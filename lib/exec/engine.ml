@@ -5,9 +5,6 @@ let fail fmt = Format.kasprintf (fun s -> raise (Query.Eval.Eval_error s)) fmt
 let now_ns () =
   (Obs.Trace.clock Obs.Trace.default).Obs.Clock.now_ms () *. 1e6
 
-let recording_on () =
-  Obs.Trace.on () || Obs.Metrics.on () || Obs.Provenance.on ()
-
 (* --- per-shard pieces the inline executor keeps private ------------- *)
 
 let rel_of env name =
@@ -124,23 +121,21 @@ let cached_indexes e attr =
 
 (* --- the sharded executor ------------------------------------------- *)
 
-let execute_plan cfg ctx env plan =
+let execute_plan cfg env plan =
   let shards = cfg.P.shards in
-  (* Tracing, metrics and provenance write to process-global
-     unsynchronized stores: any of them being live forces a single
-     worker (provenance additionally bypasses the engine entirely —
-     see [execute]). *)
-  let workers = if recording_on () then 1 else max 1 cfg.P.domains in
+  (* Metrics, tracing and the flight recorder are safe at any worker
+     count: the pool forks a telemetry buffer per shard and merges at
+     the barrier in task-index order, so dumps are byte-identical
+     whatever [domains] is. Only provenance (allocation-ordered lineage
+     ids) still bypasses the engine — see [execute]. *)
+  let workers = max 1 cfg.P.domains in
   Obs.Metrics.gauge "exec.shards" (float_of_int shards);
   Obs.Metrics.gauge "exec.workers" (float_of_int workers);
-  (* With one worker every shard evaluates sequentially in ascending
-     order on this domain, so the context's shared cache is safe and
-     keeps combine_cache.* counters shard-count-invariant. Parallel
-     workers get one flat-kernel cache per shard instead. *)
-  let shard_caches =
-    if workers = 1 then Array.make shards (P.cache ctx)
-    else Array.init shards (fun _ -> flat_cache ())
-  in
+  (* One flat-kernel cache per shard, at every worker count: giving
+     the single-worker run the same cold per-shard caches a parallel
+     run gets is what makes combine_cache.* counters — and therefore
+     whole metric dumps — worker-count-invariant. *)
+  let shard_caches = Array.init shards (fun _ -> flat_cache ()) in
   let run_shards f = Pool.run ~domains:workers ~tasks:shards f in
   let in_span op f =
     if Obs.Trace.on () then
@@ -152,9 +147,25 @@ let execute_plan cfg ctx env plan =
   let sharded op parts_of body =
     in_span op (fun () ->
         let inputs = parts_of () in
+        if Obs.Log.on () then
+          Obs.Log.record ~severity:Obs.Log.Debug
+            ~fields:
+              [ ("op", "exec." ^ op);
+                ("shards", string_of_int shards);
+                ("workers", string_of_int workers) ]
+            Obs.Log.Shard_spawn
+            ("fan out exec." ^ op);
         let outs = run_shards (fun i -> body i inputs) in
         note_shard_rows outs;
-        merge outs)
+        let out = merge outs in
+        if Obs.Log.on () then
+          Obs.Log.record ~severity:Obs.Log.Debug
+            ~fields:
+              [ ("op", "exec." ^ op);
+                ("rows", string_of_int (Erm.Relation.cardinal out)) ]
+            Obs.Log.Shard_merge
+            ("merged exec." ^ op);
+        out)
   in
   let rec eval p =
     match p with
@@ -278,7 +289,7 @@ let execute cfg ?ctx env plan =
      the inline evaluation anyway. *)
   if cfg.P.shards <= 1 || Obs.Provenance.on () then
     P.execute ~ctx env plan
-  else execute_plan cfg ctx env plan
+  else execute_plan cfg env plan
 
 let install () = P.set_sharded_runner (fun cfg ctx env plan ->
     execute cfg ~ctx env plan)
@@ -288,7 +299,7 @@ let install () = P.set_sharded_runner (fun cfg ctx env plan ->
 module M = Integration.Multi
 
 let integrate cfg ?policy ?discount ?alpha_floor ?prior sources =
-  if cfg.P.shards <= 1 || Obs.Trace.on () || Obs.Provenance.on () then
+  if cfg.P.shards <= 1 || Obs.Provenance.on () then
     M.integrate ?policy ?discount ?alpha_floor ?prior sources
   else
     match sources with
@@ -298,7 +309,7 @@ let integrate cfg ?policy ?discount ?alpha_floor ?prior sources =
     | first :: rest ->
         ignore (M.reliabilities ?discount ?alpha_floor ?prior [] []);
         let shards = cfg.P.shards in
-        let workers = if Obs.Metrics.on () then 1 else max 1 cfg.P.domains in
+        let workers = max 1 cfg.P.domains in
         (* Reliabilities come from the global conflict matrix — a
            per-shard matrix would change the discount rates — and
            sources are discounted whole (a per-tuple operation, so
@@ -318,6 +329,13 @@ let integrate cfg ?policy ?discount ?alpha_floor ?prior sources =
             (fun s -> (s.M.source_name, Shard.by_key ~shards (prepared s)))
             rest
         in
+        if Obs.Log.on () then
+          Obs.Log.record ~severity:Obs.Log.Debug
+            ~fields:
+              [ ("op", "exec.integrate");
+                ("shards", string_of_int shards);
+                ("workers", string_of_int workers) ]
+            Obs.Log.Shard_spawn "fan out exec.integrate";
         let shard_results =
           Pool.run ~domains:workers ~tasks:shards (fun i ->
               List.fold_left
@@ -328,6 +346,12 @@ let integrate cfg ?policy ?discount ?alpha_floor ?prior sources =
                 rest_parts)
         in
         let integrated = merge (Array.map fst shard_results) in
+        if Obs.Log.on () then
+          Obs.Log.record ~severity:Obs.Log.Debug
+            ~fields:
+              [ ("op", "exec.integrate");
+                ("rows", string_of_int (Erm.Relation.cardinal integrated)) ]
+            Obs.Log.Shard_merge "merged exec.integrate";
         (* Canonical conflict order: grouped by source in absorption
            order (as the unsharded fold reports), ascending key within a
            source (the per-shard lists are already ascending, and all

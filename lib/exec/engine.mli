@@ -7,29 +7,33 @@
     back together by a canonical ordered merge — so the result is
     bit-identical to the inline executor's for {e any} shard count and
     {e any} worker count (the 5th conformance leg in
-    test/test_conformance.ml). Per-shard Dempster combination runs on
-    the packed {!Dst.Flat_mass} representation through a per-shard
-    {!Dst.Combine_cache} when workers are parallel, and through the
-    context's shared cache when sequential.
+    test/test_conformance.ml). Per-shard Dempster combination always
+    runs on the packed {!Dst.Flat_mass} representation through a fresh
+    per-shard {!Dst.Combine_cache} — at every worker count, so cache
+    hit/miss counters cannot depend on [domains].
 
-    {b Determinism contract} (see DESIGN.md §7 for the full argument):
+    {b Determinism contract} (see DESIGN.md §6–7 for the full
+    argument):
 
     - provenance recording on, or [shards ≤ 1] → the engine stands
       aside entirely and runs [Query.Physical.execute], so lineage is
-      plan- and shard-invariant by construction;
-    - tracing or metrics on → the partition still applies but exactly
-      one worker runs (the observability stores are process-global and
-      unsynchronized), shards evaluate in ascending order against the
-      shared context cache, so counter rollups are shard-count-invariant
-      for the [dst.*], [combine_cache.*] and [integration.*] families
-      ([exec.*] diagnostics describe the configuration itself and are
-      excluded);
-    - everything off → up to [domains] workers, per-shard caches,
-      flat-representation kernels.
+      plan- and shard-invariant by construction (lineage ids are
+      allocation-ordered and have no buffered mode);
+    - metrics, tracing and the flight recorder run at {e full}
+      parallelism: the {!Pool} forks a per-task telemetry buffer
+      triple and merges at the barrier in task-index order, so metric
+      dumps, span forests and the event journal are byte-identical to
+      a single-worker run ([dst.*], [combine_cache.*],
+      [integration.*], [exec.*] — everything);
+    - counter rollups are worker-count-invariant at a fixed shard
+      count; across {e shard} counts the [exec.*] diagnostics and the
+      per-shard cache hit/miss split legitimately differ (the
+      partition itself changes).
 
     The engine emits [exec.shards], [exec.shard.rows] and
-    [exec.merge.ns] metrics and [exec.*] spans through the default
-    tracer's clock, so a virtual clock keeps them deterministic. *)
+    [exec.merge.ns] metrics, [exec.*] spans, and [Shard_spawn] /
+    [Shard_merge] flight-recorder events through the default tracer's
+    clock, so a virtual clock keeps them deterministic. *)
 
 val install : unit -> unit
 (** Register {!execute} as [Query.Physical]'s sharded runner. Idempotent;
@@ -69,5 +73,6 @@ val integrate :
     is identical to the unsharded one — for any combination rule:
     evidence cells combine under [?policy] (default {!Dst.Rule.current},
     which worker domains read but never write — set the session rule
-    before integrating). Delegates to the unsharded path when tracing
-    or provenance recording is on or [shards ≤ 1]. *)
+    before integrating). Delegates to the unsharded path only when
+    provenance recording is on or [shards ≤ 1]; metrics and tracing
+    ride the pool's per-task buffers at full parallelism. *)

@@ -3,6 +3,20 @@
    establishes the necessary happens-before edges. *)
 
 let run_parallel ~domains ~tasks f =
+  (* Telemetry fork: one buffer triple per task, created on the
+     coordinating domain (so trace forks capture the enclosing span)
+     before any worker starts. Each buffer is written by exactly one
+     task and merged only after every join, like the result slots. All
+     three fork to [None] when the corresponding recorder is off, so an
+     unobserved run allocates three arrays of [None] and nothing else. *)
+  let m_bufs = Array.init tasks (fun _ -> Obs.Metrics.fork ()) in
+  let t_bufs = Array.init tasks (fun _ -> Obs.Trace.fork ()) in
+  let l_bufs = Array.init tasks (fun _ -> Obs.Log.fork ()) in
+  let instrumented i =
+    Obs.Metrics.with_buffer m_bufs.(i) (fun () ->
+        Obs.Trace.with_buffer t_bufs.(i) (fun () ->
+            Obs.Log.with_buffer l_bufs.(i) (fun () -> f i)))
+  in
   let results = Array.make tasks None in
   let next = Atomic.make 0 in
   let worker () =
@@ -10,7 +24,7 @@ let run_parallel ~domains ~tasks f =
       let i = Atomic.fetch_and_add next 1 in
       if i < tasks then begin
         (results.(i) <-
-           (match f i with
+           (match instrumented i with
            | v -> Some (Ok v)
            | exception e -> Some (Error e)));
         loop ()
@@ -25,11 +39,29 @@ let run_parallel ~domains ~tasks f =
   in
   worker ();
   List.iter Stdlib.Domain.join helpers;
+  (* Merge buffers for tasks 0..k in index order, where k is the
+     lowest-numbered failing task (or the last task when none failed).
+     An inline run would have recorded exactly tasks 0..k-1 in full
+     plus task k's partial telemetry before the exception escaped;
+     replaying in that order — and dropping whatever tasks > k did —
+     reproduces it byte for byte. *)
+  let merge_through k =
+    for i = 0 to k do
+      Obs.Metrics.merge m_bufs.(i);
+      Obs.Trace.merge t_bufs.(i);
+      Obs.Log.merge l_bufs.(i)
+    done
+  in
   (* Ascending scan, not Array.map, so the lowest-numbered failure wins
      regardless of which worker hit it (or of map's visit order). *)
   for i = 0 to tasks - 1 do
-    match results.(i) with Some (Error e) -> raise e | _ -> ()
+    match results.(i) with
+    | Some (Error e) ->
+        merge_through i;
+        raise e
+    | _ -> ()
   done;
+  merge_through (tasks - 1);
   Array.map
     (function
       | Some (Ok v) -> v

@@ -121,6 +121,12 @@ let fetch_all cfg ~seed ~clock sources =
           else attempt ())
     sources
 
+let pp_status ppf = function
+  | Delivered -> Format.pp_print_string ppf "delivered"
+  | Recovered n -> Format.fprintf ppf "recovered after %d failure(s)" n
+  | Stale -> Format.pp_print_string ppf "delivered stale (past deadline)"
+  | Failed e -> Format.fprintf ppf "failed: %a" Source.pp_error e
+
 let integrate ?(config = default) ?(seed = 0)
     ?(integrate = Integration.Multi.integrate) ~clock sources =
   validate config;
@@ -188,6 +194,24 @@ let integrate ?(config = default) ?(seed = 0)
               status = Failed error }
       in
       let outcomes = List.map outcome_of fetched in
+      if Obs.Log.on () then
+        List.iter
+          (fun o ->
+            match o.status with
+            | Delivered -> ()
+            | status ->
+                let severity =
+                  match status with
+                  | Failed _ -> Obs.Log.Error
+                  | _ -> Obs.Log.Warn
+                in
+                Obs.Log.record ~severity
+                  ~fields:
+                    [ ("source", o.source);
+                      ("attempts", string_of_int o.attempts) ]
+                  Obs.Log.Degrade
+                  (Format.asprintf "%a" pp_status status))
+          outcomes;
       let required =
         if config.min_sources = 0 then List.length sources
         else config.min_sources
@@ -228,12 +252,6 @@ let integrate ?(config = default) ?(seed = 0)
             outcomes
         in
         Ok { multi; outcomes; elapsed_ms = clock.Clock.now_ms () -. start }
-
-let pp_status ppf = function
-  | Delivered -> Format.pp_print_string ppf "delivered"
-  | Recovered n -> Format.fprintf ppf "recovered after %d failure(s)" n
-  | Stale -> Format.pp_print_string ppf "delivered stale (past deadline)"
-  | Failed e -> Format.fprintf ppf "failed: %a" Source.pp_error e
 
 let pp_outcome ppf o =
   match o.status with

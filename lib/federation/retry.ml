@@ -77,6 +77,14 @@ let fetch ~rng ~clock policy source =
             let backoff = backoff_delay ~rng policy attempt in
             let f = { error = e; at_ms = elapsed (); backoff_ms = backoff } in
             Obs.Metrics.observe "federation.retry.backoff_ms" backoff;
+            if Obs.Log.on () then
+              Obs.Log.record ~severity:Obs.Log.Warn
+                ~fields:
+                  [ ("source", source.Source.name);
+                    ("error", Format.asprintf "%a" Source.pp_error e);
+                    ("attempt", string_of_int attempt);
+                    ("backoff_ms", Printf.sprintf "%.0f" backoff) ]
+                Obs.Log.Retry "source fetch failed; retrying";
             clock.Clock.sleep_ms backoff;
             go (attempt + 1) (f :: failures)
           end

@@ -107,11 +107,82 @@ let prom_name name =
 let prom_le bound =
   if bound = Float.infinity then "+Inf" else Printf.sprintf "%g" bound
 
+(* The name→help table behind [# HELP]. Exact entries first; families
+   recorded under computed names (per-source rollups, per-operator
+   stats) match by longest prefix. One central table so the exposition
+   and the documentation in [metrics.mli] stay in step. *)
+let help_exact =
+  [ ("dst.combine.calls", "Evidence combinations performed.");
+    ( "dst.combine.conflict_kappa",
+      "Conflict mass kappa observed per combination." );
+    ( "dst.combine.total_conflict",
+      "Combinations rejected for total conflict (kappa = 1)." );
+    ( "dst.combine.escalations",
+      "Combinations whose kappa crossed the escalation threshold." );
+    ("combine_cache.hit", "Combination results served from the cache.");
+    ("combine_cache.miss", "Combination results computed and cached.");
+    ("physical.index_probe.rows", "Rows returned by key-index probes.");
+    ("federation.retry.attempts", "Source fetch attempts (including retries).");
+    ("federation.retry.backoff_ms", "Backoff delay per retried fetch.");
+    ("federation.fetch.delivered", "Sources that delivered a relation.");
+    ("federation.fetch.lost", "Sources that failed after retries.");
+    ("io.load.files", "Relation files parsed by Erm.Io.");
+    ("exec.shards", "Shard count of the latest sharded stage.");
+    ("exec.workers", "Worker domains used by the latest sharded stage.");
+    ("exec.merge.ns", "Nanoseconds spent merging shard outputs.");
+    ("exec.shard.rows", "Rows produced per shard.");
+    ("exec.index.build", "Generation-keyed scan indexes built.");
+    ("exec.index.reuse", "Generation-keyed scan indexes reused.");
+    ("integration.sources", "Source relations consumed by integration.");
+    ("integration.conflicts", "Attribute conflicts found during integration.");
+    ("integration.mean_kappa", "Mean conflict mass per integrated conflict.");
+    ("provenance.nodes", "Live nodes in the provenance arena.");
+    ("provenance.max_depth", "Deepest derivation in the provenance arena.");
+    ("analysis.sweep.runs", "Data-quality sweeps executed.");
+    ("obs.gc.minor_words", "Minor-heap words allocated (Gc.quick_stat).");
+    ("obs.gc.major_words", "Major-heap words allocated (Gc.quick_stat).");
+    ("obs.gc.compactions", "Heap compactions performed.") ]
+
+let help_prefix =
+  [ ( "dst.combine.kappa_by_source.",
+      "Conflict mass attributed to one source." );
+    ("dst.combine.rule.", "Combinations performed under this rule.");
+    ("physical.", "Physical operator rollup (calls, rows, pruning, wall).");
+    ("store.commit.", "Evidence-store commit activity.");
+    ("store.delta.", "Evidence-store delta-chain activity.");
+    ("store.recovery.", "Evidence-store recovery activity.");
+    ("analysis.", "Data-quality sweep rollup.");
+    ("federation.", "Federation runtime activity.");
+    ("exec.", "Sharded executor activity.");
+    ("obs.gc.", "Collector pressure sampled at span close.") ]
+
+let help_for name =
+  match List.assoc_opt name help_exact with
+  | Some h -> h
+  | None ->
+      let starts p =
+        String.length name >= String.length p
+        && String.sub name 0 (String.length p) = p
+      in
+      let best =
+        List.fold_left
+          (fun acc (p, h) ->
+            if starts p then
+              match acc with
+              | Some (p', _) when String.length p' >= String.length p -> acc
+              | _ -> Some (p, h)
+            else acc)
+          None help_prefix
+      in
+      (match best with Some (_, h) -> h | None -> "eridb metric.")
+
 let metrics_prom ?registry () =
   let buf = Buffer.create 1024 in
   List.iter
     (fun (name, stat) ->
       let p = prom_name name in
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" p (help_for name));
       match stat with
       | Metrics.Counter n ->
           Buffer.add_string buf
@@ -246,3 +317,75 @@ let write_provenance ?store path =
   if Filename.check_suffix path ".dot" then
     write_file path (provenance_dot ?store ())
   else write_file path (provenance_json ?store ())
+
+(* ---- Flight-recorder exports ------------------------------------- *)
+
+let event_jsonl (e : Log.event) =
+  let fields =
+    match e.Log.fields with
+    | [] -> ""
+    | kvs ->
+        Printf.sprintf ",\"fields\":{%s}"
+          (String.concat ","
+             (List.map (fun (k, v) -> json_escape k ^ ":" ^ json_escape v) kvs))
+  in
+  Printf.sprintf
+    "{\"seq\":%d,\"ts_ms\":%s,\"severity\":%s,\"kind\":%s,\"message\":%s%s}"
+    e.Log.seq (num e.Log.ts_ms)
+    (json_escape (Log.severity_to_string e.Log.severity))
+    (json_escape (Log.kind_to_string e.Log.kind))
+    (json_escape e.Log.message) fields
+
+let events_jsonl ?last () =
+  String.concat "" (List.map (fun e -> event_jsonl e ^ "\n") (Log.events ?last ()))
+
+(* One compact line so the flight dump stays greppable line-by-line. *)
+let metrics_line ?registry () =
+  let field (name, stat) =
+    let value =
+      match stat with
+      | Metrics.Counter n -> string_of_int n
+      | Metrics.Gauge v -> Printf.sprintf "{\"gauge\":%g}" v
+      | Metrics.Histogram { count; sum; min; max; last; p50; p95; p99; _ } ->
+          Printf.sprintf
+            "{\"count\":%d,\"sum\":%g,\"min\":%g,\"max\":%g,\"last\":%g,\"quantiles\":{\"p50\":%g,\"p95\":%g,\"p99\":%g}}"
+            count sum min max last p50 p95 p99
+    in
+    json_escape name ^ ":" ^ value
+  in
+  Printf.sprintf "{\"metrics\":{%s}}\n"
+    (String.concat "," (List.map field (Metrics.snapshot ?registry ())))
+
+let flight ?last ?registry () = events_jsonl ?last () ^ metrics_line ?registry ()
+let write_flight ?last ?registry path = write_file path (flight ?last ?registry ())
+
+(* ---- Protected output flushing ----------------------------------- *)
+
+(* One registration path for every [--*-out] writer across the three
+   binaries. Writers run exactly once — on [flush_now], on a raised
+   exception under [flush_protect], or on process exit (including
+   [exit n] from a typed error path) via a single [at_exit] hook — so a
+   crash dump or trace file survives the same failures it is meant to
+   explain. *)
+let flushers : (unit -> unit) list ref = ref []
+let exit_hook_installed = ref false
+
+let flush_now () =
+  let fs = !flushers in
+  flushers := [];
+  List.iter
+    (fun f ->
+      try f ()
+      with e ->
+        Printf.eprintf "warning: output flush failed: %s\n%!"
+          (Printexc.to_string e))
+    fs
+
+let on_exit_flush f =
+  if not !exit_hook_installed then begin
+    exit_hook_installed := true;
+    at_exit flush_now
+  end;
+  flushers := !flushers @ [ f ]
+
+let flush_protect body = Fun.protect ~finally:flush_now body

@@ -32,11 +32,17 @@ val metrics_json : ?registry:Metrics.registry -> unit -> string
 
 val write_metrics_json : ?registry:Metrics.registry -> string -> unit
 
+val help_for : string -> string
+(** The [# HELP] text for a metric name: exact table entries first,
+    then the longest matching family prefix (per-source and
+    per-operator rollups), then a generic fallback. *)
+
 val metrics_prom : ?registry:Metrics.registry -> unit -> string
-(** Prometheus text exposition: [# TYPE] header per metric, names
-    prefixed [eridb_] with non-alphanumerics mangled to [_].
-    Histograms emit cumulative [_bucket{le="…"}] series (only bounds
-    where the count steps, plus [+Inf]), then [_sum] and [_count]. *)
+(** Prometheus text exposition: [# HELP] then [# TYPE] headers per
+    metric, names prefixed [eridb_] with non-alphanumerics mangled to
+    [_]. Histograms emit cumulative [_bucket{le="…"}] series (only
+    bounds where the count steps, plus [+Inf]), then [_sum] and
+    [_count]. *)
 
 val write_metrics : ?registry:Metrics.registry -> string -> unit
 (** Dispatch on extension: [.prom] writes {!metrics_prom}, anything
@@ -56,3 +62,39 @@ val provenance_dot : ?store:Provenance.t -> unit -> string
 val write_provenance : ?store:Provenance.t -> string -> unit
 (** Dispatch on extension: [.dot] writes {!provenance_dot}, anything
     else {!provenance_json}. *)
+
+val event_jsonl : Log.event -> string
+(** One flight-recorder event as a single JSON object (no trailing
+    newline): [seq], [ts_ms], [severity], [kind], [message], and
+    [fields] when present — keys in that fixed order. *)
+
+val events_jsonl : ?last:int -> unit -> string
+(** The surviving journal, one {!event_jsonl} line per event, oldest
+    first; with [last], only the final [n]. *)
+
+val flight : ?last:int -> ?registry:Metrics.registry -> unit -> string
+(** The crash-dump payload: {!events_jsonl} followed by one compact
+    [{"metrics": …}] line holding the metrics snapshot. *)
+
+val write_flight : ?last:int -> ?registry:Metrics.registry -> string -> unit
+(** [write_flight path]: {!flight} to a file — the [--flight-out]
+    payload. *)
+
+(** {2 Protected output flushing}
+
+    One registration path for every [--*-out] writer. A registered
+    writer runs exactly once: at {!flush_now}, when a {!flush_protect}
+    body raises, or at process exit (including [exit n] from a typed
+    error path) via a single [at_exit] hook — so dumps survive the
+    failures they are meant to explain. *)
+
+val on_exit_flush : (unit -> unit) -> unit
+(** Register a writer; also installs the [at_exit] hook on first use.
+    Writers run in registration order; one failing writer does not
+    stop the rest (a warning goes to stderr). *)
+
+val flush_now : unit -> unit
+(** Run and clear every registered writer now. Idempotent. *)
+
+val flush_protect : (unit -> 'a) -> 'a
+(** Run the body, flushing registered writers even when it raises. *)

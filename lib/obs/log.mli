@@ -1,0 +1,102 @@
+(** The flight recorder: a bounded ring of typed, severity-leveled
+    events.
+
+    Counters say {e how often}; the journal says {e what happened, in
+    order}. Hook sites in the federation runtime (retries, degraded
+    merges), the combination kernel (κ-escalations, quarantines), the
+    evidence store (commits, recovery anomalies), the sharded executor
+    and the combine cache record one event per noteworthy transition.
+    The ring keeps the most recent [capacity] events (default 256) and
+    overwrites older ones in place — recording is O(1), and a crash
+    dump ([--flight-out]) is just the surviving suffix.
+
+    Like {!Metrics} and {!Trace}, the process-wide recorder starts
+    disabled; every site guards on {!on}, so an unobserved run pays one
+    boolean load per site. *)
+
+type severity = Debug | Info | Warn | Error
+
+val rank : severity -> int
+(** [Debug] = 0 … [Error] = 3; used by the min-severity filter. *)
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+
+(** The closed event vocabulary. Adding a constructor is an API change
+    on purpose: consumers (the JSONL export, the REPL, dashboards) get
+    to enumerate every kind. *)
+type kind =
+  | Retry  (** a source fetch failed and will be retried *)
+  | Degrade  (** a source delivered late, stale, or not at all *)
+  | Escalation  (** combination κ crossed the policy threshold *)
+  | Quarantine  (** an escalated combination was quarantined *)
+  | Store_commit  (** the evidence store committed a segment/delta *)
+  | Recovery_error  (** store recovery hit a typed anomaly *)
+  | Shard_spawn  (** the executor fanned a stage out over shards *)
+  | Shard_merge  (** the executor merged shard outputs *)
+  | Cache_evict  (** the combine cache dropped its entries *)
+
+val kind_to_string : kind -> string
+
+type event = {
+  seq : int;  (** Global sequence number; dense, never reused. *)
+  ts_ms : float;  (** Recorder clock's time base. *)
+  severity : severity;
+  kind : kind;
+  message : string;
+  fields : (string * string) list;  (** Structured detail, in order. *)
+}
+
+val on : unit -> bool
+(** Is the recorder live? The hot-path guard. *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Start recording; with [capacity], resize the ring first. *)
+
+val disable : unit -> unit
+
+val set_clock : Clock.t -> unit
+(** Timestamps come from this clock (default: wall). A simulated clock
+    makes journals deterministic. *)
+
+val set_capacity : int -> unit
+(** Resize the ring, keeping the most recent events that fit. Raises
+    [Invalid_argument] when the capacity is not positive. *)
+
+val capacity : unit -> int
+
+val set_min_severity : severity -> unit
+(** Events below this rank are dropped at the recording site. *)
+
+val min_severity : unit -> severity
+
+val record :
+  ?severity:severity -> ?fields:(string * string) list -> kind -> string -> unit
+(** Append one event (default severity [Info]). No-op when disabled or
+    below the min severity. Inside a worker fork (see {!with_buffer})
+    the event lands in the domain-local buffer instead of the ring. *)
+
+val events : ?last:int -> unit -> event list
+(** Surviving events in sequence order (oldest first); with [last],
+    only the final [n]. *)
+
+val clear : unit -> unit
+
+(** {2 Per-domain buffers}
+
+    Mirror of {!Metrics}'s buffer mode: workers append sequence-free
+    pending events to an unbounded local list; the coordinating domain
+    replays them at the pool barrier in task-index order, assigning
+    sequence numbers then — so the journal (including ring wrap-around)
+    is byte-identical to a single-worker run. *)
+
+type buffer
+
+val fork : unit -> buffer option
+val with_buffer : buffer option -> (unit -> 'a) -> 'a
+val merge : buffer option -> unit
+
+val pp_event : Format.formatter -> event -> unit
+(** [#seq severity kind message (k=v, …)] — the REPL [.events] line. *)
+
+val pp_events : Format.formatter -> event list -> unit

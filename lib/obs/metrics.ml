@@ -72,21 +72,21 @@ let kind_error name =
 
 (* Lookup-or-create under a fixed kind; the double branch keeps the
    common path (name already bound, right kind) allocation-free. *)
-let incr ?(registry = default) ?(by = 1) name =
+let direct_incr registry by name =
   if registry.live then
     match Hashtbl.find_opt registry.table name with
     | Some (M_counter c) -> c := !c + by
     | Some _ -> kind_error name
     | None -> Hashtbl.add registry.table name (M_counter (ref by))
 
-let gauge ?(registry = default) name v =
+let direct_gauge registry name v =
   if registry.live then
     match Hashtbl.find_opt registry.table name with
     | Some (M_gauge g) -> g := v
     | Some _ -> kind_error name
     | None -> Hashtbl.add registry.table name (M_gauge (ref v))
 
-let observe ?(registry = default) name v =
+let direct_observe registry name v =
   if registry.live then
     match Hashtbl.find_opt registry.table name with
     | Some (M_histo h) ->
@@ -109,6 +109,83 @@ let observe ?(registry = default) name v =
         in
         h.h_buckets.(bucket_index v) <- 1;
         Hashtbl.add registry.table name (M_histo h)
+
+(* Per-domain buffer mode: a forked buffer logs the exact operation
+   sequence a worker performed; merging replays those ops against the
+   default registry on the coordinating domain, in task-index order.
+   Replaying (rather than adding partial aggregates) reproduces the
+   sequential float-accumulation order bit-for-bit, so merged dumps are
+   byte-identical to a single-worker run. *)
+type op =
+  | Op_incr of string * int
+  | Op_gauge of string * float
+  | Op_observe of string * float
+
+type buffer = { mutable ops : op list (* most recent first *) }
+
+let sink : buffer option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let fork () = if default.live then Some { ops = [] } else None
+
+let with_buffer buf f =
+  match buf with
+  | None -> f ()
+  | Some _ ->
+      let prev = Domain.DLS.get sink in
+      Domain.DLS.set sink buf;
+      Fun.protect ~finally:(fun () -> Domain.DLS.set sink prev) f
+
+let merge = function
+  | None -> ()
+  | Some b ->
+      List.iter
+        (function
+          | Op_incr (n, by) -> direct_incr default by n
+          | Op_gauge (n, v) -> direct_gauge default n v
+          | Op_observe (n, v) -> direct_observe default n v)
+        (List.rev b.ops)
+
+(* Unqualified writes route through the per-domain sink when one is
+   installed; explicit-registry writes always go direct. *)
+let incr ?registry ?(by = 1) name =
+  match registry with
+  | Some r -> direct_incr r by name
+  | None -> (
+      match Domain.DLS.get sink with
+      | Some b -> b.ops <- Op_incr (name, by) :: b.ops
+      | None -> direct_incr default by name)
+
+let gauge ?registry name v =
+  match registry with
+  | Some r -> direct_gauge r name v
+  | None -> (
+      match Domain.DLS.get sink with
+      | Some b -> b.ops <- Op_gauge (name, v) :: b.ops
+      | None -> direct_gauge default name v)
+
+let observe ?registry name v =
+  match registry with
+  | Some r -> direct_observe r name v
+  | None -> (
+      match Domain.DLS.get sink with
+      | Some b -> b.ops <- Op_observe (name, v) :: b.ops
+      | None -> direct_observe default name v)
+
+(* GC pressure gauges, sampled at top-level span close (see
+   [Trace.with_span]) so BENCH sweeps can correlate throughput cliffs
+   with collector activity. Off by default: [Gc.quick_stat] is cheap
+   but not free, and the gauges would perturb byte-identity checks that
+   do not expect them. *)
+let gc_sampling = ref false
+let enable_gc_sampling () = gc_sampling := true
+let disable_gc_sampling () = gc_sampling := false
+
+let sample_gc () =
+  if default.live && !gc_sampling then begin
+    let s = Gc.quick_stat () in
+    gauge "obs.gc.minor_words" s.Gc.minor_words;
+    gauge "obs.gc.major_words" s.Gc.major_words;
+    gauge "obs.gc.compactions" (float_of_int s.Gc.compactions)
+  end
 
 let counter ?(registry = default) name =
   match Hashtbl.find_opt registry.table name with

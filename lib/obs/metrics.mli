@@ -79,6 +79,47 @@ val last : ?registry:registry -> string -> float option
 val snapshot : ?registry:registry -> unit -> (string * stat) list
 (** Every metric, sorted by name (so dumps are deterministic). *)
 
+(** {2 Per-domain buffers}
+
+    The sharded executor hands each pool task a forked buffer; while it
+    is installed (via {!with_buffer}) every unqualified {!incr},
+    {!gauge} and {!observe} on that domain appends to the buffer
+    instead of touching the shared {!default} registry. The
+    coordinating domain then {!merge}s the buffers at the pool barrier
+    in task-index order. Merging {e replays} the recorded operation
+    sequence rather than adding partial aggregates, so float
+    accumulation order — and therefore the resulting dump — is
+    byte-identical to a single-worker run. *)
+
+type buffer
+
+val fork : unit -> buffer option
+(** A fresh buffer when the default registry is recording, [None]
+    otherwise (so disabled runs allocate nothing). *)
+
+val with_buffer : buffer option -> (unit -> 'a) -> 'a
+(** Run [f] with the buffer installed as this domain's sink; restores
+    the previous sink even on exceptions. [None] runs [f] bare. *)
+
+val merge : buffer option -> unit
+(** Replay a forked buffer's operations into {!default}, oldest first.
+    Call from the coordinating domain, in task-index order. *)
+
+(** {2 GC sampling}
+
+    The [obs.gc.*] gauge family (minor/major words, compactions) is
+    sampled from [Gc.quick_stat] each time a top-level span closes.
+    Off by default — enable it for BENCH sweeps that need to correlate
+    throughput cliffs with collector pressure. *)
+
+val enable_gc_sampling : unit -> unit
+val disable_gc_sampling : unit -> unit
+
+val sample_gc : unit -> unit
+(** Record [obs.gc.minor_words] / [obs.gc.major_words] /
+    [obs.gc.compactions] gauges now. No-op unless both the registry
+    and GC sampling are enabled. *)
+
 val with_prefix : ?registry:registry -> string -> (string * stat) list
 (** {!snapshot} restricted to names starting with the prefix, sorted —
     how batch consumers read back a rollup family such as

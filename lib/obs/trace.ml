@@ -37,7 +37,66 @@ let on () = default.t_live
 
 let count t = t.next_id
 
-let with_span ?(tracer = default) ?(cat = "app") ?(args = []) name f =
+(* Per-domain buffer mode. A fork captures the enclosing open span (and
+   its depth) on the coordinating domain plus the parent's clock; the
+   worker then records into a private tracer with ids from 0. Merging
+   renumbers ids to [base + id] (base = the default tracer's next_id at
+   merge time), reparents local roots under the captured span, and
+   offsets depths — so merging forks in task-index order reproduces
+   exactly the id sequence a single-worker inline run would have
+   allocated. *)
+type buffer = { b_tracer : t; b_parent : int option; b_depth : int }
+
+let sink : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let fork () =
+  if not default.t_live then None
+  else
+    Some
+      { b_tracer =
+          { t_clock = default.t_clock;
+            t_live = true;
+            next_id = 0;
+            stack = [];
+            done_ = [] };
+        b_parent = (match default.stack with [] -> None | p :: _ -> Some p);
+        b_depth = List.length default.stack }
+
+let with_buffer buf f =
+  match buf with
+  | None -> f ()
+  | Some b ->
+      let prev = Domain.DLS.get sink in
+      Domain.DLS.set sink (Some b.b_tracer);
+      Fun.protect ~finally:(fun () -> Domain.DLS.set sink prev) f
+
+let merge = function
+  | None -> ()
+  | Some b ->
+      let local = b.b_tracer in
+      let base = default.next_id in
+      let remapped =
+        List.map
+          (fun e ->
+            { e with
+              id = base + e.id;
+              parent =
+                (match e.parent with
+                | Some p -> Some (base + p)
+                | None -> b.b_parent);
+              depth = e.depth + b.b_depth })
+          local.done_
+      in
+      default.done_ <- remapped @ default.done_;
+      default.next_id <- base + local.next_id
+
+let with_span ?tracer ?(cat = "app") ?(args = []) name f =
+  let tracer =
+    match tracer with
+    | Some t -> t
+    | None -> (
+        match Domain.DLS.get sink with Some t -> t | None -> default)
+  in
   if not tracer.t_live then f ()
   else begin
     let id = tracer.next_id in
@@ -54,7 +113,8 @@ let with_span ?(tracer = default) ?(cat = "app") ?(args = []) name f =
         | _ -> ());
         tracer.done_ <-
           { id; parent; depth; name; cat; args; ts_ms = t0; dur_ms }
-          :: tracer.done_)
+          :: tracer.done_;
+        if tracer == default && tracer.stack = [] then Metrics.sample_gc ())
       f
   end
 

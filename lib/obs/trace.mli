@@ -49,7 +49,11 @@ val with_span :
   'a
 (** Run the thunk inside a span (default tracer, default category
     ["app"]). The span is recorded even when the thunk raises. When the
-    tracer is disabled this is just the call. *)
+    tracer is disabled this is just the call. Without an explicit
+    [tracer], the span lands in this domain's installed fork buffer
+    when one is active (see {!with_buffer}). Closing a top-level span
+    on the default tracer also samples the [obs.gc.*] gauges when
+    {!Metrics.enable_gc_sampling} is on. *)
 
 val count : t -> int
 (** Spans recorded so far. Remember it before a unit of work to slice
@@ -76,3 +80,29 @@ val pp_forest : Format.formatter -> tree list -> unit
 val summary : t -> (string * int * float) list
 (** Per-name aggregation over all recorded spans: (name, count, total
     duration in ms), sorted by name. *)
+
+(** {2 Per-domain buffers}
+
+    Mirror of {!Metrics}'s buffer mode. A fork captures the enclosing
+    open span and its depth on the coordinating domain; the worker
+    records spans into a private tracer with local ids from 0. Merging
+    renumbers local ids to [base + id], reparents local roots under the
+    captured span, and offsets depths — merging forks at the pool
+    barrier in task-index order reproduces the exact id sequence a
+    single-worker inline run would allocate, so span forests are
+    byte-identical regardless of worker count. *)
+
+type buffer
+
+val fork : unit -> buffer option
+(** A fresh buffer rooted at the currently open default-tracer span, or
+    [None] when the default tracer is disabled. *)
+
+val with_buffer : buffer option -> (unit -> 'a) -> 'a
+(** Run [f] with the buffer installed as this domain's span sink;
+    restores the previous sink even on exceptions. [None] runs [f]
+    bare. *)
+
+val merge : buffer option -> unit
+(** Splice a forked buffer's spans into {!default}. Call from the
+    coordinating domain, in task-index order. *)

@@ -14,6 +14,9 @@ let segment_name version = Printf.sprintf "%06d.seg" version
 
 let fail e =
   if Obs.Metrics.on () then Obs.Metrics.incr "store.recovery.errors";
+  if Obs.Log.on () then
+    Obs.Log.record ~severity:Obs.Log.Error Obs.Log.Recovery_error
+      (Recovery.error_to_string e);
   raise (Recovery.Store_error e)
 
 (* The commit protocol's cheap self-check: after writing (and fsyncing)
@@ -66,6 +69,13 @@ let create ?(io = Io.real) ~dir ~name relation =
         Obs.Metrics.incr "store.commit.count";
         Obs.Metrics.incr ~by:(List.length records) "store.commit.records"
       end;
+      if Obs.Log.on () then
+        Obs.Log.record
+          ~fields:
+            [ ("dir", dir);
+              ("segment", seg);
+              ("records", string_of_int (List.length records)) ]
+          Obs.Log.Store_commit "created store";
       { dir; io; manifest; relation })
 
 let open_store ?(io = Io.real) ?(verify = true) dir =
@@ -144,4 +154,11 @@ let append_commit t records new_relation =
     Obs.Metrics.incr "store.commit.count";
     Obs.Metrics.incr ~by:(List.length records) "store.commit.records";
     Obs.Metrics.incr ~by:(String.length content) "store.commit.bytes"
-  end
+  end;
+  if Obs.Log.on () then
+    Obs.Log.record
+      ~fields:
+        [ ("dir", t.dir);
+          ("segment", seg);
+          ("records", string_of_int (List.length records)) ]
+      Obs.Log.Store_commit "committed segment"

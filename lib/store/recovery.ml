@@ -54,6 +54,9 @@ type report = {
 
 let fail e =
   if Obs.Metrics.on () then Obs.Metrics.incr "store.recovery.errors";
+  if Obs.Log.on () then
+    Obs.Log.record ~severity:Obs.Log.Error Obs.Log.Recovery_error
+      (error_to_string e);
   raise (Store_error e)
 
 let in_span phase f =
@@ -213,6 +216,13 @@ let recover ?(verify = true) (io : Io.t) dir =
       "store.recovery.segments";
     Obs.Metrics.incr ~by:records "store.recovery.records"
   end;
+  if Obs.Log.on () then
+    List.iter
+      (fun e ->
+        Obs.Log.record ~severity:Obs.Log.Warn
+          ~fields:[ ("dir", dir) ]
+          Obs.Log.Recovery_error (event_to_string e))
+      (List.rev !events);
   ( manifest,
     rel,
     {

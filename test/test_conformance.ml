@@ -88,6 +88,20 @@ let ctx = Query.Physical.create_ctx ()
 
 let () = Exec.Engine.install ()
 
+(* CI's obs job sets ERIDB_OBS=1: the whole grid then runs with the
+   default metrics registry, tracer and flight recorder live, proving
+   recording has no representational effect at any shard × worker
+   point. Virtual clocks keep the ambient recording deterministic. *)
+let () =
+  match Sys.getenv_opt "ERIDB_OBS" with
+  | Some ("1" | "true" | "on") ->
+      Obs.Metrics.enable ();
+      Obs.Trace.set_clock Obs.Trace.default (Obs.Clock.simulated ());
+      Obs.Trace.enable Obs.Trace.default;
+      Obs.Log.set_clock (Obs.Clock.simulated ());
+      Obs.Log.enable ()
+  | Some _ | None -> ()
+
 (* The sharded grid: every shard count × worker count combination the
    issue pins, plus whatever ERIDB_DOMAINS the environment supplies
    (CI's sharded job sets it), so the same binary sweeps a larger grid
@@ -124,11 +138,14 @@ let make_case seed =
    the observer-effect test must flip the DEFAULT tracer the hot paths
    consult, and restore it whatever happens. *)
 let with_default_tracing f =
+  (* Restore, don't force off: under ERIDB_OBS the ambient tracer must
+     stay live for the legs that run after this one. *)
+  let was_live = Obs.Trace.on () in
   Obs.Trace.clear Obs.Trace.default;
   Obs.Trace.enable Obs.Trace.default;
   Fun.protect
     ~finally:(fun () ->
-      Obs.Trace.disable Obs.Trace.default;
+      if not was_live then Obs.Trace.disable Obs.Trace.default;
       Obs.Trace.clear Obs.Trace.default)
     f
 

@@ -150,6 +150,20 @@ let with_virtual_clock f =
     ~finally:(fun () -> Obs.Trace.set_clock Obs.Trace.default saved)
     f
 
+(* The exec.workers gauge reports the worker count itself — the one
+   value that must differ across worker counts (bench --obs-gate
+   asserts it). Everything else in the dump has to match byte for
+   byte, so strip exactly that line before comparing. *)
+let strip_worker_gauge text =
+  String.split_on_char '\n' text
+  |> List.filter (fun line ->
+         not
+           (String.length line >= 5
+           && String.sub line 0 5 = "gauge"
+           && String.length line >= 22
+           && String.sub line 10 12 = "exec.workers"))
+  |> String.concat "\n"
+
 let metrics_rollup_for ~shards ~domains env qs =
   (* Cold scan cache per rollup, so exec.index.build/reuse counts are a
      function of the batch alone, not of which rollup ran first. *)
@@ -161,7 +175,34 @@ let metrics_rollup_for ~shards ~domains env qs =
             (fun q ->
               ignore (P.eval_fast ~ctx ~strategy:(strategy shards domains) env q))
             qs;
-          Obs.Export.metrics_text ()))
+          strip_worker_gauge (Obs.Export.metrics_text ())))
+
+(* Spans under a fork merge back renumbered but content- and
+   order-identical, so every id-free rendering (forest, Chrome export,
+   summary) must be byte-equal to the inline run's. *)
+let trace_rollup_for ~shards ~domains env qs =
+  Exec.Engine.reset_scan_cache ();
+  with_virtual_clock (fun () ->
+      let t = Obs.Trace.default in
+      Obs.Trace.enable t;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Trace.disable t;
+          Obs.Trace.clear t)
+        (fun () ->
+          let from = Obs.Trace.count t in
+          let ctx = P.create_ctx () in
+          List.iter
+            (fun q ->
+              ignore (P.eval_fast ~ctx ~strategy:(strategy shards domains) env q))
+            qs;
+          Format.asprintf "%a@.%s%s" Obs.Trace.pp_forest
+            (Obs.Trace.forest ~from t)
+            (Obs.Export.chrome ~from t)
+            (String.concat ""
+               (List.map
+                  (fun (n, c, d) -> Printf.sprintf "%s %d %g\n" n c d)
+                  (Obs.Trace.summary t)))))
 
 let metrics_byte_identical_across_workers () =
   let env, qs = queries 202 in
@@ -173,6 +214,35 @@ let metrics_byte_identical_across_workers () =
         reference
         (metrics_rollup_for ~shards:8 ~domains env qs))
     worker_counts
+
+let traces_byte_identical_across_workers () =
+  let env, qs = queries 505 in
+  let reference = trace_rollup_for ~shards:8 ~domains:1 env qs in
+  List.iter
+    (fun domains ->
+      Alcotest.(check string)
+        (Printf.sprintf "trace rollup, 8 shards, %d domains" domains)
+        reference
+        (trace_rollup_for ~shards:8 ~domains env qs))
+    worker_counts
+
+(* The qcheck form of the tentpole guarantee: for random workloads the
+   merged per-worker metric and trace rollups at workers ∈ {2,4,8} are
+   byte-identical to workers=1. *)
+let qcheck_merged_telemetry =
+  QCheck.Test.make ~count:10
+    ~name:"merged per-worker telemetry = inline run (metrics + traces)"
+    QCheck.(int_range 0 1000)
+    (fun n ->
+      let seed = 606 + n in
+      let env, qs = queries seed in
+      let m_ref = metrics_rollup_for ~shards:8 ~domains:1 env qs in
+      let t_ref = trace_rollup_for ~shards:8 ~domains:1 env qs in
+      List.for_all
+        (fun domains ->
+          String.equal m_ref (metrics_rollup_for ~shards:8 ~domains env qs)
+          && String.equal t_ref (trace_rollup_for ~shards:8 ~domains env qs))
+        [ 2; 4; 8 ])
 
 (* Counter families owned by the evidential arithmetic must not depend
    on how many shards the engine used. (exec.* diagnostics and
@@ -320,6 +390,9 @@ let () =
             `Quick results_byte_identical;
           Alcotest.test_case "metrics byte-identical across worker counts"
             `Quick metrics_byte_identical_across_workers;
+          Alcotest.test_case "traces byte-identical across worker counts"
+            `Quick traces_byte_identical_across_workers;
+          QCheck_alcotest.to_alcotest qcheck_merged_telemetry;
           Alcotest.test_case "dst/cache counters shard-count-invariant"
             `Quick counters_invariant_across_shard_counts;
           Alcotest.test_case "lineage DOT byte-identical across worker counts"

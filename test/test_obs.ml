@@ -6,6 +6,7 @@
 
 module M = Obs.Metrics
 module T = Obs.Trace
+module L = Obs.Log
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -141,6 +142,119 @@ let test_summary () =
   | [ ("a", 2, _); ("b", 1, _) ] -> ()
   | _ -> Alcotest.fail "summary aggregation (name-sorted, counted)"
 
+(* --- flight recorder ------------------------------------------------- *)
+
+let with_default_log ?capacity f =
+  L.set_clock (Obs.Clock.simulated ());
+  L.clear ();
+  L.enable ?capacity ();
+  Fun.protect
+    ~finally:(fun () ->
+      L.disable ();
+      L.clear ();
+      L.set_capacity 256;
+      L.set_min_severity L.Debug)
+    f
+
+let test_log_disabled_noop () =
+  L.clear ();
+  check "default starts disabled" false (L.on ());
+  L.record L.Retry "ghost";
+  check_int "nothing recorded while disabled" 0 (List.length (L.events ()))
+
+let test_log_ordering () =
+  with_default_log (fun () ->
+      L.record ~severity:L.Warn ~fields:[ ("source", "ra") ] L.Retry "r1";
+      L.record L.Store_commit "c1";
+      L.record ~severity:L.Error L.Quarantine "q1";
+      match L.events () with
+      | [ e0; e1; e2 ] ->
+          check_int "dense seqs from 0" 0 e0.L.seq;
+          check_int "seq 1" 1 e1.L.seq;
+          check_int "seq 2" 2 e2.L.seq;
+          check "oldest first" true
+            (e0.L.message = "r1" && e2.L.message = "q1");
+          check "default severity is Info" true (e1.L.severity = L.Info);
+          check "fields preserved in order" true
+            (e0.L.fields = [ ("source", "ra") ]);
+          check "simulated clock stamps 0" true (Float.equal e0.L.ts_ms 0.0)
+      | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs))
+
+let test_log_wraparound () =
+  with_default_log ~capacity:4 (fun () ->
+      for i = 0 to 5 do
+        L.record L.Shard_spawn (Printf.sprintf "e%d" i)
+      done;
+      let evs = L.events () in
+      check_int "ring keeps capacity events" 4 (List.length evs);
+      check "most recent survive, in sequence order" true
+        (List.map (fun e -> (e.L.seq, e.L.message)) evs
+        = [ (2, "e2"); (3, "e3"); (4, "e4"); (5, "e5") ]);
+      check "last slices the tail" true
+        (List.map (fun e -> e.L.seq) (L.events ~last:2 ()) = [ 4; 5 ]))
+
+let test_log_severity_filter () =
+  with_default_log (fun () ->
+      L.set_min_severity L.Warn;
+      L.record ~severity:L.Debug L.Cache_evict "drop-me";
+      L.record L.Store_commit "drop-me-too" (* Info < Warn *);
+      L.record ~severity:L.Warn L.Degrade "keep";
+      L.record ~severity:L.Error L.Recovery_error "keep-too";
+      check "below-threshold events never take a sequence number" true
+        (List.map (fun e -> (e.L.seq, e.L.message)) (L.events ())
+        = [ (0, "keep"); (1, "keep-too") ]))
+
+let test_log_capacity_resize () =
+  with_default_log ~capacity:8 (fun () ->
+      for i = 0 to 4 do
+        L.record L.Shard_merge (Printf.sprintf "e%d" i)
+      done;
+      L.set_capacity 2;
+      check_int "resize reports" 2 (L.capacity ());
+      check "resize keeps the most recent fitting events" true
+        (List.map (fun e -> (e.L.seq, e.L.message)) (L.events ())
+        = [ (3, "e3"); (4, "e4") ]);
+      L.record L.Shard_merge "e5";
+      check "sequence numbering survives the resize" true
+        (List.map (fun e -> e.L.seq) (L.events ()) = [ 4; 5 ]);
+      Alcotest.check_raises "capacity must be positive"
+        (Invalid_argument "Obs.Log.set_capacity: capacity must be > 0")
+        (fun () -> L.set_capacity 0))
+
+let test_log_fork_merge () =
+  with_default_log (fun () ->
+      L.record L.Store_commit "before";
+      let buf = L.fork () in
+      check "fork yields a buffer while live" true (buf <> None);
+      L.with_buffer buf (fun () ->
+          L.record ~severity:L.Warn L.Retry "buffered-1";
+          L.record L.Degrade "buffered-2");
+      check_int "buffered events invisible before merge" 1
+        (List.length (L.events ()));
+      L.merge buf;
+      check "merge replays in order with fresh seqs" true
+        (List.map (fun e -> (e.L.seq, e.L.message)) (L.events ())
+        = [ (0, "before"); (1, "buffered-1"); (2, "buffered-2") ]));
+  check "fork while disabled is free" true (L.fork () = None)
+
+let test_log_pp_and_jsonl () =
+  with_default_log (fun () ->
+      L.record ~severity:L.Warn
+        ~fields:[ ("source", "ra"); ("attempt", "2") ]
+        L.Retry "fetch failed";
+      L.record L.Store_commit "committed";
+      (match L.events () with
+      | e :: _ ->
+          check_str "pp_event line"
+            "#0 warn  retry          fetch failed (source=ra, attempt=2)"
+            (Format.asprintf "%a" L.pp_event e)
+      | [] -> Alcotest.fail "no events");
+      check_str "events_jsonl lines"
+        ("{\"seq\":0,\"ts_ms\":0.000,\"severity\":\"warn\",\"kind\":\"retry\",\"message\":\"fetch \
+          failed\",\"fields\":{\"source\":\"ra\",\"attempt\":\"2\"}}\n"
+        ^ "{\"seq\":1,\"ts_ms\":0.000,\"severity\":\"info\",\"kind\":\"store_commit\",\"message\":\"committed\"}\n")
+        (Obs.Export.events_jsonl ()))
+
 (* --- exporters ------------------------------------------------------- *)
 
 let test_json_escape () =
@@ -223,6 +337,12 @@ let test_prometheus_export () =
     let rec go i = i + n <= h && (String.sub prom i n = sub || go (i + 1)) in
     go 0
   in
+  check "help precedes type for known names" true
+    (has
+       "# HELP eridb_dst_combine_calls Evidence combinations performed.\n\
+        # TYPE eridb_dst_combine_calls counter");
+  check "unknown names get the fallback help, still before TYPE" true
+    (has "# HELP eridb_h eridb metric.\n# TYPE eridb_h histogram");
   check "counter type line" true (has "# TYPE eridb_dst_combine_calls counter");
   check "counter sample" true (has "eridb_dst_combine_calls 3");
   check "gauge mangled name" true (has "eridb_provenance_nodes 7");
@@ -303,6 +423,14 @@ let () =
           t "disabled passthrough" test_disabled_tracer_passthrough;
           t "forest ~from slicing" test_forest_from_slicing;
           t "summary" test_summary ] );
+      ( "log",
+        [ t "disabled no-op" test_log_disabled_noop;
+          t "ordering and defaults" test_log_ordering;
+          t "ring wrap-around" test_log_wraparound;
+          t "severity filter" test_log_severity_filter;
+          t "capacity resize" test_log_capacity_resize;
+          t "fork and merge" test_log_fork_merge;
+          t "pp and jsonl export" test_log_pp_and_jsonl ] );
       ( "export",
         [ t "json escaping" test_json_escape;
           t "chrome trace" test_chrome_export;
